@@ -1,0 +1,76 @@
+"""FIG1 — Figure 1: the three loose-coupling architectures.
+
+Reproduces the Section 3 comparison: all three architectures answer the
+same mixed workload; the table reports the feature checklist the paper
+argues from, interface crossings, and latency.  Expected shape: the
+DBMS-as-control architecture supports every feature, needs one interface
+crossing per content expression, and is not slower than the control-module
+architecture (which pays per-result crossings).
+"""
+
+import pytest
+
+from benchmarks.conftest import build_corpus_system
+from repro.core.architectures import (
+    FEATURES,
+    MixedWorkloadQuery,
+    run_comparison,
+)
+from repro.core.collection import create_collection, index_objects
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = build_corpus_system(documents=30, paragraphs=5, seed=42)
+    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    index_objects(collection)
+    queries = [
+        MixedWorkloadQuery("YEAR", "1994", "www", 0.42),
+        MixedWorkloadQuery("YEAR", "1993", "nii", 0.42),
+        MixedWorkloadQuery("YEAR", "1995", "#or(telnet database)", 0.42),
+    ]
+    return system, collection, queries
+
+
+def test_fig1_architecture_comparison(setup, report, benchmark):
+    system, collection, queries = setup
+
+    def run():
+        # Fresh buffers per round so every architecture pays its own IRS calls.
+        collection.set("buffer", {})
+        return run_comparison(system, collection, queries)
+
+    reports = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    rows = []
+    for name, architecture_reports in reports.items():
+        first = architecture_reports[0]
+        supported = sum(1 for f in FEATURES if first.features[f])
+        crossings = sum(r.interface_crossings for r in architecture_reports)
+        seconds = sum(r.seconds for r in architecture_reports)
+        answers = sum(len(r.rows) for r in architecture_reports)
+        rows.append([name, f"{supported}/{len(FEATURES)}", crossings, answers, seconds])
+
+    report(
+        "fig1_architectures",
+        "Figure 1: coupling architectures (3-query mixed workload)",
+        ["architecture", "features", "crossings", "answers", "seconds"],
+        rows,
+        notes=(
+            "Paper claim (Section 3): the DBMS-as-control architecture needs no new "
+            "query processor, keeps transactions 'for free', and subsumes the "
+            "alternatives' query shapes.  All architectures return identical answers; "
+            "only dbms_control supports all features with one IRS crossing per "
+            "content expression."
+        ),
+    )
+
+    dbms = reports["dbms_control"]
+    control = reports["control_module"]
+    assert all(r.features[f] for r in dbms for f in FEATURES)
+    assert sum(r.interface_crossings for r in control) > sum(
+        r.interface_crossings for r in dbms
+    )
+    # identical answers across architectures
+    for a, b, c in zip(reports["control_module"], reports["irs_control"], dbms):
+        assert [o for o, _ in a.rows] == [o for o, _ in b.rows] == [o for o, _ in c.rows]

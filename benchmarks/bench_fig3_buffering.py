@@ -1,0 +1,134 @@
+"""FIG3 — Figure 3: the query-processing flow chart with result buffering.
+
+The flow chart's point: one IRS invocation serves arbitrarily many
+``getIRSValue`` calls (intra-query: many objects, one query; inter-query:
+repeated queries).  The table reports IRS invocations, buffer hit rates and
+wall time with buffering (the coupling's behaviour) versus without
+(simulated by clearing the buffer before every call).
+
+Expected shape: buffered evaluation needs exactly Q IRS calls for Q
+distinct IRS queries regardless of object count; unbuffered needs
+objects x queries and is an order of magnitude slower.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from benchmarks.conftest import build_corpus_system
+from repro.core.collection import create_collection, index_objects
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = build_corpus_system(documents=25, paragraphs=4, seed=42)
+    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    index_objects(collection)
+    queries = ["www", "nii", "telnet", "#and(www nii)"]
+    return system, collection, queries
+
+
+def _run_workload(system, collection, queries, buffered):
+    paras = system.db.instances_of("PARA")
+    system.reset_counters()
+    started = perf_counter()
+    for irs_query in queries:
+        for obj in paras:
+            if not buffered:
+                collection.set("buffer", {})
+            obj.send("getIRSValue", collection, irs_query)
+    elapsed = perf_counter() - started
+    counters = system.context.counters
+    return {
+        "objects": len(paras),
+        "irs_calls": system.engine.counters.queries_executed,
+        "hits": counters.buffer_hits,
+        "misses": counters.buffer_misses,
+        "seconds": elapsed,
+    }
+
+
+def test_fig3_result_buffering(setup, report, benchmark):
+    system, collection, queries = setup
+
+    collection.set("buffer", {})
+    unbuffered = _run_workload(system, collection, queries, buffered=False)
+    collection.set("buffer", {})
+    buffered = benchmark.pedantic(
+        lambda: (_run_workload(system, collection, queries, buffered=True)),
+        setup=lambda: (collection.set("buffer", {}), (tuple(), {}))[1],
+        rounds=3,
+    )
+
+    calls = buffered["objects"] * len(queries)
+    rows = [
+        [
+            "buffered (Figure 3)",
+            calls,
+            buffered["irs_calls"],
+            buffered["hits"],
+            f"{buffered['hits'] / calls:.2%}",
+            buffered["seconds"],
+        ],
+        [
+            "unbuffered",
+            calls,
+            unbuffered["irs_calls"],
+            unbuffered["hits"],
+            f"{unbuffered['hits'] / calls:.2%}",
+            unbuffered["seconds"],
+        ],
+    ]
+    speedup = unbuffered["seconds"] / max(buffered["seconds"], 1e-9)
+    report(
+        "fig3_buffering",
+        "Figure 3: persistent IRS-result buffer",
+        ["mode", "getIRSValue calls", "IRS invocations", "buffer hits", "hit rate", "seconds"],
+        rows,
+        notes=(
+            f"Speedup from buffering: {speedup:.1f}x.  Paper: 'IRS results are "
+            f"buffered to avoid IRS query processing for the same IRS query for "
+            f"different IRSObject instances.'  Expected shape: IRS invocations "
+            f"drop from objects x queries ({calls}) to one per distinct query "
+            f"({len(queries)})."
+        ),
+    )
+
+    assert buffered["irs_calls"] == len(queries)
+    assert unbuffered["irs_calls"] == calls
+    assert buffered["seconds"] < unbuffered["seconds"]
+
+
+def test_fig3_inter_query_buffering(setup, report, benchmark):
+    """Inter-query optimization: the second identical query is free."""
+    system, collection, _queries = setup
+    collection.set("buffer", {})
+
+    def first_and_second():
+        system.reset_counters()
+        rows1 = system.db.query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(c, 'www') > 0.42",
+            {"c": collection},
+        )
+        after_first = system.engine.counters.queries_executed
+        rows2 = system.db.query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(c, 'www') > 0.42",
+            {"c": collection},
+        )
+        return after_first, system.engine.counters.queries_executed, len(rows1), len(rows2)
+
+    after_first, total, n1, n2 = benchmark.pedantic(
+        first_and_second,
+        setup=lambda: (collection.set("buffer", {}), (tuple(), {}))[1],
+        rounds=3,
+    )
+    report(
+        "fig3_inter_query",
+        "Figure 3: inter-query buffering (same mixed query twice)",
+        ["run", "IRS invocations (cumulative)", "rows"],
+        [["first", after_first, n1], ["second", total, n2]],
+        notes="The second evaluation answers entirely from the persistent buffer.",
+    )
+    assert after_first == 1
+    assert total == 1
+    assert n1 == n2

@@ -1,0 +1,196 @@
+"""FIG4 — Figure 4 + Section 4.5.2: deriving IRS values for composites.
+
+Reproduces the paper's worked example on the exact M1-M4/P1-P11 base and on
+a 40x scaled synthetic version:
+
+* paragraph-level retrieval puts P4 first for ``#and(WWW NII)``;
+* redirecting the query to paragraphs and returning only containers of top
+  paragraphs answers {M2}, missing M3 ("The answer will be document M2,
+  although M3 is relevant, too");
+* maximum/average cannot order M3 above M4; the subquery-aware scheme can;
+  the subquery+locality blend satisfies every ordering the paper demands.
+"""
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import get_irs_result
+from repro.workloads.corpus import CorpusGenerator, load_corpus
+from repro.workloads.figure4 import (
+    EXPECTED_PAIRS,
+    load_figure4,
+    rank_documents,
+    satisfied_pairs,
+)
+
+SCHEMES = [
+    "maximum", "average", "weighted_type", "length_weighted",
+    "subquery", "subquery_locality", "passage",
+]
+QUERY = "#and(WWW NII)"
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    system = DocumentSystem()
+    setup = load_figure4(system)
+    setup["system"] = system
+    return setup
+
+
+def test_fig4_paragraph_level_baseline(figure4, report, benchmark):
+    figure4["collection"].set("buffer", {})
+    values = benchmark(get_irs_result, figure4["collection"], QUERY)
+    ranked = sorted(values, key=lambda oid: -values[oid])
+    names = {p.oid: name for name, p in figure4["paragraphs"].items()}
+    rows = [[names[oid], values[oid]] for oid in ranked]
+    report(
+        "fig4_paragraphs",
+        "Figure 4: paragraph-level IRS result for #and(WWW NII)",
+        ["paragraph", "IRS value"],
+        rows,
+        notes="Paper: 'the IRS will assign the highest value to P4, because this "
+        "is the only IRS document relevant to both terms.'",
+    )
+    assert names[ranked[0]] == "P4"
+
+
+def test_fig4_derivation_schemes(figure4, report, benchmark):
+    roots, collection = figure4["roots"], figure4["collection"]
+
+    def rank_all():
+        return {
+            scheme: rank_documents(roots, collection, QUERY, scheme)
+            for scheme in SCHEMES
+        }
+
+    rankings = benchmark.pedantic(rank_all, rounds=3, iterations=1)
+
+    rows = []
+    for scheme in SCHEMES:
+        ranking = rankings[scheme]
+        satisfied = satisfied_pairs(ranking)
+        order = " > ".join(name for name, _v in ranking)
+        values = dict(ranking)
+        rows.append(
+            [
+                scheme,
+                order,
+                f"{len(satisfied)}/{len(EXPECTED_PAIRS)}",
+                values["M2"],
+                values["M3"],
+                values["M4"],
+            ]
+        )
+    report(
+        "fig4_derivation",
+        "Figure 4 / Section 4.5.2: derivation schemes for #and(WWW NII)",
+        ["scheme", "ranking", "paper pairs", "M2", "M3", "M4"],
+        rows,
+        notes=(
+            "Paper pairs: M2 strictly above M3, M4, M1 and M3 strictly above "
+            "M4, M1.  'With computation schemes such as maximum or average, the "
+            "query content is not taken into account: ... only M3 is relevant "
+            "for both terms.'  The subquery scheme exploits per-subquery "
+            "evidence; blending it with single-passage locality recovers the "
+            "complete intuitive order."
+        ),
+    )
+
+    max_ranking = dict(rankings["maximum"])
+    assert max_ranking["M3"] == pytest.approx(max_ranking["M1"])  # the anomaly
+    sub = dict(rankings["subquery"])
+    assert sub["M3"] > sub["M4"]
+    assert satisfied_pairs(rankings["subquery_locality"]) == EXPECTED_PAIRS
+
+
+def test_fig4_top_paragraph_redirect_misses_m3(figure4, report, benchmark):
+    """The naive redirect: return containers of the best paragraphs only."""
+    system = figure4["system"]
+
+    def redirect():
+        # Fresh buffer: only genuine IRS (paragraph) results, no previously
+        # amended derived document values.
+        figure4["collection"].set("buffer", {})
+        values = get_irs_result(figure4["collection"], QUERY)
+        best = max(values, key=values.get)
+        container = system.db.get_object(best).send("getContaining", "MMFDOC")
+        return container.send("getAttributeValue", "TITLE")
+
+    answer = benchmark(redirect)
+    report(
+        "fig4_redirect",
+        "Figure 4: naive top-paragraph redirect",
+        ["strategy", "answer set"],
+        [["container of top paragraph", answer]],
+        notes="Misses M3 exactly as Section 4.5.2 predicts.",
+    )
+    assert answer == "M2"
+
+
+def test_fig4_scaled_corpus(report, benchmark):
+    """The same scheme comparison on a 40-document synthetic corpus."""
+    system = DocumentSystem()
+    generator = CorpusGenerator(seed=99)
+    # Build M2/M3/M4-shaped documents at scale, 'www'/'nii' patterns known.
+    patterns = {
+        "shape_M2": [["www", "nii"], [None]],       # one paragraph on both? no:
+        # approximate with one www+nii paragraph via two topics in one para is
+        # not expressible; use: strong single para with both handled below.
+    }
+    documents = []
+    truth = []
+    for i in range(40):
+        kind = ("M2", "M3", "M4", "M1")[i % 4]
+        if kind == "M2":
+            topics = [None, None]
+        elif kind == "M3":
+            topics = ["www", "nii", None]
+        elif kind == "M4":
+            topics = [None, "nii", "nii"]
+        else:
+            topics = ["www", None, None]
+        generated = generator.document(topics=topics, words_per_paragraph=12)
+        if kind == "M2":
+            # Inject a single paragraph mentioning both topics.
+            generated.element.append_element("PARA").append_text(
+                "the www web and the nii infrastructure converge here today now"
+            )
+        documents.append(generated)
+        truth.append(kind)
+    roots = load_corpus(system, documents)
+
+    from repro.core.collection import create_collection, index_objects
+
+    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    index_objects(collection)
+    named_roots = {f"{truth[i]}_{i}": roots[i] for i in range(len(roots))}
+
+    def rank(scheme):
+        return rank_documents(named_roots, collection, QUERY, scheme)
+
+    rows = []
+    for scheme in ("maximum", "average", "subquery", "subquery_locality"):
+        ranking = benchmark.pedantic(rank, args=(scheme,), rounds=1) if scheme == "maximum" else rank(scheme)
+        top10 = [name.split("_")[0] for name, _v in ranking[:10]]
+        m2_in_top = sum(1 for k in top10 if k == "M2")
+        first_m4 = next(
+            (idx for idx, (name, _v) in enumerate(ranking) if name.startswith("M4")),
+            None,
+        )
+        first_m3 = next(
+            (idx for idx, (name, _v) in enumerate(ranking) if name.startswith("M3")),
+            None,
+        )
+        rows.append([scheme, m2_in_top, first_m3, first_m4])
+    report(
+        "fig4_scaled",
+        "Figure 4 scaled: 40 documents, #and(WWW NII)",
+        ["scheme", "M2-shaped docs in top 10", "first M3 rank", "first M4 rank"],
+        rows,
+        notes="Shape check at scale: subquery schemes surface M2/M3-shaped "
+        "documents before M4-shaped ones.",
+    )
+    sub_rows = {row[0]: row for row in rows}
+    assert sub_rows["subquery"][2] < sub_rows["subquery"][3]
+    assert sub_rows["subquery_locality"][1] >= sub_rows["average"][1]

@@ -1,0 +1,148 @@
+"""GRAN — Section 4.3: granularity of IRS documents.
+
+Indexes one corpus under every granularity policy and reports IRS
+documents, postings, approximate index bytes, the redundancy factor
+(indexed tokens / corpus tokens) and which query classes each granularity
+answers without derivation.
+
+Expected shape: document-level is smallest but cannot answer element
+queries; indexing *every* element with full subtext (the redundant extreme)
+multiplies tokens by roughly the average document depth — the overhead
+[SAZ94] attacks with compression; the abstract policy keeps every element
+addressable at a fraction of the cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_corpus_system
+from repro.core.granularity import standard_policies
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_corpus_system(documents=20, paragraphs=5, sections=1, seed=42)
+
+
+def test_granularity_policies(system, report, benchmark):
+    policies = standard_policies()
+
+    built = {}
+
+    def build_all():
+        for policy in policies:
+            name = f"g_{policy.name}"
+            if system.engine.has_collection(name):
+                system.engine.drop_collection(name)
+                # recreate the COLLECTION object fresh each round
+            collection = policy.build(system.db, collection_name=f"{name}_{len(built)}")
+            built[policy.name] = collection
+        return built
+
+    # build once (timed); keep the final build for reporting
+    benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    corpus_tokens = None
+    rows = []
+    for policy in policies:
+        collection = built[policy.name]
+        irs = system.engine.collection(collection.get("irs_name"))
+        if policy.name.startswith("doc_"):
+            corpus_tokens = irs.index.token_count
+    baseline_tokens = corpus_tokens or 1
+
+    from repro.irs.compression import compressed_size
+
+    doc_compressed = None
+    for policy in policies:
+        collection = built[policy.name]
+        irs = system.engine.collection(collection.get("irs_name"))
+        para = system.db.instances_of("PARA")[0]
+        doc = system.db.instances_of("MMFDOC")[0]
+        answers = []
+        if collection.send("containsObject", doc):
+            answers.append("doc")
+        if collection.send("containsObject", para):
+            answers.append("para")
+        compressed = compressed_size(irs.index)
+        if policy.name.startswith("doc_"):
+            doc_compressed = compressed
+        rows.append(
+            [
+                policy.name,
+                len(irs),
+                irs.index.posting_count,
+                irs.indexed_bytes(),
+                compressed,
+                irs.index.token_count / baseline_tokens,
+                "+".join(answers) or "none direct",
+            ]
+        )
+
+    all_row = next(r for r in rows if r[0] == "all_elements")
+    saz94_overhead = (all_row[4] - doc_compressed) / doc_compressed
+    report(
+        "granularity",
+        "Section 4.3: granularity policies over one corpus",
+        ["policy", "irs_docs", "postings", "raw_bytes", "vbyte_bytes", "redundancy", "direct answers"],
+        rows,
+        notes=(
+            "redundancy = indexed tokens / corpus tokens (document-level = 1.0 "
+            "by definition).  The all_elements policy shows the multiple-"
+            "indexing overhead [SAZ94] targets; with their mechanism (gap + "
+            "variable-byte compression) the all-levels index costs "
+            f"{saz94_overhead:+.0%} over the compressed document-level index.  "
+            "Equal segments [Cal94] keep redundancy at 1.0 while restoring "
+            "sub-document addressability; abstracts trade recall for a tiny "
+            "index."
+        ),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    assert by_name["all_elements"][5] > by_name["doc_mmfdoc"][5] * 1.5
+    assert by_name["seg30_mmfdoc"][5] == pytest.approx(1.0)
+    assert by_name["abstracts"][3] < by_name["all_elements"][3] / 5
+    assert by_name["type_para"][6] == "para"
+    assert by_name["doc_mmfdoc"][6] == "doc"
+    # Compression shrinks every index by >3x (vbyte gaps beat 8-byte ints).
+    for row in rows:
+        assert row[4] < row[3] / 3
+
+
+def test_granularity_query_capability(system, report, benchmark):
+    """Paragraph queries under document-level vs element-level granularity."""
+    from repro.core.collection import create_collection, get_irs_result, index_objects
+
+    if not system.engine.has_collection("cap_doc"):
+        doc_coll = create_collection(system.db, "cap_doc", "ACCESS d FROM d IN MMFDOC")
+        index_objects(doc_coll)
+        para_coll = create_collection(system.db, "cap_para", "ACCESS p FROM p IN PARA")
+        index_objects(para_coll)
+        system._cap = (doc_coll, para_coll)
+    doc_coll, para_coll = system._cap
+
+    def paragraph_precision(collection):
+        """How precisely 'which paragraph mentions www?' is answerable."""
+        values = get_irs_result(collection, "www")
+        paras = {
+            oid
+            for oid in values
+            if system.db.get_object(oid).class_name == "PARA"
+        }
+        return len(paras), len(values)
+
+    para_hits, para_total = benchmark(paragraph_precision, para_coll)
+    doc_hits, doc_total = paragraph_precision(doc_coll)
+    report(
+        "granularity_capability",
+        "Section 4.3: paragraph-level questions per granularity",
+        ["collection", "paragraph answers", "total answers"],
+        [["cap_para (element granularity)", para_hits, para_total],
+         ["cap_doc (document granularity)", doc_hits, doc_total]],
+        notes=(
+            "Paper: with document-level indexing 'content-based queries "
+            "refering to individual paragraphs cannot be answered' — the "
+            "document collection returns only MMFDOC objects."
+        ),
+    )
+    assert doc_hits == 0
+    assert para_hits > 0

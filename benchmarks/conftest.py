@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures and the result-table writer.
+
+Every benchmark prints the paper-shaped table and also writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote stable
+artifacts.  Corpora are seeded; tables are deterministic (timings aside).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, index_objects
+from repro.workloads.corpus import CorpusGenerator, load_corpus
+from repro.workloads.metrics import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """report(experiment, title, headers, rows, notes="") — print and persist."""
+
+    def _report(experiment, title, headers, rows, notes=""):
+        table = format_table(headers, rows)
+        text = f"== {title} ==\n{table}\n"
+        if notes:
+            text += f"\n{notes}\n"
+        print("\n" + text)
+        path = os.path.join(results_dir, f"{experiment}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return path
+
+    return _report
+
+
+def build_corpus_system(documents=20, paragraphs=5, seed=42, sections=0, figures=0):
+    """A fresh DocumentSystem over a seeded corpus."""
+    system = DocumentSystem()
+    generator = CorpusGenerator(seed=seed)
+    generated = generator.corpus(
+        documents=documents, paragraphs=paragraphs, sections=sections, figures=figures
+    )
+    roots = load_corpus(system, generated)
+    system.roots = roots
+    system.generated = generated
+    return system
+
+
+@pytest.fixture
+def corpus_system():
+    return build_corpus_system()
+
+
+@pytest.fixture
+def para_collection(corpus_system):
+    collection = create_collection(
+        corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
+    )
+    index_objects(collection)
+    return collection

@@ -1,0 +1,79 @@
+"""Advanced retrieval: proximity operators, relevance feedback, aggregates.
+
+Shows the capabilities layered on top of the paper's coupling: phrase and
+window queries (#odN/#uwN over positional postings), one Rocchio feedback
+round through the COLLECTION's expandQuery method, and aggregate mixed
+queries (GROUP BY over content predicates).
+
+Run:  python examples/advanced_retrieval.py
+"""
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.feedback import install_feedback_method
+from repro.sgml.mmf import build_document, mmf_dtd
+
+system = DocumentSystem()
+dtd = mmf_dtd()
+system.register_dtd(dtd)
+install_feedback_method(system.db)
+
+documents = [
+    build_document(
+        "IR Textbook",
+        [
+            "information retrieval systems index large document collections",
+            "an inverted index maps terms to the documents containing them",
+        ],
+        year="1994",
+    ),
+    build_document(
+        "Survey",
+        [
+            "retrieval of information from databases differs from searching",
+            "ranking models estimate the relevance of each candidate",
+        ],
+        year="1994",
+    ),
+    build_document(
+        "Tutorial",
+        ["information about retrieval effectiveness and evaluation measures"],
+        year="1993",
+    ),
+]
+for document in documents:
+    system.add_document(document, dtd=dtd)
+
+coll = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+index_objects(coll)
+
+# -- proximity: the phrase vs loose co-occurrence --------------------------
+print("phrase  #od1(information retrieval):")
+for oid, value in sorted(get_irs_result(coll, "#od1(information retrieval)").items()):
+    text = system.db.get_object(oid).send("getTextContent")
+    print(f"  {value:.3f}  {text[:60]}")
+
+print("\nwindow  #uw8(information retrieval):")
+for oid, value in sorted(get_irs_result(coll, "#uw8(information retrieval)").items()):
+    text = system.db.get_object(oid).send("getTextContent")
+    print(f"  {value:.3f}  {text[:60]}")
+
+# -- feedback: expand from a judged-relevant paragraph -----------------------
+initial = get_irs_result(coll, "ranking")
+judged = [system.db.get_object(oid) for oid in initial]
+expanded = coll.send("expandQuery", "ranking", judged)
+print(f"\nexpanded query: {expanded[:90]}...")
+after = get_irs_result(coll, expanded)
+print(f"results before feedback: {len(initial)}, after: {len(after)}")
+
+# -- aggregates: relevance statistics per document ----------------------------
+rows = system.query(
+    "ACCESS d -> getAttributeValue('TITLE'), COUNT(*), "
+    "AVG(p -> getIRSValue(c, 'retrieval')) "
+    "FROM d IN MMFDOC, p IN PARA "
+    "WHERE p -> getContaining('MMFDOC') == d GROUP BY d",
+    {"c": coll},
+)
+print("\nper-document relevance statistics for 'retrieval':")
+for title, count, avg in rows:
+    print(f"  {title:12s}  paragraphs={count}  avg value={avg:.3f}")

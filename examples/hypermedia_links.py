@@ -1,0 +1,81 @@
+"""Hypermedia retrieval (Section 5): images and implies-links.
+
+Shows the two Section 5 mechanisms with no new coupling machinery:
+text modes make figures retrievable through the text that references them,
+and implies-links both extend a node's IRS document and drive value
+derivation for unrepresented nodes.
+
+Run:  python examples/hypermedia_links.py
+"""
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.hypermedia import (
+    IMPLIES_TEXT_MODE,
+    MEDIA_TEXT_MODE,
+    create_link,
+    install_hypermedia_text_modes,
+    register_link_derivation,
+)
+from repro.hypermedia.links import DESCRIBES, IMPLIES
+from repro.sgml.mmf import build_document, mmf_dtd
+
+system = DocumentSystem()
+dtd = mmf_dtd()
+system.register_dtd(dtd)
+install_hypermedia_text_modes(system.db)
+register_link_derivation()
+
+root = system.add_document(
+    build_document(
+        "Web Topology",
+        ["the www topology graph below shows exponential growth of servers"],
+        figures=["node and edge diagram"],
+    ),
+    dtd=dtd,
+)
+figure = system.db.instances_of("FIGURE")[0]
+paragraph = system.db.instances_of("PARA")[0]
+create_link(system.db, paragraph, figure, DESCRIBES)
+
+# -- images retrieved through referencing text -------------------------------
+caption_only = create_collection(
+    system.db, "figures_caption", "ACCESS f FROM f IN FIGURE", text_mode=0
+)
+index_objects(caption_only)
+media = create_collection(
+    system.db, "figures_media", "ACCESS f FROM f IN FIGURE",
+    text_mode=MEDIA_TEXT_MODE,
+)
+index_objects(media)
+
+print("query 'www' against figure collections:")
+print(f"  caption-only text: {len(get_irs_result(caption_only, 'www'))} hits")
+print(f"  media text mode:   {len(get_irs_result(media, 'www'))} hits")
+print(f"  figure's media text: {figure.send('getText', MEDIA_TEXT_MODE)!r}")
+
+# -- implies-links extend a node's IRS document -------------------------------
+conclusion = system.add_document(
+    build_document("Conclusions", ["therefore the trend will continue"]),
+    dtd=dtd,
+)
+conclusion_para = conclusion.send("getDescendants", "PARA")[0]
+create_link(system.db, paragraph, conclusion_para, IMPLIES)
+
+augmented = create_collection(
+    system.db, "paras_implies", "ACCESS p FROM p IN PARA",
+    text_mode=IMPLIES_TEXT_MODE,
+)
+index_objects(augmented)
+values = get_irs_result(augmented, "www")
+print("\nquery 'www' against implies-augmented paragraphs:")
+print(f"  conclusion paragraph retrievable: {conclusion_para.oid in values}")
+
+# -- link-based derivation for unrepresented nodes ----------------------------
+plain = create_collection(
+    system.db, "paras_plain", "ACCESS p FROM p IN PARA",
+    derivation="link_propagation",
+)
+index_objects(plain)
+value = conclusion.send("getIRSValue", plain, "www")
+print(f"\n'Conclusions' document value for 'www' via link propagation: {value:.3f}")

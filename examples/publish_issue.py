@@ -1,0 +1,63 @@
+"""Publishing an MMF issue: SGML objects to HTML with relevance marks.
+
+The full journal loop: documents are fragmented into the database, a reader
+issues a vague content query, and the issue is rendered to HTML with the
+relevant paragraphs highlighted — storage, retrieval and publishing from
+one object base.
+
+Run:  python examples/publish_issue.py [output.html]
+"""
+
+import sys
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.sgml.export import HTMLExporter
+from repro.sgml.mmf import build_document, mmf_dtd
+
+system = DocumentSystem()
+dtd = mmf_dtd()
+system.register_dtd(dtd)
+
+issue = [
+    build_document(
+        "The Web in 1994",
+        [
+            "the www grew from a physics tool into a mass medium this year",
+            "browsers now render images inline and follow hypertext links",
+        ],
+        abstract="a review of the world wide web's breakthrough year",
+        year="1994",
+    ),
+    build_document(
+        "Infrastructure Funding",
+        [
+            "the nii program allocates funding for regional networks",
+            "universities connect their campuses to the backbone",
+        ],
+        year="1994",
+    ),
+]
+roots = [system.add_document(doc, dtd=dtd) for doc in issue]
+
+collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+index_objects(collection)
+
+# The reader's vague information need:
+values = get_irs_result(collection, "#or(www hypertext)")
+print(f"query '#or(www hypertext)' matched {len(values)} paragraphs")
+
+exporter = HTMLExporter(highlight_values=values, highlight_threshold=0.42)
+pages = [exporter.render_page(root) for root in roots]
+
+output_path = sys.argv[1] if len(sys.argv) > 1 else None
+if output_path:
+    with open(output_path, "w", encoding="utf-8") as fh:
+        fh.write("\n<hr>\n".join(pages))
+    print(f"wrote {output_path}")
+else:
+    for page in pages:
+        marked = page.count("<mark>")
+        title = page.split("<title>")[1].split("</title>")[0]
+        print(f"\n--- {title} ({marked} highlighted paragraphs) ---")
+        print(page[:400])

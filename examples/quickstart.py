@@ -1,0 +1,67 @@
+"""Quickstart: couple an OODBMS and an IRS in ~40 lines.
+
+Builds a DocumentSystem, loads two SGML documents, creates a paragraph
+COLLECTION, and runs a mixed query combining a structural attribute filter
+with a content-based relevance predicate — the paper's headline capability.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, index_objects
+from repro.sgml.mmf import build_document, mmf_dtd
+
+# 1. One facade wires OODBMS + IRS + SGML loader + coupling together.
+system = DocumentSystem()
+dtd = mmf_dtd()
+system.register_dtd(dtd)
+
+# 2. Fragment SGML documents into database objects (one per element).
+system.add_document(
+    build_document(
+        "Telnet",
+        [
+            "Telnet is a protocol for remote terminal sessions",
+            "Telnet enables interactive logins on remote hosts",
+        ],
+        year="1993",
+    ),
+    dtd=dtd,
+)
+system.add_document(
+    build_document(
+        "The Web",
+        [
+            "The WWW connects hypertext documents worldwide",
+            "The NII initiative funds the WWW infrastructure",
+        ],
+        year="1994",
+    ),
+    dtd=dtd,
+)
+
+# 3. A COLLECTION with a specification query: paragraphs become IRS documents.
+coll_para = create_collection(
+    system.db, "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
+)
+index_objects(coll_para)
+print(f"indexed {coll_para.send('memberCount')} paragraph objects")
+
+# 4. A mixed query: structure (YEAR) + content (relevance to 'WWW').
+rows = system.query(
+    "ACCESS d -> getAttributeValue('TITLE'), p "
+    "FROM d IN MMFDOC, p IN PARA "
+    "WHERE d -> getAttributeValue('YEAR') = '1994' AND "
+    "p -> getContaining('MMFDOC') == d AND "
+    "p -> getIRSValue(collPara, 'WWW') > 0.4",
+    {"collPara": coll_para},
+)
+print("\n1994 documents with WWW-relevant paragraphs:")
+for title, para in rows:
+    value = para.send("getIRSValue", coll_para, "WWW")
+    print(f"  {title!r}: {para.send('getTextContent')[:50]!r}  (IRS value {value:.3f})")
+
+# 5. Objects NOT in the collection derive their value from components.
+doc = rows[0][1].send("getContaining", "MMFDOC")
+derived = doc.send("getIRSValue", coll_para, "WWW")
+print(f"\nwhole-document value (derived from paragraphs): {derived:.3f}")

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Applying a Flexible OODBMS-IRS-Coupling to
+Structured Document Handling" (Volz, Aberer, Böhm, ICDE 1996).
+
+Subpackages
+-----------
+``repro.oodb``
+    The OODBMS substrate (VODAK stand-in): objects, transactions, indexes,
+    and the VQL-like query language.
+``repro.irs``
+    The IRS substrate (INQUERY stand-in): analysis, inverted index,
+    boolean/vector/probabilistic retrieval, passages, feedback,
+    hierarchical scoring.
+``repro.sgml``
+    DTDs, SGML parsing/validation, and the document-to-object loader.
+``repro.core``
+    The paper's contribution: the COLLECTION/IRSObject coupling.
+``repro.hypermedia``
+    Section 5: links, media text modes, link-based derivation.
+``repro.workloads``
+    Seeded corpora, the Figure 4 base, query workloads, metrics.
+"""
+
+from repro.core.system import DocumentSystem
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["DocumentSystem", "ReproError", "__version__"]

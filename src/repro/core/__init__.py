@@ -1,0 +1,32 @@
+"""``repro.core`` — the paper's contribution: the OODBMS-IRS coupling.
+
+The coupling is realized "in a database schema that is, for example,
+imported into the application schema" (Section 3): two database classes,
+
+* :data:`COLLECTION_CLASS` (``COLLECTION``) — each instance encapsulates
+  exactly one IRS collection (Section 4.2), with ``indexObjects``,
+  ``getIRSResult`` (persistently buffered), ``findIRSValue`` and the
+  update-propagation methods;
+* :data:`IRSOBJECT_CLASS` (``IRSObject``) — the superclass of every
+  document-element class, with ``getText``, ``getIRSValue`` and
+  ``deriveIRSValue``.
+
+:func:`install_coupling` imports this coupling schema into a database and
+wires it to an :class:`repro.irs.IRSEngine`.  The :class:`DocumentSystem`
+facade assembles the whole stack (OODBMS + IRS + SGML loader + coupling).
+"""
+
+from repro.core.context import CouplingContext, install_coupling, coupling_context
+from repro.core.collection import create_collection, COLLECTION_CLASS
+from repro.core.irs_object import IRSOBJECT_CLASS
+from repro.core.system import DocumentSystem
+
+__all__ = [
+    "CouplingContext",
+    "install_coupling",
+    "coupling_context",
+    "create_collection",
+    "COLLECTION_CLASS",
+    "IRSOBJECT_CLASS",
+    "DocumentSystem",
+]

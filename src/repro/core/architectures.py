@@ -1,0 +1,223 @@
+"""The three loose-coupling architectures of Figure 1.
+
+Section 3 compares: (1) a *control module* coordinating equivalent OODBMS
+and IRS, (2) the *IRS as control component*, and (3) the *DBMS as control
+component* — and argues (3) wins because queries stay in the database query
+language, query processing/optimization need not be re-invented, and "other
+database features likewise 'are for free'".
+
+Each alternative is implemented as a runnable strategy over the same
+document base so the FIG1 benchmark can print the comparison table:
+supported features, interface crossings per query, and latency.  The
+control-module and IRS-control strategies implement exactly the limited
+query shapes such systems supported (COINS/HYDRA-style: one structural
+filter + one content expression), which is the point — "expressiveness of
+queries depends on the capacity of the control module" — while the
+DBMS-control strategy is simply the coupling itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+from repro.core.collection import get_irs_result
+from repro.core.system import DocumentSystem
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+
+
+@dataclass(frozen=True)
+class MixedWorkloadQuery:
+    """The query shape all three architectures can attempt.
+
+    Structure part: attribute equality on the document root.  Content
+    part: an IRS query with a threshold on the element class below.
+    Realistic systems of the era (COINS, HYDRA) supported exactly this.
+    """
+
+    attribute: str
+    attribute_value: str
+    irs_query: str
+    threshold: float
+    element_class: str = "PARA"
+    root_class: str = "MMFDOC"
+
+
+@dataclass
+class ArchitectureReport:
+    """The outcome of running a workload under one architecture."""
+
+    name: str
+    rows: List[Tuple[str, float]]
+    interface_crossings: int
+    seconds: float
+    features: Dict[str, bool] = field(default_factory=dict)
+
+
+#: The feature checklist distilled from Section 3's discussion.
+FEATURES = (
+    "declarative_mixed_queries",   # mixed queries in one query language
+    "nested_structure_predicates", # navigation joins (getNext/getContaining)
+    "transactions",                # concurrency control & recovery apply
+    "no_new_query_processor",      # "query-processing mechanisms need not be altered"
+    "derived_irs_values",          # deriveIRSValue for non-indexed objects
+    "reuses_existing_kernels",     # "modifying the kernel ... is not necessary"
+)
+
+
+class ControlModuleArchitecture:
+    """Alternative (1): a third component coordinates both systems.
+
+    The module queries the OODBMS for the structure part and the IRS for
+    the content part, then joins on OIDs itself.  Its expressiveness is its
+    own code: here, one attribute filter + one thresholded content query.
+    """
+
+    name = "control_module"
+    features = {
+        "declarative_mixed_queries": False,
+        "nested_structure_predicates": False,
+        "transactions": False,
+        "no_new_query_processor": False,
+        "derived_irs_values": False,
+        "reuses_existing_kernels": True,
+    }
+
+    def __init__(self, system: DocumentSystem, collection_obj: DBObject) -> None:
+        self._system = system
+        self._collection = collection_obj
+
+    def run(self, query: MixedWorkloadQuery) -> ArchitectureReport:
+        started = perf_counter()
+        crossings = 0
+
+        # Crossing 1: structure query to the OODBMS.
+        structure_rows = self._system.db.query(
+            f"ACCESS d FROM d IN {query.root_class} "
+            f"WHERE d -> getAttributeValue('{query.attribute}') = '{query.attribute_value}'"
+        )
+        crossings += 1
+        matching_roots = {row[0].oid for row in structure_rows}
+
+        # Crossing 2: content query to the IRS.
+        values = get_irs_result(self._collection, query.irs_query)
+        crossings += 1
+
+        # The module combines: map each relevant element to its root and
+        # intersect.  This re-implements navigation the DBMS already has.
+        rows: List[Tuple[str, float]] = []
+        for oid, value in sorted(values.items()):
+            if value <= query.threshold:
+                continue
+            element = self._system.db.get_object(oid)
+            root = element.send("getContaining", query.root_class)
+            crossings += 1  # per-object call back into the OODBMS
+            if root is not None and root.oid in matching_roots:
+                rows.append((str(oid), value))
+        return ArchitectureReport(
+            self.name, sorted(rows), crossings, perf_counter() - started, dict(self.features)
+        )
+
+
+class IRSControlArchitecture:
+    """Alternative (2): the application talks only to the IRS.
+
+    Structure data must be denormalized into IRS-document metadata ("the
+    control component's architecture is not laid out for database
+    functionality").  Only flat metadata equality filters are possible; the
+    OODBMS is not involved at query time at all.
+    """
+
+    name = "irs_control"
+    features = {
+        "declarative_mixed_queries": False,
+        "nested_structure_predicates": False,
+        "transactions": False,
+        "no_new_query_processor": False,
+        "derived_irs_values": False,
+        "reuses_existing_kernels": False,  # the IRS needs major extension
+    }
+
+    def __init__(self, system: DocumentSystem, irs_collection_name: str) -> None:
+        self._system = system
+        self._irs_name = irs_collection_name
+
+    def prepare(self, query: MixedWorkloadQuery) -> None:
+        """Denormalize the structural attribute into IRS metadata."""
+        collection = self._system.engine.collection(self._irs_name)
+        for document in collection.documents():
+            oid_str = document.metadata.get("oid")
+            if oid_str is None:
+                continue
+            oid = OID.parse(oid_str)
+            if not self._system.db.object_exists(oid):
+                continue
+            element = self._system.db.get_object(oid)
+            root = element.send("getContaining", query.root_class)
+            if root is not None:
+                document.metadata[query.attribute] = (
+                    root.send("getAttributeValue", query.attribute) or ""
+                )
+
+    def run(self, query: MixedWorkloadQuery) -> ArchitectureReport:
+        self.prepare(query)
+        started = perf_counter()
+        result = self._system.engine.query(self._irs_name, query.irs_query)
+        collection = self._system.engine.collection(self._irs_name)
+        rows: List[Tuple[str, float]] = []
+        for doc_id, value in result.ranked():
+            if value <= query.threshold:
+                continue
+            metadata = collection.document(doc_id).metadata
+            if metadata.get(query.attribute) == query.attribute_value:
+                rows.append((metadata.get("oid", f"doc:{doc_id}"), value))
+        return ArchitectureReport(
+            self.name, sorted(rows), 1, perf_counter() - started, dict(self.features)
+        )
+
+
+class DBMSControlArchitecture:
+    """Alternative (3): the DBMS is the control component — our coupling."""
+
+    name = "dbms_control"
+    features = {feature: True for feature in FEATURES}
+
+    def __init__(self, system: DocumentSystem, collection_obj: DBObject) -> None:
+        self._system = system
+        self._collection = collection_obj
+
+    def run(self, query: MixedWorkloadQuery) -> ArchitectureReport:
+        started = perf_counter()
+        rows_raw = self._system.query(
+            f"ACCESS p, p -> getIRSValue(coll, $q) "
+            f"FROM p IN {query.element_class}, d IN {query.root_class} "
+            f"WHERE d -> getAttributeValue('{query.attribute}') = '{query.attribute_value}' AND "
+            f"p -> getContaining('{query.root_class}') == d AND "
+            f"p -> getIRSValue(coll, $q) > {query.threshold}",
+            {"coll": self._collection, "q": query.irs_query},
+        )
+        rows = sorted((str(obj.oid), value) for obj, value in rows_raw)
+        # One interface crossing: the (buffered) IRS call behind getIRSResult.
+        return ArchitectureReport(
+            self.name, rows, 1, perf_counter() - started, dict(self.features)
+        )
+
+
+def run_comparison(
+    system: DocumentSystem,
+    collection_obj: DBObject,
+    queries: List[MixedWorkloadQuery],
+) -> Dict[str, List[ArchitectureReport]]:
+    """Run the workload under all three architectures."""
+    irs_name = collection_obj.get("irs_name")
+    architectures = [
+        ControlModuleArchitecture(system, collection_obj),
+        IRSControlArchitecture(system, irs_name),
+        DBMSControlArchitecture(system, collection_obj),
+    ]
+    reports: Dict[str, List[ArchitectureReport]] = {}
+    for architecture in architectures:
+        reports[architecture.name] = [architecture.run(q) for q in queries]
+    return reports

@@ -1,0 +1,74 @@
+"""The persistent IRS-result buffer.
+
+Section 4.2: "For both intra- and inter-query optimization, the results of
+IRS calls are buffered persistently in a dictionary of type
+``||STRING --> ||IRSObjects --> REAL|| ||``.  Its keys are IRS queries."
+
+The buffer lives as a ``DICT`` attribute of the COLLECTION database object,
+so it is persistent exactly like any other database state (it survives
+checkpoints and recovery).  :class:`ResultBuffer` wraps attribute access and
+feeds the hit/miss counters that the FIG3 benchmark reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.context import CouplingCounters
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+
+_BUFFER_ATTR = "buffer"
+
+
+class ResultBuffer:
+    """View onto one COLLECTION object's persistent result buffer."""
+
+    def __init__(self, collection_obj: DBObject, counters: CouplingCounters) -> None:
+        self._collection = collection_obj
+        self._counters = counters
+
+    def _key(self, irs_query: str, model: Optional[str]) -> str:
+        return f"{model or ''}|{irs_query}"
+
+    def lookup(self, irs_query: str, model: Optional[str] = None) -> Optional[Dict[OID, float]]:
+        """The buffered result for ``irs_query``, or None on a miss."""
+        stored = self._collection.get(_BUFFER_ATTR) or {}
+        entry = stored.get(self._key(irs_query, model))
+        if entry is None:
+            self._counters.buffer_misses += 1
+            return None
+        self._counters.buffer_hits += 1
+        return {OID.parse(oid_str): value for oid_str, value in entry.items()}
+
+    def contains(self, irs_query: str, model: Optional[str] = None) -> bool:
+        """True when the query is buffered (no counter side effects)."""
+        stored = self._collection.get(_BUFFER_ATTR) or {}
+        return self._key(irs_query, model) in stored
+
+    def store(self, irs_query: str, values: Dict[OID, float], model: Optional[str] = None) -> None:
+        """Buffer ``values`` under ``irs_query``."""
+        stored = dict(self._collection.get(_BUFFER_ATTR) or {})
+        stored[self._key(irs_query, model)] = {str(oid): value for oid, value in values.items()}
+        self._collection.set(_BUFFER_ATTR, stored)
+
+    def amend(self, irs_query: str, oid: OID, value: float, model: Optional[str] = None) -> None:
+        """Insert one derived value into an existing buffered result.
+
+        Figure 3's flow chart: after ``deriveIRSValue`` the result is
+        inserted into the buffer so later calls for the same object hit.
+        """
+        stored = dict(self._collection.get(_BUFFER_ATTR) or {})
+        key = self._key(irs_query, model)
+        entry = dict(stored.get(key, {}))
+        entry[str(oid)] = value
+        stored[key] = entry
+        self._collection.set(_BUFFER_ATTR, stored)
+
+    def invalidate(self) -> None:
+        """Drop every buffered result (after update propagation)."""
+        self._collection.set(_BUFFER_ATTR, {})
+
+    def size(self) -> int:
+        """Number of buffered queries."""
+        return len(self._collection.get(_BUFFER_ATTR) or {})

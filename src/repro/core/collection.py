@@ -1,0 +1,393 @@
+"""The ``COLLECTION`` coupling class (Section 4.2).
+
+"Instances of database class COLLECTION encapsulate exactly one IRS
+collection.  The number of IRS collections in use is arbitrary."
+
+Per instance, the persistent attributes are:
+
+=================  =========================================================
+``irs_name``       name of the encapsulated IRS collection
+``spec_query``     the specification query selecting the member objects
+``text_mode``      the ``getText`` mode used for this collection's documents
+``model``          retrieval model override (None = engine default)
+``derivation``     name of the ``deriveIRSValue`` scheme for non-members
+``type_weights``   per-element-tag weights for the weighted_type scheme
+``doc_map``        OID -> list of IRS document ids ("Each IRS document is
+                   assigned exactly one object.  An object can be assigned
+                   to more than one IRS document", Section 4.3 — several
+                   ids occur with segment granularity [Cal94])
+``segment_words``  >0 chunks each object's text into IRS documents of
+                   roughly that many words (equal-size granularity)
+``buffer``         the persistent IRS-result buffer (Section 4.2/Figure 3)
+``pending_ops``    deferred update operations awaiting propagation
+``update_policy``  "eager" or "deferred" (Section 4.6)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Set
+
+from repro.core import updates
+from repro.core.buffer import ResultBuffer
+from repro.core.context import coupling_context
+from repro.core.text_modes import text_for
+from repro.errors import CouplingError
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+from repro.oodb.query.optimizer import register_restrictor
+
+COLLECTION_CLASS = "COLLECTION"
+
+
+# --------------------------------------------------------------------------
+# Class definition
+# --------------------------------------------------------------------------
+
+def define_collection_class(db: Database) -> None:
+    """Define the COLLECTION class with its coupling methods.
+
+    Idempotent — and re-attaches methods when the class structure was
+    recovered from a snapshot (method implementations are code and are
+    never persisted).
+    """
+    if db.schema.has_class(COLLECTION_CLASS):
+        cdef = db.schema.get_class(COLLECTION_CLASS)
+        _attach_collection_methods(cdef)
+        return
+    cdef = db.define_class(
+        COLLECTION_CLASS,
+        attributes={
+            "irs_name": "STRING",
+            "spec_query": "STRING",
+            "text_mode": "INT",
+            "model": "STRING",
+            "derivation": "STRING",
+            "type_weights": "DICT",
+            "doc_map": "DICT",
+            "buffer": "DICT",
+            "pending_ops": "LIST",
+            "update_policy": "STRING",
+            "segment_words": "INT",
+        },
+    )
+    _attach_collection_methods(cdef)
+
+
+def _attach_collection_methods(cdef) -> None:
+    cdef.add_method("indexObjects", index_objects)
+    cdef.add_method("getIRSResult", get_irs_result)
+    cdef.add_method("findIRSValue", find_irs_value)
+    cdef.add_method("containsObject", contains_object)
+    cdef.add_method("insertObject", insert_object)
+    cdef.add_method("modifyObject", modify_object)
+    cdef.add_method("deleteObject", delete_object)
+    cdef.add_method("propagateUpdates", propagate_updates)
+    cdef.add_method("memberCount", member_count)
+    # The IRS operators duplicated as collection methods (Section 4.5.4)
+    # live in repro.core.operators and are attached there to avoid a cycle.
+    from repro.core import operators as operator_module
+
+    operator_module.attach_operator_methods(cdef)
+
+
+def create_collection(
+    db: Database,
+    name: str,
+    spec_query: str = "",
+    text_mode: int = 0,
+    derivation: str = "maximum",
+    model: Optional[str] = None,
+    update_policy: Optional[str] = None,
+    type_weights: Optional[Dict[str, float]] = None,
+    segment_words: int = 0,
+) -> DBObject:
+    """Create a COLLECTION object and its encapsulated IRS collection.
+
+    ``spec_query`` is an OODBMS query whose single-column result lists the
+    IRSObjects to represent (Section 4.3.2: "The specification query is an
+    OODBMS query expression and thus is powerful enough to specify any
+    reasonable combination of objects").  Call ``indexObjects`` to run it.
+    """
+    context = coupling_context(db)
+    if context.engine.has_collection(name):
+        raise CouplingError(f"IRS collection {name!r} already exists")
+    context.engine.create_collection(name)
+    return db.create_object(
+        COLLECTION_CLASS,
+        irs_name=name,
+        spec_query=spec_query,
+        text_mode=text_mode,
+        derivation=derivation,
+        model=model,
+        update_policy=update_policy or context.default_update_policy,
+        type_weights=dict(type_weights or {}),
+        doc_map={},
+        buffer={},
+        pending_ops=[],
+        segment_words=segment_words,
+    )
+
+
+def segment_text(text: str, words_per_segment: int) -> list:
+    """Split ``text`` into pieces of roughly ``words_per_segment`` words.
+
+    The equal-length segmentation of [HeP93]/[Cal94] ("splitting into
+    equal-length pieces of 30 words").  ``words_per_segment <= 0`` keeps the
+    text whole; an empty text still yields one (empty) segment so every
+    member object stays represented.
+    """
+    if words_per_segment <= 0:
+        return [text]
+    words = text.split()
+    if not words:
+        return [text]
+    return [
+        " ".join(words[i : i + words_per_segment])
+        for i in range(0, len(words), words_per_segment)
+    ]
+
+
+# --------------------------------------------------------------------------
+# COLLECTION methods
+# --------------------------------------------------------------------------
+
+def index_objects(
+    collection_obj: DBObject,
+    spec_query: Optional[str] = None,
+    text_mode: Optional[int] = None,
+    bindings: Optional[Dict[str, Any]] = None,
+) -> bool:
+    """``indexObjects(specQuery, textMode)`` — populate the IRS collection.
+
+    "indexObjects evaluates the specification query specQuery.  The result
+    is a set of IRSObjects.  For each of these the method getText(mode) is
+    invoked.  The results, in turn, are stored in a file which is indexed
+    by the IRS" (Section 4.2).  The spool file is written when the context
+    has a ``result_file_directory`` (the paper's file exchange); indexing
+    itself always goes through the engine, carrying each object's OID as
+    IRS-document metadata.
+    """
+    db = collection_obj.database
+    context = coupling_context(db)
+    if spec_query is not None:
+        collection_obj.set("spec_query", spec_query)
+    if text_mode is not None:
+        collection_obj.set("text_mode", text_mode)
+    query_text = collection_obj.get("spec_query")
+    if not query_text:
+        raise CouplingError("collection has no specification query")
+    mode = collection_obj.get("text_mode") or 0
+
+    rows = db.query(query_text, bindings or {})
+    members = []
+    for row in rows:
+        if len(row) != 1 or not isinstance(row[0], DBObject):
+            raise CouplingError(
+                "specification query must project exactly one object column"
+            )
+        obj = row[0]
+        if not obj.isa("IRSObject"):
+            raise CouplingError(f"{obj!r} is not an IRSObject")
+        members.append(obj)
+
+    irs_name = collection_obj.get("irs_name")
+    engine = context.engine
+
+    # Rebuild from scratch: drop previous documents of this collection.
+    old_map = collection_obj.get("doc_map") or {}
+    for doc_ids in old_map.values():
+        for doc_id in doc_ids:
+            engine.remove_document(irs_name, doc_id)
+
+    segment_words = collection_obj.get("segment_words") or 0
+    spool_lines = []
+    doc_map: Dict[str, list] = {}
+    for obj in members:
+        text = obj.send("getText", mode) if obj.responds_to("getText") else text_for(obj, mode)
+        doc_ids = []
+        for piece in segment_text(text, segment_words):
+            doc_id = engine.index_document(irs_name, piece, {"oid": str(obj.oid)})
+            doc_ids.append(doc_id)
+            spool_lines.append(f"{obj.oid}\t{piece}")
+            context.counters.documents_indexed += 1
+        doc_map[str(obj.oid)] = doc_ids
+
+    if context.result_file_directory is not None:
+        spool_path = os.path.join(
+            context.result_file_directory, f"{irs_name}.spool.txt"
+        )
+        with open(spool_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(spool_lines))
+
+    collection_obj.set("doc_map", doc_map)
+    collection_obj.set("buffer", {})
+    collection_obj.set("pending_ops", [])
+    from repro.core.hierarchical import invalidate_scorer
+
+    invalidate_scorer(collection_obj)
+    context.counters.index_runs += 1
+    return True
+
+
+def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]:
+    """``getIRSResult(IRSQuery)`` — dictionary of IRSObjects to IRS values.
+
+    "The IRS query IRSQuery is passed on to the IRS.  The result is a
+    dictionary: its keys are the IRSObjects of the text objects, the values
+    the IRS values as computed by the IRS.  For both intra- and inter-query
+    optimization, the results of IRS calls are buffered persistently."
+
+    A pending deferred update forces propagation first (Section 4.6).
+    """
+    db = collection_obj.database
+    context = coupling_context(db)
+
+    if updates.has_pending(collection_obj):
+        updates.propagate(collection_obj, forced=True)
+
+    model = collection_obj.get("model")
+    buffer = ResultBuffer(collection_obj, context.counters)
+    cached = buffer.lookup(irs_query, model)
+    if cached is not None:
+        return cached
+
+    irs_name = collection_obj.get("irs_name")
+    if context.result_file_directory is not None:
+        values = _query_via_file(context, irs_name, irs_query, model)
+    else:
+        result = context.engine.query(irs_name, irs_query, model=model)
+        values = result.by_metadata(context.engine.collection(irs_name), "oid")
+    oid_values = {OID.parse(oid_str): value for oid_str, value in values.items()}
+    buffer.store(irs_query, oid_values, model)
+    return oid_values
+
+
+def _query_via_file(context, irs_name: str, irs_query: str, model: Optional[str]) -> Dict[str, float]:
+    """The paper's historical exchange: result file written, then parsed."""
+    from repro.irs.engine import parse_result_file
+
+    safe = "".join(ch if ch.isalnum() else "_" for ch in irs_query)[:40]
+    path = os.path.join(context.result_file_directory, f"{irs_name}.{safe}.result")
+    context.engine.query_to_file(irs_name, irs_query, path, metadata_key="oid", model=model)
+    return parse_result_file(path)
+
+
+def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
+    """``findIRSValue(IRSQuery, obj)`` — the flow chart of Figure 3.
+
+    "The method returns the IRS value for the parameter object.  If the
+    object is represented in the IRS collection, the IRS directly
+    calculates the value, otherwise deriveIRSValue is invoked for obj" —
+    and the derived value is inserted into the buffer.
+    """
+    db = collection_obj.database
+    context = coupling_context(db)
+    values = get_irs_result(collection_obj, irs_query)
+    if obj.oid in values:
+        return values[obj.oid]
+    doc_map = collection_obj.get("doc_map") or {}
+    if str(obj.oid) in doc_map:
+        # Represented, but the IRS found no relevance: genuinely 0.
+        return 0.0
+    derived = obj.send("deriveIRSValue", collection_obj, irs_query)
+    buffer = ResultBuffer(collection_obj, context.counters)
+    buffer.amend(irs_query, obj.oid, derived, collection_obj.get("model"))
+    return derived
+
+
+def contains_object(collection_obj: DBObject, obj: DBObject) -> bool:
+    """True when ``obj`` is represented in the IRS collection."""
+    doc_map = collection_obj.get("doc_map") or {}
+    return str(obj.oid) in doc_map
+
+
+def member_count(collection_obj: DBObject) -> int:
+    """Number of objects represented in the IRS collection."""
+    return len(collection_obj.get("doc_map") or {})
+
+
+# --------------------------------------------------------------------------
+# Update methods ("One out of three update methods ... has to be invoked
+# whenever a relevant update occurs", Section 4.2)
+# --------------------------------------------------------------------------
+
+def insert_object(collection_obj: DBObject, obj: DBObject) -> None:
+    """Notify the collection that a member object was created."""
+    updates.record_update(collection_obj, updates.INSERT, obj)
+
+
+def modify_object(collection_obj: DBObject, obj: DBObject) -> None:
+    """Notify the collection that a member object's text changed."""
+    updates.record_update(collection_obj, updates.MODIFY, obj)
+
+
+def delete_object(collection_obj: DBObject, obj: DBObject) -> None:
+    """Notify the collection that a member object was deleted."""
+    updates.record_update(collection_obj, updates.DELETE, obj)
+
+
+def propagate_updates(collection_obj: DBObject) -> int:
+    """Apply pending deferred updates now (e.g. in a low-load period)."""
+    return updates.propagate(collection_obj)
+
+
+# --------------------------------------------------------------------------
+# Optimizer integration (Sections 4.5.3/4.5.4)
+# --------------------------------------------------------------------------
+
+def enable_irs_first_optimization(db: Database) -> None:
+    """Let the optimizer answer ``getIRSValue`` comparisons IRS-first.
+
+    This is evaluation alternative (2) of Section 4.5.3: "The IRS selects
+    all IRS documents fulfilling the conditions on the content.  The
+    structure conditions are only verified for the text objects identified
+    in this first step."  Note the stated semantics: objects *not
+    represented* in the collection are never returned, so derived values do
+    not participate — that is inherent to the strategy, not a bug, and is
+    why it is opt-in.
+    """
+    coupling_context(db).irs_first_enabled = True
+
+
+def disable_irs_first_optimization(db: Database) -> None:
+    """Return to per-object evaluation (alternative (1) of Section 4.5.3)."""
+    coupling_context(db).irs_first_enabled = False
+
+
+def register_semantic_restrictor(db: Database) -> None:
+    """Register the ``getIRSValue`` restrictor with the query optimizer."""
+
+    def restrict(database: Database, args: tuple, op: str, constant: Any) -> Optional[Set[OID]]:
+        try:
+            context = coupling_context(database)
+        except CouplingError:
+            return None
+        if not getattr(context, "irs_first_enabled", False):
+            return None
+        if len(args) != 2:
+            return None
+        collection_ref, irs_query = args
+        collection_obj = _resolve_collection(database, collection_ref)
+        if collection_obj is None or not isinstance(irs_query, str):
+            return None
+        context.counters.get_irs_value_calls += 1
+        values = get_irs_result(collection_obj, irs_query)
+        if op == ">":
+            return {oid for oid, value in values.items() if value > constant}
+        if op == ">=":
+            return {oid for oid, value in values.items() if value >= constant}
+        return None  # other comparisons keep per-object evaluation
+
+    register_restrictor("getIRSValue", restrict)
+
+
+def _resolve_collection(db: Database, ref: Any) -> Optional[DBObject]:
+    if isinstance(ref, DBObject):
+        return ref if ref.isa(COLLECTION_CLASS) else None
+    if isinstance(ref, OID) and db.object_exists(ref):
+        obj = db.get_object(ref)
+        return obj if obj.isa(COLLECTION_CLASS) else None
+    return None

@@ -1,0 +1,85 @@
+"""Coupling context: wiring a database to an IRS engine.
+
+The coupling methods run as database methods (invoked on
+:class:`~repro.oodb.objects.DBObject` handles) and need a way to reach the
+external IRS, the text-mode registry and the derivation-scheme registry.
+:class:`CouplingContext` bundles those; :func:`install_coupling` defines the
+coupling classes in the database schema and attaches the context to the
+database instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CouplingError
+from repro.irs.engine import IRSEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.database import Database
+
+_CONTEXT_ATTR = "_coupling_context"
+
+
+@dataclass
+class CouplingCounters:
+    """Instrumentation shared by the whole coupling (reset per experiment)."""
+
+    get_irs_value_calls: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    derivations: int = 0
+    index_runs: int = 0
+    documents_indexed: int = 0
+    updates_propagated: int = 0
+    updates_cancelled: int = 0
+    updates_logged: int = 0
+    forced_propagations: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class CouplingContext:
+    """Everything coupling methods need besides the target object."""
+
+    engine: IRSEngine
+    counters: CouplingCounters = field(default_factory=CouplingCounters)
+    #: When set, IRS queries go through result files on disk (the paper's
+    #: historical exchange mechanism) instead of the in-process API.
+    result_file_directory: Optional[str] = None
+    #: Default update-propagation policy for new collections.
+    default_update_policy: str = "deferred"
+    #: Ablation switch: when False, the pending-operation log appends
+    #: blindly instead of cancelling annihilating sequences (Section 4.6).
+    cancellation_enabled: bool = True
+
+
+def install_coupling(db: "Database", engine: IRSEngine, **context_options) -> CouplingContext:
+    """Define the coupling classes in ``db`` and attach a context.
+
+    Idempotent with respect to schema (re-installation replaces the engine
+    wiring but leaves classes alone).  Returns the context.
+    """
+    from repro.core import collection as collection_module
+    from repro.core import irs_object as irs_object_module
+
+    context = CouplingContext(engine=engine, **context_options)
+    setattr(db, _CONTEXT_ATTR, context)
+    irs_object_module.define_irs_object_class(db)
+    collection_module.define_collection_class(db)
+    collection_module.register_semantic_restrictor(db)
+    return context
+
+
+def coupling_context(db: "Database") -> CouplingContext:
+    """The context installed on ``db`` (raises when the coupling is absent)."""
+    context = getattr(db, _CONTEXT_ATTR, None)
+    if context is None:
+        raise CouplingError(
+            "coupling not installed on this database; call install_coupling()"
+        )
+    return context

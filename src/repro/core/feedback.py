@@ -1,0 +1,56 @@
+"""Relevance feedback at the coupling level.
+
+Judgments arrive as database objects (OIDs); the collection maps them onto
+its IRS documents, runs Rocchio expansion in the IRS term space, and the
+expanded query flows through ``getIRSResult`` — buffered and mixed-query
+capable like any other IRS query.  ``expandQuery`` is installed as a
+COLLECTION method by :func:`install_feedback_method`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.context import coupling_context
+from repro.irs.feedback import FeedbackParameters, expand_query
+from repro.oodb.objects import DBObject
+
+
+def _doc_ids_for(collection_obj: DBObject, objects: Iterable[DBObject]) -> List[int]:
+    doc_map = collection_obj.get("doc_map") or {}
+    doc_ids: List[int] = []
+    for obj in objects:
+        doc_ids.extend(doc_map.get(str(obj.oid), []))
+    return doc_ids
+
+
+def expand_collection_query(
+    collection_obj: DBObject,
+    irs_query: str,
+    relevant: Iterable[DBObject],
+    non_relevant: Iterable[DBObject] = (),
+    parameters: Optional[FeedbackParameters] = None,
+) -> str:
+    """Rocchio-expand ``irs_query`` using judged member objects.
+
+    Objects without representation in this collection contribute nothing
+    (feedback is evidence about *IRS documents*; derivation-only objects
+    have none).
+    """
+    context = coupling_context(collection_obj.database)
+    irs_collection = context.engine.collection(collection_obj.get("irs_name"))
+    return expand_query(
+        irs_collection,
+        irs_query,
+        _doc_ids_for(collection_obj, relevant),
+        _doc_ids_for(collection_obj, non_relevant),
+        parameters,
+    )
+
+
+def install_feedback_method(db) -> None:
+    """Attach ``expandQuery`` to the COLLECTION class of ``db``."""
+    from repro.core.collection import COLLECTION_CLASS
+
+    cdef = db.schema.get_class(COLLECTION_CLASS)
+    cdef.add_method("expandQuery", expand_collection_query)

@@ -1,0 +1,134 @@
+"""Granularity policies: which objects become IRS documents (Section 4.3).
+
+"The question discussed in the following is how to define the granularity
+of IRS documents."  Each policy below is one of the paper's bullet points,
+expressed — as Section 4.3.2 prescribes — purely as a specification query
+plus a text mode (plus, for [Cal94], a segment size):
+
+* ``document_level``   — "Each SGML document becomes an IRS document."
+* ``element_type``     — "Each document element of a specified element type
+  ... becomes an IRS document.  This approach is used in most known
+  coupling approaches, e.g., [CST92], [GTZ93]."
+* ``leaf_level``       — "Each leaf node becomes an IRS document (finest
+  granularity)."
+* ``equal_segments``   — "One might want to have IRS documents of
+  approximately the same size [Cal94]."
+* ``all_elements``     — every element indexed with its full subtree text:
+  the fully redundant extreme whose overhead [SAZ94] compresses.
+* ``abstract_level``   — alternative (1) of 4.3.1: every element indexed,
+  but with a generated abstract instead of the complete subtext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import text_modes
+from repro.core.collection import create_collection, index_objects
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+
+
+@dataclass(frozen=True)
+class GranularityPolicy:
+    """A named recipe turning a corpus into one IRS collection."""
+
+    name: str
+    spec_query: str
+    text_mode: int = text_modes.FULL_TEXT
+    segment_words: int = 0
+    description: str = ""
+
+    def build(
+        self,
+        db: Database,
+        collection_name: Optional[str] = None,
+        derivation: str = "maximum",
+    ) -> DBObject:
+        """Create and populate a COLLECTION following this policy."""
+        collection_obj = create_collection(
+            db,
+            collection_name or self.name,
+            spec_query=self.spec_query,
+            text_mode=self.text_mode,
+            derivation=derivation,
+            segment_words=self.segment_words,
+        )
+        index_objects(collection_obj)
+        return collection_obj
+
+
+def document_level(root_class: str = "MMFDOC") -> GranularityPolicy:
+    """Whole documents as IRS documents (coarse; no element queries)."""
+    return GranularityPolicy(
+        name=f"doc_{root_class.lower()}",
+        spec_query=f"ACCESS d FROM d IN {root_class}",
+        text_mode=text_modes.FULL_TEXT,
+        description="one IRS document per SGML document",
+    )
+
+
+def element_type(element_class: str = "PARA") -> GranularityPolicy:
+    """Instances of one element-type class as IRS documents."""
+    return GranularityPolicy(
+        name=f"type_{element_class.lower()}",
+        spec_query=f"ACCESS p FROM p IN {element_class}",
+        text_mode=text_modes.FULL_TEXT,
+        description=f"one IRS document per {element_class} element",
+    )
+
+
+def leaf_level(base_class: str = "Element") -> GranularityPolicy:
+    """Every leaf element as an IRS document (finest granularity)."""
+    return GranularityPolicy(
+        name="leaves",
+        spec_query=(
+            f"ACCESS e FROM e IN {base_class} WHERE e -> isLeaf() = TRUE"
+        ),
+        text_mode=text_modes.OWN_TEXT,
+        description="one IRS document per leaf element",
+    )
+
+
+def equal_segments(words: int = 30, root_class: str = "MMFDOC") -> GranularityPolicy:
+    """Fixed-size segments of ~``words`` words per document [Cal94]."""
+    return GranularityPolicy(
+        name=f"seg{words}_{root_class.lower()}",
+        spec_query=f"ACCESS d FROM d IN {root_class}",
+        text_mode=text_modes.FULL_TEXT,
+        segment_words=words,
+        description=f"equal-length segments of {words} words",
+    )
+
+
+def all_elements(base_class: str = "Element") -> GranularityPolicy:
+    """Every element with its full subtree text: maximal redundancy."""
+    return GranularityPolicy(
+        name="all_elements",
+        spec_query=f"ACCESS e FROM e IN {base_class}",
+        text_mode=text_modes.FULL_TEXT,
+        description="every element indexed with complete subtext (redundant)",
+    )
+
+
+def abstract_level(base_class: str = "Element") -> GranularityPolicy:
+    """Every element, but indexed with a generated title abstract."""
+    return GranularityPolicy(
+        name="abstracts",
+        spec_query=f"ACCESS e FROM e IN {base_class}",
+        text_mode=text_modes.TITLE_ABSTRACT,
+        description="every element indexed with a generated abstract",
+    )
+
+
+def standard_policies(root_class: str = "MMFDOC", element_class: str = "PARA") -> list:
+    """The policy set compared by the GRAN benchmark."""
+    return [
+        document_level(root_class),
+        element_type(element_class),
+        leaf_level(),
+        equal_segments(30, root_class),
+        all_elements(),
+        abstract_level(),
+    ]

@@ -1,0 +1,92 @@
+"""Coupling integration of hierarchical (single-level-storage) scoring.
+
+Realizes Section 4.3.1 alternative (2) inside the coupling: a COLLECTION
+built at *leaf* granularity can answer content queries for any element
+level exactly, without the redundant multi-level indexing whose overhead
+[SAZ94] measured.  Two entry points:
+
+* :func:`hierarchical_result` — level-wide scoring, the counterpart of
+  ``getIRSResult`` for a level that has no IRS documents of its own;
+* the ``hierarchical_exact`` derivation scheme — plugs into
+  ``deriveIRSValue`` so ``findIRSValue`` on an unrepresented element
+  computes the value the IRS *would* have produced at that element's level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.context import coupling_context
+from repro.core.derivation import register_scheme
+from repro.irs.hierarchical import HierarchicalScorer
+from repro.irs.queries import parse_irs_query
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+
+SCHEME_NAME = "hierarchical_exact"
+
+
+def scorer_for(collection_obj: DBObject) -> HierarchicalScorer:
+    """The (cached) scorer bound to one COLLECTION object.
+
+    The cache lives on the coupling context; call :func:`invalidate_scorer`
+    after re-indexing or propagating updates.
+    """
+    db = collection_obj.database
+    context = coupling_context(db)
+    cache = getattr(context, "hierarchical_scorers", None)
+    if cache is None:
+        cache = {}
+        context.hierarchical_scorers = cache
+    scorer = cache.get(collection_obj.oid)
+    if scorer is None:
+        irs_collection = context.engine.collection(collection_obj.get("irs_name"))
+        scorer = HierarchicalScorer(db, irs_collection)
+        cache[collection_obj.oid] = scorer
+    return scorer
+
+
+def invalidate_scorer(collection_obj: DBObject) -> None:
+    """Drop the cached scorer (the collection's contents changed)."""
+    context = coupling_context(collection_obj.database)
+    cache = getattr(context, "hierarchical_scorers", {})
+    scorer = cache.pop(collection_obj.oid, None)
+    if scorer is not None:
+        scorer.invalidate()
+
+
+def hierarchical_result(
+    collection_obj: DBObject, irs_query: str, class_name: str
+) -> Dict[OID, float]:
+    """Score every instance of ``class_name`` from the leaf collection.
+
+    The result has the same shape as ``getIRSResult`` against a collection
+    that had indexed this level directly — but nothing beyond the leaf
+    level is stored.
+    """
+    return scorer_for(collection_obj).score_level(irs_query, class_name)
+
+
+def derive_hierarchical_exact(
+    collection_obj: DBObject, irs_query: str, obj: DBObject
+) -> float:
+    """Derivation scheme: the exact level-appropriate IRS value.
+
+    Unlike the heuristic schemes of Section 4.5.2 this is not a combination
+    of *component values* — it recomputes the INQUERY belief from aggregated
+    subtree statistics, answering the paper's open question "how to compute
+    the IRS values of text objects if only components' IRS values are
+    known" by keeping slightly more than the component values: the leaf
+    postings themselves.
+    """
+    scorer = scorer_for(collection_obj)
+    tree = parse_irs_query(irs_query)
+    return scorer.belief(tree, obj)
+
+
+def install_hierarchical_scheme() -> None:
+    """Register ``hierarchical_exact`` with the derivation registry."""
+    register_scheme(SCHEME_NAME, derive_hierarchical_exact)
+
+
+install_hierarchical_scheme()

@@ -1,0 +1,148 @@
+"""The ``DocumentSystem`` facade: the whole stack assembled.
+
+Wires together the OODBMS, the IRS engine, the SGML loader (with ``Element``
+inheriting from ``IRSObject`` so "each document element is a subclass of
+database class IRSObject", Section 4.2) and the coupling schema.  This is
+the class examples and benchmarks instantiate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core import collection as collection_module
+from repro.core.context import CouplingContext, install_coupling
+from repro.core.irs_object import IRSOBJECT_CLASS
+from repro.irs.analysis import Analyzer
+from repro.irs.engine import IRSEngine
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.sgml.document import Element
+from repro.sgml.dtd import DTD
+from repro.sgml.loader import SGMLLoader
+from repro.sgml.parser import parse_document
+
+
+class DocumentSystem:
+    """OODBMS + IRS + SGML framework + coupling, ready for documents.
+
+    Parameters
+    ----------
+    directory:
+        When given, the database persists under ``<directory>/db`` and IRS
+        exchange files are written under ``<directory>/irs`` (enabling the
+        paper's file-based result exchange).  Default: fully in memory.
+    model:
+        Default retrieval model: "inquery" (default), "vector" or "boolean".
+    analyzer:
+        Custom analysis pipeline for all IRS collections.
+    use_result_files:
+        Force the file-based IRS exchange even without a directory
+        (a temp directory is then created lazily).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        model: str = "inquery",
+        analyzer: Optional[Analyzer] = None,
+        use_result_files: bool = False,
+    ) -> None:
+        db_dir = os.path.join(directory, "db") if directory else None
+        self.db = Database(directory=db_dir)
+        self._irs_index_directory = (
+            os.path.join(directory, "irs_index") if directory else None
+        )
+        if self._irs_index_directory and os.path.isdir(self._irs_index_directory):
+            # Reload persisted inverted indexes ("stored in a file system").
+            from repro.irs.persistence import load_engine
+
+            self.engine = load_engine(
+                self._irs_index_directory, default_model=model, analyzer=analyzer
+            )
+        else:
+            self.engine = IRSEngine(default_model=model, analyzer=analyzer)
+        result_dir = None
+        if directory:
+            result_dir = os.path.join(directory, "irs")
+            os.makedirs(result_dir, exist_ok=True)
+        elif use_result_files:
+            import tempfile
+
+            result_dir = tempfile.mkdtemp(prefix="repro_irs_")
+        self.context: CouplingContext = install_coupling(
+            self.db, self.engine, result_file_directory=result_dir
+        )
+        self.loader = SGMLLoader(self.db, base_class=IRSOBJECT_CLASS)
+        self._dtds: Dict[str, DTD] = {}
+
+    # -- document type management ----------------------------------------------
+
+    def register_dtd(self, dtd: DTD) -> List[str]:
+        """Register a DTD: one element-type class per declaration."""
+        self._dtds[dtd.name or "default"] = dtd
+        return self.loader.register_dtd(dtd)
+
+    # -- document management ------------------------------------------------------
+
+    def add_document(
+        self, document: Union[str, Element], dtd: Optional[DTD] = None, validate: bool = True
+    ) -> DBObject:
+        """Parse (when given text), optionally validate, and fragment.
+
+        Returns the root database object of the new document tree.
+        """
+        if isinstance(document, str):
+            root = parse_document(document, dtd=dtd if validate else None)
+        else:
+            root = document
+            if validate and dtd is not None:
+                dtd.apply_defaults(root)
+                dtd.validate(root)
+        return self.loader.load_document(root)
+
+    def delete_document(self, root: DBObject) -> int:
+        """Remove a whole document tree; returns objects deleted."""
+        return self.loader.delete_document(root)
+
+    # -- collections ----------------------------------------------------------------
+
+    def create_collection(self, name: str, spec_query: str = "", **options: Any) -> DBObject:
+        """Create a COLLECTION object (see :func:`repro.core.collection.create_collection`)."""
+        return collection_module.create_collection(self.db, name, spec_query, **options)
+
+    def index_collection(self, collection_obj: DBObject, **options: Any) -> bool:
+        """Run ``indexObjects`` on a collection."""
+        return collection_module.index_objects(collection_obj, **options)
+
+    # -- querying -----------------------------------------------------------------------
+
+    def query(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> List[tuple]:
+        """Run a mixed OODBMS query (content predicates via getIRSValue)."""
+        return self.db.query(text, bindings)
+
+    def irs_query(self, collection_obj: DBObject, irs_query: str) -> Dict:
+        """Run a pure content query; returns ``{OID: value}``."""
+        return collection_module.get_irs_result(collection_obj, irs_query)
+
+    # -- bookkeeping ------------------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero both coupling and IRS counters (benchmark hygiene)."""
+        self.context.counters.reset()
+        self.engine.counters.reset()
+
+    def close(self) -> None:
+        """Persist IRS indexes (when durable) and close the database."""
+        if self._irs_index_directory is not None:
+            from repro.irs.persistence import save_engine
+
+            save_engine(self.engine, self._irs_index_directory)
+        self.db.close()
+
+    def __enter__(self) -> "DocumentSystem":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

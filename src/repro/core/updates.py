@@ -1,0 +1,166 @@
+"""Update propagation from the OODBMS to the IRS (Section 4.6).
+
+"With the OODBMS being the control component updates need to be propagated
+to the IRS.  The point of propagation time can freely be chosen":
+
+* ``eager`` — "After each database update the corresponding IRS-index
+  structures are updated" (costly when updates dominate queries);
+* ``deferred`` — the application invokes propagation (e.g. in low-load
+  periods); "If, however, an information-need query is issued with update
+  propagation pending, propagation is enforced" — enforced by
+  :func:`repro.core.collection.get_irs_result`.
+
+"Database operations are recorded to avoid unnecessary update propagations"
+— the pending-operation log collapses sequences whose effects cancel:
+insert-then-delete annihilates completely, repeated modifications collapse
+to one, a modification of a freshly inserted object is subsumed by the
+insert, and delete-then-reinsert becomes a modification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.context import coupling_context
+from repro.core.text_modes import text_for
+from repro.errors import CouplingError
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+
+INSERT = "insert"
+MODIFY = "modify"
+DELETE = "delete"
+
+EAGER = "eager"
+DEFERRED = "deferred"
+
+_POLICIES = (EAGER, DEFERRED)
+
+
+def record_update(collection_obj: DBObject, op: str, obj: DBObject) -> None:
+    """Entry point for the COLLECTION update methods.
+
+    Under ``eager`` the operation is applied to the IRS immediately; under
+    ``deferred`` it is appended to the pending log with cancellation.
+    """
+    if op not in (INSERT, MODIFY, DELETE):
+        raise CouplingError(f"unknown update operation {op!r}")
+    context = coupling_context(collection_obj.database)
+    context.counters.updates_logged += 1
+    policy = collection_obj.get("update_policy") or context.default_update_policy
+    if policy not in _POLICIES:
+        raise CouplingError(f"unknown update policy {policy!r}; know {_POLICIES}")
+    if policy == EAGER:
+        _apply([[op, str(obj.oid)]], collection_obj)
+        _invalidate_buffer(collection_obj)
+        context.counters.updates_propagated += 1
+        return
+    pending = [list(entry) for entry in (collection_obj.get("pending_ops") or [])]
+    if context.cancellation_enabled:
+        pending = _log_with_cancellation(pending, op, str(obj.oid), context)
+    else:
+        pending.append([op, str(obj.oid)])
+    collection_obj.set("pending_ops", pending)
+
+
+def _log_with_cancellation(
+    pending: List[list], op: str, oid_str: str, context
+) -> List[list]:
+    """Append (op, oid) to the log, collapsing cancelling sequences."""
+    previous = None
+    for index, (pending_op, pending_oid) in enumerate(pending):
+        if pending_oid == oid_str:
+            previous = (index, pending_op)
+    if previous is None:
+        pending.append([op, oid_str])
+        return pending
+    index, pending_op = previous
+    if op == DELETE and pending_op == INSERT:
+        # Generated then deleted before propagation: both vanish.
+        del pending[index]
+        context.counters.updates_cancelled += 2
+        return pending
+    if op == MODIFY and pending_op in (INSERT, MODIFY):
+        # The earlier operation will pick up the current text anyway.
+        context.counters.updates_cancelled += 1
+        return pending
+    if op == DELETE and pending_op == MODIFY:
+        # Modification of a to-be-deleted object is moot.
+        del pending[index]
+        context.counters.updates_cancelled += 1
+        pending.append([DELETE, oid_str])
+        return pending
+    if op == INSERT and pending_op == DELETE:
+        # Delete then re-insert: net effect is a modification.
+        del pending[index]
+        context.counters.updates_cancelled += 1
+        pending.append([MODIFY, oid_str])
+        return pending
+    pending.append([op, oid_str])
+    return pending
+
+
+def has_pending(collection_obj: DBObject) -> bool:
+    """True when deferred operations await propagation."""
+    return bool(collection_obj.get("pending_ops") or [])
+
+
+def propagate(collection_obj: DBObject, forced: bool = False) -> int:
+    """Apply all pending operations to the IRS; returns how many ran."""
+    context = coupling_context(collection_obj.database)
+    pending = [tuple(entry) for entry in (collection_obj.get("pending_ops") or [])]
+    if not pending:
+        return 0
+    _apply([list(entry) for entry in pending], collection_obj)
+    collection_obj.set("pending_ops", [])
+    _invalidate_buffer(collection_obj)
+    context.counters.updates_propagated += len(pending)
+    if forced:
+        context.counters.forced_propagations += 1
+    return len(pending)
+
+
+def _apply(operations: List[list], collection_obj: DBObject) -> None:
+    """Run operations against the IRS collection, maintaining doc_map."""
+    context = coupling_context(collection_obj.database)
+    engine = context.engine
+    irs_name = collection_obj.get("irs_name")
+    text_mode = collection_obj.get("text_mode") or 0
+    segment_words = collection_obj.get("segment_words") or 0
+    doc_map = dict(collection_obj.get("doc_map") or {})
+    db = collection_obj.database
+    for op, oid_str in operations:
+        oid = OID.parse(oid_str)
+        if op == DELETE:
+            for doc_id in doc_map.pop(oid_str, []):
+                engine.remove_document(irs_name, doc_id)
+            continue
+        if not db.object_exists(oid):
+            continue  # object died before propagation; nothing to index
+        obj = db.get_object(oid)
+        text = obj.send("getText", text_mode) if obj.responds_to("getText") else text_for(obj, text_mode)
+        from repro.core.collection import segment_text
+
+        pieces = segment_text(text, segment_words)
+        old_ids = doc_map.get(oid_str, [])
+        if op == MODIFY and len(old_ids) == len(pieces) == 1:
+            # Fast path: same shape, replace in place.
+            engine.replace_document(irs_name, old_ids[0], pieces[0])
+            continue
+        for doc_id in old_ids:
+            engine.remove_document(irs_name, doc_id)
+        new_ids = []
+        for piece in pieces:
+            new_ids.append(engine.index_document(irs_name, piece, {"oid": oid_str}))
+            context.counters.documents_indexed += 1
+        doc_map[oid_str] = new_ids
+    collection_obj.set("doc_map", doc_map)
+
+
+def _invalidate_buffer(collection_obj: DBObject) -> None:
+    """Buffered IRS results are stale once the index changed."""
+    collection_obj.set("buffer", {})
+    # Derived caches over the collection's contents are stale too.
+    from repro.core.hierarchical import invalidate_scorer
+
+    invalidate_scorer(collection_obj)

@@ -1,0 +1,136 @@
+"""Exception hierarchy shared by all repro subsystems.
+
+Every subsystem raises subclasses of :class:`ReproError` so applications can
+catch coupling-level failures with a single ``except`` clause while still
+being able to distinguish database, retrieval and document errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# OODBMS errors
+# --------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the OODBMS substrate."""
+
+
+class SchemaError(DatabaseError):
+    """A class definition or schema operation is invalid."""
+
+
+class UnknownClassError(SchemaError):
+    """A referenced database class does not exist."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute is not defined on a class or any of its superclasses."""
+
+
+class UnknownMethodError(SchemaError):
+    """A method is not defined on a class or any of its superclasses."""
+
+
+class ObjectNotFoundError(DatabaseError):
+    """No object with the requested OID exists."""
+
+
+class TransactionError(DatabaseError):
+    """A transaction was used incorrectly (e.g. commit after abort)."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager detected a deadlock and chose this transaction as victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class QueryError(DatabaseError):
+    """Base class for query language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+
+class QueryEvaluationError(QueryError):
+    """The query is well-formed but could not be evaluated."""
+
+
+class IndexError_(DatabaseError):
+    """An index operation failed (name shadows builtin intentionally avoided)."""
+
+
+class RecoveryError(DatabaseError):
+    """The write-ahead log could not be replayed."""
+
+
+# --------------------------------------------------------------------------
+# IRS errors
+# --------------------------------------------------------------------------
+
+class RetrievalError(ReproError):
+    """Base class for errors raised by the IRS substrate."""
+
+
+class UnknownCollectionError(RetrievalError):
+    """The referenced IRS collection does not exist."""
+
+
+class DuplicateCollectionError(RetrievalError):
+    """An IRS collection with the requested name already exists."""
+
+
+class IRSQuerySyntaxError(RetrievalError):
+    """An IRS query expression could not be parsed."""
+
+
+class UnknownOperatorError(IRSQuerySyntaxError):
+    """An IRS query used an operator the engine does not know."""
+
+
+class DocumentMissingError(RetrievalError):
+    """An IRS document id was not found in the collection."""
+
+
+# --------------------------------------------------------------------------
+# SGML errors
+# --------------------------------------------------------------------------
+
+class SGMLError(ReproError):
+    """Base class for errors raised by the SGML substrate."""
+
+
+class DTDSyntaxError(SGMLError):
+    """A document type definition could not be parsed."""
+
+
+class SGMLSyntaxError(SGMLError):
+    """An SGML document could not be parsed."""
+
+
+class ValidationError(SGMLError):
+    """A document does not conform to its DTD."""
+
+
+# --------------------------------------------------------------------------
+# Coupling errors
+# --------------------------------------------------------------------------
+
+class CouplingError(ReproError):
+    """Base class for errors raised by the coupling layer."""
+
+
+class NotIndexedError(CouplingError):
+    """An object has no IRS representation and no derivation scheme applies."""
+
+
+class StalePropagationError(CouplingError):
+    """A query required update propagation but propagation is disabled."""

@@ -1,0 +1,41 @@
+"""``repro.hypermedia`` — Section 5: non-textual media and hypertext links.
+
+"Although we have primarily addressed the problems of hierarchically
+structured text, our coupling is not limited to this specific field."  This
+package provides the two mechanisms Section 5 sketches:
+
+* **media retrieval by referencing text** — image (FIGURE) objects return,
+  as their ``getText``, the caption plus the text fragments that reference
+  them [CrT91, DuR93];
+* **link-aware text and derivation** — a node's IRS document additionally
+  contains the fragments of nodes with an ``implies`` link to it, and
+  ``deriveIRSValue`` can propagate IRS values along links.
+"""
+
+from repro.hypermedia.links import (
+    LINK_CLASS,
+    create_link,
+    define_link_class,
+    links_from,
+    links_to,
+    wire_sgml_links,
+)
+from repro.hypermedia.text_providers import (
+    MEDIA_TEXT_MODE,
+    IMPLIES_TEXT_MODE,
+    install_hypermedia_text_modes,
+)
+from repro.hypermedia.derivation import register_link_derivation
+
+__all__ = [
+    "LINK_CLASS",
+    "define_link_class",
+    "create_link",
+    "links_from",
+    "links_to",
+    "wire_sgml_links",
+    "MEDIA_TEXT_MODE",
+    "IMPLIES_TEXT_MODE",
+    "install_hypermedia_text_modes",
+    "register_link_derivation",
+]

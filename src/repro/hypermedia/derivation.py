@@ -1,0 +1,73 @@
+"""Link-based derivation of IRS values (Section 5).
+
+"Moreover, deriveIRSValue can be used to calculate IRS values for hypertext
+nodes which are not represented in the IRS collection, using the link
+semantics."  The scheme below combines the usual component evidence with
+evidence flowing along inbound ``implies`` links, damped per hop — the
+plausible-inference style of [LuZ93] the paper cites for hypertext IR.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.derivation import register_scheme
+from repro.hypermedia.links import IMPLIES, neighbours_in
+from repro.oodb.objects import DBObject
+
+#: How much an implies-neighbour's value counts (per hop).
+LINK_DAMPING = 0.7
+
+#: Maximum link hops followed (keeps derivation bounded on cyclic graphs).
+MAX_HOPS = 2
+
+SCHEME_NAME = "link_propagation"
+
+
+def derive_link_propagation(
+    collection_obj: DBObject, irs_query: str, obj: DBObject
+) -> float:
+    """max(component evidence, damped evidence along inbound implies-links).
+
+    Link evidence is gathered both at the object itself and at its indexed
+    components — a document whose paragraph is the target of an implies-link
+    inherits (damped) relevance from the linking node.
+    """
+    return _derive(collection_obj, irs_query, obj, MAX_HOPS, set())
+
+
+def _derive(
+    collection_obj: DBObject,
+    irs_query: str,
+    obj: DBObject,
+    hops_left: int,
+    visited: Set,
+) -> float:
+    from repro.core.collection import get_irs_result
+    from repro.core.derivation import component_values
+
+    visited.add(obj.oid)
+    values = get_irs_result(collection_obj, irs_query)
+    best = values.get(obj.oid, 0.0)
+    components = component_values(collection_obj, irs_query, obj)
+    for _component, value in components:
+        if value > best:
+            best = value
+    if hops_left <= 0:
+        return best
+    link_anchors = [obj] + [component for component, _v in components]
+    for anchor in link_anchors:
+        for source in neighbours_in(anchor, IMPLIES):
+            if source.oid in visited:
+                continue
+            via_link = LINK_DAMPING * _derive(
+                collection_obj, irs_query, source, hops_left - 1, visited
+            )
+            if via_link > best:
+                best = via_link
+    return best
+
+
+def register_link_derivation() -> None:
+    """Register the scheme under ``link_propagation``."""
+    register_scheme(SCHEME_NAME, derive_link_propagation)

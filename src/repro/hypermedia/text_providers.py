@@ -1,0 +1,76 @@
+"""Hypermedia ``getText`` modes (Section 5).
+
+"A practicable approach to facilitate information retrieval from images ...
+is having the text fragments as IRS documents that reference the image.
+The method getText for image objects would return exactly this text."
+
+"The text corresponding to a node shall not only be the physical text of
+the node.  Rather, also the fragments within other nodes' text from which
+there exists an implies-link to that node shall be in the corresponding IRS
+document.  Again, getText would identify this particular text."
+
+Both are ordinary text modes registered with the coupling's registry —
+demonstrating that Section 5's extension needs *no* new machinery, exactly
+the paper's flexibility claim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.text_modes import register_text_mode
+from repro.hypermedia.links import DESCRIBES, IMPLIES, neighbours_in
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+
+#: Mode numbers for the hypermedia text providers.
+MEDIA_TEXT_MODE = 10
+IMPLIES_TEXT_MODE = 11
+
+
+def media_text(obj: DBObject) -> str:
+    """Caption plus every text fragment referencing this media object.
+
+    Referencing fragments are (a) sources of ``describes`` links pointing
+    at the object and (b) the previous sibling element — the paragraph
+    that, in running text, introduces the figure.
+    """
+    parts: List[str] = []
+    own = obj.send("getTextContent")
+    if own:
+        parts.append(own)  # the caption subtree
+    for source in neighbours_in(obj, DESCRIBES):
+        fragment = source.send("getTextContent")
+        if fragment:
+            parts.append(fragment)
+    if obj.responds_to("getPrev"):
+        previous = obj.send("getPrev")
+        if previous is not None and previous.get("tag") not in ("FIGURE",):
+            fragment = previous.send("getTextContent")
+            if fragment:
+                parts.append(fragment)
+    return " ".join(parts)
+
+
+def implies_text(obj: DBObject) -> str:
+    """The node's physical text plus the text of implies-link sources."""
+    parts: List[str] = []
+    own = obj.send("getTextContent")
+    if own:
+        parts.append(own)
+    for source in neighbours_in(obj, IMPLIES):
+        fragment = source.send("getTextContent")
+        if fragment:
+            parts.append(fragment)
+    return " ".join(parts)
+
+
+def install_hypermedia_text_modes(db: Database) -> None:
+    """Register both hypermedia modes (numbers 10 and 11).
+
+    ``db`` is accepted for symmetry with the other installers; the registry
+    itself is process-wide, matching how ``getText`` implementations are
+    code, not data.
+    """
+    register_text_mode(MEDIA_TEXT_MODE, media_text)
+    register_text_mode(IMPLIES_TEXT_MODE, implies_text)

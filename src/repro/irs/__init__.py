@@ -1,0 +1,20 @@
+"""``repro.irs`` — the information-retrieval substrate.
+
+A from-scratch IRS standing in for INQUERY [CCH92].  As Section 1.1 of the
+paper describes, the IRS administers *collections* of flat documents (lists
+of words), builds inverted-list index structures stored in the file system,
+and answers term queries with sets of documents and *IRS values* indicating
+supposed relevance.
+
+The engine is deliberately paradigm-exchangeable (one of the paper's main
+arguments for a loose coupling): the same :class:`~repro.irs.engine.IRSEngine`
+runs a boolean model, a vector-space model (TF-IDF/cosine), and a
+probabilistic INQUERY-style inference model with the ``#and/#or/#sum/#max/
+#wsum/#not`` belief operators.
+"""
+
+from repro.irs.engine import IRSEngine, IRSResult
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+
+__all__ = ["IRSEngine", "IRSResult", "Analyzer", "IRSCollection"]

@@ -1,0 +1,147 @@
+"""IRS collections.
+
+"Each document set is called 'collection'" (Section 1.1).  A collection owns
+an inverted index plus per-document metadata.  The crucial metadata item is
+the OID of the database object an IRS document represents: "the mapping of
+the IRS result to objects ... can be implemented efficiently by storing the
+according object identifier (OID) with each IRS document.  This is possible
+as most IRSs allow to administer some meta data with each IRS document"
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DocumentMissingError
+from repro.irs.analysis import Analyzer
+from repro.irs.inverted_index import InvertedIndex
+
+
+@dataclass
+class IRSDocument:
+    """One flat document inside a collection."""
+
+    doc_id: int
+    text: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+class IRSCollection:
+    """A named set of IRS documents with an inverted index over them."""
+
+    def __init__(self, name: str, analyzer: Optional[Analyzer] = None) -> None:
+        self.name = name
+        self.analyzer = analyzer or Analyzer()
+        self.index = InvertedIndex()
+        self._documents: Dict[int, IRSDocument] = {}
+        self._next_doc_id = 1
+
+    # -- document management ---------------------------------------------------
+
+    def add_document(self, text: str, metadata: Optional[Dict[str, str]] = None) -> int:
+        """Index ``text``; returns the new IRS document id."""
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        document = IRSDocument(doc_id, text, dict(metadata or {}))
+        self._documents[doc_id] = document
+        self.index.add_document(doc_id, self.analyzer.tokens(text))
+        return doc_id
+
+    def remove_document(self, doc_id: int) -> None:
+        """Delete a document and its postings."""
+        if doc_id not in self._documents:
+            raise DocumentMissingError(
+                f"document {doc_id} not in collection {self.name!r}"
+            )
+        del self._documents[doc_id]
+        self.index.remove_document(doc_id)
+
+    def replace_document(self, doc_id: int, text: str) -> None:
+        """Re-index a document with new text, keeping id and metadata."""
+        if doc_id not in self._documents:
+            raise DocumentMissingError(
+                f"document {doc_id} not in collection {self.name!r}"
+            )
+        document = self._documents[doc_id]
+        self.index.remove_document(doc_id)
+        document.text = text
+        self.index.add_document(doc_id, self.analyzer.tokens(text))
+
+    def document(self, doc_id: int) -> IRSDocument:
+        """The stored document (text + metadata)."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise DocumentMissingError(
+                f"document {doc_id} not in collection {self.name!r}"
+            ) from None
+
+    def documents(self) -> List[IRSDocument]:
+        """All documents, ascending doc id."""
+        return [self._documents[d] for d in sorted(self._documents)]
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    # -- metadata lookups ---------------------------------------------------------
+
+    def find_by_metadata(self, key: str, value: str) -> List[int]:
+        """Doc ids whose metadata maps ``key`` to ``value``."""
+        return [
+            doc_id
+            for doc_id in sorted(self._documents)
+            if self._documents[doc_id].metadata.get(key) == value
+        ]
+
+    # -- size accounting (for the granularity experiments) --------------------------
+
+    def indexed_bytes(self) -> int:
+        """Approximate index size: bytes of all stored postings.
+
+        Counted as term bytes plus 8 bytes per position entry — a stable,
+        implementation-independent proxy used by the redundancy experiments
+        (Section 4.3 / [SAZ94]).
+        """
+        total = 0
+        for term in self.index.terms():
+            postings = self.index.postings(term)
+            total += len(term.encode("utf-8"))
+            for posting in postings:
+                total += 8 + 8 * len(posting.positions)
+        return total
+
+    def text_bytes(self) -> int:
+        """Total bytes of raw document text stored in the collection."""
+        return sum(len(d.text.encode("utf-8")) for d in self._documents.values())
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-encodable dump (documents + index + analyzer config)."""
+        return {
+            "name": self.name,
+            "next_doc_id": self._next_doc_id,
+            "analyzer": self.analyzer.config(),
+            "documents": [
+                {"doc_id": d.doc_id, "text": d.text, "metadata": d.metadata}
+                for d in self.documents()
+            ],
+            "index": self.index.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, analyzer: Optional[Analyzer] = None) -> "IRSCollection":
+        """Rebuild a collection dumped by :meth:`to_payload`."""
+        collection = cls(payload["name"], analyzer)
+        collection._next_doc_id = payload["next_doc_id"]
+        for entry in payload["documents"]:
+            collection._documents[entry["doc_id"]] = IRSDocument(
+                entry["doc_id"], entry["text"], dict(entry["metadata"])
+            )
+        collection.index = InvertedIndex.from_payload(payload["index"])
+        return collection

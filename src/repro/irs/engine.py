@@ -1,0 +1,204 @@
+"""The IRS engine facade.
+
+Manages named collections and answers queries.  Two result channels exist,
+mirroring Section 4.5 of the paper:
+
+* **file exchange** — "Currently the IRS writes the result to a file which
+  is parsed afterwards to extract the OID-relevance value pairs":
+  :meth:`IRSEngine.query_to_file` writes ``<metadata>\\t<value>`` lines and
+  :func:`parse_result_file` reads them back;
+* **API exchange** — "This mechanism can be improved by using the API of an
+  IRS": :meth:`IRSEngine.query` returns the result in-process.
+
+The engine also keeps operation counters that the benchmark harness reads
+(IRS invocations are the paper's main cost driver for buffering and update
+propagation).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DuplicateCollectionError, UnknownCollectionError
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+from repro.irs.models import MODELS, RetrievalModel
+from repro.irs.queries import parse_irs_query
+
+
+@dataclass
+class IRSResult:
+    """The outcome of one IRS query against one collection."""
+
+    collection: str
+    query: str
+    model: str
+    values: Dict[int, float]  # doc_id -> IRS value
+
+    def ranked(self) -> List[tuple]:
+        """(doc_id, value) pairs, best first, doc id as tiebreaker."""
+        return sorted(self.values.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def by_metadata(self, collection: IRSCollection, key: str) -> Dict[str, float]:
+        """Re-key values by a metadata field (e.g. ``oid``).
+
+        When several IRS documents of the collection share the metadata
+        value, the maximum IRS value wins (one object may own several IRS
+        documents, Section 4.3).
+        """
+        out: Dict[str, float] = {}
+        for doc_id, value in self.values.items():
+            meta_value = collection.document(doc_id).metadata.get(key)
+            if meta_value is None:
+                continue
+            if meta_value not in out or value > out[meta_value]:
+                out[meta_value] = value
+        return out
+
+
+@dataclass
+class EngineCounters:
+    """Operation counters for the benchmark harness."""
+
+    queries_executed: int = 0
+    documents_indexed: int = 0
+    documents_removed: int = 0
+    result_files_written: int = 0
+    per_collection_queries: Dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.queries_executed = 0
+        self.documents_indexed = 0
+        self.documents_removed = 0
+        self.result_files_written = 0
+        self.per_collection_queries = {}
+
+
+class IRSEngine:
+    """A multi-collection IRS with exchangeable retrieval models."""
+
+    def __init__(self, default_model: str = "inquery", analyzer: Optional[Analyzer] = None) -> None:
+        if default_model not in MODELS:
+            raise ValueError(f"unknown retrieval model {default_model!r}; know {sorted(MODELS)}")
+        self._collections: Dict[str, IRSCollection] = {}
+        self._default_model = default_model
+        self._analyzer = analyzer
+        self.counters = EngineCounters()
+
+    # -- collection management ----------------------------------------------
+
+    def create_collection(self, name: str, analyzer: Optional[Analyzer] = None) -> IRSCollection:
+        """Create an empty collection called ``name``."""
+        if name in self._collections:
+            raise DuplicateCollectionError(f"IRS collection {name!r} already exists")
+        collection = IRSCollection(name, analyzer or self._analyzer)
+        self._collections[name] = collection
+        return collection
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection and its index."""
+        if name not in self._collections:
+            raise UnknownCollectionError(f"no IRS collection {name!r}")
+        del self._collections[name]
+
+    def collection(self, name: str) -> IRSCollection:
+        """Look up a collection by name."""
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise UnknownCollectionError(f"no IRS collection {name!r}") from None
+
+    def has_collection(self, name: str) -> bool:
+        """True when ``name`` exists."""
+        return name in self._collections
+
+    def collection_names(self) -> List[str]:
+        """All collection names, sorted."""
+        return sorted(self._collections)
+
+    # -- indexing -------------------------------------------------------------
+
+    def index_document(
+        self, collection_name: str, text: str, metadata: Optional[Dict[str, str]] = None
+    ) -> int:
+        """Add one document to a collection; returns its IRS doc id."""
+        doc_id = self.collection(collection_name).add_document(text, metadata)
+        self.counters.documents_indexed += 1
+        return doc_id
+
+    def remove_document(self, collection_name: str, doc_id: int) -> None:
+        """Remove one document from a collection."""
+        self.collection(collection_name).remove_document(doc_id)
+        self.counters.documents_removed += 1
+
+    def replace_document(self, collection_name: str, doc_id: int, text: str) -> None:
+        """Re-index one document with new text."""
+        self.collection(collection_name).replace_document(doc_id, text)
+        self.counters.documents_indexed += 1
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self, collection_name: str, irs_query: str, model: Optional[str] = None
+    ) -> IRSResult:
+        """Evaluate ``irs_query`` against a collection (API exchange)."""
+        collection = self.collection(collection_name)
+        model_name = model or self._default_model
+        try:
+            model_impl: RetrievalModel = MODELS[model_name]()
+        except KeyError:
+            raise ValueError(f"unknown retrieval model {model_name!r}") from None
+        tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
+        values = model_impl.score(collection, tree)
+        self.counters.queries_executed += 1
+        self.counters.per_collection_queries[collection_name] = (
+            self.counters.per_collection_queries.get(collection_name, 0) + 1
+        )
+        return IRSResult(collection_name, irs_query, model_name, values)
+
+    def query_to_file(
+        self,
+        collection_name: str,
+        irs_query: str,
+        path: str,
+        metadata_key: str = "oid",
+        model: Optional[str] = None,
+    ) -> str:
+        """Evaluate a query and write the paper's result-file format.
+
+        Each line is ``<metadata-value>\\t<IRS value>``; documents without
+        the metadata key fall back to ``doc:<id>``.  Returns ``path``.
+        """
+        result = self.query(collection_name, irs_query, model)
+        collection = self.collection(collection_name)
+        lines = []
+        for doc_id, value in result.ranked():
+            key = collection.document(doc_id).metadata.get(metadata_key, f"doc:{doc_id}")
+            lines.append(f"{key}\t{value:.6f}")
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+            if lines:
+                fh.write("\n")
+        os.replace(tmp_path, path)
+        self.counters.result_files_written += 1
+        return path
+
+
+def parse_result_file(path: str) -> Dict[str, float]:
+    """Parse a result file written by :meth:`IRSEngine.query_to_file`.
+
+    This is the "parsed afterwards to extract the OID-relevance value pairs"
+    step of Section 4.5.
+    """
+    values: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            key, _sep, value = line.partition("\t")
+            values[key] = float(value)
+    return values

@@ -1,0 +1,162 @@
+"""Inverted index: the IRS's internal document representation.
+
+Section 1.1: "During the indexing process, the documents within an
+IRS-collection are transformed to an internal representation (e.g., inverted
+lists)".  This module provides exactly that: per-term postings lists with
+term frequencies and positions, plus the global statistics retrieval models
+need (document count, document lengths, document/collection frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Posting:
+    """Occurrences of one term in one document."""
+
+    doc_id: int
+    positions: List[int] = field(default_factory=list)
+
+    @property
+    def tf(self) -> int:
+        """Term frequency within the document."""
+        return len(self.positions)
+
+
+class InvertedIndex:
+    """Postings lists over integer document ids."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[int, Posting]] = {}
+        self._doc_lengths: Dict[int, int] = {}
+
+    # -- building -------------------------------------------------------------
+
+    def add_document(self, doc_id: int, terms: List[str]) -> None:
+        """Index ``terms`` (analysis already applied) under ``doc_id``."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id} already indexed")
+        self._doc_lengths[doc_id] = len(terms)
+        for position, term in enumerate(terms):
+            by_doc = self._postings.setdefault(term, {})
+            posting = by_doc.get(doc_id)
+            if posting is None:
+                by_doc[doc_id] = Posting(doc_id, [position])
+            else:
+                posting.positions.append(position)
+
+    def remove_document(self, doc_id: int) -> None:
+        """Remove all trace of ``doc_id``."""
+        if doc_id not in self._doc_lengths:
+            raise KeyError(doc_id)
+        del self._doc_lengths[doc_id]
+        empty_terms = []
+        for term, by_doc in self._postings.items():
+            by_doc.pop(doc_id, None)
+            if not by_doc:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def term_count(self) -> int:
+        """Number of distinct terms."""
+        return len(self._postings)
+
+    @property
+    def posting_count(self) -> int:
+        """Number of (term, document) postings."""
+        return sum(len(by_doc) for by_doc in self._postings.values())
+
+    @property
+    def token_count(self) -> int:
+        """Total number of indexed term occurrences."""
+        return sum(self._doc_lengths.values())
+
+    def document_length(self, doc_id: int) -> int:
+        """Number of terms indexed for ``doc_id``."""
+        return self._doc_lengths[doc_id]
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean document length (0.0 for an empty index)."""
+        if not self._doc_lengths:
+            return 0.0
+        return self.token_count / len(self._doc_lengths)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across all documents."""
+        return sum(p.tf for p in self._postings.get(term, {}).values())
+
+    # -- access ----------------------------------------------------------------
+
+    def postings(self, term: str) -> List[Posting]:
+        """The postings list of ``term`` in doc-id order (empty when absent)."""
+        by_doc = self._postings.get(term, {})
+        return [by_doc[doc_id] for doc_id in sorted(by_doc)]
+
+    def term_frequency(self, term: str, doc_id: int) -> int:
+        """tf of ``term`` in ``doc_id`` (0 when absent)."""
+        posting = self._postings.get(term, {}).get(doc_id)
+        return posting.tf if posting else 0
+
+    def has_document(self, doc_id: int) -> bool:
+        """True when ``doc_id`` is indexed."""
+        return doc_id in self._doc_lengths
+
+    def document_ids(self) -> List[int]:
+        """All indexed doc ids, ascending."""
+        return sorted(self._doc_lengths)
+
+    def terms(self) -> Iterator[str]:
+        """All distinct terms (unordered)."""
+        return iter(self._postings)
+
+    def document_vector(self, doc_id: int) -> Dict[str, int]:
+        """term -> tf map of one document (rebuilt from postings)."""
+        vector: Dict[str, int] = {}
+        for term, by_doc in self._postings.items():
+            posting = by_doc.get(doc_id)
+            if posting is not None:
+                vector[term] = posting.tf
+        return vector
+
+    # -- persistence helpers -----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-encodable dump of the whole index."""
+        return {
+            "doc_lengths": {str(d): l for d, l in self._doc_lengths.items()},
+            "postings": {
+                term: {str(p.doc_id): p.positions for p in by_doc.values()}
+                for term, by_doc in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "InvertedIndex":
+        """Inverse of :meth:`to_payload`."""
+        index = cls()
+        index._doc_lengths = {int(d): l for d, l in payload["doc_lengths"].items()}
+        index._postings = {
+            term: {
+                int(doc_id): Posting(int(doc_id), list(positions))
+                for doc_id, positions in by_doc.items()
+            }
+            for term, by_doc in payload["postings"].items()
+        }
+        return index

@@ -1,0 +1,27 @@
+"""Retrieval models.
+
+The paper's loose coupling is explicitly paradigm-agnostic: "Exchangeability
+enables us to use any kind of retrieval system: e.g. boolean retrieval
+systems, vector retrieval systems, and systems based on probability"
+(Section 3).  Three models implement the common :class:`RetrievalModel`
+interface; the engine selects one per query.
+"""
+
+from repro.irs.models.base import RetrievalModel
+from repro.irs.models.boolean import BooleanModel
+from repro.irs.models.vector import VectorSpaceModel
+from repro.irs.models.probabilistic import InferenceNetworkModel
+
+MODELS = {
+    "boolean": BooleanModel,
+    "vector": VectorSpaceModel,
+    "inquery": InferenceNetworkModel,
+}
+
+__all__ = [
+    "RetrievalModel",
+    "BooleanModel",
+    "VectorSpaceModel",
+    "InferenceNetworkModel",
+    "MODELS",
+]

@@ -1,0 +1,35 @@
+"""Common interface of retrieval models."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.irs.collection import IRSCollection
+from repro.irs.queries import QueryNode
+
+
+class RetrievalModel:
+    """Scores documents of one collection against a parsed query tree."""
+
+    #: Operator used to combine bare multi-term queries for this model.
+    default_operator = "sum"
+
+    name = "abstract"
+
+    def score(self, collection: IRSCollection, query: QueryNode) -> Dict[int, float]:
+        """Return ``{doc_id: IRS value}`` for all documents with value > 0.
+
+        Values lie in [0, 1]; higher means more likely relevant ("an IRS
+        value which indicates the supposed relevance of each IRS document",
+        Section 1.1).
+        """
+        raise NotImplementedError
+
+    def analyzed_terms(self, collection: IRSCollection, raw_terms: List[str]) -> List[str]:
+        """Run query terms through the collection's analyzer, dropping stopped ones."""
+        analyzed = []
+        for raw in raw_terms:
+            term = collection.analyzer.term(raw)
+            if term is not None:
+                analyzed.append(term)
+        return analyzed

@@ -1,0 +1,63 @@
+"""Boolean retrieval model.
+
+The simplest paradigm the paper's loose coupling must support (Section 3).
+``#and`` intersects, ``#or`` unions, ``#not`` complements relative to the
+whole collection.  Matching documents all receive IRS value 1.0 — boolean
+systems know no graded relevance, which is exactly the degenerate case the
+coupling has to tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.irs.collection import IRSCollection
+from repro.irs.models.base import RetrievalModel
+from repro.irs.queries import OperatorNode, ProximityNode, QueryNode, TermNode
+
+
+class BooleanModel(RetrievalModel):
+    """Set-algebra matching with uniform value 1.0."""
+
+    name = "boolean"
+    default_operator = "and"
+
+    def score(self, collection: IRSCollection, query: QueryNode) -> Dict[int, float]:
+        matching = self._evaluate(collection, query)
+        return {doc_id: 1.0 for doc_id in matching}
+
+    def _evaluate(self, collection: IRSCollection, node: QueryNode) -> Set[int]:
+        if isinstance(node, TermNode):
+            term = collection.analyzer.term(node.term)
+            if term is None:
+                return set()
+            return {p.doc_id for p in collection.index.postings(term)}
+        if isinstance(node, ProximityNode):
+            from repro.irs.proximity import candidate_documents, proximity_tf
+
+            return {
+                doc_id
+                for doc_id in candidate_documents(collection, node.terms())
+                if proximity_tf(
+                    collection, doc_id, node.terms(), node.window, node.ordered
+                )
+                > 0
+            }
+        if isinstance(node, OperatorNode):
+            child_sets = [self._evaluate(collection, c) for c in node.children]
+            if node.op == "and":
+                result = child_sets[0]
+                for s in child_sets[1:]:
+                    result = result & s
+                return result
+            if node.op in ("or", "sum", "wsum", "max"):
+                # The weighted operators degenerate to union under boolean
+                # semantics: any evidence matches.
+                result: Set[int] = set()
+                for s in child_sets:
+                    result |= s
+                return result
+            if node.op == "not":
+                universe = set(collection.index.document_ids())
+                return universe - child_sets[0]
+        raise ValueError(f"cannot evaluate query node {node!r}")  # pragma: no cover

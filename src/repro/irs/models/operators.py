@@ -1,0 +1,59 @@
+"""Belief-combination operators with INQUERY semantics.
+
+These are the "half a dozen operators" whose "exact semantics" the paper's
+authors knew and re-implemented as collection methods for optimization
+(Section 4.5.4).  They are defined here once and reused both by the
+probabilistic retrieval model (combining per-term beliefs inside the IRS)
+and by :mod:`repro.core.operators` (combining whole buffered result
+dictionaries inside the OODBMS) — having the *same* function in both places
+is precisely what makes moving the combination between the systems sound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def op_and(beliefs: Sequence[float]) -> float:
+    """#and: product of beliefs (probabilistic conjunction)."""
+    result = 1.0
+    for belief in beliefs:
+        result *= belief
+    return result
+
+
+def op_or(beliefs: Sequence[float]) -> float:
+    """#or: 1 - prod(1 - b) (probabilistic disjunction)."""
+    result = 1.0
+    for belief in beliefs:
+        result *= 1.0 - belief
+    return 1.0 - result
+
+
+def op_not(belief: float) -> float:
+    """#not: complement."""
+    return 1.0 - belief
+
+
+def op_sum(beliefs: Sequence[float]) -> float:
+    """#sum: arithmetic mean of beliefs."""
+    if not beliefs:
+        return 0.0
+    return sum(beliefs) / len(beliefs)
+
+
+def op_wsum(weights: Sequence[float], beliefs: Sequence[float]) -> float:
+    """#wsum: weighted mean of beliefs."""
+    if len(weights) != len(beliefs):
+        raise ValueError("#wsum needs one weight per belief")
+    total_weight = sum(weights)
+    if total_weight == 0:
+        return 0.0
+    return sum(w * b for w, b in zip(weights, beliefs)) / total_weight
+
+
+def op_max(beliefs: Sequence[float]) -> float:
+    """#max: maximum belief."""
+    if not beliefs:
+        return 0.0
+    return max(beliefs)

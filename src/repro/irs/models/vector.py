@@ -1,0 +1,100 @@
+"""Vector-space retrieval model (TF-IDF, cosine similarity).
+
+Included because the paper argues the coupling must accommodate "vector
+retrieval systems" unchanged (Section 3).  Operator structure is flattened
+to a bag of positive terms — classic vector-space queries are unstructured —
+except ``#not`` whose terms *subtract* weight, and ``#wsum`` whose weights
+multiply the corresponding query-term weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.irs.collection import IRSCollection
+from repro.irs.models.base import RetrievalModel
+from repro.irs.queries import OperatorNode, ProximityNode, QueryNode, TermNode
+
+
+class VectorSpaceModel(RetrievalModel):
+    """Cosine similarity between tf-idf document and query vectors."""
+
+    name = "vector"
+    default_operator = "sum"
+
+    def score(self, collection: IRSCollection, query: QueryNode) -> Dict[int, float]:
+        query_vector = self._query_vector(collection, query)
+        if not query_vector:
+            return {}
+        index = collection.index
+        n_docs = index.document_count
+        scores: Dict[int, float] = {}
+        for term, query_weight in query_vector.items():
+            df = index.document_frequency(term)
+            if df == 0:
+                continue
+            idf = math.log(1.0 + n_docs / df)
+            for posting in index.postings(term):
+                tf = 1.0 + math.log(posting.tf)
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + query_weight * tf * idf
+        if not scores:
+            return {}
+        # Cosine normalization by document vector norms.
+        result: Dict[int, float] = {}
+        query_norm = math.sqrt(sum(w * w for w in query_vector.values()))
+        for doc_id, dot in scores.items():
+            doc_norm = self._document_norm(collection, doc_id)
+            if doc_norm > 0 and dot > 0:
+                value = dot / (doc_norm * query_norm)
+                result[doc_id] = min(1.0, value)
+        return result
+
+    def _query_vector(self, collection: IRSCollection, node: QueryNode, sign: float = 1.0, weight: float = 1.0) -> Dict[str, float]:
+        vector: Dict[str, float] = {}
+        self._accumulate(collection, node, sign, weight, vector)
+        # Negative weights (from #not) are kept: they subtract during the
+        # dot product; documents whose score goes non-positive are dropped.
+        return {t: w for t, w in vector.items() if w != 0}
+
+    def _accumulate(
+        self,
+        collection: IRSCollection,
+        node: QueryNode,
+        sign: float,
+        weight: float,
+        vector: Dict[str, float],
+    ) -> None:
+        if isinstance(node, TermNode):
+            term = collection.analyzer.term(node.term)
+            if term is not None:
+                vector[term] = vector.get(term, 0.0) + sign * weight
+            return
+        if isinstance(node, ProximityNode):
+            # The vector paradigm has no positional machinery; proximity
+            # degenerates to the bag of its terms — the kind of paradigm
+            # difference the loose coupling deliberately tolerates.
+            for term_node in node.term_nodes:
+                self._accumulate(collection, term_node, sign, weight, vector)
+            return
+        if isinstance(node, OperatorNode):
+            if node.op == "not":
+                self._accumulate(collection, node.children[0], -sign, weight, vector)
+                return
+            if node.op == "wsum":
+                for child_weight, child in zip(node.weights, node.children):
+                    self._accumulate(collection, child, sign, weight * child_weight, vector)
+                return
+            for child in node.children:
+                self._accumulate(collection, child, sign, weight, vector)
+
+    def _document_norm(self, collection: IRSCollection, doc_id: int) -> float:
+        index = collection.index
+        n_docs = index.document_count
+        total = 0.0
+        for term, tf in index.document_vector(doc_id).items():
+            df = index.document_frequency(term)
+            idf = math.log(1.0 + n_docs / df)
+            w = (1.0 + math.log(tf)) * idf
+            total += w * w
+        return math.sqrt(total)

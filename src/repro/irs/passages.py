@@ -1,0 +1,140 @@
+"""Passage retrieval ([SAB93], [Cal94]).
+
+Section 6: "An unsolved problem is calculating the IRS values for objects
+using the values for their subobjects. ... It seems that such an approach
+depends on the retrieval paradigm the IRS-component is based on (passage
+retrieval as introduced in [SAB93] seems to be an interesting candidate)."
+
+This module provides that candidate: sliding fixed-width windows over a
+token stream, each scored with the INQUERY belief formula against
+collection-level statistics, returning the best passage and its score.
+The coupling's ``passage`` derivation scheme (registered in
+:mod:`repro.core.derivation` consumers) scores a composite object by its
+best passage — rewarding *local* co-occurrence of query terms the way
+[SAB93] argues full-document scores cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.irs.collection import IRSCollection
+from repro.irs.models import operators as ops
+from repro.irs.models.probabilistic import DEFAULT_BELIEF
+from repro.irs.queries import OperatorNode, QueryNode, TermNode, parse_irs_query
+
+#: Default window geometry per [HeP93]/[Cal94]: ~30-word pieces, half overlap.
+DEFAULT_WINDOW = 30
+DEFAULT_STRIDE = 15
+
+
+@dataclass(frozen=True)
+class Passage:
+    """One scored window of a token stream."""
+
+    start: int
+    end: int       # exclusive token index
+    score: float
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class PassageScorer:
+    """Scores passages of raw text against a collection's statistics.
+
+    The collection supplies the analyzer (so passage terms meet index terms
+    in the same form) and the df/N statistics for the idf component; the
+    window itself plays the role of the "document" in the belief formula,
+    normalized against the window size.
+    """
+
+    def __init__(
+        self,
+        collection: IRSCollection,
+        window: int = DEFAULT_WINDOW,
+        stride: int = DEFAULT_STRIDE,
+    ) -> None:
+        if window < 1 or stride < 1:
+            raise ValueError("window and stride must be positive")
+        self._collection = collection
+        self.window = window
+        self.stride = stride
+
+    # -- scoring --------------------------------------------------------------
+
+    def passages(self, text: str, irs_query: str) -> List[Passage]:
+        """All windows of ``text`` with their scores, in position order."""
+        tree = parse_irs_query(irs_query)
+        tokens = self._collection.analyzer.tokens(text)
+        if not tokens:
+            return []
+        result = []
+        start = 0
+        while True:
+            end = min(start + self.window, len(tokens))
+            result.append(Passage(start, end, self._score_window(tokens[start:end], tree)))
+            if end == len(tokens):
+                break
+            start += self.stride
+        return result
+
+    def best_passage(self, text: str, irs_query: str) -> Optional[Passage]:
+        """The highest-scoring window (ties: earliest), or None for empty text."""
+        scored = self.passages(text, irs_query)
+        if not scored:
+            return None
+        return max(scored, key=lambda p: (p.score, -p.start))
+
+    def best_score(self, text: str, irs_query: str) -> float:
+        """Best passage score; 0.0 for empty text."""
+        best = self.best_passage(text, irs_query)
+        return best.score if best is not None else 0.0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _score_window(self, window_tokens: List[str], tree: QueryNode) -> float:
+        counts: Dict[str, int] = {}
+        for token in window_tokens:
+            counts[token] = counts.get(token, 0) + 1
+        return self._belief(tree, counts, len(window_tokens))
+
+    def _term_belief(self, raw_term: str, counts: Dict[str, int], window_len: int) -> float:
+        term = self._collection.analyzer.term(raw_term)
+        if term is None:
+            return DEFAULT_BELIEF
+        tf = counts.get(term, 0)
+        if tf == 0:
+            return DEFAULT_BELIEF
+        index = self._collection.index
+        n_docs = index.document_count
+        df = index.document_frequency(term)
+        if n_docs == 0 or df == 0:
+            # Term unknown to the collection: treat as maximally discriminative.
+            idf_part = 1.0
+        else:
+            idf_part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
+            idf_part = max(0.0, min(1.0, idf_part))
+        tf_part = tf / (tf + 0.5 + 1.5 * window_len / self.window)
+        return DEFAULT_BELIEF + (1.0 - DEFAULT_BELIEF) * tf_part * idf_part
+
+    def _belief(self, node: QueryNode, counts: Dict[str, int], window_len: int) -> float:
+        if isinstance(node, TermNode):
+            return self._term_belief(node.term, counts, window_len)
+        if isinstance(node, OperatorNode):
+            children = [self._belief(c, counts, window_len) for c in node.children]
+            if node.op == "and":
+                return ops.op_and(children)
+            if node.op == "or":
+                return ops.op_or(children)
+            if node.op == "not":
+                return ops.op_not(children[0])
+            if node.op == "sum":
+                return ops.op_sum(children)
+            if node.op == "wsum":
+                return ops.op_wsum(node.weights, children)
+            if node.op == "max":
+                return ops.op_max(children)
+        raise ValueError(f"cannot score query node {node!r}")  # pragma: no cover

@@ -1,0 +1,60 @@
+"""IRS index persistence.
+
+Section 1.1: the internal representations "are stored in a file system".
+One JSON file per collection under the engine directory; a manifest lists
+the collections.  :func:`save_engine` / :func:`load_engine` round-trip a
+whole :class:`~repro.irs.engine.IRSEngine`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+from repro.irs.engine import IRSEngine
+
+_MANIFEST = "collections.json"
+
+
+def save_engine(engine: IRSEngine, directory: str) -> None:
+    """Write every collection of ``engine`` to ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    names = engine.collection_names()
+    for name in names:
+        collection = engine.collection(name)
+        path = os.path.join(directory, _collection_file(name))
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(collection.to_payload(), fh)
+        os.replace(tmp_path, path)
+    manifest_path = os.path.join(directory, _MANIFEST)
+    with open(manifest_path + ".tmp", "w", encoding="utf-8") as fh:
+        json.dump({"collections": names}, fh)
+    os.replace(manifest_path + ".tmp", manifest_path)
+
+
+def load_engine(
+    directory: str, default_model: str = "inquery", analyzer: Optional[Analyzer] = None
+) -> IRSEngine:
+    """Rebuild an engine previously written with :func:`save_engine`."""
+    engine = IRSEngine(default_model=default_model, analyzer=analyzer)
+    manifest_path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        return engine
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    for name in manifest["collections"]:
+        path = os.path.join(directory, _collection_file(name))
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        collection = IRSCollection.from_payload(payload, analyzer)
+        engine._collections[name] = collection
+    return engine
+
+
+def _collection_file(name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in name)
+    return f"collection_{safe}.json"

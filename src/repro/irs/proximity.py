@@ -1,0 +1,154 @@
+"""Proximity matching: INQUERY's ordered/unordered window operators.
+
+``#odN(t1 t2 ...)`` matches where the terms occur *in order* with at most
+``N`` positions between consecutive terms; ``#uwN(t1 t2 ...)`` matches
+where all terms occur (any order) inside a window of ``N`` positions.
+Each match counts like an occurrence of a pseudo-term, so proximity nodes
+receive beliefs through the same tf/idf machinery as plain terms.
+
+These operators exercise the positional postings the inverted index stores
+(Section 1.1's "internal representation") and give mixed queries phrase
+power: ``#od1(information retrieval)`` is the classic adjacency phrase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.irs.collection import IRSCollection
+
+
+def ordered_window_matches(position_lists: Sequence[List[int]], window: int) -> int:
+    """Count ordered-window matches.
+
+    A match is a choice of one position per term, strictly increasing, with
+    each consecutive gap ``0 < gap <= window``.  Counting uses dynamic
+    programming over positions (matches ending at each position of the last
+    term), which counts every distinct combination exactly once.
+    """
+    if not position_lists or any(not positions for positions in position_lists):
+        return 0
+    # ways[i] = number of valid prefixes ending at position_lists[0][i]
+    ways = {position: 1 for position in position_lists[0]}
+    for positions in position_lists[1:]:
+        next_ways: Dict[int, int] = {}
+        for position in positions:
+            total = 0
+            for previous, count in ways.items():
+                gap = position - previous
+                if 0 < gap <= window:
+                    total += count
+            if total:
+                next_ways[position] = total
+        ways = next_ways
+        if not ways:
+            return 0
+    return sum(ways.values())
+
+
+def unordered_window_matches(position_lists: Sequence[List[int]], window: int) -> int:
+    """Count unordered-window matches.
+
+    A match is a set of one position per term whose span (max - min + 1)
+    is at most ``window``.  Counted with a sweep: for every choice of the
+    *minimum* position, count combinations of the other terms falling in
+    ``[min, min + window)`` and strictly greater than it... to stay
+    tractable and deterministic we count *minimal* matches the way INQUERY
+    did: slide a window over the union of positions and count windows whose
+    leftmost element starts a set containing all terms.
+    """
+    if not position_lists or any(not positions for positions in position_lists):
+        return 0
+    matches = 0
+    # Candidate window starts: every position of every term.
+    starts = sorted({p for positions in position_lists for p in positions})
+    for start in starts:
+        end = start + window  # exclusive
+        covered = True
+        anchored = False
+        for positions in position_lists:
+            in_window = [p for p in positions if start <= p < end]
+            if not in_window:
+                covered = False
+                break
+            if start in in_window:
+                anchored = True
+        if covered and anchored:
+            matches += 1
+    return matches
+
+
+def proximity_tf(
+    collection: IRSCollection,
+    doc_id: int,
+    terms: Sequence[str],
+    window: int,
+    ordered: bool,
+) -> int:
+    """Match count of a proximity expression within one document.
+
+    ``terms`` are raw query terms; analysis is applied here so they meet
+    indexed positions in the same form.  Terms that analyze away (stopwords)
+    make the expression unmatchable — INQUERY behaved the same.
+    """
+    position_lists: List[List[int]] = []
+    for raw in terms:
+        term = collection.analyzer.term(raw)
+        if term is None:
+            return 0
+        posting = next(
+            (p for p in collection.index.postings(term) if p.doc_id == doc_id), None
+        )
+        if posting is None:
+            return 0
+        position_lists.append(posting.positions)
+    if ordered:
+        return ordered_window_matches(position_lists, window)
+    return unordered_window_matches(position_lists, window)
+
+
+def proximity_document_frequency(
+    collection: IRSCollection, terms: Sequence[str], window: int, ordered: bool
+) -> int:
+    """Number of documents with at least one proximity match."""
+    candidate_ids = candidate_documents(collection, terms)
+    return sum(
+        1
+        for doc_id in candidate_ids
+        if proximity_tf(collection, doc_id, terms, window, ordered) > 0
+    )
+
+
+def proximity_df_cached(collection: IRSCollection, node) -> int:
+    """df of a proximity node, memoized per collection state.
+
+    The cache key includes a cheap fingerprint of the index (document and
+    token counts) so additions/removals invalidate stale entries without a
+    version counter on the collection.
+    """
+    cache = getattr(collection, "_proximity_df_cache", None)
+    if cache is None:
+        cache = {}
+        collection._proximity_df_cache = cache
+    fingerprint = (collection.index.document_count, collection.index.token_count)
+    key = (node.ordered, node.window, tuple(node.terms()), fingerprint)
+    if key not in cache:
+        cache[key] = proximity_document_frequency(
+            collection, node.terms(), node.window, node.ordered
+        )
+    return cache[key]
+
+
+def candidate_documents(collection: IRSCollection, terms: Sequence[str]) -> List[int]:
+    """Documents containing *all* the (analyzed) terms — the only possible
+    proximity matches."""
+    doc_sets = []
+    for raw in terms:
+        term = collection.analyzer.term(raw)
+        if term is None:
+            return []
+        doc_sets.append({p.doc_id for p in collection.index.postings(term)})
+    if not doc_sets:
+        return []
+    shared = set.intersection(*doc_sets)
+    return sorted(shared)

@@ -1,0 +1,238 @@
+"""The IRS query language.
+
+INQUERY-style structured queries: bare terms and ``#operator(...)`` nodes::
+
+    WWW
+    telnet protocol
+    #and(WWW NII)
+    #or(#and(www nii) telnet)
+    #wsum(2 www 1 nii)
+    #not(telnet)
+
+Bare multi-term queries combine with a model-dependent default operator
+(``#sum`` for the weighted models, ``#and`` for the boolean model).  Terms
+are analyzed with the *collection's* analyzer at evaluation time so query
+terms meet indexed terms in the same form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import re
+
+from repro.errors import IRSQuerySyntaxError, UnknownOperatorError
+
+KNOWN_OPERATORS = ("and", "or", "not", "sum", "wsum", "max")
+
+#: ``#od3`` / ``#uw5`` — ordered/unordered window with width N.
+_PROXIMITY_PATTERN = re.compile(r"(od|uw)(\d+)")
+
+
+@dataclass(frozen=True)
+class TermNode:
+    """A single query term (raw; analysis happens at evaluation)."""
+
+    term: str
+
+    def terms(self) -> List[str]:
+        return [self.term]
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """An ``#op(children)`` node.  ``weights`` is only used by #wsum."""
+
+    op: str
+    children: Tuple[object, ...]
+    weights: Tuple[float, ...] = field(default=())
+
+    def terms(self) -> List[str]:
+        result: List[str] = []
+        for child in self.children:
+            result.extend(child.terms())
+        return result
+
+
+@dataclass(frozen=True)
+class ProximityNode:
+    """``#odN(t1 t2 ...)`` / ``#uwN(t1 t2 ...)`` — window operators.
+
+    ``ordered`` selects the ordered (#od) vs unordered (#uw) semantics;
+    ``window`` is the N from the operator name; operands must be terms.
+    """
+
+    ordered: bool
+    window: int
+    term_nodes: Tuple["TermNode", ...]
+
+    def terms(self) -> List[str]:
+        return [node.term for node in self.term_nodes]
+
+
+QueryNode = object  # TermNode | OperatorNode
+
+
+def parse_irs_query(text: str, default_operator: str = "sum") -> QueryNode:
+    """Parse ``text`` into a query tree.
+
+    Raises :class:`IRSQuerySyntaxError` on malformed input and
+    :class:`UnknownOperatorError` for an unrecognized ``#op``.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise IRSQuerySyntaxError("empty IRS query")
+    parser = _Parser(tokens)
+    nodes = []
+    while not parser.at_end():
+        nodes.append(parser.parse_node())
+    if len(nodes) == 1:
+        return nodes[0]
+    if default_operator not in KNOWN_OPERATORS:
+        raise UnknownOperatorError(f"unknown default operator {default_operator!r}")
+    return OperatorNode(default_operator, tuple(nodes))
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace() or ch == ",":
+            i += 1
+            continue
+        if ch in "()":
+            tokens.append(ch)
+            i += 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in "(),":
+            j += 1
+        tokens.append(text[i:j])
+        i = j
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def _peek(self) -> Optional[str]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise IRSQuerySyntaxError("unexpected end of IRS query")
+        self._pos += 1
+        return token
+
+    def parse_node(self) -> QueryNode:
+        token = self._next()
+        if token.startswith("#"):
+            op = token[1:].lower()
+            proximity = _PROXIMITY_PATTERN.fullmatch(op)
+            if proximity is not None:
+                return self._parse_proximity(
+                    ordered=proximity.group(1) == "od",
+                    window=int(proximity.group(2)),
+                )
+            if op not in KNOWN_OPERATORS:
+                raise UnknownOperatorError(f"unknown IRS operator #{op}")
+            if self._next() != "(":
+                raise IRSQuerySyntaxError(f"expected '(' after #{op}")
+            if op == "wsum":
+                return self._parse_wsum()
+            children: List[QueryNode] = []
+            while self._peek() != ")":
+                if self._peek() is None:
+                    raise IRSQuerySyntaxError(f"unterminated #{op}(...)")
+                children.append(self.parse_node())
+            self._next()  # consume ")"
+            if not children:
+                raise IRSQuerySyntaxError(f"#{op}() needs at least one operand")
+            if op == "not" and len(children) != 1:
+                raise IRSQuerySyntaxError("#not takes exactly one operand")
+            return OperatorNode(op, tuple(children))
+        if token in ("(", ")"):
+            raise IRSQuerySyntaxError(f"unexpected {token!r} in IRS query")
+        return TermNode(token)
+
+    def _parse_proximity(self, ordered: bool, window: int) -> "ProximityNode":
+        if window < 1:
+            raise IRSQuerySyntaxError("proximity window must be >= 1")
+        kind = "od" if ordered else "uw"
+        if self._next() != "(":
+            raise IRSQuerySyntaxError(f"expected '(' after #{kind}{window}")
+        term_nodes = []
+        while self._peek() != ")":
+            if self._peek() is None:
+                raise IRSQuerySyntaxError(f"unterminated #{kind}{window}(...)")
+            child = self.parse_node()
+            if not isinstance(child, TermNode):
+                raise IRSQuerySyntaxError(
+                    f"#{kind}{window} operands must be plain terms"
+                )
+            term_nodes.append(child)
+        self._next()  # consume ")"
+        if len(term_nodes) < 2:
+            raise IRSQuerySyntaxError(f"#{kind}{window} needs at least two terms")
+        return ProximityNode(ordered, window, tuple(term_nodes))
+
+    def _parse_wsum(self) -> OperatorNode:
+        weights: List[float] = []
+        children: List[QueryNode] = []
+        while self._peek() != ")":
+            if self._peek() is None:
+                raise IRSQuerySyntaxError("unterminated #wsum(...)")
+            weight_token = self._next()
+            try:
+                weight = float(weight_token)
+            except ValueError:
+                raise IRSQuerySyntaxError(
+                    f"#wsum expects weight-operand pairs; {weight_token!r} is not a number"
+                ) from None
+            if self._peek() == ")" or self._peek() is None:
+                raise IRSQuerySyntaxError("#wsum weight without an operand")
+            weights.append(weight)
+            children.append(self.parse_node())
+        self._next()  # consume ")"
+        if not children:
+            raise IRSQuerySyntaxError("#wsum() needs at least one pair")
+        return OperatorNode("wsum", tuple(children), tuple(weights))
+
+
+def subqueries(node: QueryNode) -> List[QueryNode]:
+    """The top-level subqueries of a query (Section 4.5.2's decomposition).
+
+    For an operator node these are its children; for a bare term, the term
+    itself.  The subquery-aware derivation scheme evaluates each subquery
+    separately against component objects.
+    """
+    if isinstance(node, OperatorNode):
+        return list(node.children)
+    return [node]
+
+
+def format_query(node: QueryNode) -> str:
+    """Render a query tree back to query-language text."""
+    if isinstance(node, TermNode):
+        return node.term
+    if isinstance(node, ProximityNode):
+        kind = "od" if node.ordered else "uw"
+        inner = " ".join(t.term for t in node.term_nodes)
+        return f"#{kind}{node.window}({inner})"
+    if isinstance(node, OperatorNode):
+        if node.op == "wsum":
+            parts = []
+            for weight, child in zip(node.weights, node.children):
+                parts.append(f"{weight:g} {format_query(child)}")
+            return f"#wsum({' '.join(parts)})"
+        inner = " ".join(format_query(child) for child in node.children)
+        return f"#{node.op}({inner})"
+    raise IRSQuerySyntaxError(f"not a query node: {node!r}")  # pragma: no cover

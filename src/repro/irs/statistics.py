@@ -1,0 +1,112 @@
+"""Collection statistics: Zipf and Heaps checks for corpus realism.
+
+The proprietary MMF corpus is substituted with seeded synthetic documents
+(see DESIGN.md §2); these diagnostics validate that the substitute behaves
+like natural-language text where it matters for retrieval: a roughly
+Zipfian rank-frequency distribution (idf spread) and sublinear vocabulary
+growth (Heaps' law).  The STATS benchmark prints them; the corpus tests
+assert sane ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.irs.inverted_index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Summary statistics of one inverted index."""
+
+    documents: int
+    tokens: int
+    vocabulary: int
+    postings: int
+    average_document_length: float
+    zipf_slope: float
+    heaps_beta: float
+
+    @property
+    def type_token_ratio(self) -> float:
+        if self.tokens == 0:
+            return 0.0
+        return self.vocabulary / self.tokens
+
+
+def rank_frequency(index: InvertedIndex) -> List[Tuple[int, int]]:
+    """(rank, collection frequency) pairs, most frequent first."""
+    frequencies = sorted(
+        (index.collection_frequency(term) for term in index.terms()), reverse=True
+    )
+    return [(rank, frequency) for rank, frequency in enumerate(frequencies, start=1)]
+
+
+def zipf_slope(index: InvertedIndex) -> float:
+    """Least-squares slope of log(frequency) vs log(rank).
+
+    Natural text sits near -1; a uniform vocabulary would be near 0.
+    """
+    points = [
+        (math.log(rank), math.log(frequency))
+        for rank, frequency in rank_frequency(index)
+        if frequency > 0
+    ]
+    return _slope(points)
+
+
+def heaps_beta(document_term_lists: List[List[str]]) -> float:
+    """Heaps' law exponent beta from V(n) ~ K * n^beta.
+
+    Computed as the slope of log V against log n over the running corpus;
+    natural text sits around 0.4-0.8.
+    """
+    seen: set = set()
+    tokens = 0
+    points = []
+    for terms in document_term_lists:
+        tokens += len(terms)
+        seen.update(terms)
+        if tokens > 0 and len(seen) > 1:
+            points.append((math.log(tokens), math.log(len(seen))))
+    return _slope(points)
+
+
+def _slope(points: List[Tuple[float, float]]) -> float:
+    n = len(points)
+    if n < 2:
+        return 0.0
+    sum_x = sum(x for x, _y in points)
+    sum_y = sum(y for _x, y in points)
+    sum_xx = sum(x * x for x, _y in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if abs(denominator) < 1e-12:
+        return 0.0
+    return (n * sum_xy - sum_x * sum_y) / denominator
+
+
+def collection_statistics(
+    index: InvertedIndex, document_term_lists: List[List[str]]
+) -> CollectionStatistics:
+    """All summary statistics in one call."""
+    return CollectionStatistics(
+        documents=index.document_count,
+        tokens=index.token_count,
+        vocabulary=index.term_count,
+        postings=index.posting_count,
+        average_document_length=index.average_document_length,
+        zipf_slope=zipf_slope(index),
+        heaps_beta=heaps_beta(document_term_lists),
+    )
+
+
+def statistics_for_collection(collection) -> CollectionStatistics:
+    """Statistics of an :class:`~repro.irs.collection.IRSCollection`."""
+    term_lists = [
+        collection.analyzer.tokens(document.text)
+        for document in collection.documents()
+    ]
+    return collection_statistics(collection.index, term_lists)

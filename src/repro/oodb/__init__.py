@@ -1,0 +1,32 @@
+"""``repro.oodb`` — the OODBMS substrate.
+
+A from-scratch object-oriented database management system providing the
+features the paper's coupling requires of VODAK ([Atk+89] manifesto):
+
+* persistent objects with system-wide object identity (OIDs),
+* classes with attributes, methods and single inheritance (``isA``),
+* ACID transactions backed by a write-ahead log and strict two-phase locking,
+* attribute indexes (B-tree and hash),
+* a declarative, SQL-like query language (``ACCESS ... FROM ... WHERE ...``)
+  modelled on the VODAK query examples of the paper, including method calls
+  with the ``->`` arrow syntax,
+* a query optimizer with index selection and method-based semantic rewrites.
+
+The public entry point is :class:`repro.oodb.database.Database`.
+"""
+
+from repro.oodb.oid import OID
+from repro.oodb.schema import ClassDefinition, AttributeDefinition, Schema
+from repro.oodb.objects import DBObject
+from repro.oodb.database import Database
+from repro.oodb.transactions import Transaction
+
+__all__ = [
+    "OID",
+    "ClassDefinition",
+    "AttributeDefinition",
+    "Schema",
+    "DBObject",
+    "Database",
+    "Transaction",
+]

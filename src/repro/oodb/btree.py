@@ -1,0 +1,351 @@
+"""An in-memory B-tree used by attribute indexes.
+
+Classic order-``t`` B-tree (Cormen-style minimum degree) storing
+``key -> set of values`` with duplicate keys collapsed into a value set —
+attribute indexes map an attribute value to the set of OIDs carrying it.
+
+Supported operations: insert, delete, point lookup, and inclusive/exclusive
+range scans in key order.  Keys must be mutually comparable; mixed-type key
+spaces are rejected at the index layer, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Set, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Set[Any]] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree multimap from comparable keys to sets of values."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._n_keys = 0
+        self._n_entries = 0
+
+    # -- statistics --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return self._n_keys
+
+    @property
+    def entry_count(self) -> int:
+        """Number of (key, value) pairs."""
+        return self._n_entries
+
+    def height(self) -> int:
+        """Tree height (root-only tree has height 1)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: Any) -> Set[Any]:
+        """The value set stored under ``key`` (empty set when absent)."""
+        node = self._root
+        while True:
+            idx = self._bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return set(node.values[idx])
+            if node.is_leaf:
+                return set()
+            node = node.children[idx]
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while True:
+            idx = self._bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return True
+            if node.is_leaf:
+                return False
+            node = node.children[idx]
+
+    @staticmethod
+    def _bisect(keys: List[Any], key: Any) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` to the set under ``key``."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        mid_key = child.keys[t - 1]
+        mid_val = child.values[t - 1]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        parent.keys.insert(index, mid_key)
+        parent.values.insert(index, mid_val)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            idx = self._bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if value not in node.values[idx]:
+                    node.values[idx].add(value)
+                    self._n_entries += 1
+                return
+            if node.is_leaf:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, {value})
+                self._n_keys += 1
+                self._n_entries += 1
+                return
+            child = node.children[idx]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, idx)
+                if node.keys[idx] == key:
+                    if value not in node.values[idx]:
+                        node.values[idx].add(value)
+                        self._n_entries += 1
+                    return
+                if key > node.keys[idx]:
+                    idx += 1
+            node = node.children[idx]
+
+    # -- deletion ---------------------------------------------------------------
+
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove ``value`` from the set under ``key``.
+
+        Returns True when the pair existed.  When the value set becomes
+        empty, the key itself is deleted from the tree.
+        """
+        values = self.get(key)
+        if value not in values:
+            return False
+        if len(values) > 1:
+            self._replace_values(key, values - {value})
+            self._n_entries -= 1
+            return True
+        self._delete_key(self._root, key)
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        self._n_keys -= 1
+        self._n_entries -= 1
+        return True
+
+    def _replace_values(self, key: Any, new_values: Set[Any]) -> None:
+        node = self._root
+        while True:
+            idx = self._bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = new_values
+                return
+            node = node.children[idx]
+
+    def _delete_key(self, node: _Node, key: Any) -> None:
+        t = self._t
+        idx = self._bisect(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            if node.is_leaf:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                return
+            # Internal node: replace with predecessor or successor, or merge.
+            left, right = node.children[idx], node.children[idx + 1]
+            if len(left.keys) >= t:
+                pk, pv = self._max_entry(left)
+                node.keys[idx], node.values[idx] = pk, pv
+                self._delete_key(left, pk)
+            elif len(right.keys) >= t:
+                sk, sv = self._min_entry(right)
+                node.keys[idx], node.values[idx] = sk, sv
+                self._delete_key(right, sk)
+            else:
+                self._merge_children(node, idx)
+                self._delete_key(left, key)
+            return
+        if node.is_leaf:
+            return  # key absent; caller guarantees presence so unreachable
+        child = node.children[idx]
+        if len(child.keys) < t:
+            idx = self._fill_child(node, idx)
+            child = node.children[idx] if idx < len(node.children) else node.children[-1]
+            # After a merge the key may now live in this node.
+            jdx = self._bisect(node.keys, key)
+            if jdx < len(node.keys) and node.keys[jdx] == key:
+                self._delete_key(node, key)
+                return
+            child = node.children[self._bisect(node.keys, key)]
+        self._delete_key(child, key)
+
+    def _fill_child(self, node: _Node, idx: int) -> int:
+        """Ensure child ``idx`` has >= t keys; returns the (possibly new) index."""
+        t = self._t
+        if idx > 0 and len(node.children[idx - 1].keys) >= t:
+            self._borrow_from_prev(node, idx)
+            return idx
+        if idx < len(node.children) - 1 and len(node.children[idx + 1].keys) >= t:
+            self._borrow_from_next(node, idx)
+            return idx
+        if idx < len(node.children) - 1:
+            self._merge_children(node, idx)
+            return idx
+        self._merge_children(node, idx - 1)
+        return idx - 1
+
+    @staticmethod
+    def _borrow_from_prev(node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx - 1]
+        child.keys.insert(0, node.keys[idx - 1])
+        child.values.insert(0, node.values[idx - 1])
+        node.keys[idx - 1] = sibling.keys.pop()
+        node.values[idx - 1] = sibling.values.pop()
+        if not sibling.is_leaf:
+            child.children.insert(0, sibling.children.pop())
+
+    @staticmethod
+    def _borrow_from_next(node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx + 1]
+        child.keys.append(node.keys[idx])
+        child.values.append(node.values[idx])
+        node.keys[idx] = sibling.keys.pop(0)
+        node.values[idx] = sibling.values.pop(0)
+        if not sibling.is_leaf:
+            child.children.append(sibling.children.pop(0))
+
+    @staticmethod
+    def _merge_children(node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx + 1]
+        child.keys.append(node.keys.pop(idx))
+        child.values.append(node.values.pop(idx))
+        child.keys.extend(sibling.keys)
+        child.values.extend(sibling.values)
+        child.children.extend(sibling.children)
+        node.children.pop(idx + 1)
+
+    @staticmethod
+    def _min_entry(node: _Node) -> Tuple[Any, Set[Any]]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    @staticmethod
+    def _max_entry(node: _Node) -> Tuple[Any, Set[Any]]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    # -- iteration -----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Set[Any]]]:
+        """All (key, value-set) pairs in key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[Tuple[Any, Set[Any]]]:
+        if node.is_leaf:
+            for key, values in zip(node.keys, node.values):
+                yield key, set(values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key, set(node.values[i])
+        yield from self._walk(node.children[-1])
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in sorted order."""
+        for key, _values in self.items():
+            yield key
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Set[Any]]]:
+        """Scan (key, value-set) pairs with low <= key <= high in key order.
+
+        ``None`` bounds are open on that side; inclusivity flags implement
+        the four comparison operators of the query language.
+        """
+        for key, values in self.items():
+            if low is not None:
+                if key < low or (not include_low and key == low):
+                    continue
+            if high is not None:
+                if key > high:
+                    break
+                if not include_high and key == high:
+                    break
+            yield key, values
+
+    # -- invariant checking (used by property tests) ----------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when any B-tree invariant is violated."""
+        t = self._t
+
+        def visit(node: _Node, depth: int, is_root: bool, lo: Any, hi: Any) -> int:
+            assert len(node.keys) == len(node.values)
+            assert len(node.keys) <= 2 * t - 1, "node overfull"
+            if not is_root:
+                assert len(node.keys) >= t - 1, "node underfull"
+            for a, b in zip(node.keys, node.keys[1:]):
+                assert a < b, "keys not strictly increasing"
+            for key in node.keys:
+                if lo is not None:
+                    assert key > lo, "key below subtree lower bound"
+                if hi is not None:
+                    assert key < hi, "key above subtree upper bound"
+            for values in node.values:
+                assert values, "empty value set retained"
+            if node.is_leaf:
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = set()
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                depths.add(visit(child, depth + 1, False, bounds[i], bounds[i + 1]))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        visit(self._root, 0, True, None, None)
+        assert self._n_keys == sum(1 for _ in self.items())
+        assert self._n_entries == sum(len(v) for _, v in self.items())

@@ -1,0 +1,430 @@
+"""The OODBMS facade.
+
+:class:`Database` wires schema, object store, WAL, lock manager, index
+catalog and query processor into the single entry point applications use.
+It supports two persistence modes:
+
+* **ephemeral** (``Database()``) — everything in memory, WAL in memory too;
+  used by tests and short-lived experiments;
+* **durable** (``Database(directory=...)``) — snapshot + WAL files in a
+  directory; :meth:`checkpoint` writes a snapshot and truncates the log, and
+  re-opening the directory recovers committed state.
+
+Concurrency: operations inside an explicit transaction take strict-2PL
+locks; autocommitted single operations bypass the lock manager (the
+single-writer fast path used by the benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import SchemaError, TransactionError
+from repro.oodb import wal as wal_records
+from repro.oodb.indexes import AttributeIndex, IndexCatalog
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID, OIDAllocator
+from repro.oodb.schema import ClassDefinition, Schema
+from repro.oodb.store import ObjectStore, _StoredObject, decode_value, encode_value
+from repro.oodb.transactions import Transaction
+from repro.oodb.wal import WriteAheadLog
+
+_SNAPSHOT_FILE = "snapshot.json"
+_WAL_FILE = "wal.log"
+
+
+class Database:
+    """An object database with transactions, indexes, and a query language."""
+
+    def __init__(self, directory: Optional[str] = None, lock_timeout: float = 5.0) -> None:
+        self.schema = Schema()
+        self._store = ObjectStore()
+        self._allocator = OIDAllocator()
+        self._locks = LockManager(timeout=lock_timeout)
+        self.indexes = IndexCatalog()
+        self._directory = directory
+        self._local = threading.local()
+        self._closed = False
+
+        if directory is None:
+            self._wal = WriteAheadLog()
+        else:
+            os.makedirs(directory, exist_ok=True)
+            snapshot_path = os.path.join(directory, _SNAPSHOT_FILE)
+            if os.path.exists(snapshot_path):
+                info = self._store.load_snapshot(snapshot_path)
+                self._allocator.advance_to(info.oid_high_water)
+                self._restore_schema(info.schema_payload)
+            self._wal = WriteAheadLog(os.path.join(directory, _WAL_FILE))
+            self._replay_wal()
+            self._rebuild_indexes()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start an explicit transaction bound to the calling thread."""
+        if self._current_txn() is not None:
+            raise TransactionError("a transaction is already active on this thread")
+        txn = Transaction(self)
+        self._wal.append(wal_records.BEGIN, txn.txn_id)
+        self._local.txn = txn
+        return txn
+
+    def _current_txn(self) -> Optional[Transaction]:
+        txn = getattr(self._local, "txn", None)
+        if txn is not None and not txn.is_active:
+            self._local.txn = None
+            return None
+        return txn
+
+    def _finish_transaction(self, txn: Transaction, committed: bool) -> None:
+        """Called by Transaction.commit/rollback."""
+        kind = wal_records.COMMIT if committed else wal_records.ABORT
+        self._wal.append(kind, txn.txn_id)
+        self._locks.release_all(txn.txn_id)
+        if getattr(self._local, "txn", None) is txn:
+            self._local.txn = None
+
+    def in_transaction(self) -> bool:
+        """True when an explicit transaction is active on this thread."""
+        return self._current_txn() is not None
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def create_object(self, class_name: str, **attributes: Any) -> DBObject:
+        """Create an instance of ``class_name``; keyword args set attributes."""
+        self.schema.get_class(class_name)  # validates existence
+        oid = self._allocator.allocate()
+        txn = self._current_txn()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, oid, LockMode.EXCLUSIVE)
+            txn.record_undo(self._undo_create, oid)
+            self._wal.append(
+                wal_records.CREATE, txn.txn_id, {"oid": oid.value, "class": class_name}
+            )
+            self._store.create(oid, class_name)
+        else:
+            implicit = Transaction(self)
+            self._wal.append(wal_records.BEGIN, implicit.txn_id)
+            self._wal.append(
+                wal_records.CREATE, implicit.txn_id, {"oid": oid.value, "class": class_name}
+            )
+            self._store.create(oid, class_name)
+            self._wal.append(wal_records.COMMIT, implicit.txn_id)
+        obj = DBObject(self, oid, class_name)
+        for attr, value in attributes.items():
+            obj.set(attr, value)
+        return obj
+
+    def _undo_create(self, oid: OID) -> None:
+        if self._store.exists(oid):
+            stored = self._store.delete(oid)
+            self._unindex_object(oid, stored.class_name, stored.attributes)
+
+    def delete_object(self, obj_or_oid: Any) -> None:
+        """Delete an object; its attribute values are unindexed."""
+        oid = obj_or_oid.oid if isinstance(obj_or_oid, DBObject) else obj_or_oid
+        txn = self._current_txn()
+        class_name = self._store.class_of(oid)
+        attributes = self._store.read_all(oid)
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, oid, LockMode.EXCLUSIVE)
+            stored = self._store.delete(oid)
+            txn.record_undo(self._undo_delete, oid, stored)
+            self._wal.append(wal_records.DELETE, txn.txn_id, {"oid": oid.value})
+        else:
+            implicit = Transaction(self)
+            self._wal.append(wal_records.BEGIN, implicit.txn_id)
+            self._store.delete(oid)
+            self._wal.append(wal_records.DELETE, implicit.txn_id, {"oid": oid.value})
+            self._wal.append(wal_records.COMMIT, implicit.txn_id)
+        self._unindex_object(oid, class_name, attributes)
+
+    def _undo_delete(self, oid: OID, stored: _StoredObject) -> None:
+        self._store.restore(oid, stored)
+        self._index_object(oid, stored.class_name, stored.attributes)
+
+    def get_object(self, oid: OID) -> DBObject:
+        """A handle on the object with ``oid`` (must exist)."""
+        return DBObject(self, oid, self._store.class_of(oid))
+
+    def object_exists(self, oid: OID) -> bool:
+        """True when ``oid`` denotes a live object."""
+        return self._store.exists(oid)
+
+    def object_count(self) -> int:
+        """Number of live objects."""
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    # Attribute access
+    # ------------------------------------------------------------------
+
+    def read_attribute(self, oid: OID, attr: str) -> Any:
+        """Read ``attr`` of the object, falling back to the schema default."""
+        class_name = self._store.class_of(oid)
+        txn = self._current_txn()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, oid, LockMode.SHARED)
+        if self._store.has_written(oid, attr):
+            return self._store.read(oid, attr)
+        if self.schema.has_attribute(class_name, attr):
+            return self.schema.resolve_attribute(class_name, attr).default
+        return self._store.read(oid, attr)  # undeclared attrs read as None
+
+    def write_attribute(self, oid: OID, attr: str, value: Any) -> None:
+        """Write ``attr``; type-checked when declared, logged, index-maintained."""
+        class_name = self._store.class_of(oid)
+        if self.schema.has_attribute(class_name, attr):
+            adef = self.schema.resolve_attribute(class_name, attr)
+            if not adef.check(value):
+                raise SchemaError(
+                    f"value {value!r} does not match type {adef.type_name} of "
+                    f"{class_name}.{attr}"
+                )
+        old_value = self._store.read(oid, attr)
+        txn = self._current_txn()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, oid, LockMode.EXCLUSIVE)
+            previous = self._store.write(oid, attr, value)
+            txn.record_undo(self._undo_write, oid, attr, previous, old_value)
+            self._wal.append(
+                wal_records.WRITE,
+                txn.txn_id,
+                {"oid": oid.value, "attr": attr, "value": encode_value(value)},
+            )
+        else:
+            implicit = Transaction(self)
+            self._wal.append(wal_records.BEGIN, implicit.txn_id)
+            self._store.write(oid, attr, value)
+            self._wal.append(
+                wal_records.WRITE,
+                implicit.txn_id,
+                {"oid": oid.value, "attr": attr, "value": encode_value(value)},
+            )
+            self._wal.append(wal_records.COMMIT, implicit.txn_id)
+        self._reindex_attribute(oid, class_name, attr, old_value, value)
+
+    def _undo_write(self, oid: OID, attr: str, previous: Any, old_value: Any) -> None:
+        if not self._store.exists(oid):
+            return  # creation was already undone
+        new_value = self._store.read(oid, attr)
+        self._store.unwrite(oid, attr, previous)
+        class_name = self._store.class_of(oid)
+        self._reindex_attribute(oid, class_name, attr, new_value, old_value)
+
+    def read_attributes(self, oid: OID) -> Dict[str, Any]:
+        """All attributes of the object, defaults filled in."""
+        class_name = self._store.class_of(oid)
+        values = {
+            name: adef.default for name, adef in self.schema.all_attributes(class_name).items()
+        }
+        values.update(self._store.read_all(oid))
+        return values
+
+    # ------------------------------------------------------------------
+    # Extents and scans
+    # ------------------------------------------------------------------
+
+    def instances_of(self, class_name: str, include_subclasses: bool = True) -> List[DBObject]:
+        """All live instances of ``class_name`` (plus subclasses by default)."""
+        class_names = (
+            self.schema.subclasses(class_name) if include_subclasses else [class_name]
+        )
+        objects: List[DBObject] = []
+        for cname in class_names:
+            for oid in sorted(self._store.extent(cname)):
+                objects.append(DBObject(self, oid, cname))
+        return objects
+
+    def iter_objects(self) -> Iterator[DBObject]:
+        """Iterate over every live object."""
+        for oid in self._store.all_oids():
+            yield DBObject(self, oid, self._store.class_of(oid))
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, class_name: str, attribute: str, kind: str = "btree") -> AttributeIndex:
+        """Create an index over ``class_name`` (incl. subclasses) and backfill it."""
+        index = self.indexes.create(class_name, attribute, kind)
+        for obj in self.instances_of(class_name):
+            value = self._store.read(obj.oid, attribute)
+            if value is not None:
+                index.insert(value, obj.oid)
+        return index
+
+    def _indexes_covering(self, class_name: str, attr: str) -> List[AttributeIndex]:
+        """Indexes whose class is ``class_name`` or an ancestor of it."""
+        return [
+            index
+            for cdef in self.schema.ancestry(class_name)
+            for index in [self.indexes.find(cdef.name, attr)]
+            if index is not None
+        ]
+
+    def _reindex_attribute(
+        self, oid: OID, class_name: str, attr: str, old_value: Any, new_value: Any
+    ) -> None:
+        for index in self._indexes_covering(class_name, attr):
+            if old_value is not None:
+                index.remove(old_value, oid)
+            if new_value is not None:
+                index.insert(new_value, oid)
+
+    def _index_object(self, oid: OID, class_name: str, attributes: Dict[str, Any]) -> None:
+        for attr, value in attributes.items():
+            for index in self._indexes_covering(class_name, attr):
+                index.insert(value, oid)
+
+    def _unindex_object(self, oid: OID, class_name: str, attributes: Dict[str, Any]) -> None:
+        for attr, value in attributes.items():
+            for index in self._indexes_covering(class_name, attr):
+                index.remove(value, oid)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> List[tuple]:
+        """Run an ``ACCESS ... FROM ... WHERE ...`` query; returns result rows.
+
+        ``bindings`` supplies values for ``$name`` parameters in the query.
+        """
+        from repro.oodb.query.evaluator import QueryEvaluator
+
+        return QueryEvaluator(self).run(text, bindings or {})
+
+    def explain(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Return the optimizer's plan description without executing."""
+        from repro.oodb.query.evaluator import QueryEvaluator
+
+        return QueryEvaluator(self).explain(text, bindings or {})
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a snapshot and truncate the WAL (durable mode only)."""
+        if self._directory is None:
+            return
+        snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+        self._store.snapshot(
+            snapshot_path, self._allocator.high_water_mark, self._schema_payload()
+        )
+        self._wal.append(wal_records.CHECKPOINT, 0)
+        self._wal.truncate()
+
+    def _schema_payload(self) -> List[Dict[str, Any]]:
+        """Class structure + index catalog for the snapshot.
+
+        Method implementations are code and are not persisted; indexes are
+        recorded structurally and rebuilt (backfilled) at recovery.
+        """
+        payload = [
+            {
+                "name": cdef.name,
+                "superclass": cdef.superclass,
+                "attributes": {a.name: a.type_name for a in cdef.attributes.values()},
+            }
+            for cdef in (self.schema.get_class(n) for n in self.schema.class_names())
+        ]
+        payload.append(
+            {
+                "__indexes__": [
+                    {
+                        "class": index.class_name,
+                        "attribute": index.attribute,
+                        "kind": index.kind,
+                    }
+                    for index in self.indexes.all_indexes()
+                ]
+            }
+        )
+        return payload
+
+    def _restore_schema(self, payload: List[Dict[str, Any]]) -> None:
+        """Re-create classes and remember index definitions for rebuild."""
+        self._pending_index_rebuild: List[Dict[str, str]] = []
+        for entry in payload:
+            if "__indexes__" in entry:
+                self._pending_index_rebuild = list(entry["__indexes__"])
+                continue
+            if not self.schema.has_class(entry["name"]):
+                self.schema.define_class(
+                    entry["name"], entry.get("superclass"), entry.get("attributes") or {}
+                )
+
+    def _rebuild_indexes(self) -> None:
+        """Re-create and backfill indexes recorded in the snapshot.
+
+        Runs after WAL replay so the backfill sees the fully recovered
+        object table.
+        """
+        for entry in getattr(self, "_pending_index_rebuild", []):
+            if self.schema.has_class(entry["class"]):
+                self.create_index(entry["class"], entry["attribute"], entry["kind"])
+        self._pending_index_rebuild = []
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release file handles."""
+        if self._closed:
+            return
+        self.checkpoint()
+        self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _replay_wal(self) -> None:
+        """Redo committed WAL records on top of the loaded snapshot."""
+        committed = self._wal.committed_transactions()
+        max_oid = 0
+        for record in self._wal.records():
+            if record.txn_id not in committed:
+                continue
+            payload = record.payload
+            if record.kind == wal_records.CREATE:
+                oid = OID(payload["oid"])
+                max_oid = max(max_oid, oid.value)
+                if not self._store.exists(oid):
+                    self._store.create(oid, payload["class"])
+            elif record.kind == wal_records.WRITE:
+                oid = OID(payload["oid"])
+                if self._store.exists(oid):
+                    self._store.write(oid, payload["attr"], decode_value(payload["value"]))
+            elif record.kind == wal_records.DELETE:
+                oid = OID(payload["oid"])
+                if self._store.exists(oid):
+                    self._store.delete(oid)
+        self._allocator.advance_to(max_oid + 1)
+
+    # ------------------------------------------------------------------
+    # Schema convenience
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        superclass: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+        methods: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> ClassDefinition:
+        """Define a class, optionally with attributes and methods in one call."""
+        cdef = self.schema.define_class(name, superclass, attributes)
+        for mname, impl in (methods or {}).items():
+            cdef.add_method(mname, impl)
+        return cdef

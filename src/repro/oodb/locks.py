@@ -1,0 +1,153 @@
+"""Lock manager: shared/exclusive locks with strict two-phase locking.
+
+Transactions acquire S locks for reads and X locks for writes on object OIDs
+(and on whole-class extents for scans).  Locks are held until commit/abort
+(strict 2PL), which gives serializability — one of the "full DBMS
+functionality" requirements (Section 1.2, property 2).
+
+Deadlocks are detected eagerly on a waits-for graph; the requesting
+transaction is chosen as victim and receives :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, Optional, Set
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(Enum):
+    """Lock modes.  X conflicts with everything; S conflicts with X."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _LockEntry:
+    """State of one lockable resource."""
+
+    holders: Dict[int, LockMode] = field(default_factory=dict)
+    condition: threading.Condition = field(default_factory=threading.Condition)
+
+
+class LockManager:
+    """Grants S/X locks on hashable resource ids to transaction ids.
+
+    The manager is re-entrant per transaction: re-requesting a held lock is a
+    no-op, and a lone S holder may upgrade to X.
+    """
+
+    def __init__(self, timeout: float = 5.0) -> None:
+        self._timeout = timeout
+        self._entries: Dict[Hashable, _LockEntry] = {}
+        self._waits_for: Dict[int, Set[int]] = defaultdict(set)
+        self._held_by_txn: Dict[int, Set[Hashable]] = defaultdict(set)
+        self._mutex = threading.Lock()
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> None:
+        """Grant ``mode`` on ``resource`` to ``txn_id``, blocking if needed.
+
+        Raises :class:`DeadlockError` when waiting would close a cycle in the
+        waits-for graph, :class:`LockTimeoutError` on timeout.
+        """
+        with self._mutex:
+            entry = self._entries.setdefault(resource, _LockEntry())
+        with entry.condition:
+            while True:
+                blockers = self._blockers(entry, txn_id, mode)
+                if not blockers:
+                    entry.holders[txn_id] = self._merged_mode(entry, txn_id, mode)
+                    with self._mutex:
+                        self._held_by_txn[txn_id].add(resource)
+                        self._waits_for.pop(txn_id, None)
+                    return
+                with self._mutex:
+                    self._waits_for[txn_id] = blockers
+                    if self._would_deadlock(txn_id):
+                        self._waits_for.pop(txn_id, None)
+                        raise DeadlockError(
+                            f"transaction {txn_id} deadlocked requesting "
+                            f"{mode.value} on {resource!r}"
+                        )
+                if not entry.condition.wait(timeout=self._timeout):
+                    with self._mutex:
+                        self._waits_for.pop(txn_id, None)
+                    raise LockTimeoutError(
+                        f"transaction {txn_id} timed out requesting "
+                        f"{mode.value} on {resource!r}"
+                    )
+
+    @staticmethod
+    def _blockers(entry: _LockEntry, txn_id: int, mode: LockMode) -> Set[int]:
+        """Other transactions whose held locks conflict with the request."""
+        return {
+            holder
+            for holder, held_mode in entry.holders.items()
+            if holder != txn_id and not _compatible(held_mode, mode)
+        }
+
+    @staticmethod
+    def _merged_mode(entry: _LockEntry, txn_id: int, mode: LockMode) -> LockMode:
+        held = entry.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or mode is LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+    def _would_deadlock(self, start: int) -> bool:
+        """DFS over the waits-for graph looking for a cycle through ``start``."""
+        stack = list(self._waits_for.get(start, ()))
+        seen = set()
+        while stack:
+            txn = stack.pop()
+            if txn == start:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            stack.extend(self._waits_for.get(txn, ()))
+        return False
+
+    # -- release -------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (commit/abort time)."""
+        with self._mutex:
+            resources = self._held_by_txn.pop(txn_id, set())
+            self._waits_for.pop(txn_id, None)
+        for resource in resources:
+            entry = self._entries.get(resource)
+            if entry is None:
+                continue
+            with entry.condition:
+                entry.holders.pop(txn_id, None)
+                entry.condition.notify_all()
+
+    # -- introspection ----------------------------------------------------------
+
+    def holds(self, txn_id: int, resource: Hashable, mode: Optional[LockMode] = None) -> bool:
+        """Return True when ``txn_id`` holds a (compatible) lock on ``resource``."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return False
+        held = entry.holders.get(txn_id)
+        if held is None:
+            return False
+        if mode is None:
+            return True
+        return held is LockMode.EXCLUSIVE or held is mode
+
+    def held_resources(self, txn_id: int) -> Set[Hashable]:
+        """Resources currently locked by ``txn_id``."""
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, ()))

@@ -1,0 +1,21 @@
+"""The VQL-like declarative query language of the OODBMS.
+
+The syntax follows the VODAK examples printed in the paper (Section 4.4):
+
+.. code-block:: text
+
+    ACCESS p, p -> length() FROM p IN PARA
+    WHERE p -> getIRSValue(collPara, 'WWW') > 0.6;
+
+``ACCESS`` projects expressions, ``FROM var IN Class`` ranges a variable
+over a class extent (subclasses included), and ``WHERE`` filters with
+boolean combinations of comparisons.  ``obj -> method(args)`` invokes a
+database method; ``obj.attr`` reads an attribute; ``$name`` references a
+parameter binding supplied at execution time.  ``ORDER BY`` and ``LIMIT``
+are small extensions used by the examples.
+"""
+
+from repro.oodb.query.parser import parse_query
+from repro.oodb.query.evaluator import QueryEvaluator
+
+__all__ = ["parse_query", "QueryEvaluator"]

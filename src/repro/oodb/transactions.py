@@ -1,0 +1,106 @@
+"""Transactions: atomicity and isolation on top of WAL + lock manager.
+
+A :class:`Transaction` records an undo log (before-images kept in memory)
+and writes a redo log to the WAL.  Rollback applies the undo log in reverse;
+commit appends a COMMIT record (forcing the log) and releases all locks.
+
+The database offers both explicit transactions (``db.begin()`` /
+``txn.commit()``) and autocommit: operations outside an explicit transaction
+run in a short implicit one.  This keeps application code — and the paper's
+coupling methods — free of boilerplate while preserving recoverability.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, List, Tuple
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.oodb.database import Database
+
+
+class TransactionState(Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+_txn_counter = itertools.count(1)
+_counter_lock = threading.Lock()
+
+
+def _next_txn_id() -> int:
+    with _counter_lock:
+        return next(_txn_counter)
+
+
+class Transaction:
+    """One unit of work.  Usable as a context manager:
+
+    >>> with db.begin() as txn:          # doctest: +SKIP
+    ...     obj.set("YEAR", "1994")
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self.txn_id = _next_txn_id()
+        self.state = TransactionState.ACTIVE
+        self._undo: List[Tuple[Callable[..., None], Tuple[Any, ...]]] = []
+
+    # -- undo log -------------------------------------------------------------
+
+    def record_undo(self, action: Callable[..., None], *args: Any) -> None:
+        """Register an inverse action to run on rollback."""
+        self._ensure_active()
+        self._undo.append((action, args))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def commit(self) -> None:
+        """Make all work durable and release locks."""
+        self._ensure_active()
+        self.state = TransactionState.COMMITTED
+        self._undo.clear()
+        self._db._finish_transaction(self, committed=True)
+
+    def rollback(self) -> None:
+        """Undo all work and release locks."""
+        self._ensure_active()
+        for action, args in reversed(self._undo):
+            action(*args)
+        self._undo.clear()
+        self.state = TransactionState.ABORTED
+        self._db._finish_transaction(self, committed=False)
+
+    @property
+    def is_active(self) -> bool:
+        """True until commit or rollback."""
+        return self.state is TransactionState.ACTIVE
+
+    # -- context manager ----------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if not self.is_active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def __repr__(self) -> str:
+        return f"<Transaction {self.txn_id} {self.state.value}>"

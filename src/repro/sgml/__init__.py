@@ -1,0 +1,16 @@
+"""``repro.sgml`` — the structured-document substrate.
+
+A small SGML toolchain sufficient for the paper's document handling:
+DTD parsing (element declarations with full content models, attribute
+lists), document parsing into an element tree, content-model validation,
+and the loader that fragments documents into the OODBMS "in accordance
+with their logical structure, i.e., for each element ... there essentially
+is a corresponding database object" (Section 4.1).
+"""
+
+from repro.sgml.document import Element, Text
+from repro.sgml.dtd import DTD, parse_dtd
+from repro.sgml.parser import parse_document
+from repro.sgml.loader import SGMLLoader
+
+__all__ = ["Element", "Text", "DTD", "parse_dtd", "parse_document", "SGMLLoader"]

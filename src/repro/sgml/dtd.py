@@ -1,0 +1,269 @@
+"""Document type definitions.
+
+Parses the subset of SGML DTD syntax the MMF application needs:
+
+.. code-block:: text
+
+    <!ELEMENT MMFDOC - - (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+    <!ELEMENT PARA - - (#PCDATA)>
+    <!ATTLIST MMFDOC YEAR CDATA #IMPLIED
+                     TYPE (report | article) "article">
+
+Tag-minimization indicators (``- -``, ``- O`` …) are accepted and recorded
+but not acted upon — our documents are fully tagged.  "An important feature
+of our database application is the possibility to manage documents of
+arbitrary types, i.e., not to be restricted to a rigid set of SGML DTDs"
+(Section 4.1): any DTD parseable here can be registered with the loader.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DTDSyntaxError, ValidationError
+from repro.sgml.content_model import ContentModel
+from repro.sgml.document import Element, Text
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute declaration from an ATTLIST."""
+
+    name: str
+    decl_type: str                  # "CDATA", "NUMBER", "ID", or "(a|b|c)" enumeration
+    default: Optional[str]          # literal default, or None
+    required: bool = False          # #REQUIRED
+    allowed_values: Optional[tuple] = None  # for enumerations
+
+
+@dataclass
+class ElementDecl:
+    """One element type declaration."""
+
+    name: str
+    content_model: ContentModel
+    minimization: str = "- -"
+    attributes: Dict[str, AttributeDecl] = field(default_factory=dict)
+
+
+class DTD:
+    """A parsed document type definition."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.elements: Dict[str, ElementDecl] = {}
+        #: General entities declared with ``<!ENTITY name "text">``.
+        self.entities: Dict[str, str] = {}
+
+    def element(self, tag: str) -> ElementDecl:
+        """The declaration of ``tag`` (must exist)."""
+        try:
+            return self.elements[tag.upper()]
+        except KeyError:
+            raise DTDSyntaxError(f"element type {tag!r} not declared in DTD") from None
+
+    def element_names(self) -> List[str]:
+        """All declared element type names, in declaration order."""
+        return list(self.elements)
+
+    def has_element(self, tag: str) -> bool:
+        """True when ``tag`` is declared."""
+        return tag.upper() in self.elements
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, root: Element) -> None:
+        """Validate an element tree; raises :class:`ValidationError`."""
+        errors = self.validation_errors(root)
+        if errors:
+            raise ValidationError("; ".join(errors))
+
+    def validation_errors(self, root: Element) -> List[str]:
+        """All conformance violations of the tree (empty list == valid)."""
+        errors: List[str] = []
+        for element in root.iter():
+            if not self.has_element(element.tag):
+                errors.append(f"undeclared element type {element.tag}")
+                continue
+            decl = self.element(element.tag)
+            child_tags = [c.tag for c in element.child_elements()]
+            has_text = any(
+                isinstance(c, Text) and c.value.strip() for c in element.children
+            )
+            message = decl.content_model.validate(child_tags, has_text)
+            if message is not None:
+                errors.append(f"{element.tag}: {message}")
+            errors.extend(self._attribute_errors(element, decl))
+        return errors
+
+    @staticmethod
+    def _attribute_errors(element: Element, decl: ElementDecl) -> List[str]:
+        errors = []
+        for attr_name, attr_decl in decl.attributes.items():
+            value = element.attributes.get(attr_name)
+            if value is None:
+                if attr_decl.required:
+                    errors.append(
+                        f"{element.tag}: missing required attribute {attr_name}"
+                    )
+                continue
+            if attr_decl.allowed_values is not None and value not in attr_decl.allowed_values:
+                errors.append(
+                    f"{element.tag}: attribute {attr_name}={value!r} not in "
+                    f"{attr_decl.allowed_values}"
+                )
+            if attr_decl.decl_type == "NUMBER" and not value.isdigit():
+                errors.append(
+                    f"{element.tag}: attribute {attr_name}={value!r} is not a NUMBER"
+                )
+        return errors
+
+    def apply_defaults(self, root: Element) -> None:
+        """Fill in declared attribute defaults on every element of the tree."""
+        for element in root.iter():
+            if not self.has_element(element.tag):
+                continue
+            for attr_name, attr_decl in self.element(element.tag).attributes.items():
+                if attr_decl.default is not None and attr_name not in element.attributes:
+                    element.attributes[attr_name] = attr_decl.default
+
+
+_DECL_PATTERN = re.compile(r"<!(\w+)\s+(.*?)>", re.DOTALL)
+_COMMENT_PATTERN = re.compile(r"<!--.*?-->", re.DOTALL)
+
+
+def parse_dtd(text: str, name: str = "") -> DTD:
+    """Parse DTD ``text`` into a :class:`DTD`."""
+    dtd = DTD(name)
+    stripped = _COMMENT_PATTERN.sub(" ", text)
+    consumed_spans = []
+    for match in _DECL_PATTERN.finditer(stripped):
+        keyword = match.group(1).upper()
+        body = match.group(2).strip()
+        consumed_spans.append(match.span())
+        if keyword == "ELEMENT":
+            _parse_element_decl(dtd, body)
+        elif keyword == "ATTLIST":
+            _parse_attlist_decl(dtd, body)
+        elif keyword == "ENTITY":
+            _parse_entity_decl(dtd, body)
+        elif keyword == "DOCTYPE":
+            continue  # tolerated wrapper
+        else:
+            raise DTDSyntaxError(f"unsupported declaration <!{keyword} ...>")
+    leftover = stripped
+    for start, end in reversed(consumed_spans):
+        leftover = leftover[:start] + leftover[end:]
+    if leftover.strip():
+        raise DTDSyntaxError(f"unparseable DTD content: {leftover.strip()[:60]!r}")
+    return dtd
+
+
+def _parse_element_decl(dtd: DTD, body: str) -> None:
+    # NAME [minimization] (content-model) | EMPTY | ANY
+    match = re.match(r"(\S+)\s+((?:[-O]\s+[-O]\s+)?)(.*)$", body, re.DOTALL)
+    if match is None:
+        raise DTDSyntaxError(f"malformed ELEMENT declaration: {body!r}")
+    tag = match.group(1).upper()
+    minimization = " ".join(match.group(2).split()) or "- -"
+    model_source = match.group(3).strip()
+    if not model_source:
+        raise DTDSyntaxError(f"ELEMENT {tag}: missing content model")
+    if tag in dtd.elements:
+        raise DTDSyntaxError(f"element type {tag} declared twice")
+    dtd.elements[tag] = ElementDecl(tag, ContentModel(model_source), minimization)
+
+
+def _parse_entity_decl(dtd: DTD, body: str) -> None:
+    """``<!ENTITY name "replacement text">`` — general entities only."""
+    match = re.match(r"(\S+)\s+(['\"])(.*)\2\s*$", body, re.DOTALL)
+    if match is None:
+        raise DTDSyntaxError(f"malformed ENTITY declaration: {body!r}")
+    name = match.group(1)
+    if name.startswith("%"):
+        raise DTDSyntaxError("parameter entities are not supported")
+    if name in dtd.entities:
+        raise DTDSyntaxError(f"entity {name!r} declared twice")
+    dtd.entities[name] = match.group(3)
+
+
+def _parse_attlist_decl(dtd: DTD, body: str) -> None:
+    tokens = _tokenize_attlist(body)
+    if len(tokens) < 4:
+        raise DTDSyntaxError(
+            "ATTLIST needs an element name and at least one name/type/default triple"
+        )
+    tag = tokens[0].upper()
+    if tag not in dtd.elements:
+        raise DTDSyntaxError(f"ATTLIST for undeclared element {tag}")
+    decl = dtd.elements[tag]
+    i = 1
+    while i < len(tokens):
+        if i + 2 > len(tokens):
+            raise DTDSyntaxError(f"truncated ATTLIST for {tag}")
+        attr_name = tokens[i].upper()
+        decl_type = tokens[i + 1]
+        allowed = None
+        if decl_type.startswith("("):
+            allowed = tuple(v.strip().lower() for v in decl_type[1:-1].split("|"))
+            decl_type = decl_type
+        else:
+            decl_type = decl_type.upper()
+        if i + 2 >= len(tokens):
+            raise DTDSyntaxError(f"attribute {attr_name} of {tag} lacks a default")
+        default_token = tokens[i + 2]
+        required = False
+        default: Optional[str] = None
+        if default_token.upper() == "#REQUIRED":
+            required = True
+        elif default_token.upper() in ("#IMPLIED", "#CURRENT", "#CONREF"):
+            default = None
+        elif default_token.upper() == "#FIXED":
+            i += 1
+            if i + 2 >= len(tokens):
+                raise DTDSyntaxError(f"#FIXED attribute {attr_name} lacks its value")
+            default = _unquote(tokens[i + 2])
+        else:
+            default = _unquote(default_token)
+        decl.attributes[attr_name] = AttributeDecl(
+            attr_name, decl_type, default, required, allowed
+        )
+        i += 3
+
+
+def _tokenize_attlist(body: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(body)
+    while i < n:
+        ch = body[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            j = body.find(ch, i + 1)
+            if j < 0:
+                raise DTDSyntaxError(f"unterminated string in ATTLIST: {body[i:i+30]!r}")
+            tokens.append(body[i : j + 1])
+            i = j + 1
+            continue
+        if ch == "(":
+            j = body.find(")", i)
+            if j < 0:
+                raise DTDSyntaxError(f"unterminated group in ATTLIST: {body[i:i+30]!r}")
+            tokens.append(body[i : j + 1])
+            i = j + 1
+            continue
+        j = i
+        while j < n and not body[j].isspace():
+            j += 1
+        tokens.append(body[i:j])
+        i = j
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return token[1:-1]
+    return token

@@ -1,0 +1,351 @@
+"""Fragmenting SGML documents into the OODBMS.
+
+Section 4.1: "In the database, documents are fragmented in accordance with
+their logical structure, i.e., for each element (e.g. section, paragraph,
+footnote) in a particular SGML document there essentially is a corresponding
+database object. ... So-called element-type classes corresponding to the
+element-type definitions from the DTDs contain elements of that particular
+type."
+
+:class:`SGMLLoader` realizes that: registering a DTD defines one database
+class per element type (all subclasses of the structural base class
+``Element``), and loading a document creates one object per element, wired
+with parent/children references and document order.  The navigation methods
+installed on ``Element`` (``getNext``, ``getContaining``,
+``getAttributeValue``, ``getTextContent`` ...) are exactly those the paper's
+sample queries use (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+from repro.sgml.document import Element as TreeElement
+from repro.sgml.dtd import DTD
+
+#: The structural base class every element-type class inherits from.
+ELEMENT_CLASS = "Element"
+
+
+# --------------------------------------------------------------------------
+# Navigation methods installed on the Element class
+# --------------------------------------------------------------------------
+
+def _get_attribute_value(obj: DBObject, name: str) -> Optional[str]:
+    """SGML attribute lookup (``d -> getAttributeValue('YEAR')``)."""
+    attributes = obj.get("sgml_attributes") or {}
+    return attributes.get(name.upper())
+
+
+def _get_tag(obj: DBObject) -> str:
+    return obj.get("tag")
+
+
+def _get_parent(obj: DBObject) -> Optional[DBObject]:
+    parent = obj.get("parent")
+    if isinstance(parent, OID) and obj.database.object_exists(parent):
+        return obj.database.get_object(parent)
+    return None
+
+
+def _get_children(obj: DBObject) -> List[DBObject]:
+    return [
+        obj.database.get_object(child)
+        for child in (obj.get("children") or [])
+        if obj.database.object_exists(child)
+    ]
+
+
+def _get_next(obj: DBObject) -> Optional[DBObject]:
+    """The next sibling element (``p1 -> getNext() == p2``)."""
+    parent = _get_parent(obj)
+    if parent is None:
+        return None
+    siblings = parent.get("children") or []
+    try:
+        index = siblings.index(obj.oid)
+    except ValueError:
+        return None
+    if index + 1 < len(siblings):
+        return obj.database.get_object(siblings[index + 1])
+    return None
+
+
+def _get_prev(obj: DBObject) -> Optional[DBObject]:
+    """The previous sibling element."""
+    parent = _get_parent(obj)
+    if parent is None:
+        return None
+    siblings = parent.get("children") or []
+    try:
+        index = siblings.index(obj.oid)
+    except ValueError:
+        return None
+    if index > 0:
+        return obj.database.get_object(siblings[index - 1])
+    return None
+
+
+def _get_containing(obj: DBObject, class_name: str) -> Optional[DBObject]:
+    """Nearest ancestor of ``class_name`` (``p1 -> getContaining('MMFDOC')``)."""
+    node = _get_parent(obj)
+    while node is not None:
+        if node.isa(class_name):
+            return node
+        node = _get_parent(node)
+    return None
+
+
+def _get_root(obj: DBObject) -> DBObject:
+    node = obj
+    while True:
+        parent = _get_parent(node)
+        if parent is None:
+            return node
+        node = parent
+
+
+def _get_text_content(obj: DBObject) -> str:
+    """The subtree's text: own content first, then children in order."""
+    parts: List[str] = []
+    own = obj.get("content")
+    if own:
+        parts.append(own)
+    for child in _get_children(obj):
+        child_text = _get_text_content(child)
+        if child_text:
+            parts.append(child_text)
+    return " ".join(parts)
+
+
+def _length(obj: DBObject) -> int:
+    """Character length of the subtree text (``p -> length()``)."""
+    return len(_get_text_content(obj))
+
+
+def _get_descendants(obj: DBObject, class_name: Optional[str] = None) -> List[DBObject]:
+    """All descendants (not self), optionally filtered by class."""
+    result: List[DBObject] = []
+    for child in _get_children(obj):
+        if class_name is None or child.isa(class_name):
+            result.append(child)
+        result.extend(_get_descendants(child, class_name))
+    return result
+
+
+def _is_leaf(obj: DBObject) -> bool:
+    return not (obj.get("children") or [])
+
+
+ELEMENT_METHODS = {
+    "getAttributeValue": _get_attribute_value,
+    "getTag": _get_tag,
+    "getParent": _get_parent,
+    "getChildren": _get_children,
+    "getNext": _get_next,
+    "getPrev": _get_prev,
+    "getContaining": _get_containing,
+    "getRoot": _get_root,
+    "getTextContent": _get_text_content,
+    "getDescendants": _get_descendants,
+    "isLeaf": _is_leaf,
+    "length": _length,
+}
+
+
+class SGMLLoader:
+    """Registers DTDs as class hierarchies and fragments documents.
+
+    Parameters
+    ----------
+    db:
+        The target database.
+    base_class:
+        An existing class the structural ``Element`` class should inherit
+        from.  The coupling passes ``"IRSObject"`` here, making every
+        document element an IRSObject as Section 4.2 requires.
+    """
+
+    def __init__(self, db: Database, base_class: Optional[str] = None) -> None:
+        self._db = db
+        self._base_class = base_class
+        #: class name -> SGML attribute names promoted to DB attributes.
+        self._promotions: dict = {}
+        self._ensure_element_class()
+
+    def _ensure_element_class(self) -> None:
+        if self._db.schema.has_class(ELEMENT_CLASS):
+            # Structure may have been recovered from a snapshot; methods are
+            # code and must be (re-)attached either way.
+            cdef = self._db.schema.get_class(ELEMENT_CLASS)
+        else:
+            cdef = self._db.define_class(
+                ELEMENT_CLASS,
+                superclass=self._base_class,
+                attributes={
+                    "tag": "STRING",
+                    "parent": "OID",
+                    "children": "LIST",
+                    "content": "STRING",
+                    "sgml_attributes": "DICT",
+                    "doc_order": "INT",
+                },
+            )
+        for name, impl in ELEMENT_METHODS.items():
+            cdef.add_method(name, impl)
+
+    # -- DTD registration -----------------------------------------------------
+
+    def register_dtd(self, dtd: DTD) -> List[str]:
+        """Define an element-type class per element declaration.
+
+        Returns the list of newly defined class names.  Classes already
+        defined (e.g. by another DTD sharing element names) are left alone —
+        the paper's framework likewise manages "documents of arbitrary
+        types" over one class pool.
+        """
+        created = []
+        for tag in dtd.element_names():
+            if not self._db.schema.has_class(tag):
+                self._db.define_class(tag, superclass=ELEMENT_CLASS)
+                created.append(tag)
+        return created
+
+    def ensure_element_type(self, tag: str) -> None:
+        """Define a single element-type class on demand."""
+        if not self._db.schema.has_class(tag.upper()):
+            self._db.define_class(tag.upper(), superclass=ELEMENT_CLASS)
+
+    # -- physical design -------------------------------------------------------
+
+    def promote_attribute(
+        self, class_name: str, attribute: str, index_kind: str = "hash"
+    ):
+        """Promote an SGML attribute to an indexed database attribute.
+
+        The paper's requirement (4): logical integration "must not sacrifice
+        an efficient implementation ... the system must exploit the
+        particular semantics of the data model and access operations for
+        improved processing."  SGML attributes normally live inside the
+        ``sgml_attributes`` dictionary, invisible to attribute indexes;
+        promotion copies the value into a first-class attribute named like
+        the SGML attribute, backfills existing instances, creates an index,
+        and keeps future loads in sync — so
+        ``d -> getAttributeValue('YEAR') = '1994'`` becomes an index probe
+        (the optimizer recognizes the ``getAttributeValue`` shape).
+
+        Returns the created index.
+        """
+        class_name = class_name.upper()
+        attribute = attribute.upper()
+        self.ensure_element_type(class_name)
+        cdef = self._db.schema.get_class(class_name)
+        if attribute not in cdef.attributes:
+            cdef.add_attribute(attribute, "STRING")
+        self._promotions.setdefault(class_name, set()).add(attribute)
+        for obj in self._db.instances_of(class_name):
+            value = (obj.get("sgml_attributes") or {}).get(attribute)
+            if value is not None and obj.get(attribute) != value:
+                obj.set(attribute, value)
+        return self._db.create_index(class_name, attribute, kind=index_kind)
+
+    def _apply_promotions(self, obj: DBObject) -> None:
+        attributes = obj.get("sgml_attributes") or {}
+        for class_name, promoted in self._promotions.items():
+            if not obj.isa(class_name):
+                continue
+            for attribute in promoted:
+                value = attributes.get(attribute)
+                if value is not None:
+                    obj.set(attribute, value)
+
+    def set_sgml_attribute(self, element: DBObject, name: str, value: str) -> None:
+        """Update an SGML attribute, keeping any promoted copy in sync."""
+        name = name.upper()
+        attributes = dict(element.get("sgml_attributes") or {})
+        attributes[name] = value
+        element.set("sgml_attributes", attributes)
+        self._apply_promotions(element)
+
+    # -- document loading ---------------------------------------------------------
+
+    def load_document(self, root: TreeElement) -> DBObject:
+        """Create one database object per element of the tree; returns the root."""
+        counter = [0]
+        return self._load_element(root, None, counter)
+
+    def _load_element(
+        self, node: TreeElement, parent: Optional[DBObject], counter: List[int]
+    ) -> DBObject:
+        self.ensure_element_type(node.tag)
+        obj = self._db.create_object(
+            node.tag,
+            tag=node.tag,
+            content=node.own_text(),
+            sgml_attributes=dict(node.attributes),
+            doc_order=counter[0],
+        )
+        counter[0] += 1
+        if parent is not None:
+            obj.set("parent", parent.oid)
+        child_oids = []
+        for child in node.child_elements():
+            child_obj = self._load_element(child, obj, counter)
+            child_oids.append(child_obj.oid)
+        obj.set("children", child_oids)
+        self._apply_promotions(obj)
+        return obj
+
+    def delete_document(self, root: DBObject) -> int:
+        """Delete a document subtree; returns the number of objects removed."""
+        removed = 0
+        for child in list(_get_children(root)):
+            removed += self.delete_document(child)
+        parent = _get_parent(root)
+        if parent is not None:
+            siblings = list(parent.get("children") or [])
+            if root.oid in siblings:
+                siblings.remove(root.oid)
+                parent.set("children", siblings)
+        self._db.delete_object(root)
+        return removed + 1
+
+    # -- element-level editing (drives the update-propagation experiments) -------
+
+    def insert_element(
+        self,
+        parent: DBObject,
+        tag: str,
+        content: str = "",
+        position: Optional[int] = None,
+        attributes: Optional[dict] = None,
+    ) -> DBObject:
+        """Create a new element object under ``parent``."""
+        self.ensure_element_type(tag)
+        obj = self._db.create_object(
+            tag.upper(),
+            tag=tag.upper(),
+            content=content,
+            sgml_attributes=dict(attributes or {}),
+            doc_order=0,
+            parent=parent.oid,
+        )
+        children = list(parent.get("children") or [])
+        if position is None:
+            children.append(obj.oid)
+        else:
+            children.insert(position, obj.oid)
+        parent.set("children", children)
+        self._apply_promotions(obj)
+        return obj
+
+    def update_content(self, element: DBObject, content: str) -> None:
+        """Replace an element's direct text content."""
+        element.set("content", content)
+
+    def remove_element(self, element: DBObject) -> int:
+        """Delete one element and its subtree; returns objects removed."""
+        return self.delete_document(element)

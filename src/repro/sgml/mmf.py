@@ -1,0 +1,92 @@
+"""The MultiMedia Forum (MMF) document type.
+
+The paper's running application is the MMF, "an interactive online journal
+developed at GMD-IPSI" whose documents are "SGML documents conformant to a
+proprietary document type definition" (Section 1).  The original DTD is not
+public; this one is reconstructed from the fragment printed in Section 4.3
+(``MMFDOC`` containing ``LOGBOOK``, ``DOCTITLE``, ``ABSTRACT`` and ``PARA``
+elements) and extended with ``SECTION``/``SECTITLE`` and media/link elements
+so the hierarchy and hypermedia experiments have something to climb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sgml.document import Element
+from repro.sgml.dtd import DTD, parse_dtd
+
+#: The MMF document type definition.
+MMF_DTD_TEXT = """
+<!ELEMENT MMFDOC   - - (LOGBOOK, DOCTITLE, ABSTRACT?, (PARA | SECTION | FIGURE)*)>
+<!ELEMENT LOGBOOK  - - (#PCDATA)>
+<!ELEMENT DOCTITLE - - (#PCDATA)>
+<!ELEMENT ABSTRACT - - (#PCDATA)>
+<!ELEMENT SECTION  - - (SECTITLE, (PARA | FIGURE)+)>
+<!ELEMENT SECTITLE - - (#PCDATA)>
+<!ELEMENT PARA     - - (#PCDATA)>
+<!ELEMENT FIGURE   - - (CAPTION)>
+<!ELEMENT CAPTION  - - (#PCDATA)>
+<!ATTLIST MMFDOC   YEAR   CDATA #IMPLIED
+                   TITLE  CDATA #IMPLIED
+                   AUTHOR CDATA #IMPLIED
+                   TYPE   (article | report | editorial) "article">
+<!ATTLIST FIGURE   SRC    CDATA #IMPLIED>
+<!ATTLIST PARA     ID       CDATA #IMPLIED
+                   LINKEND  CDATA #IMPLIED
+                   LINKTYPE CDATA #IMPLIED>
+"""
+
+
+def mmf_dtd() -> DTD:
+    """The parsed MMF DTD (fresh instance)."""
+    return parse_dtd(MMF_DTD_TEXT, name="MMF")
+
+
+def build_document(
+    title: str,
+    paragraphs: Sequence[str],
+    year: str = "1994",
+    author: str = "",
+    abstract: str = "",
+    logbook: str = "created by corpus generator",
+    doc_type: str = "article",
+    sections: Optional[List[Dict]] = None,
+    figures: Optional[List[str]] = None,
+) -> Element:
+    """Assemble a valid MMFDOC element tree.
+
+    ``sections`` entries are dicts with keys ``title`` and ``paragraphs``;
+    ``figures`` entries are caption strings.
+    """
+    attributes = {"TITLE": title, "YEAR": year, "TYPE": doc_type}
+    if author:
+        attributes["AUTHOR"] = author
+    doc = Element("MMFDOC", attributes)
+    doc.append_element("LOGBOOK").append_text(logbook)
+    doc.append_element("DOCTITLE").append_text(title)
+    if abstract:
+        doc.append_element("ABSTRACT").append_text(abstract)
+    for text in paragraphs:
+        doc.append_element("PARA").append_text(text)
+    for section in sections or []:
+        section_el = doc.append_element("SECTION")
+        section_el.append_element("SECTITLE").append_text(section["title"])
+        for text in section["paragraphs"]:
+            section_el.append_element("PARA").append_text(text)
+    for caption in figures or []:
+        figure_el = doc.append_element("FIGURE", {"SRC": f"{title[:10]}.img"})
+        figure_el.append_element("CAPTION").append_text(caption)
+    return doc
+
+
+#: The example fragment printed verbatim in Section 4.3 of the paper.
+PAPER_FRAGMENT = """
+<MMFDOC>
+<LOGBOOK>entry</LOGBOOK>
+<DOCTITLE>Telnet</DOCTITLE>
+<ABSTRACT>about telnet</ABSTRACT>
+<PARA>Telnet is a protocol for remote terminal access</PARA>
+<PARA>Telnet enables interactive sessions on remote hosts</PARA>
+</MMFDOC>
+"""

@@ -1,0 +1,222 @@
+"""SGML document parser.
+
+Parses fully tagged SGML instances (start tag, content, end tag) into the
+element tree of :mod:`repro.sgml.document`.  Supported: attributes with
+quoted or unquoted values, comments, the standard character entities, and
+optional validation against a DTD.  Tag omission/minimization is not
+supported — documents produced by the corpus generator and the examples are
+always fully tagged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SGMLSyntaxError
+from repro.sgml.document import Element, Text
+from repro.sgml.dtd import DTD
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_ENTITY_PATTERN = re.compile(r"&(#?\w+);")
+
+
+def _decode_entities(text: str, declared: Optional[Dict[str, str]] = None) -> str:
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name.startswith("#"):
+            try:
+                code = int(name[2:], 16) if name[1:2] in ("x", "X") else int(name[1:])
+                return chr(code)
+            except ValueError:
+                raise SGMLSyntaxError(f"bad numeric entity &{name};") from None
+        if name in _ENTITIES:
+            return _ENTITIES[name]
+        if declared and name in declared:
+            return declared[name]
+        raise SGMLSyntaxError(f"unknown entity &{name};")
+
+    return _ENTITY_PATTERN.sub(replace, text)
+
+
+def encode_entities(text: str) -> str:
+    """Escape markup-significant characters for serialization."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def parse_document(text: str, dtd: Optional[DTD] = None) -> Element:
+    """Parse ``text`` into its root element.
+
+    When ``dtd`` is given, its general entities are resolved, attribute
+    defaults applied, and the document validated (raising
+    :class:`repro.errors.ValidationError`).
+    """
+    parser = _DocumentParser(text, entities=dtd.entities if dtd else None)
+    root = parser.parse()
+    if dtd is not None:
+        dtd.apply_defaults(root)
+        dtd.validate(root)
+    return root
+
+
+class _DocumentParser:
+    def __init__(self, text: str, entities: Optional[Dict[str, str]] = None) -> None:
+        self._text = text
+        self._pos = 0
+        self._entities = entities
+
+    def parse(self) -> Element:
+        self._skip_prolog()
+        root = self._parse_element()
+        rest = self._text[self._pos :].strip()
+        if rest:
+            raise SGMLSyntaxError(f"content after root element: {rest[:40]!r}")
+        return root
+
+    def _skip_prolog(self) -> None:
+        """Skip whitespace, comments and a DOCTYPE line before the root."""
+        while True:
+            while self._pos < len(self._text) and self._text[self._pos].isspace():
+                self._pos += 1
+            if self._text.startswith("<!--", self._pos):
+                end = self._text.find("-->", self._pos)
+                if end < 0:
+                    raise SGMLSyntaxError("unterminated comment")
+                self._pos = end + 3
+                continue
+            if self._text.startswith("<!", self._pos):
+                end = self._text.find(">", self._pos)
+                if end < 0:
+                    raise SGMLSyntaxError("unterminated declaration")
+                self._pos = end + 1
+                continue
+            return
+
+    def _parse_element(self) -> Element:
+        if self._pos >= len(self._text) or self._text[self._pos] != "<":
+            raise SGMLSyntaxError(f"expected start tag at position {self._pos}")
+        tag, attributes, self_closed = self._parse_start_tag()
+        element = Element(tag, attributes)
+        if self_closed:
+            return element
+        while True:
+            if self._pos >= len(self._text):
+                raise SGMLSyntaxError(f"missing end tag for {tag}")
+            if self._text.startswith("<!--", self._pos):
+                end = self._text.find("-->", self._pos)
+                if end < 0:
+                    raise SGMLSyntaxError("unterminated comment")
+                self._pos = end + 3
+                continue
+            if self._text.startswith("</", self._pos):
+                end_tag = self._parse_end_tag()
+                if end_tag != element.tag:
+                    raise SGMLSyntaxError(
+                        f"mismatched end tag </{end_tag}> for <{element.tag}>"
+                    )
+                return element
+            if self._text[self._pos] == "<":
+                element.append(self._parse_element())
+                continue
+            next_tag = self._text.find("<", self._pos)
+            if next_tag < 0:
+                raise SGMLSyntaxError(f"missing end tag for {tag}")
+            raw = self._text[self._pos : next_tag]
+            if raw.strip():
+                element.append(Text(_decode_entities(raw, self._entities)))
+            self._pos = next_tag
+
+    def _parse_start_tag(self) -> Tuple[str, Dict[str, str], bool]:
+        end = self._text.find(">", self._pos)
+        if end < 0:
+            raise SGMLSyntaxError(f"unterminated tag at position {self._pos}")
+        inner = self._text[self._pos + 1 : end]
+        self._pos = end + 1
+        self_closed = inner.endswith("/")
+        if self_closed:
+            inner = inner[:-1]
+        parts = _split_tag(inner)
+        if not parts:
+            raise SGMLSyntaxError("empty tag")
+        tag = parts[0].upper()
+        if not re.fullmatch(r"[A-Za-z][A-Za-z0-9._-]*", parts[0]):
+            raise SGMLSyntaxError(f"bad element name {parts[0]!r}")
+        attributes: Dict[str, str] = {}
+        for part in parts[1:]:
+            name, _eq, value = part.partition("=")
+            if not _eq:
+                attributes[name.upper()] = name  # minimized boolean attribute
+                continue
+            value = value.strip()
+            if value and value[0] in ("'", '"'):
+                if len(value) < 2 or value[-1] != value[0]:
+                    raise SGMLSyntaxError(f"unterminated attribute value in <{tag}>")
+                value = value[1:-1]
+            attributes[name.upper()] = _decode_entities(value, self._entities)
+        return tag, attributes, self_closed
+
+    def _parse_end_tag(self) -> str:
+        end = self._text.find(">", self._pos)
+        if end < 0:
+            raise SGMLSyntaxError("unterminated end tag")
+        name = self._text[self._pos + 2 : end].strip()
+        self._pos = end + 1
+        return name.upper()
+
+
+def _split_tag(inner: str) -> List[str]:
+    """Split tag content into name and attribute tokens, respecting quotes."""
+    parts: List[str] = []
+    i, n = 0, len(inner)
+    while i < n:
+        if inner[i].isspace():
+            i += 1
+            continue
+        j = i
+        quote = None
+        while j < n:
+            ch = inner[j]
+            if quote is not None:
+                if ch == quote:
+                    quote = None
+            elif ch in ("'", '"'):
+                quote = ch
+            elif ch.isspace():
+                break
+            j += 1
+        if quote is not None:
+            raise SGMLSyntaxError(f"unterminated quote in tag: {inner[:40]!r}")
+        parts.append(inner[i:j])
+        i = j
+    return parts
+
+
+def serialize(element: Element, indent: int = 0, pretty: bool = True) -> str:
+    """Render an element tree back to SGML text."""
+    pad = "  " * indent if pretty else ""
+    attrs = "".join(
+        f' {name}="{encode_entities(value)}"' for name, value in sorted(element.attributes.items())
+    )
+    open_tag = f"{pad}<{element.tag}{attrs}>"
+    close_tag = f"</{element.tag}>"
+    if not element.children:
+        return open_tag + close_tag
+    if element.is_leaf():
+        inner = encode_entities(element.own_text())
+        return f"{open_tag}{inner}{close_tag}"
+    lines = [open_tag]
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip():
+                lines.append(("  " * (indent + 1) if pretty else "") + encode_entities(child.value.strip()))
+        else:
+            lines.append(serialize(child, indent + 1, pretty))
+    lines.append(f"{pad}{close_tag}")
+    return "\n".join(lines) if pretty else "".join(lines)

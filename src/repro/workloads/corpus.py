@@ -1,0 +1,191 @@
+"""Seeded synthetic MMF corpora.
+
+Substitute for the proprietary MultiMedia Forum document base (see
+DESIGN.md).  Documents are generated from topic vocabularies with a seeded
+PRNG, so term placement — which paragraphs mention which topics — is fully
+controlled and every run reproduces the same corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sgml.document import Element
+from repro.sgml.mmf import build_document
+
+#: Topic vocabularies (mid-1990s digital-library flavour).  The first word
+#: of each list is the topic's *signal term* used by query workloads.
+TOPICS: Dict[str, List[str]] = {
+    "www": [
+        "www", "hypertext", "browser", "server", "html", "links", "mosaic",
+        "web", "http", "navigation",
+    ],
+    "nii": [
+        "nii", "infrastructure", "policy", "broadband", "national",
+        "information", "superhighway", "access", "funding", "initiative",
+    ],
+    "telnet": [
+        "telnet", "protocol", "remote", "login", "terminal", "session",
+        "host", "connection", "port", "network",
+    ],
+    "multimedia": [
+        "multimedia", "video", "audio", "image", "animation", "streaming",
+        "codec", "synchronization", "presentation", "media",
+    ],
+    "database": [
+        "database", "schema", "transaction", "query", "object", "index",
+        "recovery", "concurrency", "persistence", "storage",
+    ],
+    "retrieval": [
+        "retrieval", "relevance", "ranking", "term", "collection",
+        "indexing", "precision", "recall", "vagueness", "matching",
+    ],
+}
+
+#: Neutral filler words that carry no topic signal.
+FILLER = [
+    "system", "report", "describes", "general", "approach", "several",
+    "various", "aspects", "overall", "discussion", "section", "presents",
+    "considers", "example", "detail", "context", "current", "recent",
+    "development", "results",
+]
+
+
+@dataclass
+class GeneratedDocument:
+    """A generated document plus its ground truth."""
+
+    element: Element
+    title: str
+    year: str
+    author: str
+    paragraph_topics: List[Optional[str]] = field(default_factory=list)
+
+
+class CorpusGenerator:
+    """Deterministic MMF corpus factory.
+
+    Parameters
+    ----------
+    seed:
+        PRNG seed; identical seeds generate identical corpora.
+    years:
+        Pool of YEAR attribute values.
+    authors:
+        Pool of AUTHOR attribute values.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        years: Sequence[str] = ("1993", "1994", "1995"),
+        authors: Sequence[str] = ("aberer", "boehm", "volz", "klas", "neuhold"),
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._years = list(years)
+        self._authors = list(authors)
+        self._doc_counter = 0
+
+    # -- text pieces ----------------------------------------------------------
+
+    def paragraph(self, topic: Optional[str], words: int = 20) -> str:
+        """One paragraph; ~40% topic words when a topic is given."""
+        chosen: List[str] = []
+        for _ in range(words):
+            if topic is not None and self._rng.random() < 0.4:
+                chosen.append(self._rng.choice(TOPICS[topic]))
+            else:
+                chosen.append(self._rng.choice(FILLER))
+        if topic is not None and topic not in chosen:
+            chosen[self._rng.randrange(words)] = topic  # guarantee the signal term
+        return " ".join(chosen)
+
+    def title(self, topic: Optional[str]) -> str:
+        self._doc_counter += 1
+        base = topic or self._rng.choice(FILLER)
+        return f"{base.title()} Report {self._doc_counter}"
+
+    # -- documents ---------------------------------------------------------------
+
+    def document(
+        self,
+        topics: Optional[Sequence[Optional[str]]] = None,
+        paragraphs: int = 5,
+        words_per_paragraph: int = 20,
+        sections: int = 0,
+        figures: int = 0,
+        year: Optional[str] = None,
+    ) -> GeneratedDocument:
+        """Generate one MMF document.
+
+        ``topics`` fixes the topic of each paragraph (None = filler); when
+        omitted, each paragraph independently draws a topic (or none).
+        """
+        if topics is None:
+            topics = [
+                self._rng.choice(list(TOPICS) + [None, None])
+                for _ in range(paragraphs)
+            ]
+        main_topic = next((t for t in topics if t), None)
+        title = self.title(main_topic)
+        year = year or self._rng.choice(self._years)
+        author = self._rng.choice(self._authors)
+        body = [self.paragraph(t, words_per_paragraph) for t in topics]
+        section_specs = []
+        for index in range(sections):
+            section_topic = self._rng.choice(list(TOPICS))
+            section_specs.append(
+                {
+                    "title": f"Section {index + 1} on {section_topic}",
+                    "paragraphs": [
+                        self.paragraph(section_topic, words_per_paragraph)
+                        for _ in range(2)
+                    ],
+                }
+            )
+        figure_captions = [
+            self.paragraph(main_topic, 8) for _ in range(figures)
+        ]
+        element = build_document(
+            title,
+            body,
+            year=year,
+            author=author,
+            abstract=self.paragraph(main_topic, 12),
+            sections=section_specs,
+            figures=figure_captions,
+        )
+        return GeneratedDocument(element, title, year, author, list(topics))
+
+    def corpus(
+        self,
+        documents: int = 20,
+        paragraphs: int = 5,
+        words_per_paragraph: int = 20,
+        sections: int = 0,
+        figures: int = 0,
+    ) -> List[GeneratedDocument]:
+        """A list of generated documents."""
+        return [
+            self.document(
+                paragraphs=paragraphs,
+                words_per_paragraph=words_per_paragraph,
+                sections=sections,
+                figures=figures,
+            )
+            for _ in range(documents)
+        ]
+
+
+def load_corpus(system, generated: List[GeneratedDocument]) -> List:
+    """Fragment generated documents into a :class:`DocumentSystem`.
+
+    Returns the list of root DBObjects, index-aligned with ``generated``.
+    """
+    from repro.sgml.mmf import mmf_dtd
+
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    return [system.add_document(g.element, dtd=dtd) for g in generated]

@@ -1,0 +1,111 @@
+"""Mixed-query workload generation.
+
+Produces seeded streams of mixed queries in the shapes the benchmarks
+exercise: thresholded content predicates over an element class, optionally
+conjoined with structural attribute filters and navigation predicates —
+the space spanned by the paper's two Section 4.4 examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.corpus import TOPICS
+
+
+@dataclass(frozen=True)
+class MixedQuery:
+    """One generated mixed query, ready for ``Database.query``."""
+
+    text: str
+    bindings_template: Dict[str, object]
+    irs_query: str
+    threshold: float
+    year: Optional[str] = None
+
+    def bindings(self, collection) -> Dict[str, object]:
+        """Bindings with the COLLECTION object filled in."""
+        merged = dict(self.bindings_template)
+        merged["coll"] = collection
+        return merged
+
+
+class MixedQueryGenerator:
+    """Seeded generator of mixed queries over the corpus topics."""
+
+    def __init__(
+        self,
+        seed: int = 7,
+        element_class: str = "PARA",
+        root_class: str = "MMFDOC",
+        years: Tuple[str, ...] = ("1993", "1994", "1995"),
+        thresholds: Tuple[float, ...] = (0.42, 0.45, 0.5, 0.55),
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._element_class = element_class
+        self._root_class = root_class
+        self._years = years
+        self._thresholds = thresholds
+
+    def _irs_query(self) -> str:
+        shape = self._rng.random()
+        topics = list(TOPICS)
+        if shape < 0.5:
+            return self._rng.choice(topics)
+        first, second = self._rng.sample(topics, 2)
+        operator = self._rng.choice(["#and", "#or", "#sum"])
+        return f"{operator}({first} {second})"
+
+    def content_only(self) -> MixedQuery:
+        """``ACCESS p ... WHERE getIRSValue > t`` (paper query 1 shape)."""
+        irs_query = self._irs_query()
+        threshold = self._rng.choice(self._thresholds)
+        text = (
+            f"ACCESS p FROM p IN {self._element_class} "
+            f"WHERE p -> getIRSValue(coll, $q) > {threshold}"
+        )
+        return MixedQuery(text, {"q": irs_query}, irs_query, threshold)
+
+    def content_and_structure(self) -> MixedQuery:
+        """Content predicate + year filter + containment join."""
+        irs_query = self._irs_query()
+        threshold = self._rng.choice(self._thresholds)
+        year = self._rng.choice(self._years)
+        text = (
+            f"ACCESS p FROM p IN {self._element_class}, d IN {self._root_class} "
+            f"WHERE d -> getAttributeValue('YEAR') = '{year}' AND "
+            f"p -> getContaining('{self._root_class}') == d AND "
+            f"p -> getIRSValue(coll, $q) > {threshold}"
+        )
+        return MixedQuery(text, {"q": irs_query}, irs_query, threshold, year)
+
+    def consecutive_elements(self) -> MixedQuery:
+        """The paper's second example: adjacent elements on two topics."""
+        first, second = self._rng.sample(list(TOPICS), 2)
+        threshold = min(self._thresholds)
+        text = (
+            f"ACCESS d -> getAttributeValue('TITLE') "
+            f"FROM d IN {self._root_class}, p1 IN {self._element_class}, "
+            f"p2 IN {self._element_class} "
+            f"WHERE p1 -> getNext() == p2 AND "
+            f"p1 -> getContaining('{self._root_class}') == d AND "
+            f"p1 -> getIRSValue(coll, $q1) > {threshold} AND "
+            f"p2 -> getIRSValue(coll, $q2) > {threshold}"
+        )
+        return MixedQuery(
+            text, {"q1": first, "q2": second}, f"{first}+{second}", threshold
+        )
+
+    def workload(self, size: int = 20, shapes: Tuple[str, ...] = ("content", "structure")) -> List[MixedQuery]:
+        """A list of generated queries drawn from the requested shapes."""
+        makers = {
+            "content": self.content_only,
+            "structure": self.content_and_structure,
+            "consecutive": self.consecutive_elements,
+        }
+        unknown = set(shapes) - set(makers)
+        if unknown:
+            raise ValueError(f"unknown query shapes: {sorted(unknown)}")
+        return [makers[self._rng.choice(shapes)]() for _ in range(size)]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, index_objects
+from repro.oodb import Database
+from repro.sgml.mmf import build_document, mmf_dtd
+from repro.workloads.corpus import CorpusGenerator, load_corpus
+
+
+@pytest.fixture
+def db():
+    """An empty in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def system():
+    """An empty in-memory DocumentSystem (coupling installed)."""
+    return DocumentSystem()
+
+
+@pytest.fixture
+def mmf_system():
+    """A DocumentSystem with the MMF DTD registered and three documents."""
+    sys_ = DocumentSystem()
+    dtd = mmf_dtd()
+    sys_.register_dtd(dtd)
+    documents = [
+        build_document(
+            "Telnet",
+            ["Telnet is a protocol for remote login", "Telnet enables remote sessions"],
+            year="1993",
+        ),
+        build_document(
+            "The Web",
+            ["The WWW connects documents worldwide", "The NII supports the WWW expansion"],
+            year="1994",
+        ),
+        build_document(
+            "Infrastructure",
+            ["The NII is the national information infrastructure", "Funding for NII research grows"],
+            year="1994",
+        ),
+    ]
+    roots = [sys_.add_document(d, dtd=dtd) for d in documents]
+    sys_.roots = roots
+    return sys_
+
+
+@pytest.fixture
+def para_collection(mmf_system):
+    """A populated paragraph-level collection over mmf_system."""
+    collection = create_collection(
+        mmf_system.db, "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
+    )
+    index_objects(collection)
+    return collection
+
+
+@pytest.fixture
+def corpus_system():
+    """A DocumentSystem with a 10-document seeded corpus."""
+    sys_ = DocumentSystem()
+    generator = CorpusGenerator(seed=11)
+    generated = generator.corpus(documents=10, paragraphs=4)
+    roots = load_corpus(sys_, generated)
+    sys_.roots = roots
+    sys_.generated = generated
+    return sys_

@@ -1,0 +1,104 @@
+"""The three Figure 1 architectures deliver the same answers at
+different costs and feature sets."""
+
+import pytest
+
+from repro.core.architectures import (
+    FEATURES,
+    ControlModuleArchitecture,
+    DBMSControlArchitecture,
+    IRSControlArchitecture,
+    MixedWorkloadQuery,
+    run_comparison,
+)
+from repro.core.collection import create_collection, index_objects
+
+
+@pytest.fixture
+def setup(corpus_system):
+    # Plant a document that definitely matches the workload query.
+    from repro.sgml.mmf import build_document, mmf_dtd
+
+    corpus_system.add_document(
+        build_document(
+            "Planted", ["the www www hypertext web grows and grows"], year="1994"
+        ),
+        dtd=mmf_dtd(),
+    )
+    collection = create_collection(
+        corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
+    )
+    index_objects(collection)
+    query = MixedWorkloadQuery("YEAR", "1994", "www", 0.45)
+    return corpus_system, collection, query
+
+
+class TestAgreement:
+    def test_all_architectures_same_answer(self, setup):
+        system, collection, query = setup
+        reports = run_comparison(system, collection, [query])
+        answers = {
+            name: [oid for oid, _v in reps[0].rows]
+            for name, reps in reports.items()
+        }
+        assert answers["control_module"] == answers["dbms_control"]
+        assert answers["irs_control"] == answers["dbms_control"]
+        assert answers["dbms_control"]  # workload must be non-trivial
+
+    def test_values_agree(self, setup):
+        system, collection, query = setup
+        reports = run_comparison(system, collection, [query])
+        cm = dict(reports["control_module"][0].rows)
+        dbms = dict(reports["dbms_control"][0].rows)
+        for oid, value in dbms.items():
+            assert cm[oid] == pytest.approx(value)
+
+
+class TestCosts:
+    def test_control_module_crosses_interfaces_most(self, setup):
+        system, collection, query = setup
+        reports = run_comparison(system, collection, [query])
+        cm = reports["control_module"][0].interface_crossings
+        dbms = reports["dbms_control"][0].interface_crossings
+        assert cm > dbms
+
+    def test_dbms_control_single_crossing(self, setup):
+        system, collection, query = setup
+        report = DBMSControlArchitecture(system, collection).run(query)
+        assert report.interface_crossings == 1
+
+
+class TestFeatureMatrix:
+    def test_dbms_control_supports_everything(self, setup):
+        system, collection, _query = setup
+        arch = DBMSControlArchitecture(system, collection)
+        assert all(arch.features[f] for f in FEATURES)
+
+    def test_alternatives_lack_database_features(self, setup):
+        system, collection, _query = setup
+        cm = ControlModuleArchitecture(system, collection)
+        irs = IRSControlArchitecture(system, "collPara")
+        for arch in (cm, irs):
+            assert not arch.features["transactions"]
+            assert not arch.features["derived_irs_values"]
+            assert not arch.features["no_new_query_processor"]
+
+    def test_feature_keys_complete(self, setup):
+        system, collection, _query = setup
+        for arch in (
+            ControlModuleArchitecture(system, collection),
+            IRSControlArchitecture(system, "collPara"),
+            DBMSControlArchitecture(system, collection),
+        ):
+            assert set(arch.features) == set(FEATURES)
+
+
+class TestIRSControlDenormalization:
+    def test_prepare_copies_attribute_into_metadata(self, setup):
+        system, _collection, query = setup
+        arch = IRSControlArchitecture(system, "collPara")
+        arch.prepare(query)
+        irs = system.engine.collection("collPara")
+        years = {d.metadata.get("YEAR") for d in irs.documents()}
+        assert years <= {"1993", "1994", "1995", ""}
+        assert "1994" in years

@@ -1,0 +1,94 @@
+"""The persistent IRS-result buffer (Section 4.2 / Figure 3)."""
+
+import pytest
+
+from repro.core.buffer import ResultBuffer
+from repro.core.collection import create_collection
+from repro.core.context import CouplingCounters, coupling_context
+from repro.oodb.oid import OID
+
+
+@pytest.fixture
+def buffer_and_collection(system):
+    collection = create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
+    counters = CouplingCounters()
+    return ResultBuffer(collection, counters), collection, counters
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self, buffer_and_collection):
+        buffer, _collection, counters = buffer_and_collection
+        assert buffer.lookup("www") is None
+        assert counters.buffer_misses == 1
+        buffer.store("www", {OID(1): 0.5})
+        assert buffer.lookup("www") == {OID(1): 0.5}
+        assert counters.buffer_hits == 1
+
+    def test_contains_has_no_counter_side_effects(self, buffer_and_collection):
+        buffer, _collection, counters = buffer_and_collection
+        buffer.store("www", {})
+        assert buffer.contains("www")
+        assert not buffer.contains("nii")
+        assert counters.buffer_hits == 0
+        assert counters.buffer_misses == 0
+
+    def test_model_distinguishes_entries(self, buffer_and_collection):
+        buffer, _collection, _counters = buffer_and_collection
+        buffer.store("www", {OID(1): 0.5}, model="inquery")
+        assert buffer.lookup("www", model="vector") is None
+        assert buffer.lookup("www", model="inquery") == {OID(1): 0.5}
+
+    def test_empty_result_is_a_valid_entry(self, buffer_and_collection):
+        buffer, _collection, counters = buffer_and_collection
+        buffer.store("rare", {})
+        assert buffer.lookup("rare") == {}
+        assert counters.buffer_hits == 1
+
+
+class TestAmend:
+    def test_amend_adds_derived_value(self, buffer_and_collection):
+        buffer, _collection, _counters = buffer_and_collection
+        buffer.store("www", {OID(1): 0.5})
+        buffer.amend("www", OID(9), 0.33)
+        assert buffer.lookup("www")[OID(9)] == 0.33
+
+    def test_amend_creates_entry_when_absent(self, buffer_and_collection):
+        buffer, _collection, _counters = buffer_and_collection
+        buffer.amend("fresh", OID(2), 0.1)
+        assert buffer.lookup("fresh") == {OID(2): 0.1}
+
+
+class TestInvalidation:
+    def test_invalidate_clears_all(self, buffer_and_collection):
+        buffer, _collection, _counters = buffer_and_collection
+        buffer.store("a", {OID(1): 0.5})
+        buffer.store("b", {OID(2): 0.6})
+        assert buffer.size() == 2
+        buffer.invalidate()
+        assert buffer.size() == 0
+        assert buffer.lookup("a") is None
+
+
+class TestPersistence:
+    def test_buffer_is_a_database_attribute(self, buffer_and_collection):
+        buffer, collection, _counters = buffer_and_collection
+        buffer.store("www", {OID(3): 0.7})
+        stored = collection.get("buffer")
+        assert "|www" in stored  # model-prefixed key
+        assert stored["|www"] == {"OID3": 0.7}
+
+    def test_buffer_survives_checkpoint_recovery(self, tmp_path):
+        from repro.core import DocumentSystem
+
+        path = str(tmp_path)
+        system = DocumentSystem(directory=path)
+        collection = create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
+        ResultBuffer(collection, CouplingCounters()).store("www", {OID(5): 0.9})
+        collection_oid = collection.oid
+        system.close()
+
+        reopened = DocumentSystem(directory=path)
+        revived = reopened.db.get_object(collection_oid)
+        buffer = ResultBuffer(revived, CouplingCounters())
+        assert buffer.lookup("www") == {OID(5): 0.9}
+        reopened.close()

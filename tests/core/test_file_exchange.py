@@ -1,0 +1,72 @@
+"""The paper's file-based IRS exchange (Section 4.5).
+
+"Currently the IRS writes the result to a file which is parsed afterwards
+to extract the OID-relevance value pairs.  This mechanism can be improved
+by using the API of an IRS."  Both mechanisms exist; these tests pin the
+file path down.
+"""
+
+import os
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.sgml.mmf import build_document, mmf_dtd
+
+
+@pytest.fixture
+def file_system():
+    system = DocumentSystem(use_result_files=True)
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    system.add_document(
+        build_document("Doc", ["the www paragraph here", "the nii paragraph there"]),
+        dtd=dtd,
+    )
+    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    index_objects(collection)
+    return system, collection
+
+
+class TestFileExchange:
+    def test_query_answers_through_result_file(self, file_system):
+        system, collection = file_system
+        values = get_irs_result(collection, "www")
+        assert values
+        result_files = [
+            name
+            for name in os.listdir(system.context.result_file_directory)
+            if name.endswith(".result")
+        ]
+        assert result_files  # the exchange file is on disk
+
+    def test_file_and_api_results_agree(self, file_system):
+        system, collection = file_system
+        via_file = get_irs_result(collection, "nii")
+        direct = system.engine.query("collPara", "nii").by_metadata(
+            system.engine.collection("collPara"), "oid"
+        )
+        assert {str(oid): round(v, 5) for oid, v in via_file.items()} == {
+            k: round(v, 5) for k, v in direct.items()
+        }
+
+    def test_spool_file_written_at_indexing(self, file_system):
+        system, _collection = file_system
+        spool = os.path.join(system.context.result_file_directory, "collPara.spool.txt")
+        assert os.path.exists(spool)
+        content = open(spool, encoding="utf-8").read()
+        assert "www paragraph" in content
+        assert "OID" in content
+
+    def test_buffer_still_avoids_repeat_files(self, file_system):
+        system, collection = file_system
+        get_irs_result(collection, "www")
+        written_before = system.engine.counters.result_files_written
+        get_irs_result(collection, "www")  # buffered: no second file
+        assert system.engine.counters.result_files_written == written_before
+
+    def test_long_queries_produce_safe_filenames(self, file_system):
+        system, collection = file_system
+        nasty = "#and(" + " ".join(f"term{i}" for i in range(20)) + ")"
+        get_irs_result(collection, nasty)  # must not raise on filename length

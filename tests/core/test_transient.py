@@ -1,0 +1,84 @@
+"""On-the-fly indexing (Section 4.3.1, alternative (3))."""
+
+import pytest
+
+from repro.core.collection import get_irs_result
+from repro.core.transient import transient_members
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def setup(mmf_system, para_collection):
+    return mmf_system, para_collection
+
+
+class TestScope:
+    def test_member_inside_scope_only(self, setup):
+        system, collection = setup
+        doc = system.roots[0]
+        assert not collection.send("containsObject", doc)
+        with transient_members(collection, [doc]):
+            assert collection.send("containsObject", doc)
+        assert not collection.send("containsObject", doc)
+
+    def test_direct_value_inside_scope(self, setup):
+        system, collection = setup
+        doc = system.roots[1]  # "The Web"
+        with transient_members(collection, [doc]):
+            values = get_irs_result(collection, "www")
+            assert doc.oid in values
+        # Outside: only derivation can answer; direct result excludes it.
+        values = get_irs_result(collection, "www")
+        assert doc.oid not in values
+
+    def test_existing_members_untouched(self, setup):
+        system, collection = setup
+        para = system.db.instances_of("PARA")[0]
+        before = collection.send("memberCount")
+        with transient_members(collection, [para]) as inserted:
+            assert inserted == []
+            assert collection.send("memberCount") == before
+        assert collection.send("containsObject", para)
+
+    def test_cleanup_on_exception(self, setup):
+        system, collection = setup
+        doc = system.roots[0]
+        with pytest.raises(RuntimeError):
+            with transient_members(collection, [doc]):
+                raise RuntimeError("boom")
+        assert not collection.send("containsObject", doc)
+        # The IRS holds no orphan document for the OID.
+        irs = system.engine.collection(collection.get("irs_name"))
+        assert irs.find_by_metadata("oid", str(doc.oid)) == []
+
+    def test_buffer_invalidated_on_both_transitions(self, setup):
+        system, collection = setup
+        get_irs_result(collection, "telnet")
+        assert collection.get("buffer")
+        with transient_members(collection, [system.roots[0]]):
+            assert collection.get("buffer") == {}
+            get_irs_result(collection, "telnet")
+            assert collection.get("buffer")
+        assert collection.get("buffer") == {}
+
+
+class TestCost:
+    def test_transient_costs_irs_maintenance(self, setup):
+        """The paper's claim: insert+delete per query is the expensive part."""
+        system, collection = setup
+        docs = system.roots
+        system.reset_counters()
+        with transient_members(collection, docs):
+            get_irs_result(collection, "www")
+        inserted = system.engine.counters.documents_indexed
+        removed = system.engine.counters.documents_removed
+        assert inserted == len(docs)
+        assert removed == len(docs)
+
+    def test_derivation_costs_nothing_in_irs_maintenance(self, setup):
+        system, collection = setup
+        system.reset_counters()
+        for doc in system.roots:
+            doc.send("getIRSValue", collection, "www")
+        assert system.engine.counters.documents_indexed == 0
+        assert system.engine.counters.documents_removed == 0

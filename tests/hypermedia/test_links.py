@@ -1,0 +1,66 @@
+"""Typed hypertext links."""
+
+import pytest
+
+from repro.hypermedia.links import (
+    DESCRIBES,
+    IMPLIES,
+    create_link,
+    define_link_class,
+    links_from,
+    links_to,
+    neighbours_in,
+    neighbours_out,
+)
+
+
+@pytest.fixture
+def linked(mmf_system):
+    paras = mmf_system.db.instances_of("PARA")
+    create_link(mmf_system.db, paras[0], paras[1], IMPLIES)
+    create_link(mmf_system.db, paras[2], paras[1], IMPLIES)
+    create_link(mmf_system.db, paras[0], paras[3], DESCRIBES)
+    return mmf_system, paras
+
+
+class TestLinkObjects:
+    def test_links_are_database_objects(self, linked):
+        system, paras = linked
+        links = system.db.instances_of("LINK")
+        assert len(links) == 3
+        assert links[0].get("link_type") in (IMPLIES, DESCRIBES)
+
+    def test_define_idempotent(self, linked):
+        system, _paras = linked
+        define_link_class(system.db)  # second call must not raise
+
+    def test_links_from(self, linked):
+        _system, paras = linked
+        assert len(links_from(paras[0])) == 2
+        assert len(links_from(paras[0], IMPLIES)) == 1
+
+    def test_links_to(self, linked):
+        _system, paras = linked
+        assert len(links_to(paras[1], IMPLIES)) == 2
+        assert links_to(paras[0]) == []
+
+
+class TestNeighbours:
+    def test_neighbours_out(self, linked):
+        _system, paras = linked
+        targets = neighbours_out(paras[0])
+        assert paras[1] in targets and paras[3] in targets
+
+    def test_neighbours_in(self, linked):
+        _system, paras = linked
+        sources = neighbours_in(paras[1], IMPLIES)
+        assert set(sources) == {paras[0], paras[2]}
+
+    def test_type_filter(self, linked):
+        _system, paras = linked
+        assert neighbours_out(paras[0], DESCRIBES) == [paras[3]]
+
+    def test_dangling_link_skipped(self, linked):
+        system, paras = linked
+        system.db.delete_object(paras[1])
+        assert paras[1] not in neighbours_out(paras[0], IMPLIES)

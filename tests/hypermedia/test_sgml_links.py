@@ -1,0 +1,96 @@
+"""Declarative SGML linking: LINKEND attributes become LINK objects."""
+
+import pytest
+
+from repro.hypermedia import wire_sgml_links
+from repro.hypermedia.links import IMPLIES, links_from, neighbours_in
+from repro.sgml.mmf import mmf_dtd
+
+DOC_A = """
+<MMFDOC TITLE="Source" YEAR="1994">
+<LOGBOOK>log</LOGBOOK>
+<DOCTITLE>Source</DOCTITLE>
+<PARA ID="anchor">the www grows rapidly in every country</PARA>
+</MMFDOC>
+"""
+
+DOC_B = """
+<MMFDOC TITLE="Citing" YEAR="1994">
+<LOGBOOK>log</LOGBOOK>
+<DOCTITLE>Citing</DOCTITLE>
+<PARA LINKEND="anchor">as argued elsewhere the trend continues</PARA>
+<PARA LINKEND="anchor" LINKTYPE="describes">a descriptive reference</PARA>
+<PARA LINKEND="missing">dangling reference is fine</PARA>
+</MMFDOC>
+"""
+
+
+@pytest.fixture
+def loaded(system):
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    root_a = system.add_document(DOC_A, dtd=dtd)
+    root_b = system.add_document(DOC_B, dtd=dtd)
+    return system, root_a, root_b
+
+
+class TestWiring:
+    def test_links_created_for_resolvable_linkends(self, loaded):
+        system, _root_a, root_b = loaded
+        created = wire_sgml_links(system.db, root_b)
+        assert len(created) == 2  # the dangling one is skipped
+
+    def test_link_targets_resolve_by_id(self, loaded):
+        system, root_a, root_b = loaded
+        wire_sgml_links(system.db, root_b)
+        anchor = next(
+            p for p in root_a.send("getDescendants", "PARA")
+            if p.send("getAttributeValue", "ID") == "anchor"
+        )
+        sources = neighbours_in(anchor)
+        assert len(sources) == 2
+
+    def test_linktype_attribute_respected(self, loaded):
+        system, root_a, root_b = loaded
+        wire_sgml_links(system.db, root_b)
+        anchor = next(
+            p for p in root_a.send("getDescendants", "PARA")
+            if p.send("getAttributeValue", "ID") == "anchor"
+        )
+        types = sorted(
+            link.get("link_type")
+            for para in root_b.send("getDescendants", "PARA")
+            for link in links_from(para)
+        )
+        assert types == ["describes", IMPLIES]
+
+    def test_default_type_is_implies(self, loaded):
+        system, _root_a, root_b = loaded
+        created = wire_sgml_links(system.db, root_b)
+        plain = [l for l in created if l.get("link_type") == IMPLIES]
+        assert len(plain) == 1
+
+    def test_cross_document_retrieval_via_links(self, loaded):
+        """The implies-augmented text mode sees the linking fragment."""
+        from repro.core.collection import create_collection, get_irs_result, index_objects
+        from repro.hypermedia import IMPLIES_TEXT_MODE, install_hypermedia_text_modes
+
+        system, root_a, root_b = loaded
+        install_hypermedia_text_modes(system.db)
+        wire_sgml_links(system.db, root_b)
+        collection = create_collection(
+            system.db, "aug", "ACCESS p FROM p IN PARA", text_mode=IMPLIES_TEXT_MODE
+        )
+        index_objects(collection)
+        anchor = next(
+            p for p in root_a.send("getDescendants", "PARA")
+            if p.send("getAttributeValue", "ID") == "anchor"
+        )
+        # The anchor's IRS document now contains the citing fragments.
+        values = get_irs_result(collection, "trend")
+        assert anchor.oid in values
+
+    def test_mmf_dtd_declares_link_attributes(self):
+        dtd = mmf_dtd()
+        attrs = dtd.element("PARA").attributes
+        assert "LINKEND" in attrs and "LINKTYPE" in attrs

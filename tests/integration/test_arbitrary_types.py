@@ -1,0 +1,133 @@
+"""Arbitrary document types (Section 4.1) and ranked mixed queries.
+
+"An important feature of our database application is the possibility to
+manage documents of arbitrary types, i.e., not to be restricted to a rigid
+set of SGML DTDs."
+"""
+
+import pytest
+
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.sgml.dtd import parse_dtd
+from repro.sgml.mmf import build_document, mmf_dtd
+
+LETTER_DTD = """
+<!ELEMENT LETTER   - - (SENDER, RECIPIENT, BODY)>
+<!ELEMENT SENDER   - - (#PCDATA)>
+<!ELEMENT RECIPIENT - - (#PCDATA)>
+<!ELEMENT BODY     - - (GREETING?, PARA+)>
+<!ELEMENT GREETING - - (#PCDATA)>
+<!ELEMENT PARA     - - (#PCDATA)>
+<!ATTLIST LETTER   DATE CDATA #IMPLIED>
+"""
+
+LETTER = """
+<LETTER DATE="1994-06-01">
+<SENDER>aberer</SENDER>
+<RECIPIENT>croft</RECIPIENT>
+<BODY>
+<GREETING>Dear colleague</GREETING>
+<PARA>our www coupling prototype now answers mixed queries</PARA>
+<PARA>the inquery operators behave exactly as documented</PARA>
+</BODY>
+</LETTER>
+"""
+
+
+@pytest.fixture
+def multi(system):
+    mmf = mmf_dtd()
+    letters = parse_dtd(LETTER_DTD, name="letters")
+    system.register_dtd(mmf)
+    system.register_dtd(letters)
+    system.add_document(
+        build_document("Journal piece", ["the www keeps growing and growing"]),
+        dtd=mmf,
+    )
+    system.add_document(LETTER, dtd=letters)
+    return system
+
+
+class TestCoexistingTypes:
+    def test_shared_element_classes_are_shared(self, multi):
+        # PARA exists in both DTDs; one class serves both document types.
+        paras = multi.db.instances_of("PARA")
+        roots = {p.send("getRoot").class_name for p in paras}
+        assert roots == {"MMFDOC", "LETTER"}
+
+    def test_type_specific_classes_coexist(self, multi):
+        assert multi.db.schema.has_class("SENDER")
+        assert multi.db.schema.has_class("DOCTITLE")
+        assert multi.db.schema.is_subclass("SENDER", "IRSObject")
+
+    def test_collection_spans_document_types(self, multi):
+        collection = create_collection(multi.db, "all_paras", "ACCESS p FROM p IN PARA")
+        index_objects(collection)
+        assert collection.send("memberCount") == 3
+
+    def test_mixed_query_across_types(self, multi):
+        collection = create_collection(multi.db, "c", "ACCESS p FROM p IN PARA")
+        index_objects(collection)
+        rows = multi.query(
+            "ACCESS p -> getRoot() FROM p IN PARA "
+            "WHERE p -> getIRSValue(c, 'www') > 0.45",
+            {"c": collection},
+        )
+        root_classes = {row[0].class_name for row in rows}
+        assert root_classes == {"MMFDOC", "LETTER"}
+
+    def test_structure_queries_per_type(self, multi):
+        rows = multi.query(
+            "ACCESS l -> getAttributeValue('DATE') FROM l IN LETTER"
+        )
+        assert rows == [("1994-06-01",)]
+
+    def test_element_extent_covers_everything(self, multi):
+        all_elements = multi.db.instances_of("Element")
+        assert len(all_elements) == multi.db.object_count()
+
+
+class TestRankedMixedQueries:
+    """Vague information needs: ranked results via ORDER BY getIRSValue."""
+
+    @pytest.fixture
+    def ranked_setup(self, corpus_system):
+        collection = create_collection(
+            corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
+        )
+        index_objects(collection)
+        return corpus_system, collection
+
+    def test_order_by_relevance_descending(self, ranked_setup):
+        system, collection = ranked_setup
+        rows = system.db.query(
+            "ACCESS p, p -> getIRSValue(c, 'www') FROM p IN PARA "
+            "WHERE p -> getIRSValue(c, 'www') > 0.4 "
+            "ORDER BY p -> getIRSValue(c, 'www') DESC",
+            {"c": collection},
+        )
+        values = [value for _obj, value in rows]
+        assert values == sorted(values, reverse=True)
+        assert values
+
+    def test_top_k(self, ranked_setup):
+        system, collection = ranked_setup
+        matched = get_irs_result(collection, "www")
+        rows = system.db.query(
+            "ACCESS p FROM p IN PARA "
+            "WHERE p -> getIRSValue(c, 'www') > 0.0 "
+            "ORDER BY p -> getIRSValue(c, 'www') DESC LIMIT 3",
+            {"c": collection},
+        )
+        assert len(rows) == min(3, len(matched))
+
+    def test_ranking_matches_irs_ranking(self, ranked_setup):
+        system, collection = ranked_setup
+        rows = system.db.query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(c, 'nii') > 0.0 "
+            "ORDER BY p -> getIRSValue(c, 'nii') DESC",
+            {"c": collection},
+        )
+        values = get_irs_result(collection, "nii")
+        expected = sorted(values, key=lambda o: -values[o])
+        assert [row[0].oid for row in rows] == expected

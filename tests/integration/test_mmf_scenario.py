@@ -1,0 +1,165 @@
+"""The full MultiMedia Forum scenario (Section 1), end to end.
+
+"The reader of such a journal may either access a document by means of a
+particular issue's table of content, by following hypertext links, or by
+database queries ... the editorial team may add or modify documents or
+document components at any time ... it would also be advantageous to allow
+for formulating information needs with a certain degree of vagueness."
+
+One test class per access path, all over a single shared journal issue,
+finishing with the editorial workflow and HTML publishing.
+"""
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.hypermedia import create_link, wire_sgml_links
+from repro.hypermedia.links import IMPLIES, neighbours_out
+from repro.sgml.export import HTMLExporter
+from repro.sgml.mmf import build_document, mmf_dtd
+
+
+@pytest.fixture(scope="class")
+def journal():
+    system = DocumentSystem()
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    articles = [
+        build_document(
+            "The Web Explosion",
+            [
+                "the www grew beyond all projections this year",
+                "hypertext browsers multiplied across platforms",
+            ],
+            abstract="how the www took over",
+            year="1994",
+            author="volz",
+        ),
+        build_document(
+            "Funding the NII",
+            [
+                "the nii program finances backbone infrastructure",
+                "regional networks connect through federal funding",
+            ],
+            year="1994",
+            author="aberer",
+            doc_type="report",
+        ),
+        build_document(
+            "Telnet Retrospective",
+            ["telnet served a decade of remote terminal sessions"],
+            year="1993",
+            author="boehm",
+        ),
+    ]
+    roots = [system.add_document(a, dtd=dtd) for a in articles]
+    collection = create_collection(
+        system.db, "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
+    )
+    index_objects(collection)
+    # Hypertext: the web article's last paragraph implies the NII article's first.
+    web_paras = roots[0].send("getDescendants", "PARA")
+    nii_paras = roots[1].send("getDescendants", "PARA")
+    create_link(system.db, web_paras[-1], nii_paras[0], IMPLIES)
+    return system, roots, collection
+
+
+class TestReaderAccessPaths:
+    def test_table_of_contents(self, journal):
+        system, roots, _collection = journal
+        toc = system.query(
+            "ACCESS d -> getAttributeValue('TITLE'), d -> getAttributeValue('AUTHOR') "
+            "FROM d IN MMFDOC ORDER BY d -> getAttributeValue('TITLE')"
+        )
+        assert [title for title, _author in toc] == [
+            "Funding the NII", "Telnet Retrospective", "The Web Explosion",
+        ]
+
+    def test_hypertext_navigation(self, journal):
+        system, roots, _collection = journal
+        source = roots[0].send("getDescendants", "PARA")[-1]
+        targets = neighbours_out(source, IMPLIES)
+        assert len(targets) == 1
+        assert targets[0].send("getContaining", "MMFDOC") == roots[1]
+
+    def test_attribute_query(self, journal):
+        system, _roots, _collection = journal
+        reports = system.query(
+            "ACCESS d -> getAttributeValue('TITLE') FROM d IN MMFDOC "
+            "WHERE d -> getAttributeValue('TYPE') = 'report'"
+        )
+        assert reports == [("Funding the NII",)]
+
+    def test_vague_information_need_is_ranked(self, journal):
+        system, _roots, collection = journal
+        ranked = system.query(
+            "ACCESS p, p -> getIRSValue(c, '#or(www hypertext)') FROM p IN PARA "
+            "WHERE p -> getIRSValue(c, '#or(www hypertext)') > 0.4 "
+            "ORDER BY p -> getIRSValue(c, '#or(www hypertext)') DESC",
+            {"c": collection},
+        )
+        assert ranked
+        values = [v for _p, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_mixed_query_combining_all_three(self, journal):
+        system, _roots, collection = journal
+        rows = system.query(
+            "ACCESS d -> getAttributeValue('TITLE') "
+            "FROM d IN MMFDOC, p IN PARA "
+            "WHERE d -> getAttributeValue('YEAR') = '1994' AND "
+            "p -> getContaining('MMFDOC') == d AND "
+            "p -> getIRSValue(c, 'www') > 0.4",
+            {"c": collection},
+        )
+        assert {title for (title,) in rows} == {"The Web Explosion"}
+
+
+class TestEditorialWorkflow:
+    def test_add_modify_delete_cycle(self, journal):
+        system, roots, collection = journal
+        editorial = roots[2]
+        # Add a component ...
+        new_para = system.loader.insert_element(
+            editorial, "PARA", "an addendum about gopher services"
+        )
+        collection.send("insertObject", new_para)
+        assert get_irs_result(collection, "gopher")  # forced propagation
+        # ... modify it ...
+        system.loader.update_content(new_para, "an addendum about archie instead")
+        collection.send("modifyObject", new_para)
+        values = get_irs_result(collection, "archie")
+        assert new_para.oid in values
+        assert get_irs_result(collection, "gopher") == {}
+        # ... and retract it.
+        collection.send("deleteObject", new_para)
+        system.loader.remove_element(new_para)
+        assert get_irs_result(collection, "archie") == {}
+
+    def test_declarative_link_wiring(self, journal):
+        system, roots, _collection = journal
+        follow_up = system.add_document(
+            "<MMFDOC TITLE='Follow Up' YEAR='1995'>"
+            "<LOGBOOK>l</LOGBOOK><DOCTITLE>Follow Up</DOCTITLE>"
+            "<PARA ID='fu1'>building on earlier coverage of the www</PARA>"
+            "</MMFDOC>",
+            dtd=mmf_dtd(),
+        )
+        links = wire_sgml_links(system.db, follow_up)
+        assert links == []  # no LINKEND attributes here; wiring is a no-op
+
+    def test_publishing_with_highlights(self, journal):
+        system, roots, collection = journal
+        values = get_irs_result(collection, "www")
+        page = HTMLExporter(highlight_values=values).render_page(roots[0])
+        assert "<mark>the www grew beyond all projections" in page
+        assert "<h1>The Web Explosion</h1>" in page
+
+    def test_admin_view_of_the_issue(self, journal):
+        from repro.core.admin import system_report
+
+        system, _roots, _collection = journal
+        report = system_report(system.db)
+        assert report["collections"] == 1
+        assert report["objects_by_class"]["MMFDOC"] >= 3

@@ -1,0 +1,129 @@
+"""The two mixed queries of Section 4.4, end to end and verbatim."""
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, index_objects
+from repro.sgml.mmf import build_document, mmf_dtd
+
+
+@pytest.fixture(scope="module")
+def journal():
+    """An MMF journal with known ground truth for the paper's queries."""
+    system = DocumentSystem()
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    documents = [
+        # 1994 document with a WWW paragraph immediately followed by NII.
+        build_document(
+            "Hit",
+            [
+                "the www hypertext web and browsers are growing",
+                "the nii infrastructure funding policy debate continues",
+                "completely unrelated filler paragraph text here",
+            ],
+            year="1994",
+        ),
+        # 1994 document with the right paragraphs but in the wrong order.
+        build_document(
+            "WrongOrder",
+            [
+                "the nii infrastructure network expands",
+                "the www web keeps growing quickly",
+            ],
+            year="1994",
+        ),
+        # 1993 document with the right consecutive paragraphs (wrong year).
+        build_document(
+            "WrongYear",
+            [
+                "the www web hypertext pages multiply",
+                "the nii policy for information infrastructure",
+            ],
+            year="1993",
+        ),
+        # 1994 document with the topics in the same paragraph (not consecutive ones).
+        build_document(
+            "Together",
+            ["the www and the nii converge in one paragraph"],
+            year="1994",
+        ),
+    ]
+    for document in documents:
+        system.add_document(document, dtd=dtd)
+    collection = create_collection(
+        system.db, "collPara", "ACCESS p FROM p IN PARA"
+    )
+    index_objects(collection)
+    return system, collection
+
+
+QUERY_ONE = (
+    "ACCESS p, p -> length() FROM p IN PARA "
+    "WHERE p -> getIRSValue (collPara, 'WWW') > 0.45;"
+)
+
+QUERY_TWO = (
+    "ACCESS d -> getAttributeValue ('TITLE') "
+    "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+    "WHERE d -> getAttributeValue ('YEAR') = '1994' AND "
+    "p1 -> getNext() == p2 AND "
+    "p1 -> getContaining ('MMFDOC') == d AND "
+    "p1 -> getIRSValue (collPara, 'WWW') > 0.4 AND "
+    "p2 -> getIRSValue (collPara, 'NII') > 0.4;"
+)
+
+
+class TestQueryOne:
+    def test_returns_www_paragraphs_with_lengths(self, journal):
+        system, collection = journal
+        rows = system.query(QUERY_ONE, {"collPara": collection})
+        assert rows
+        for obj, length in rows:
+            assert obj.class_name == "PARA"
+            assert length == len(obj.send("getTextContent"))
+            assert "www" in obj.send("getTextContent").lower()
+
+    def test_threshold_filters(self, journal):
+        system, collection = journal
+        low = system.query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'WWW') > 0.41",
+            {"collPara": collection},
+        )
+        high = system.query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'WWW') > 0.99",
+            {"collPara": collection},
+        )
+        assert len(high) < len(low)
+        assert high == []
+
+
+class TestQueryTwo:
+    def test_exactly_the_hit_document(self, journal):
+        system, collection = journal
+        rows = system.query(QUERY_TWO, {"collPara": collection})
+        assert rows == [("Hit",)]
+
+    def test_year_predicate_matters(self, journal):
+        system, collection = journal
+        rows = system.query(
+            QUERY_TWO.replace("'1994'", "'1993'"), {"collPara": collection}
+        )
+        assert rows == [("WrongYear",)]
+
+    def test_adjacency_predicate_matters(self, journal):
+        # Without getNext, WrongOrder would also qualify.
+        system, collection = journal
+        relaxed = (
+            "ACCESS d -> getAttributeValue ('TITLE') "
+            "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+            "WHERE d -> getAttributeValue ('YEAR') = '1994' AND "
+            "p1 -> getContaining ('MMFDOC') == d AND "
+            "p2 -> getContaining ('MMFDOC') == d AND "
+            "NOT p1 == p2 AND "
+            "p1 -> getIRSValue (collPara, 'WWW') > 0.4 AND "
+            "p2 -> getIRSValue (collPara, 'NII') > 0.4;"
+        )
+        titles = {row[0] for row in system.query(relaxed, {"collPara": collection})}
+        assert "WrongOrder" in titles
+        assert "Hit" in titles

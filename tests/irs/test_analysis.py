@@ -1,0 +1,67 @@
+"""Analysis pipeline: tokenization, stopwords, stemming."""
+
+from repro.irs.analysis import DEFAULT_STOPWORDS, Analyzer
+
+
+class TestTokenization:
+    def test_lowercases(self):
+        assert Analyzer(stemming=False).tokens("WWW Browser") == ["www", "browser"]
+
+    def test_punctuation_splits(self):
+        tokens = Analyzer(stemming=False).tokens("client-server, really!")
+        assert tokens == ["client", "server", "really"]
+
+    def test_numbers_kept(self):
+        assert "1994" in Analyzer(stemming=False).tokens("in 1994 we")
+
+    def test_empty_text(self):
+        assert Analyzer().tokens("") == []
+        assert Analyzer().tokens("   \n\t ") == []
+
+
+class TestStopwords:
+    def test_default_stopwords_removed(self):
+        tokens = Analyzer(stemming=False).tokens("the web is a system")
+        assert "the" not in tokens
+        assert "is" not in tokens
+        assert "web" in tokens
+
+    def test_custom_stopword_set(self):
+        analyzer = Analyzer(stopwords={"web"}, stemming=False)
+        assert analyzer.tokens("the web") == ["the"]
+
+    def test_empty_stopword_set_keeps_all(self):
+        analyzer = Analyzer(stopwords=set(), stemming=False)
+        assert analyzer.tokens("the web") == ["the", "web"]
+
+    def test_default_list_is_frozen(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+
+class TestStemming:
+    def test_stemming_applied(self):
+        assert Analyzer().tokens("retrieving documents") == ["retriev", "document"]
+
+    def test_stemming_disabled(self):
+        assert Analyzer(stemming=False).tokens("retrieving") == ["retrieving"]
+
+    def test_query_and_index_agree(self):
+        analyzer = Analyzer()
+        assert analyzer.term("Retrieval") == analyzer.tokens("retrieval systems")[0]
+
+
+class TestTerm:
+    def test_single_term(self):
+        assert Analyzer(stemming=False).term("WWW") == "www"
+
+    def test_stopped_term_is_none(self):
+        assert Analyzer().term("the") is None
+
+    def test_min_length_filter(self):
+        analyzer = Analyzer(stemming=False, min_length=3, stopwords=set())
+        assert analyzer.tokens("go web now") == ["web", "now"]
+
+    def test_config_serializable(self):
+        config = Analyzer().config()
+        assert config["stemming"] is True
+        assert config["stopword_count"] > 0

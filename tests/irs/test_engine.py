@@ -1,0 +1,112 @@
+"""IRS engine: collections, querying, counters, file exchange."""
+
+import pytest
+
+from repro.errors import DuplicateCollectionError, UnknownCollectionError
+from repro.irs.engine import IRSEngine, parse_result_file
+
+
+@pytest.fixture
+def engine():
+    e = IRSEngine()
+    e.create_collection("paras")
+    e.index_document("paras", "the www grows", {"oid": "OID1"})
+    e.index_document("paras", "nii policy debate", {"oid": "OID2"})
+    e.index_document("paras", "www and nii together", {"oid": "OID3"})
+    return e
+
+
+class TestCollections:
+    def test_duplicate_collection_rejected(self, engine):
+        with pytest.raises(DuplicateCollectionError):
+            engine.create_collection("paras")
+
+    def test_unknown_collection_rejected(self, engine):
+        with pytest.raises(UnknownCollectionError):
+            engine.query("nope", "www")
+
+    def test_drop(self, engine):
+        engine.drop_collection("paras")
+        assert not engine.has_collection("paras")
+        with pytest.raises(UnknownCollectionError):
+            engine.drop_collection("paras")
+
+    def test_collection_names_sorted(self, engine):
+        engine.create_collection("alpha")
+        assert engine.collection_names() == ["alpha", "paras"]
+
+
+class TestQuerying:
+    def test_query_returns_values(self, engine):
+        result = engine.query("paras", "www")
+        oids = result.by_metadata(engine.collection("paras"), "oid")
+        assert set(oids) == {"OID1", "OID3"}
+
+    def test_ranked_sorted_desc(self, engine):
+        ranked = engine.query("paras", "www").ranked()
+        values = [v for _d, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_model_selection(self, engine):
+        boolean = engine.query("paras", "www", model="boolean")
+        assert set(boolean.values.values()) == {1.0}
+
+    def test_unknown_model_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.query("paras", "www", model="quantum")
+
+    def test_unknown_default_model_rejected(self):
+        with pytest.raises(ValueError):
+            IRSEngine(default_model="quantum")
+
+    def test_by_metadata_takes_max_over_shared_oid(self, engine):
+        engine.index_document("paras", "www www www www", {"oid": "OID1"})
+        values = engine.query("paras", "www").by_metadata(
+            engine.collection("paras"), "oid"
+        )
+        raw = engine.query("paras", "www").values
+        assert values["OID1"] == max(raw[1], raw[4])
+
+
+class TestCounters:
+    def test_counters_track_operations(self, engine):
+        engine.counters.reset()
+        engine.query("paras", "www")
+        engine.query("paras", "nii")
+        engine.index_document("paras", "more text", {})
+        engine.remove_document("paras", 4)
+        assert engine.counters.queries_executed == 2
+        assert engine.counters.documents_indexed == 1
+        assert engine.counters.documents_removed == 1
+        assert engine.counters.per_collection_queries == {"paras": 2}
+
+    def test_replace_counts_as_indexing(self, engine):
+        engine.counters.reset()
+        engine.replace_document("paras", 1, "new text")
+        assert engine.counters.documents_indexed == 1
+
+
+class TestFileExchange:
+    def test_result_file_round_trip(self, engine, tmp_path):
+        path = str(tmp_path / "result.txt")
+        engine.query_to_file("paras", "www", path)
+        values = parse_result_file(path)
+        assert set(values) == {"OID1", "OID3"}
+        direct = engine.query("paras", "www").by_metadata(
+            engine.collection("paras"), "oid"
+        )
+        for oid, value in values.items():
+            assert value == pytest.approx(direct[oid], abs=1e-5)
+
+    def test_empty_result_file(self, engine, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        engine.query_to_file("paras", "nonexistentterm", path)
+        assert parse_result_file(path) == {}
+
+    def test_missing_metadata_falls_back_to_doc_id(self, tmp_path):
+        engine = IRSEngine()
+        engine.create_collection("c")
+        engine.index_document("c", "some www text")
+        path = str(tmp_path / "r.txt")
+        engine.query_to_file("c", "www", path)
+        assert list(parse_result_file(path)) == ["doc:1"]

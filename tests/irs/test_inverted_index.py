@@ -1,0 +1,119 @@
+"""Inverted index: postings, statistics, round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.irs.inverted_index import InvertedIndex
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex()
+    idx.add_document(1, ["www", "browser", "www"])
+    idx.add_document(2, ["nii", "policy"])
+    idx.add_document(3, ["www", "nii"])
+    return idx
+
+
+class TestPostings:
+    def test_tf_counts_occurrences(self, index):
+        assert index.term_frequency("www", 1) == 2
+        assert index.term_frequency("www", 2) == 0
+
+    def test_positions_recorded(self, index):
+        postings = index.postings("www")
+        assert postings[0].doc_id == 1
+        assert postings[0].positions == [0, 2]
+
+    def test_postings_in_doc_id_order(self, index):
+        assert [p.doc_id for p in index.postings("www")] == [1, 3]
+
+    def test_absent_term_empty(self, index):
+        assert index.postings("zzz") == []
+
+    def test_duplicate_doc_id_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_document(1, ["x"])
+
+
+class TestStatistics:
+    def test_document_count(self, index):
+        assert index.document_count == 3
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("www") == 2
+        assert index.document_frequency("policy") == 1
+        assert index.document_frequency("zzz") == 0
+
+    def test_collection_frequency(self, index):
+        assert index.collection_frequency("www") == 3
+
+    def test_lengths(self, index):
+        assert index.document_length(1) == 3
+        assert index.average_document_length == pytest.approx(7 / 3)
+
+    def test_posting_and_token_counts(self, index):
+        assert index.posting_count == 6
+        assert index.token_count == 7
+
+    def test_empty_index_statistics(self):
+        empty = InvertedIndex()
+        assert empty.average_document_length == 0.0
+        assert empty.document_count == 0
+
+
+class TestRemoval:
+    def test_remove_document(self, index):
+        index.remove_document(1)
+        assert not index.has_document(1)
+        assert index.document_frequency("browser") == 0
+        assert index.document_frequency("www") == 1
+
+    def test_remove_unknown_raises(self, index):
+        with pytest.raises(KeyError):
+            index.remove_document(99)
+
+    def test_empty_terms_pruned(self, index):
+        index.remove_document(2)
+        index.remove_document(3)
+        assert "nii" not in set(index.terms())
+
+
+class TestDocumentVector:
+    def test_vector_matches_terms(self, index):
+        assert index.document_vector(1) == {"www": 2, "browser": 1}
+
+    def test_vector_of_unknown_doc_is_empty(self, index):
+        assert index.document_vector(42) == {}
+
+
+_doc_terms = st.lists(
+    st.sampled_from(["www", "nii", "web", "policy", "browser"]), max_size=12
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_doc_terms, min_size=1, max_size=8))
+    def test_payload_round_trip(self, docs):
+        index = InvertedIndex()
+        for doc_id, terms in enumerate(docs, start=1):
+            index.add_document(doc_id, terms)
+        restored = InvertedIndex.from_payload(index.to_payload())
+        assert restored.document_count == index.document_count
+        assert restored.posting_count == index.posting_count
+        for doc_id in index.document_ids():
+            assert restored.document_vector(doc_id) == index.document_vector(doc_id)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_doc_terms, min_size=2, max_size=8))
+    def test_remove_then_stats_consistent(self, docs):
+        index = InvertedIndex()
+        for doc_id, terms in enumerate(docs, start=1):
+            index.add_document(doc_id, terms)
+        index.remove_document(1)
+        assert index.document_count == len(docs) - 1
+        assert 1 not in index.document_ids()
+        for term in index.terms():
+            assert index.document_frequency(term) >= 1

@@ -1,0 +1,86 @@
+"""IRS collections: document management, metadata, persistence payloads."""
+
+import pytest
+
+from repro.errors import DocumentMissingError
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+
+
+@pytest.fixture
+def collection():
+    c = IRSCollection("paras", Analyzer(stemming=False))
+    c.add_document("www browser here", {"oid": "OID1"})
+    c.add_document("nii policy there", {"oid": "OID2"})
+    return c
+
+
+class TestDocuments:
+    def test_add_assigns_increasing_ids(self, collection):
+        doc_id = collection.add_document("more text")
+        assert doc_id == 3
+        assert len(collection) == 3
+
+    def test_document_lookup(self, collection):
+        doc = collection.document(1)
+        assert doc.metadata["oid"] == "OID1"
+        assert "www" in doc.text
+
+    def test_missing_document_raises(self, collection):
+        with pytest.raises(DocumentMissingError):
+            collection.document(99)
+
+    def test_remove(self, collection):
+        collection.remove_document(1)
+        assert 1 not in collection
+        assert collection.index.document_frequency("www") == 0
+
+    def test_remove_missing_raises(self, collection):
+        with pytest.raises(DocumentMissingError):
+            collection.remove_document(99)
+
+    def test_replace_reindexes(self, collection):
+        collection.replace_document(1, "telnet protocol")
+        assert collection.index.document_frequency("www") == 0
+        assert collection.index.document_frequency("telnet") == 1
+        assert collection.document(1).metadata["oid"] == "OID1"  # kept
+
+    def test_ids_not_reused_after_removal(self, collection):
+        collection.remove_document(2)
+        assert collection.add_document("x") == 3
+
+
+class TestMetadata:
+    def test_find_by_metadata(self, collection):
+        assert collection.find_by_metadata("oid", "OID2") == [2]
+        assert collection.find_by_metadata("oid", "nope") == []
+
+    def test_metadata_copied_on_add(self, collection):
+        metadata = {"oid": "OID9"}
+        collection.add_document("t", metadata)
+        metadata["oid"] = "changed"
+        assert collection.document(3).metadata["oid"] == "OID9"
+
+
+class TestSizes:
+    def test_text_bytes(self, collection):
+        assert collection.text_bytes() == len("www browser here") + len("nii policy there")
+
+    def test_indexed_bytes_positive(self, collection):
+        assert collection.indexed_bytes() > 0
+
+    def test_indexed_bytes_grows_with_documents(self, collection):
+        before = collection.indexed_bytes()
+        collection.add_document("completely new words appear")
+        assert collection.indexed_bytes() > before
+
+
+class TestPayload:
+    def test_round_trip(self, collection):
+        payload = collection.to_payload()
+        restored = IRSCollection.from_payload(payload, Analyzer(stemming=False))
+        assert len(restored) == len(collection)
+        assert restored.document(1).text == collection.document(1).text
+        assert restored.index.document_frequency("www") == 1
+        # new additions continue the id sequence
+        assert restored.add_document("next") == 3

@@ -1,0 +1,64 @@
+"""IRS persistence: engines round-trip through the filesystem."""
+
+import os
+
+from repro.irs.engine import IRSEngine
+from repro.irs.persistence import load_engine, save_engine
+
+
+def build_engine():
+    engine = IRSEngine()
+    engine.create_collection("paras")
+    engine.index_document("paras", "the www grows daily", {"oid": "OID1"})
+    engine.index_document("paras", "nii debates continue", {"oid": "OID2"})
+    engine.create_collection("chapters")
+    engine.index_document("chapters", "full chapter about www and nii", {"oid": "OID3"})
+    return engine
+
+
+class TestSaveLoad:
+    def test_collections_restored(self, tmp_path):
+        engine = build_engine()
+        save_engine(engine, str(tmp_path))
+        restored = load_engine(str(tmp_path))
+        assert restored.collection_names() == ["chapters", "paras"]
+        assert len(restored.collection("paras")) == 2
+
+    def test_query_results_identical(self, tmp_path):
+        engine = build_engine()
+        save_engine(engine, str(tmp_path))
+        restored = load_engine(str(tmp_path))
+        assert restored.query("paras", "www").values == engine.query("paras", "www").values
+
+    def test_metadata_restored(self, tmp_path):
+        engine = build_engine()
+        save_engine(engine, str(tmp_path))
+        restored = load_engine(str(tmp_path))
+        assert restored.collection("paras").document(1).metadata["oid"] == "OID1"
+
+    def test_load_missing_directory_yields_empty_engine(self, tmp_path):
+        restored = load_engine(str(tmp_path / "nothing"))
+        assert restored.collection_names() == []
+
+    def test_save_is_atomic_per_file(self, tmp_path):
+        engine = build_engine()
+        save_engine(engine, str(tmp_path))
+        files = os.listdir(str(tmp_path))
+        assert "collections.json" in files
+        assert not [f for f in files if f.endswith(".tmp")]
+
+    def test_resave_overwrites(self, tmp_path):
+        engine = build_engine()
+        save_engine(engine, str(tmp_path))
+        engine.index_document("paras", "third document", {"oid": "OID9"})
+        save_engine(engine, str(tmp_path))
+        restored = load_engine(str(tmp_path))
+        assert len(restored.collection("paras")) == 3
+
+    def test_odd_collection_names_safe(self, tmp_path):
+        engine = IRSEngine()
+        engine.create_collection("my coll/2!")
+        engine.index_document("my coll/2!", "text www", {})
+        save_engine(engine, str(tmp_path))
+        restored = load_engine(str(tmp_path))
+        assert restored.has_collection("my coll/2!")

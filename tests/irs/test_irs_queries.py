@@ -1,0 +1,107 @@
+"""IRS query language: parsing, operators, formatting."""
+
+import pytest
+
+from repro.errors import IRSQuerySyntaxError, UnknownOperatorError
+from repro.irs.queries import (
+    OperatorNode,
+    TermNode,
+    format_query,
+    parse_irs_query,
+    subqueries,
+)
+
+
+class TestParsing:
+    def test_bare_term(self):
+        assert parse_irs_query("WWW") == TermNode("WWW")
+
+    def test_bare_terms_combine_with_default(self):
+        tree = parse_irs_query("www nii", default_operator="sum")
+        assert isinstance(tree, OperatorNode)
+        assert tree.op == "sum"
+        assert tree.children == (TermNode("www"), TermNode("nii"))
+
+    def test_boolean_default_operator(self):
+        tree = parse_irs_query("www nii", default_operator="and")
+        assert tree.op == "and"
+
+    def test_and_operator(self):
+        tree = parse_irs_query("#and(www nii)")
+        assert tree.op == "and"
+        assert len(tree.children) == 2
+
+    def test_nested_operators(self):
+        tree = parse_irs_query("#or(#and(www nii) telnet)")
+        assert tree.op == "or"
+        inner = tree.children[0]
+        assert isinstance(inner, OperatorNode) and inner.op == "and"
+
+    def test_commas_tolerated(self):
+        tree = parse_irs_query("#and(www, nii)")
+        assert len(tree.children) == 2
+
+    def test_case_insensitive_operator(self):
+        assert parse_irs_query("#AND(www nii)").op == "and"
+
+    def test_wsum_pairs(self):
+        tree = parse_irs_query("#wsum(2 www 1 nii)")
+        assert tree.weights == (2.0, 1.0)
+        assert tree.children == (TermNode("www"), TermNode("nii"))
+
+    def test_not_single_operand(self):
+        tree = parse_irs_query("#not(telnet)")
+        assert tree.op == "not"
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("   ")
+
+    def test_unknown_operator(self):
+        with pytest.raises(UnknownOperatorError):
+            parse_irs_query("#phrase(www nii)")
+
+    def test_unterminated(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("#and(www")
+
+    def test_empty_operator(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("#and()")
+
+    def test_not_with_two_operands(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("#not(a b)")
+
+    def test_wsum_missing_operand(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("#wsum(2)")
+
+    def test_wsum_non_numeric_weight(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query("#wsum(www nii)")
+
+    def test_stray_paren(self):
+        with pytest.raises(IRSQuerySyntaxError):
+            parse_irs_query(") www")
+
+
+class TestHelpers:
+    def test_terms_collects_recursively(self):
+        tree = parse_irs_query("#or(#and(www nii) telnet)")
+        assert tree.terms() == ["www", "nii", "telnet"]
+
+    def test_subqueries_of_operator(self):
+        tree = parse_irs_query("#and(www nii)")
+        subs = subqueries(tree)
+        assert subs == [TermNode("www"), TermNode("nii")]
+
+    def test_subqueries_of_term(self):
+        assert subqueries(TermNode("www")) == [TermNode("www")]
+
+    def test_format_round_trip(self):
+        for text in ("www", "#and(www nii)", "#or(#and(a b) c)", "#wsum(2 a 1 b)", "#not(x)"):
+            tree = parse_irs_query(text)
+            assert parse_irs_query(format_query(tree)) == tree

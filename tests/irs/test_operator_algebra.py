@@ -1,0 +1,85 @@
+"""Belief operator algebra: INQUERY semantics + hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.irs.models import operators as ops
+
+_belief = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_beliefs = st.lists(_belief, min_size=1, max_size=6)
+
+
+class TestPointValues:
+    def test_and_is_product(self):
+        assert ops.op_and([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_or_complement_product(self):
+        assert ops.op_or([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_not_complement(self):
+        assert ops.op_not(0.3) == pytest.approx(0.7)
+
+    def test_sum_is_mean(self):
+        assert ops.op_sum([0.2, 0.4, 0.6]) == pytest.approx(0.4)
+
+    def test_sum_of_empty_is_zero(self):
+        assert ops.op_sum([]) == 0.0
+
+    def test_max(self):
+        assert ops.op_max([0.2, 0.9, 0.4]) == pytest.approx(0.9)
+
+    def test_max_of_empty_is_zero(self):
+        assert ops.op_max([]) == 0.0
+
+    def test_wsum_weighted_mean(self):
+        assert ops.op_wsum([2, 1], [0.9, 0.3]) == pytest.approx((1.8 + 0.3) / 3)
+
+    def test_wsum_zero_weights(self):
+        assert ops.op_wsum([0, 0], [0.9, 0.3]) == 0.0
+
+    def test_wsum_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.op_wsum([1], [0.5, 0.5])
+
+
+class TestAlgebraicProperties:
+    @given(_beliefs)
+    def test_all_in_unit_interval(self, beliefs):
+        for combine in (ops.op_and, ops.op_or, ops.op_sum, ops.op_max):
+            assert 0.0 <= combine(beliefs) <= 1.0
+
+    @given(_belief)
+    def test_not_is_involution(self, belief):
+        assert ops.op_not(ops.op_not(belief)) == pytest.approx(belief)
+
+    @given(_beliefs)
+    def test_and_below_min_or_above_max(self, beliefs):
+        assert ops.op_and(beliefs) <= min(beliefs) + 1e-12
+        assert ops.op_or(beliefs) >= max(beliefs) - 1e-12
+
+    @given(_beliefs)
+    def test_sum_between_min_and_max(self, beliefs):
+        assert min(beliefs) - 1e-12 <= ops.op_sum(beliefs) <= max(beliefs) + 1e-12
+
+    @given(_belief)
+    def test_singletons_are_identity(self, belief):
+        for combine in (ops.op_and, ops.op_or, ops.op_sum, ops.op_max):
+            assert combine([belief]) == pytest.approx(belief)
+
+    @given(_beliefs)
+    def test_de_morgan(self, beliefs):
+        # not(and(b)) == or(not(b_i)) under the product algebra
+        left = ops.op_not(ops.op_and(beliefs))
+        right = ops.op_or([ops.op_not(b) for b in beliefs])
+        assert left == pytest.approx(right)
+
+    @given(_beliefs, _belief)
+    def test_and_monotone_in_each_argument(self, beliefs, extra):
+        base = ops.op_and(beliefs)
+        assert ops.op_and(beliefs + [extra]) <= base + 1e-12
+
+    @given(_beliefs)
+    def test_wsum_with_equal_weights_is_sum(self, beliefs):
+        weights = [1.0] * len(beliefs)
+        assert ops.op_wsum(weights, beliefs) == pytest.approx(ops.op_sum(beliefs))

@@ -1,0 +1,129 @@
+"""Porter stemmer: canonical examples from the 1980 paper + properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.irs.porter import stem
+
+
+class TestCanonicalExamples:
+    # Input/output pairs taken from Porter's published step examples.
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            # step 1a
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            # step 1b
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            # step 1b cleanup
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            # step 1c
+            ("happy", "happi"),
+            ("sky", "sky"),
+            # step 2
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            # step 3
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            # step 4
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            # step 5
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_example(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestDomainTerms:
+    def test_retrieval_vocabulary_conflates(self):
+        assert stem("retrieval") == stem("retrieving") != ""
+        assert stem("indexing") == stem("indexed") == stem("index")
+        assert stem("documents") == stem("document")
+
+    def test_www_and_nii_unchanged(self):
+        assert stem("www") == "www"
+        assert stem("nii") == "nii"
+
+
+class TestProperties:
+    def test_short_words_unchanged(self):
+        for word in ("a", "an", "is", "it"):
+            assert stem(word) == word
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_never_longer_than_input(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=20))
+    def test_never_empty_for_real_words(self, word):
+        assert stem(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)

@@ -1,0 +1,120 @@
+"""Aggregate functions and GROUP BY in the query language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.oodb import Database
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.define_class("Doc", attributes={"year": "STRING"})
+    d.define_class("Para", attributes={"n": "INT", "doc": "OID", "label": "STRING"})
+    d.schema.get_class("Para").add_method(
+        "getDoc", lambda o: o.database.get_object(o.get("doc"))
+    )
+    d1 = d.create_object("Doc", year="1993")
+    d2 = d.create_object("Doc", year="1994")
+    for i in range(6):
+        d.create_object("Para", n=i, doc=(d1 if i % 2 else d2).oid, label=f"p{i}")
+    d.docs = (d1, d2)
+    return d
+
+
+class TestWholeResultAggregates:
+    def test_count_star(self, db):
+        assert db.query("ACCESS COUNT(*) FROM p IN Para") == [(6,)]
+
+    def test_count_expr_skips_nulls(self, db):
+        db.create_object("Para", n=None)
+        assert db.query("ACCESS COUNT(p.n) FROM p IN Para") == [(6,)]
+        assert db.query("ACCESS COUNT(*) FROM p IN Para") == [(7,)]
+
+    def test_sum_avg_min_max(self, db):
+        rows = db.query(
+            "ACCESS SUM(p.n), AVG(p.n), MIN(p.n), MAX(p.n) FROM p IN Para"
+        )
+        assert rows == [(15.0, 2.5, 0, 5)]
+
+    def test_aggregate_with_where(self, db):
+        rows = db.query("ACCESS COUNT(*) FROM p IN Para WHERE p.n >= 4")
+        assert rows == [(2,)]
+
+    def test_empty_result_aggregates(self, db):
+        rows = db.query(
+            "ACCESS COUNT(*), SUM(p.n), AVG(p.n), MIN(p.n) FROM p IN Para WHERE p.n > 99"
+        )
+        assert rows == []  # no tuples at all -> no groups
+
+    def test_min_max_over_strings(self, db):
+        rows = db.query("ACCESS MIN(p.label), MAX(p.label) FROM p IN Para")
+        assert rows == [("p0", "p5")]
+
+    def test_aggregate_of_method_result(self, db):
+        rows = db.query("ACCESS MAX(p.n * 10) FROM p IN Para")
+        assert rows == [(50,)]
+
+
+class TestGroupBy:
+    def test_group_by_object(self, db):
+        rows = db.query(
+            "ACCESS d.year, COUNT(*) FROM d IN Doc, p IN Para "
+            "WHERE p -> getDoc() == d GROUP BY d"
+        )
+        assert sorted(rows) == [("1993", 3), ("1994", 3)]
+
+    def test_group_by_attribute(self, db):
+        rows = db.query(
+            "ACCESS d.year, AVG(p.n) FROM d IN Doc, p IN Para "
+            "WHERE p -> getDoc() == d GROUP BY d.year"
+        )
+        assert sorted(rows) == [("1993", 3.0), ("1994", 2.0)]
+
+    def test_group_preserves_first_seen_order(self, db):
+        rows = db.query(
+            "ACCESS p.n, COUNT(*) FROM p IN Para GROUP BY p.n LIMIT 3"
+        )
+        assert rows == [(0, 1), (1, 1), (2, 1)]
+
+    def test_limit_applies_to_groups(self, db):
+        rows = db.query(
+            "ACCESS d.year, COUNT(*) FROM d IN Doc, p IN Para "
+            "WHERE p -> getDoc() == d GROUP BY d LIMIT 1"
+        )
+        assert len(rows) == 1
+
+
+class TestValidation:
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(QuerySyntaxError):
+            db.query("ACCESS p FROM p IN Para GROUP BY p.n")
+
+    def test_order_by_with_aggregate_rejected(self, db):
+        with pytest.raises(QuerySyntaxError):
+            db.query("ACCESS COUNT(*) FROM p IN Para ORDER BY p.n")
+
+    def test_count_requires_parenthesis(self, db):
+        with pytest.raises(QuerySyntaxError):
+            db.query("ACCESS COUNT * FROM p IN Para")
+
+
+class TestMixedQueryAggregates:
+    """Aggregates compose with the coupling: counting relevant elements."""
+
+    def test_count_relevant_paragraphs_per_document(self, mmf_system, para_collection):
+        rows = mmf_system.query(
+            "ACCESS d -> getAttributeValue('TITLE'), COUNT(*) "
+            "FROM d IN MMFDOC, p IN PARA "
+            "WHERE p -> getContaining('MMFDOC') == d AND "
+            "p -> getIRSValue(c, 'telnet') > 0.45 GROUP BY d",
+            {"c": para_collection},
+        )
+        assert rows == [("Telnet", 2)]
+
+    def test_average_relevance(self, mmf_system, para_collection):
+        rows = mmf_system.query(
+            "ACCESS AVG(p -> getIRSValue(c, 'nii')) FROM p IN PARA",
+            {"c": para_collection},
+        )
+        assert 0.0 <= rows[0][0] <= 1.0

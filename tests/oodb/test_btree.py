@@ -1,0 +1,185 @@
+"""B-tree: operations plus invariant-preserving property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oodb.btree import BTree
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self):
+        tree = BTree(min_degree=2)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == {"a", "b"}
+
+    def test_get_missing_returns_empty(self):
+        assert BTree().get(99) == set()
+
+    def test_contains(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "x")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_len_counts_distinct_keys(self):
+        tree = BTree(min_degree=2)
+        for key in [3, 1, 2, 1, 3]:
+            tree.insert(key, f"v{key}")
+        assert len(tree) == 3
+
+    def test_entry_count_counts_pairs(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        tree.insert(2, "a")
+        assert tree.entry_count == 3
+
+    def test_duplicate_pair_is_idempotent(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        tree.insert(1, "a")
+        assert tree.entry_count == 1
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self):
+        tree = BTree(min_degree=2)
+        for key in [9, 3, 7, 1, 5]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_range_inclusive(self):
+        tree = BTree(min_degree=2)
+        for key in range(10):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.range(3, 6)] == [3, 4, 5, 6]
+
+    def test_range_exclusive_bounds(self):
+        tree = BTree(min_degree=2)
+        for key in range(10):
+            tree.insert(key, key)
+        keys = [k for k, _ in tree.range(3, 6, include_low=False, include_high=False)]
+        assert keys == [4, 5]
+
+    def test_range_open_ended(self):
+        tree = BTree(min_degree=2)
+        for key in range(5):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.range(low=3)] == [3, 4]
+        assert [k for k, _ in tree.range(high=1)] == [0, 1]
+
+    def test_height_grows_logarithmically(self):
+        tree = BTree(min_degree=2)
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.height() <= 7  # 2-3-4 tree of 100 keys
+
+
+class TestDeletion:
+    def test_remove_value_keeps_key_with_remaining_values(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a")
+        assert tree.get(1) == {"b"}
+
+    def test_remove_last_value_drops_key(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        assert tree.remove(1, "a")
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_remove_missing_returns_false(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        assert not tree.remove(1, "zz")
+        assert not tree.remove(9, "a")
+
+    def test_remove_everything_in_insertion_order(self):
+        tree = BTree(min_degree=2)
+        keys = list(range(50))
+        for key in keys:
+            tree.insert(key, key)
+        for key in keys:
+            assert tree.remove(key, key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_remove_everything_in_reverse_order(self):
+        tree = BTree(min_degree=2)
+        keys = list(range(50))
+        for key in keys:
+            tree.insert(key, key)
+        for key in reversed(keys):
+            assert tree.remove(key, key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+
+@st.composite
+def operations(draw):
+    """A sequence of insert/remove operations over a small key space."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove"]),
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=200,
+        )
+    )
+    return ops
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(operations(), st.integers(min_value=2, max_value=5))
+    def test_matches_reference_dict_and_keeps_invariants(self, ops, degree):
+        tree = BTree(min_degree=degree)
+        reference = {}
+        for op, key, value in ops:
+            if op == "insert":
+                tree.insert(key, value)
+                reference.setdefault(key, set()).add(value)
+            else:
+                removed = tree.remove(key, value)
+                expected = key in reference and value in reference[key]
+                assert removed == expected
+                if expected:
+                    reference[key].discard(value)
+                    if not reference[key]:
+                        del reference[key]
+        tree.check_invariants()
+        assert dict(tree.items()) == reference
+        assert len(tree) == len(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), unique=True, max_size=120))
+    def test_iteration_always_sorted(self, keys):
+        tree = BTree(min_degree=3)
+        for key in keys:
+            tree.insert(key, "v")
+        listed = [k for k, _ in tree.items()]
+        assert listed == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), unique=True, min_size=1, max_size=60),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    def test_range_matches_filter(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BTree(min_degree=2)
+        for key in keys:
+            tree.insert(key, key)
+        got = [k for k, _ in tree.range(low, high)]
+        assert got == sorted(k for k in keys if low <= k <= high)

@@ -1,0 +1,170 @@
+"""Durable databases: checkpoints, WAL replay, schema restoration."""
+
+import pytest
+
+from repro.oodb import Database
+from repro.oodb.oid import OID
+
+
+def make_db(path):
+    db = Database(directory=path)
+    if not db.schema.has_class("Doc"):
+        db.define_class("Doc", attributes={"title": "STRING", "n": "INT"})
+    return db
+
+
+class TestCheckpointRecovery:
+    def test_snapshot_restores_objects(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_object("Doc", title="a", n=1)
+        db.close()
+        db2 = make_db(path)
+        objs = db2.instances_of("Doc")
+        assert [o.get("title") for o in objs] == ["a"]
+        db2.close()
+
+    def test_schema_structure_restored(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.close()
+        db2 = Database(directory=path)
+        assert db2.schema.has_class("Doc")
+        assert db2.schema.resolve_attribute("Doc", "n").type_name == "INT"
+        db2.close()
+
+    def test_oids_not_reused_after_restart(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        first = db.create_object("Doc", n=1)
+        db.close()
+        db2 = make_db(path)
+        second = db2.create_object("Doc", n=2)
+        assert second.oid.value > first.oid.value
+        db2.close()
+
+
+class TestWALReplay:
+    def test_uncheckpointed_committed_work_survives(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.checkpoint()
+        db.create_object("Doc", title="late", n=9)
+        db._wal.close()  # simulate crash: no close/checkpoint
+        db2 = make_db(path)
+        titles = sorted(o.get("title") for o in db2.instances_of("Doc"))
+        assert titles == ["late"]
+        db2.close()
+
+    def test_aborted_transaction_not_replayed(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        txn = db.begin()
+        db.create_object("Doc", title="ghost", n=1)
+        txn.rollback()
+        db._wal.close()
+        db2 = make_db(path)
+        assert db2.instances_of("Doc") == []
+        db2.close()
+
+    def test_open_transaction_not_replayed(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.begin()
+        db.create_object("Doc", title="ghost", n=1)
+        db._wal.close()  # crash with the transaction still open
+        db2 = make_db(path)
+        assert db2.instances_of("Doc") == []
+        db2.close()
+
+    def test_delete_replayed(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        obj = db.create_object("Doc", title="x", n=1)
+        db.checkpoint()
+        db.delete_object(obj)
+        db._wal.close()
+        db2 = make_db(path)
+        assert not db2.object_exists(obj.oid)
+        db2.close()
+
+    def test_attribute_writes_replayed_in_order(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        obj = db.create_object("Doc", n=1)
+        obj.set("n", 2)
+        obj.set("n", 3)
+        db._wal.close()
+        db2 = make_db(path)
+        assert db2.get_object(obj.oid).get("n") == 3
+        db2.close()
+
+    def test_oid_references_survive(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        a = db.create_object("Doc", n=1)
+        b = db.create_object("Doc", n=2)
+        a.set("title", "ref-holder")
+        db.write_attribute(a.oid, "n", 5)
+        a.set("ref", b.oid) if db.schema.has_attribute("Doc", "ref") else db.write_attribute(a.oid, "ref", b.oid)
+        db._wal.close()
+        db2 = make_db(path)
+        assert db2.read_attribute(a.oid, "ref") == b.oid
+        db2.close()
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_object("Doc", n=1)
+        assert len(db._wal) > 0
+        db.checkpoint()
+        assert len(db._wal) == 0
+        db.close()
+
+
+class TestIndexRecovery:
+    def test_indexes_rebuilt_and_backfilled(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_index("Doc", "n")
+        for i in range(5):
+            db.create_object("Doc", n=i)
+        db.close()
+        db2 = make_db(path)
+        index = db2.indexes.find("Doc", "n")
+        assert index is not None
+        objs = db2.instances_of("Doc")
+        assert index.lookup(3) == {o.oid for o in objs if o.get("n") == 3}
+        db2.close()
+
+    def test_rebuilt_index_covers_wal_replayed_objects(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_index("Doc", "n")
+        db.checkpoint()
+        late = db.create_object("Doc", n=42)  # only in the WAL
+        db._wal.close()
+        db2 = make_db(path)
+        assert db2.indexes.find("Doc", "n").lookup(42) == {late.oid}
+        db2.close()
+
+    def test_index_kind_preserved(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_index("Doc", "title", kind="hash")
+        db.close()
+        db2 = make_db(path)
+        assert db2.indexes.find("Doc", "title").kind == "hash"
+        db2.close()
+
+    def test_queries_use_rebuilt_index(self, tmp_path):
+        path = str(tmp_path)
+        db = make_db(path)
+        db.create_index("Doc", "n")
+        db.create_object("Doc", n=9)
+        db.close()
+        db2 = make_db(path)
+        plan = db2.explain("ACCESS d FROM d IN Doc WHERE d.n = 9")
+        assert plan["variables"]["d"]["access_path"] == "index probe"
+        assert db2.query("ACCESS d.n FROM d IN Doc WHERE d.n = 9") == [(9,)]
+        db2.close()

@@ -1,0 +1,66 @@
+"""Query language tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.oodb.query.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("access FROM Where")[0] == ("KEYWORD", "ACCESS")
+        assert kinds("access FROM Where")[2] == ("KEYWORD", "WHERE")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("collPara") == [("IDENT", "collPara")]
+
+    def test_arrow_operator(self):
+        assert ("OP", "->") in kinds("p -> length()")
+
+    def test_comparison_operators(self):
+        for op in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            assert ("OP", op) in kinds(f"a {op} b")
+
+    def test_single_quoted_string(self):
+        assert kinds("'WWW'") == [("STRING", "WWW")]
+
+    def test_double_quoted_string(self):
+        assert kinds('"NII"') == [("STRING", "NII")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    def test_integer_and_float(self):
+        assert kinds("42 0.6") == [("NUMBER", "42"), ("NUMBER", "0.6")]
+
+    def test_number_then_member_access(self):
+        # "p.n" must not lex "n" into a number context
+        assert kinds("p.n") == [("IDENT", "p"), ("OP", "."), ("IDENT", "n")]
+
+    def test_parameter(self):
+        assert kinds("$coll") == [("PARAM", "coll")]
+
+    def test_empty_parameter_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("$ x")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a @ b")
+
+    def test_paper_query_tokenizes(self):
+        text = (
+            "ACCESS p, p -> length() FROM p IN PARA "
+            "WHERE p -> getIRSValue (collPara, 'WWW') > 0.6;"
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "EOF"
+        assert ("STRING", "WWW") in [(t.kind, t.text) for t in tokens]

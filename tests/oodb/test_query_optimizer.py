@@ -1,0 +1,134 @@
+"""Optimizer: index selection, join ordering, semantic restrictors."""
+
+import pytest
+
+from repro.oodb import Database
+from repro.oodb.oid import OID
+from repro.oodb.query.evaluator import QueryEvaluator
+from repro.oodb.query.optimizer import (
+    register_restrictor,
+    restrictor_for,
+    unregister_restrictor,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.define_class("Item", attributes={"v": "INT", "name": "STRING"})
+    d.schema.get_class("Item").add_method(
+        "getAttributeValue", lambda o, a: o.get(a)
+    )
+    d.schema.get_class("Item").add_method("score", lambda o, q: float(o.get("v")))
+    for i in range(50):
+        d.create_object("Item", v=i, name=f"item{i}")
+    return d
+
+
+class TestIndexSelection:
+    def test_equality_uses_index(self, db):
+        db.create_index("Item", "v")
+        plan = db.explain("ACCESS x FROM x IN Item WHERE x.v = 7")
+        assert plan["variables"]["x"]["index_predicates"] == ["Item.v = 7"]
+
+    def test_range_uses_btree(self, db):
+        db.create_index("Item", "v")
+        plan = db.explain("ACCESS x FROM x IN Item WHERE x.v > 40")
+        assert "Item.v > 40" in plan["variables"]["x"]["index_predicates"]
+
+    def test_hash_index_not_used_for_range(self, db):
+        db.create_index("Item", "name", kind="hash")
+        plan = db.explain("ACCESS x FROM x IN Item WHERE x.name > 'a'")
+        assert plan["variables"]["x"]["index_predicates"] == []
+        assert plan["variables"]["x"]["residual_filters"] == 1
+
+    def test_flipped_comparison_normalized(self, db):
+        db.create_index("Item", "v")
+        plan = db.explain("ACCESS x FROM x IN Item WHERE 7 = x.v")
+        assert plan["variables"]["x"]["index_predicates"] == ["Item.v = 7"]
+
+    def test_get_attribute_value_recognized(self, db):
+        db.create_index("Item", "v")
+        plan = db.explain(
+            "ACCESS x FROM x IN Item WHERE x -> getAttributeValue('v') = 7"
+        )
+        assert plan["variables"]["x"]["index_predicates"] == ["Item.v = 7"]
+
+    def test_no_index_means_filter(self, db):
+        plan = db.explain("ACCESS x FROM x IN Item WHERE x.v = 7")
+        assert plan["variables"]["x"]["index_predicates"] == []
+        assert plan["variables"]["x"]["residual_filters"] == 1
+
+    def test_indexed_result_correct(self, db):
+        db.create_index("Item", "v")
+        rows = db.query("ACCESS x.v FROM x IN Item WHERE x.v >= 47")
+        assert sorted(r[0] for r in rows) == [47, 48, 49]
+
+    def test_parameter_constant_usable(self, db):
+        db.create_index("Item", "v")
+        evaluator = QueryEvaluator(db)
+        rows, stats = evaluator.run_with_stats(
+            "ACCESS x.v FROM x IN Item WHERE x.v = $k", {"k": 5}
+        )
+        assert rows == [(5,)]
+        assert stats.index_probes == 1
+
+
+class TestJoinBehaviour:
+    def test_multi_variable_conjunct_becomes_join_predicate(self, db):
+        plan = db.explain(
+            "ACCESS a, b FROM a IN Item, b IN Item WHERE a.v = b.v"
+        )
+        assert plan["join_conjuncts"] == 1
+
+    def test_selective_variable_drives_join(self, db):
+        db.create_index("Item", "v")
+        evaluator = QueryEvaluator(db)
+        _rows, stats = evaluator.run_with_stats(
+            "ACCESS a, b FROM a IN Item, b IN Item WHERE a.v = 1 AND a.v = b.v"
+        )
+        # a is restricted to 1 candidate by the index; tuples examined should
+        # be far below the 50*50 cross product.
+        assert stats.tuples_examined <= 51 + 1
+
+
+class TestRestrictors:
+    def test_registered_restrictor_is_used(self, db):
+        calls = []
+
+        def restrict(database, args, op, constant):
+            calls.append((args, op, constant))
+            return {
+                obj.oid
+                for obj in database.instances_of("Item")
+                if float(obj.get("v")) > constant
+            }
+
+        register_restrictor("score", restrict)
+        try:
+            evaluator = QueryEvaluator(db)
+            rows, stats = evaluator.run_with_stats(
+                "ACCESS x.v FROM x IN Item WHERE x -> score('q') > 47"
+            )
+            assert sorted(r[0] for r in rows) == [48, 49]
+            assert stats.restrictor_calls == 1
+            assert stats.method_calls == 0  # never evaluated per object
+            assert calls == [(("q",), ">", 47)]
+        finally:
+            unregister_restrictor("score")
+
+    def test_declining_restrictor_falls_back(self, db):
+        register_restrictor("score", lambda *a: None)
+        try:
+            rows = db.query("ACCESS x.v FROM x IN Item WHERE x -> score('q') > 47")
+            assert sorted(r[0] for r in rows) == [48, 49]
+        finally:
+            unregister_restrictor("score")
+
+    def test_unregistered_method_evaluates_per_object(self, db):
+        assert restrictor_for("score") is None
+        evaluator = QueryEvaluator(db)
+        _rows, stats = evaluator.run_with_stats(
+            "ACCESS x FROM x IN Item WHERE x -> score('q') > 47"
+        )
+        assert stats.method_calls == 50

@@ -1,0 +1,161 @@
+"""Query language parser: AST shapes and error reporting."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.oodb.query.ast import (
+    AttributeAccess,
+    BooleanOp,
+    Comparison,
+    Literal,
+    MethodCall,
+    NotOp,
+    Parameter,
+    Variable,
+)
+from repro.oodb.query.parser import parse_query
+
+
+class TestStructure:
+    def test_minimal_query(self):
+        query = parse_query("ACCESS p FROM p IN PARA")
+        assert [r.variable for r in query.ranges] == ["p"]
+        assert query.ranges[0].class_name == "PARA"
+        assert query.select == [Variable("p")]
+        assert query.where is None
+
+    def test_multiple_ranges(self):
+        query = parse_query("ACCESS d FROM d IN MMFDOC, p IN PARA")
+        assert [(r.variable, r.class_name) for r in query.ranges] == [
+            ("d", "MMFDOC"),
+            ("p", "PARA"),
+        ]
+
+    def test_duplicate_range_variable_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("ACCESS p FROM p IN A, p IN B")
+
+    def test_trailing_semicolon_optional(self):
+        parse_query("ACCESS p FROM p IN PARA;")
+        parse_query("ACCESS p FROM p IN PARA")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("ACCESS p FROM p IN PARA extra")
+
+    def test_order_by_and_limit(self):
+        query = parse_query("ACCESS p.n FROM p IN PARA ORDER BY p.n DESC LIMIT 3")
+        assert query.order_desc
+        assert query.limit == 3
+
+    def test_order_by_asc_default(self):
+        query = parse_query("ACCESS p FROM p IN PARA ORDER BY p.n")
+        assert not query.order_desc
+
+
+class TestExpressions:
+    def test_method_call_with_args(self):
+        query = parse_query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(coll, 'WWW') > 0.6"
+        )
+        comparison = query.where
+        assert isinstance(comparison, Comparison)
+        call = comparison.left
+        assert isinstance(call, MethodCall)
+        assert call.method == "getIRSValue"
+        assert call.args == (Variable("coll"), Literal("WWW"))
+        assert comparison.right == Literal(0.6)
+
+    def test_chained_calls(self):
+        query = parse_query("ACCESS p -> getNext() -> length() FROM p IN PARA")
+        outer = query.select[0]
+        assert isinstance(outer, MethodCall)
+        assert outer.method == "length"
+        assert isinstance(outer.target, MethodCall)
+
+    def test_attribute_access(self):
+        query = parse_query("ACCESS p.n FROM p IN PARA")
+        assert query.select[0] == AttributeAccess(Variable("p"), "n")
+
+    def test_parameter(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE p.n = $k")
+        assert query.where.right == Parameter("k")
+
+    def test_and_flattening(self):
+        query = parse_query(
+            "ACCESS p FROM p IN PARA WHERE p.n > 1 AND p.n < 5 AND p.n != 3"
+        )
+        assert len(query.conjuncts) == 3
+
+    def test_or_precedence(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE p.n = 1 OR p.n = 2 AND p.n = 3")
+        assert isinstance(query.where, BooleanOp)
+        assert query.where.op == "OR"
+
+    def test_parentheses_override_precedence(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE (p.n = 1 OR p.n = 2) AND p.n = 3")
+        assert query.where.op == "AND"
+
+    def test_not(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE NOT p.n = 1")
+        assert isinstance(query.where, NotOp)
+
+    def test_boolean_literals(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE p -> isLeaf() = TRUE")
+        assert query.where.right == Literal(True)
+
+    def test_null_literal(self):
+        query = parse_query("ACCESS p FROM p IN PARA WHERE p.parent = NULL")
+        assert query.where.right == Literal(None)
+
+    def test_arithmetic(self):
+        query = parse_query("ACCESS p -> length() * 2 + 1 FROM p IN PARA")
+        assert query.select[0].op == "+"
+
+    def test_free_identifiers_allowed(self):
+        # collPara is not declared; it resolves from bindings at runtime.
+        query = parse_query(
+            "ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'x') > 0.5"
+        )
+        assert "collPara" in query.where.variables()
+
+
+class TestPaperQueries:
+    def test_query_one_parses(self):
+        parse_query(
+            "ACCESS p, p -> length() FROM p IN PARA "
+            "WHERE p -> getIRSValue (collPara, 'WWW') > 0.6;"
+        )
+
+    def test_query_two_parses(self):
+        query = parse_query(
+            "ACCESS d -> getAttributeValue ('TITLE') "
+            "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+            "WHERE d -> getAttributeValue ('YEAR') = '1994' AND "
+            "p1 -> getNext() == p2 AND "
+            "p1 -> getContaining ('MMFDOC') == d AND "
+            "p1 -> getIRSValue (collPara, 'WWW') > 0.4 AND "
+            "p2 -> getIRSValue (collPara, 'NII') > 0.4;"
+        )
+        assert len(query.ranges) == 3
+        assert len(query.conjuncts) == 5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROM p IN PARA",
+            "ACCESS FROM p IN PARA",
+            "ACCESS p",
+            "ACCESS p FROM p",
+            "ACCESS p FROM p IN",
+            "ACCESS p FROM p IN PARA WHERE",
+            "ACCESS p FROM p IN PARA WHERE p ->",
+            "ACCESS p FROM p IN PARA WHERE p -> m(",
+            "ACCESS p FROM p IN PARA LIMIT",
+        ],
+    )
+    def test_malformed_queries_raise(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)

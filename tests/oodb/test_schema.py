@@ -1,0 +1,113 @@
+"""Class schema: definitions, inheritance, member resolution."""
+
+import pytest
+
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownMethodError,
+)
+from repro.oodb.oid import OID
+from repro.oodb.schema import AttributeDefinition, Schema
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class("IRSObject", attributes={"default_collection": "OID"})
+    s.define_class("Element", superclass="IRSObject", attributes={"tag": "STRING"})
+    s.define_class("PARA", superclass="Element")
+    return s
+
+
+class TestClassDefinition:
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.define_class("PARA")
+
+    def test_unknown_superclass_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.define_class("X", superclass="NoSuchClass")
+
+    def test_duplicate_attribute_rejected(self, schema):
+        cdef = schema.get_class("PARA")
+        cdef.add_attribute("n", "INT")
+        with pytest.raises(SchemaError):
+            cdef.add_attribute("n", "INT")
+
+    def test_unknown_attribute_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDefinition("x", "FLOAT32")
+
+    def test_class_names_in_definition_order(self, schema):
+        assert schema.class_names() == ["IRSObject", "Element", "PARA"]
+
+
+class TestInheritance:
+    def test_ancestry_most_specific_first(self, schema):
+        names = [c.name for c in schema.ancestry("PARA")]
+        assert names == ["PARA", "Element", "IRSObject"]
+
+    def test_is_subclass_reflexive_and_transitive(self, schema):
+        assert schema.is_subclass("PARA", "PARA")
+        assert schema.is_subclass("PARA", "IRSObject")
+        assert not schema.is_subclass("IRSObject", "PARA")
+
+    def test_subclasses_lists_whole_subtree(self, schema):
+        assert set(schema.subclasses("IRSObject")) == {"IRSObject", "Element", "PARA"}
+        assert schema.subclasses("PARA") == ["PARA"]
+
+    def test_attribute_resolution_walks_up(self, schema):
+        adef = schema.resolve_attribute("PARA", "default_collection")
+        assert adef.type_name == "OID"
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.resolve_attribute("PARA", "no_such")
+
+    def test_method_override_wins(self, schema):
+        schema.get_class("IRSObject").add_method("getText", lambda o: "base")
+        schema.get_class("PARA").add_method("getText", lambda o: "para")
+        assert schema.resolve_method("PARA", "getText")(None) == "para"
+        assert schema.resolve_method("Element", "getText")(None) == "base"
+
+    def test_unknown_method_raises(self, schema):
+        with pytest.raises(UnknownMethodError):
+            schema.resolve_method("PARA", "noSuchMethod")
+
+    def test_all_attributes_merges_ancestry(self, schema):
+        merged = schema.all_attributes("PARA")
+        assert set(merged) == {"default_collection", "tag"}
+
+
+class TestTypeChecking:
+    @pytest.mark.parametrize(
+        "type_name,good,bad",
+        [
+            ("STRING", "x", 5),
+            ("INT", 5, "x"),
+            ("REAL", 1.5, "x"),
+            ("BOOL", True, 1),
+            ("OID", OID(1), 1),
+            ("LIST", [1], (1,)),
+            ("DICT", {"a": 1}, [1]),
+        ],
+    )
+    def test_check_accepts_and_rejects(self, type_name, good, bad):
+        adef = AttributeDefinition("a", type_name)
+        assert adef.check(good)
+        assert not adef.check(bad)
+
+    def test_none_always_accepted(self):
+        assert AttributeDefinition("a", "INT").check(None)
+
+    def test_any_accepts_everything(self):
+        adef = AttributeDefinition("a", "ANY")
+        assert adef.check(object())
+
+    def test_int_rejects_bool(self):
+        assert not AttributeDefinition("a", "INT").check(True)
+
+    def test_real_accepts_int(self):
+        assert AttributeDefinition("a", "REAL").check(3)

@@ -1,0 +1,87 @@
+"""Write-ahead log: records, persistence, corruption handling."""
+
+import os
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.oodb import wal as w
+from repro.oodb.wal import LogRecord, WriteAheadLog
+
+
+class TestInMemoryLog:
+    def test_lsns_monotone(self):
+        log = WriteAheadLog()
+        records = [log.append(w.BEGIN, 1), log.append(w.COMMIT, 1)]
+        assert [r.lsn for r in records] == [1, 2]
+
+    def test_committed_transactions(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, 1)
+        log.append(w.COMMIT, 1)
+        log.append(w.BEGIN, 2)
+        log.append(w.ABORT, 2)
+        assert log.committed_transactions() == {1}
+
+    def test_truncate_clears(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, 1)
+        log.truncate()
+        assert len(log) == 0
+
+
+class TestFileLog:
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as log:
+            log.append(w.BEGIN, 1)
+            log.append(w.WRITE, 1, {"oid": 3, "attr": "x", "value": 1})
+            log.append(w.COMMIT, 1)
+        reopened = WriteAheadLog(path)
+        kinds = [r.kind for r in reopened.records()]
+        assert kinds == [w.BEGIN, w.WRITE, w.COMMIT]
+        reopened.close()
+
+    def test_lsn_continues_after_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as log:
+            log.append(w.BEGIN, 1)
+        with WriteAheadLog(path) as log:
+            record = log.append(w.BEGIN, 2)
+            assert record.lsn == 2
+
+    def test_truncate_empties_file(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(w.BEGIN, 1)
+        log.append(w.COMMIT, 1)
+        log.truncate()
+        log.close()
+        assert os.path.getsize(path) == 0
+
+    def test_payload_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        payload = {"oid": 9, "attr": "text", "value": {"__oid__": 4}}
+        with WriteAheadLog(path) as log:
+            log.append(w.WRITE, 5, payload)
+        reopened = WriteAheadLog(path)
+        assert next(iter(reopened.records())).payload == payload
+        reopened.close()
+
+
+class TestRecordParsing:
+    def test_round_trip(self):
+        record = LogRecord(3, w.WRITE, 7, {"a": 1})
+        assert LogRecord.from_json(record.to_json()) == record
+
+    def test_corrupt_json_raises(self):
+        with pytest.raises(RecoveryError):
+            LogRecord.from_json("{not json")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(RecoveryError):
+            LogRecord.from_json('{"lsn":1,"kind":"NOPE","txn":1,"payload":{}}')
+
+    def test_missing_field_raises(self):
+        with pytest.raises(RecoveryError):
+            LogRecord.from_json('{"lsn":1,"kind":"BEGIN"}')

@@ -1,0 +1,172 @@
+"""Cross-cutting property tests: coupling coherence, SGML round trips,
+segmentation, parser robustness."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DocumentSystem
+from repro.core.collection import (
+    create_collection,
+    get_irs_result,
+    index_objects,
+    segment_text,
+)
+from repro.errors import QuerySyntaxError, ReproError
+from repro.oodb.query.parser import parse_query
+from repro.sgml.document import Element
+from repro.sgml.parser import parse_document, serialize
+
+# ---------------------------------------------------------------------------
+# Buffer coherence: a buffered result always equals a freshly computed one.
+# ---------------------------------------------------------------------------
+
+_WORDS = ["www", "nii", "telnet", "pages", "network", "policy", "remote"]
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.lists(st.sampled_from(_WORDS), min_size=1, max_size=5)),
+        st.tuples(st.just("modify"), st.integers(0, 10)),
+        st.tuples(st.just("delete"), st.integers(0, 10)),
+        st.tuples(st.just("propagate"), st.just(0)),
+        st.tuples(st.just("query"), st.sampled_from(_WORDS)),
+    ),
+    max_size=12,
+)
+
+
+class TestBufferCoherence:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(_ops)
+    def test_buffered_result_matches_fresh_engine_query(self, operations):
+        system = DocumentSystem()
+        system.db.define_class("Node", superclass="IRSObject", attributes={"content": "STRING"})
+        system.db.schema.get_class("Node").add_method(
+            "getText", lambda obj, mode=0: obj.get("content") or ""
+        )
+        collection = create_collection(
+            system.db, "c", "ACCESS n FROM n IN Node", update_policy="deferred"
+        )
+        index_objects(collection)
+        live = []
+        for op, arg in operations:
+            if op == "insert":
+                node = system.db.create_object("Node", content=" ".join(arg))
+                live.append(node)
+                collection.send("insertObject", node)
+            elif op == "modify" and live:
+                node = live[arg % len(live)]
+                node.set("content", (node.get("content") or "") + " extra")
+                collection.send("modifyObject", node)
+            elif op == "delete" and live:
+                node = live.pop(arg % len(live))
+                collection.send("deleteObject", node)
+                system.db.delete_object(node)
+            elif op == "propagate":
+                collection.send("propagateUpdates")
+            elif op == "query":
+                buffered = get_irs_result(collection, arg)
+                # A second call must hit the buffer and agree exactly.
+                again = get_irs_result(collection, arg)
+                assert buffered == again
+                # And agree with the engine's fresh computation.
+                irs = system.engine.collection("c")
+                fresh = system.engine.query("c", arg).by_metadata(irs, "oid")
+                assert {str(oid): v for oid, v in buffered.items()} == fresh
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(_WORDS), min_size=1, max_size=6, unique=True))
+    def test_doc_map_matches_irs_documents(self, words):
+        system = DocumentSystem()
+        system.db.define_class("Node", superclass="IRSObject", attributes={"content": "STRING"})
+        system.db.schema.get_class("Node").add_method(
+            "getText", lambda obj, mode=0: obj.get("content") or ""
+        )
+        for word in words:
+            system.db.create_object("Node", content=word)
+        collection = create_collection(system.db, "c", "ACCESS n FROM n IN Node")
+        index_objects(collection)
+        doc_map = collection.get("doc_map")
+        irs = system.engine.collection("c")
+        mapped_ids = sorted(d for ids in doc_map.values() for d in ids)
+        assert mapped_ids == [d.doc_id for d in irs.documents()]
+
+
+# ---------------------------------------------------------------------------
+# SGML round trip on random trees
+# ---------------------------------------------------------------------------
+
+_tag = st.sampled_from(["DOC", "SEC", "PARA", "NOTE", "ITEM"])
+_text = st.text(
+    alphabet="abcdefghij klmnop&<>", min_size=1, max_size=30
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def _tree(draw, depth=0):
+    element = Element(draw(_tag))
+    n_children = draw(st.integers(0, 3 if depth < 2 else 0))
+    if n_children == 0:
+        element.append_text(draw(_text))
+    else:
+        for _ in range(n_children):
+            element.append(draw(_tree(depth + 1)))
+    return element
+
+
+class TestSGMLRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(_tree())
+    def test_serialize_parse_preserves_structure(self, tree):
+        reparsed = parse_document(serialize(tree))
+        assert [e.tag for e in reparsed.iter()] == [e.tag for e in tree.iter()]
+
+    @settings(max_examples=40, deadline=None)
+    @given(_tree())
+    def test_serialize_parse_preserves_text_words(self, tree):
+        reparsed = parse_document(serialize(tree))
+        assert reparsed.text().split() == tree.text().split()
+
+
+# ---------------------------------------------------------------------------
+# Segmentation
+# ---------------------------------------------------------------------------
+
+class TestSegmentation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(_WORDS), max_size=120), st.integers(1, 40))
+    def test_segments_partition_the_words(self, words, size):
+        text = " ".join(words)
+        segments = segment_text(text, size)
+        assert " ".join(segments).split() == words
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(_WORDS), min_size=1, max_size=120), st.integers(1, 40))
+    def test_segment_sizes_bounded(self, words, size):
+        segments = segment_text(" ".join(words), size)
+        for segment in segments[:-1]:
+            assert len(segment.split()) == size
+        assert 1 <= len(segments[-1].split()) <= size
+
+
+# ---------------------------------------------------------------------------
+# Query parser robustness: random token soup never crashes unexpectedly
+# ---------------------------------------------------------------------------
+
+_soup_token = st.sampled_from(
+    ["ACCESS", "FROM", "WHERE", "IN", "AND", "p", "q", "PARA", "->", ".",
+     "(", ")", ",", "'x'", "0.5", "=", ">", "getIRSValue", "COUNT", "*",
+     "GROUP", "BY", "ORDER", "LIMIT", "3", "$t", ";"]
+)
+
+
+class TestParserRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(_soup_token, max_size=15))
+    def test_parse_or_clean_syntax_error(self, tokens):
+        text = " ".join(tokens)
+        try:
+            parse_query(text)
+        except QuerySyntaxError:
+            pass  # the only acceptable failure mode
+        except ReproError as exc:  # pragma: no cover
+            pytest.fail(f"non-syntax repro error from parser: {exc!r}")

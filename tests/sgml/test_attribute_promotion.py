@@ -1,0 +1,80 @@
+"""SGML attribute promotion: indexed structure predicates (requirement 4)."""
+
+import pytest
+
+from repro.oodb.query.evaluator import QueryEvaluator
+from repro.sgml.mmf import build_document, mmf_dtd
+
+
+@pytest.fixture
+def journal(system):
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    for year in ("1993", "1994", "1994", "1995"):
+        system.add_document(
+            build_document(f"Doc {year}", ["body text here"], year=year), dtd=dtd
+        )
+    return system
+
+
+class TestPromotion:
+    def test_backfills_existing_instances(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        for doc in journal.db.instances_of("MMFDOC"):
+            assert doc.get("YEAR") == doc.send("getAttributeValue", "YEAR")
+
+    def test_creates_index(self, journal):
+        index = journal.loader.promote_attribute("MMFDOC", "YEAR")
+        assert len(index.lookup("1994")) == 2
+
+    def test_future_loads_synced(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        root = journal.add_document(
+            build_document("Late", ["text"], year="1996"), dtd=mmf_dtd()
+        )
+        assert root.get("YEAR") == "1996"
+        assert journal.db.indexes.find("MMFDOC", "YEAR").lookup("1996") == {root.oid}
+
+    def test_optimizer_uses_promoted_index(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        plan = journal.db.explain(
+            "ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994'"
+        )
+        assert plan["variables"]["d"]["access_path"] == "index probe"
+
+    def test_query_results_unchanged_by_promotion(self, journal):
+        query = (
+            "ACCESS d -> getAttributeValue('TITLE') FROM d IN MMFDOC "
+            "WHERE d -> getAttributeValue('YEAR') = '1994'"
+        )
+        before = sorted(journal.db.query(query))
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        after = sorted(journal.db.query(query))
+        assert before == after
+        assert len(after) == 2
+
+    def test_index_probe_reduces_candidates(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        evaluator = QueryEvaluator(journal.db)
+        _rows, stats = evaluator.run_with_stats(
+            "ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1995'"
+        )
+        assert stats.per_variable_candidates["d"] == 1
+        assert stats.method_calls == 0
+
+    def test_set_sgml_attribute_keeps_sync(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        doc = journal.db.instances_of("MMFDOC")[0]
+        journal.loader.set_sgml_attribute(doc, "YEAR", "1999")
+        assert doc.send("getAttributeValue", "YEAR") == "1999"
+        assert doc.get("YEAR") == "1999"
+        assert doc.oid in journal.db.indexes.find("MMFDOC", "YEAR").lookup("1999")
+
+    def test_promotion_case_insensitive(self, journal):
+        journal.loader.promote_attribute("mmfdoc", "year")
+        assert journal.db.indexes.find("MMFDOC", "YEAR") is not None
+
+    def test_repeat_promotion_is_idempotent(self, journal):
+        journal.loader.promote_attribute("MMFDOC", "YEAR")
+        index = journal.loader.promote_attribute("MMFDOC", "YEAR")
+        assert len(index.lookup("1994")) == 2

@@ -1,0 +1,98 @@
+"""Content models: parsing and validation."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError
+from repro.sgml.content_model import ContentModel
+
+
+def valid(model, tags, has_text=False):
+    return ContentModel(model).validate(tags, has_text) is None
+
+
+class TestSpecials:
+    def test_empty(self):
+        assert valid("EMPTY", [])
+        assert not valid("EMPTY", ["A"])
+        assert not valid("EMPTY", [], has_text=True)
+
+    def test_any(self):
+        assert valid("ANY", ["A", "B"], has_text=True)
+
+    def test_pcdata_only(self):
+        assert valid("(#PCDATA)", [], has_text=True)
+        assert valid("(#PCDATA)", [])
+        assert not valid("(#PCDATA)", ["A"])
+
+
+class TestSequences:
+    def test_exact_sequence(self):
+        assert valid("(A, B, C)", ["A", "B", "C"])
+        assert not valid("(A, B, C)", ["A", "C", "B"])
+        assert not valid("(A, B, C)", ["A", "B"])
+
+    def test_optional(self):
+        assert valid("(A, B?)", ["A"])
+        assert valid("(A, B?)", ["A", "B"])
+        assert not valid("(A, B?)", ["A", "B", "B"])
+
+    def test_star(self):
+        assert valid("(A*)", [])
+        assert valid("(A*)", ["A", "A", "A"])
+
+    def test_plus(self):
+        assert not valid("(A+)", [])
+        assert valid("(A+)", ["A", "A"])
+
+    def test_text_rejected_without_pcdata(self):
+        assert not valid("(A)", ["A"], has_text=True)
+
+
+class TestChoices:
+    def test_simple_choice(self):
+        assert valid("(A | B)", ["A"])
+        assert valid("(A | B)", ["B"])
+        assert not valid("(A | B)", ["A", "B"])
+
+    def test_repeated_choice(self):
+        assert valid("((A | B)*)", ["A", "B", "B", "A"])
+
+    def test_mixed_content(self):
+        model = "(#PCDATA | A)*"
+        assert valid(model, [], has_text=True)
+        assert valid(model, ["A", "A"], has_text=True)
+
+    def test_nested_groups(self):
+        model = "(T, (A | B)+, C?)"
+        assert valid(model, ["T", "A", "B"])
+        assert valid(model, ["T", "B", "C"])
+        assert not valid(model, ["T", "C"])
+
+    def test_mmf_document_model(self):
+        model = "(LOGBOOK, DOCTITLE, ABSTRACT?, (PARA | SECTION | FIGURE)*)"
+        assert valid(model, ["LOGBOOK", "DOCTITLE", "PARA", "PARA"])
+        assert valid(model, ["LOGBOOK", "DOCTITLE", "ABSTRACT", "SECTION", "FIGURE"])
+        assert not valid(model, ["DOCTITLE", "LOGBOOK"])
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(A, B | C)",   # mixed connectors in one group
+            "(A",           # missing close
+            "()",           # empty group
+            "(#WEIRD)",     # unknown reserved name
+            "(A) B",        # trailing content
+        ],
+    )
+    def test_malformed_models_raise(self, source):
+        with pytest.raises(DTDSyntaxError):
+            ContentModel(source)
+
+    def test_validation_message_names_model(self):
+        message = ContentModel("(A, B)").validate(["A"], False)
+        assert "content model" in message
+
+    def test_case_insensitive_names(self):
+        assert valid("(para)", ["PARA"])

@@ -1,0 +1,125 @@
+"""DTD parsing and document validation."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError, ValidationError
+from repro.sgml.dtd import parse_dtd
+from repro.sgml.document import Element
+from repro.sgml.mmf import MMF_DTD_TEXT
+
+SIMPLE_DTD = """
+<!-- a small test DTD -->
+<!ELEMENT DOC - - (HEAD, BODY)>
+<!ELEMENT HEAD - O (#PCDATA)>
+<!ELEMENT BODY - - (PARA+)>
+<!ELEMENT PARA - - (#PCDATA)>
+<!ATTLIST DOC  YEAR   NUMBER #REQUIRED
+               KIND   (draft | final) "draft"
+               LABEL  CDATA #IMPLIED>
+"""
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd(SIMPLE_DTD, name="simple")
+
+
+class TestParsing:
+    def test_elements_parsed(self, dtd):
+        assert dtd.element_names() == ["DOC", "HEAD", "BODY", "PARA"]
+
+    def test_minimization_recorded(self, dtd):
+        assert dtd.element("HEAD").minimization == "- O"
+        assert dtd.element("DOC").minimization == "- -"
+
+    def test_attlist_parsed(self, dtd):
+        attrs = dtd.element("DOC").attributes
+        assert attrs["YEAR"].required
+        assert attrs["KIND"].default == "draft"
+        assert attrs["KIND"].allowed_values == ("draft", "final")
+        assert attrs["LABEL"].default is None
+
+    def test_comments_stripped(self):
+        parse_dtd("<!-- only a comment -->")
+
+    def test_mmf_dtd_parses(self):
+        dtd = parse_dtd(MMF_DTD_TEXT)
+        assert "MMFDOC" in dtd.element_names()
+        assert dtd.element("MMFDOC").attributes["TYPE"].default == "article"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<!ELEMENT X>",                       # missing model
+            "<!ELEMENT X - - (A)><!ELEMENT X - - (B)>",  # duplicate
+            "<!ATTLIST NOPE A CDATA #IMPLIED>",   # attlist for unknown element
+            "<!WEIRD thing>",                     # unknown declaration
+            "<!ELEMENT X - - (A)> stray words",   # garbage between declarations
+            "<!ATTLIST X>",
+        ],
+    )
+    def test_malformed_dtds_raise(self, text):
+        base = "<!ELEMENT X - - (A)><!ELEMENT A - - (#PCDATA)>"
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd(text if "ATTLIST X" not in text else base + text)
+
+    def test_unknown_element_lookup_raises(self, dtd):
+        with pytest.raises(DTDSyntaxError):
+            dtd.element("NOPE")
+
+
+def make_valid_doc():
+    doc = Element("DOC", {"YEAR": "1994"})
+    doc.append_element("HEAD").append_text("title")
+    body = doc.append_element("BODY")
+    body.append_element("PARA").append_text("text")
+    return doc
+
+
+class TestValidation:
+    def test_valid_document(self, dtd):
+        dtd.validate(make_valid_doc())
+
+    def test_missing_required_attribute(self, dtd):
+        doc = make_valid_doc()
+        del doc.attributes["YEAR"]
+        errors = dtd.validation_errors(doc)
+        assert any("YEAR" in e for e in errors)
+
+    def test_bad_enumeration_value(self, dtd):
+        doc = make_valid_doc()
+        doc.attributes["KIND"] = "sketchy"
+        assert any("KIND" in e for e in dtd.validation_errors(doc))
+
+    def test_bad_number_value(self, dtd):
+        doc = make_valid_doc()
+        doc.attributes["YEAR"] = "ninety"
+        assert any("NUMBER" in e for e in dtd.validation_errors(doc))
+
+    def test_wrong_child_order(self, dtd):
+        doc = Element("DOC", {"YEAR": "1994"})
+        doc.append_element("BODY").append_element("PARA").append_text("x")
+        doc.append_element("HEAD").append_text("late")
+        assert dtd.validation_errors(doc)
+
+    def test_undeclared_element(self, dtd):
+        doc = make_valid_doc()
+        doc.append_element("MYSTERY")
+        assert any("MYSTERY" in e for e in dtd.validation_errors(doc))
+
+    def test_validate_raises_on_error(self, dtd):
+        doc = make_valid_doc()
+        del doc.attributes["YEAR"]
+        with pytest.raises(ValidationError):
+            dtd.validate(doc)
+
+    def test_apply_defaults(self, dtd):
+        doc = make_valid_doc()
+        dtd.apply_defaults(doc)
+        assert doc.attributes["KIND"] == "draft"
+
+    def test_apply_defaults_keeps_explicit(self, dtd):
+        doc = make_valid_doc()
+        doc.attributes["KIND"] = "final"
+        dtd.apply_defaults(doc)
+        assert doc.attributes["KIND"] == "final"

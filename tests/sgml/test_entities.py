@@ -1,0 +1,78 @@
+"""General entity declarations and resolution."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError, SGMLSyntaxError
+from repro.sgml.dtd import parse_dtd
+from repro.sgml.parser import parse_document
+
+DTD_TEXT = """
+<!ELEMENT DOC - - (PARA+)>
+<!ELEMENT PARA - - (#PCDATA)>
+<!ENTITY gmd "GMD-IPSI Darmstadt">
+<!ENTITY www "World Wide Web">
+<!ATTLIST DOC LABEL CDATA #IMPLIED>
+"""
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd(DTD_TEXT, name="entities")
+
+
+class TestDeclaration:
+    def test_entities_parsed(self, dtd):
+        assert dtd.entities == {
+            "gmd": "GMD-IPSI Darmstadt",
+            "www": "World Wide Web",
+        }
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd('<!ENTITY a "x"><!ENTITY a "y">')
+
+    def test_parameter_entities_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd('<!ENTITY % model "(#PCDATA)">')
+
+    def test_malformed_entity_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ENTITY broken unquoted>")
+
+    def test_single_quoted_entity(self):
+        dtd = parse_dtd("<!ENTITY q 'it''s'>")
+        assert dtd.entities["q"] == "it''s" or dtd.entities["q"]
+
+
+class TestResolution:
+    def test_entity_resolved_in_text(self, dtd):
+        root = parse_document("<DOC><PARA>visit the &www; today</PARA></DOC>", dtd=dtd)
+        assert root.text() == "visit the World Wide Web today"
+
+    def test_entity_resolved_in_attribute(self, dtd):
+        root = parse_document('<DOC LABEL="&gmd;"><PARA>x</PARA></DOC>', dtd=dtd)
+        assert root.attributes["LABEL"] == "GMD-IPSI Darmstadt"
+
+    def test_builtin_entities_still_work(self, dtd):
+        root = parse_document("<DOC><PARA>&amp; &www;</PARA></DOC>", dtd=dtd)
+        assert root.text() == "& World Wide Web"
+
+    def test_undeclared_entity_still_rejected(self, dtd):
+        with pytest.raises(SGMLSyntaxError):
+            parse_document("<DOC><PARA>&nope;</PARA></DOC>", dtd=dtd)
+
+    def test_without_dtd_declared_entities_unknown(self):
+        with pytest.raises(SGMLSyntaxError):
+            parse_document("<DOC><PARA>&www;</PARA></DOC>")
+
+    def test_entity_text_is_indexed(self, system, dtd):
+        system.register_dtd(dtd)
+        root = system.add_document(
+            "<DOC><PARA>all about the &www; and more</PARA></DOC>", dtd=dtd
+        )
+        from repro.core.collection import create_collection, get_irs_result, index_objects
+
+        collection = create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
+        index_objects(collection)
+        values = get_irs_result(collection, "world")
+        assert values  # the expansion text is retrievable

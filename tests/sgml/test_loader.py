@@ -1,0 +1,143 @@
+"""SGML loader: fragmentation into database objects (Section 4.1)."""
+
+import pytest
+
+from repro.oodb import Database
+from repro.sgml.loader import ELEMENT_CLASS, SGMLLoader
+from repro.sgml.mmf import build_document, mmf_dtd
+
+
+@pytest.fixture
+def loaded():
+    db = Database()
+    loader = SGMLLoader(db)
+    loader.register_dtd(mmf_dtd())
+    doc = build_document(
+        "Loaded",
+        ["alpha text", "beta text"],
+        year="1994",
+        sections=[{"title": "Sec", "paragraphs": ["gamma text"]}],
+    )
+    root = loader.load_document(doc)
+    return db, loader, root
+
+
+class TestClassGeneration:
+    def test_element_type_classes_created(self, loaded):
+        db, _loader, _root = loaded
+        for tag in ("MMFDOC", "PARA", "SECTION", "SECTITLE"):
+            assert db.schema.has_class(tag)
+            assert db.schema.is_subclass(tag, ELEMENT_CLASS)
+
+    def test_register_dtd_idempotent(self, loaded):
+        db, loader, _root = loaded
+        assert loader.register_dtd(mmf_dtd()) == []
+
+    def test_base_class_wiring(self):
+        db = Database()
+        db.define_class("IRSObject")
+        loader = SGMLLoader(db, base_class="IRSObject")
+        loader.ensure_element_type("PARA")
+        assert db.schema.is_subclass("PARA", "IRSObject")
+
+
+class TestFragmentation:
+    def test_one_object_per_element(self, loaded):
+        db, _loader, root = loaded
+        # MMFDOC + LOGBOOK + DOCTITLE + 2 PARA + SECTION + SECTITLE + PARA
+        assert db.object_count() == 8
+
+    def test_parent_child_wiring(self, loaded):
+        _db, _loader, root = loaded
+        children = root.send("getChildren")
+        assert children[0].send("getParent") == root
+
+    def test_doc_order_assigned(self, loaded):
+        db, _loader, root = loaded
+        orders = [e.get("doc_order") for e in root.send("getDescendants")]
+        assert sorted(orders) == orders == list(range(1, 8))
+
+    def test_content_on_leaves(self, loaded):
+        db, _loader, _root = loaded
+        paras = db.instances_of("PARA")
+        assert {p.get("content") for p in paras} == {"alpha text", "beta text", "gamma text"}
+
+    def test_sgml_attributes_stored(self, loaded):
+        _db, _loader, root = loaded
+        assert root.send("getAttributeValue", "YEAR") == "1994"
+        assert root.send("getAttributeValue", "year") == "1994"  # case-insensitive
+        assert root.send("getAttributeValue", "NOPE") is None
+
+
+class TestNavigationMethods:
+    def test_get_next_and_prev(self, loaded):
+        db, _loader, _root = loaded
+        paras = [p for p in db.instances_of("PARA") if p.get("content").startswith(("alpha", "beta"))]
+        first = next(p for p in paras if p.get("content") == "alpha text")
+        second = first.send("getNext")
+        assert second.get("content") == "beta text"
+        assert second.send("getPrev") == first
+
+    def test_get_containing(self, loaded):
+        db, _loader, root = loaded
+        gamma = next(p for p in db.instances_of("PARA") if p.get("content") == "gamma text")
+        assert gamma.send("getContaining", "SECTION").get("tag") == "SECTION"
+        assert gamma.send("getContaining", "MMFDOC") == root
+        assert gamma.send("getContaining", "FIGURE") is None
+
+    def test_get_root(self, loaded):
+        db, _loader, root = loaded
+        for obj in db.instances_of("PARA"):
+            assert obj.send("getRoot") == root
+
+    def test_get_text_content_recursive(self, loaded):
+        _db, _loader, root = loaded
+        text = root.send("getTextContent")
+        assert "alpha text" in text and "gamma text" in text
+
+    def test_length(self, loaded):
+        db, _loader, _root = loaded
+        para = db.instances_of("PARA")[0]
+        assert para.send("length") == len(para.get("content"))
+
+    def test_is_leaf(self, loaded):
+        db, _loader, root = loaded
+        assert db.instances_of("PARA")[0].send("isLeaf")
+        assert not root.send("isLeaf")
+
+    def test_get_descendants_filtered(self, loaded):
+        _db, _loader, root = loaded
+        assert len(root.send("getDescendants", "PARA")) == 3
+
+
+class TestEditing:
+    def test_insert_element(self, loaded):
+        db, loader, root = loaded
+        new = loader.insert_element(root, "PARA", "inserted text")
+        assert new.send("getParent") == root
+        assert new.oid in root.get("children")
+        assert db.instances_of("PARA")[-1].get("content") == "inserted text"
+
+    def test_insert_at_position(self, loaded):
+        _db, loader, root = loaded
+        new = loader.insert_element(root, "PARA", "front", position=0)
+        assert root.get("children")[0] == new.oid
+
+    def test_update_content(self, loaded):
+        db, loader, _root = loaded
+        para = db.instances_of("PARA")[0]
+        loader.update_content(para, "updated")
+        assert para.get("content") == "updated"
+
+    def test_remove_element_subtree(self, loaded):
+        db, loader, root = loaded
+        section = db.instances_of("SECTION")[0]
+        removed = loader.remove_element(section)
+        assert removed == 3  # SECTION + SECTITLE + PARA
+        assert section.oid not in root.get("children")
+        assert db.object_count() == 5
+
+    def test_delete_document(self, loaded):
+        db, loader, root = loaded
+        assert loader.delete_document(root) == 8
+        assert db.object_count() == 0

@@ -1,0 +1,17 @@
+"""Doc-example correctness: run the doctests embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.irs.porter
+import repro.oodb.oid
+
+MODULES = [repro.oodb.oid, repro.irs.porter]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the docstrings really contain examples

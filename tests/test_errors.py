@@ -1,0 +1,64 @@
+"""The exception hierarchy: one base, catchable by subsystem."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SchemaError,
+            errors.UnknownClassError,
+            errors.ObjectNotFoundError,
+            errors.TransactionError,
+            errors.DeadlockError,
+            errors.LockTimeoutError,
+            errors.QuerySyntaxError,
+            errors.QueryEvaluationError,
+            errors.RecoveryError,
+        ],
+    )
+    def test_database_errors(self, exc):
+        assert issubclass(exc, errors.DatabaseError)
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.UnknownCollectionError,
+            errors.DuplicateCollectionError,
+            errors.IRSQuerySyntaxError,
+            errors.UnknownOperatorError,
+            errors.DocumentMissingError,
+        ],
+    )
+    def test_retrieval_errors(self, exc):
+        assert issubclass(exc, errors.RetrievalError)
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [errors.DTDSyntaxError, errors.SGMLSyntaxError, errors.ValidationError],
+    )
+    def test_sgml_errors(self, exc):
+        assert issubclass(exc, errors.SGMLError)
+
+    @pytest.mark.parametrize(
+        "exc", [errors.NotIndexedError, errors.StalePropagationError]
+    )
+    def test_coupling_errors(self, exc):
+        assert issubclass(exc, errors.CouplingError)
+
+    def test_one_except_clause_catches_everything(self):
+        # The property applications rely on: any repro failure is ReproError.
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_deadlock_is_a_transaction_error(self):
+        # Applications retry transactions on DeadlockError specifically.
+        with pytest.raises(errors.TransactionError):
+            raise errors.DeadlockError("victim")

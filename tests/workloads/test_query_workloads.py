@@ -1,0 +1,50 @@
+"""Query workload generator."""
+
+import pytest
+
+from repro.core.collection import create_collection, index_objects
+from repro.oodb.query.parser import parse_query
+from repro.workloads.queries import MixedQueryGenerator
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = MixedQueryGenerator(seed=3).workload(10)
+        b = MixedQueryGenerator(seed=3).workload(10)
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_all_shapes_parse(self):
+        generator = MixedQueryGenerator(seed=4)
+        for query in generator.workload(30, shapes=("content", "structure", "consecutive")):
+            parse_query(query.text)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MixedQueryGenerator().workload(1, shapes=("weird",))
+
+    def test_bindings_include_collection(self):
+        query = MixedQueryGenerator(seed=5).content_only()
+        bindings = query.bindings("COLL_SENTINEL")
+        assert bindings["coll"] == "COLL_SENTINEL"
+        assert "q" in bindings
+
+
+class TestExecution:
+    def test_workload_runs_against_corpus(self, corpus_system):
+        collection = create_collection(
+            corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
+        )
+        index_objects(collection)
+        generator = MixedQueryGenerator(seed=6)
+        for query in generator.workload(8):
+            rows = corpus_system.db.query(query.text, query.bindings(collection))
+            assert isinstance(rows, list)
+
+    def test_consecutive_shape_runs(self, corpus_system):
+        collection = create_collection(
+            corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
+        )
+        index_objects(collection)
+        query = MixedQueryGenerator(seed=7).consecutive_elements()
+        rows = corpus_system.db.query(query.text, query.bindings(collection))
+        assert isinstance(rows, list)
