@@ -1,0 +1,236 @@
+"""SCORING — throughput of the term-at-a-time fast path vs the naive path.
+
+Measures queries/sec of the vector and inquery retrieval models at several
+corpus sizes, comparing the optimized scoring engine (statistics cache,
+precompiled queries, term-at-a-time accumulation) against the preserved
+pre-optimization implementations of :mod:`repro.irs.models.reference`,
+and writes ``BENCH_scoring.json`` at the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scoring.py            # full tiers
+    PYTHONPATH=src python benchmarks/bench_scoring.py --smoke    # CI-sized
+
+The full run asserts the PR's acceptance targets (>=5x vector, >=2x inquery
+at the 5k-document tier); ``--smoke`` asserts softer floors suited to noisy
+CI machines plus exact-path equivalence, so scoring-path perf regressions
+fail loudly without flaking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+from repro.irs.models import InferenceNetworkModel, VectorSpaceModel
+from repro.irs.models.reference import (
+    NaiveInferenceNetworkModel,
+    NaiveVectorSpaceModel,
+)
+from repro.irs.queries import parse_irs_query
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_scoring.json")
+
+FULL_TIERS = (1000, 5000, 20000)
+SMOKE_TIERS = (200, 500)
+ASSERT_TIER = 5000
+
+#: Throughput queries: the operator mix of the paper's workloads, proximity
+#: excluded (the naive path recomputes proximity df uncached, which would
+#: unfairly inflate the measured speedup).
+QUERIES = [
+    "topic0",
+    "topic1 topic4",
+    "#sum(topic0 topic2 topic7)",
+    "#and(topic1 topic3)",
+    "#or(topic2 #and(topic5 topic6))",
+    "#wsum(2 topic0 1 topic8 0.5 topic9)",
+    "#max(topic3 topic4)",
+    "#sum(topic5 #not(topic6))",
+]
+
+#: Queries used only for the fast/naive equivalence gate (proximity included).
+EQUIVALENCE_QUERIES = QUERIES + ["#od3(topic0 topic1)", "#uw5(topic2 topic3)"]
+
+
+def build_collection(documents: int, seed: int = 42) -> IRSCollection:
+    """A seeded synthetic collection with a Zipf-flavoured vocabulary.
+
+    Stemming is off: the benchmark measures scoring, not Porter throughput.
+    """
+    rng = random.Random(seed)
+    # Rank order defines Zipf weights; the query topics sit at mid-frequency
+    # ranks (15, 25, ...) so query terms have realistic, not-degenerate df.
+    vocabulary = [f"word{i:04d}" for i in range(1500)]
+    for i in range(10):
+        vocabulary.insert(15 + 10 * i, f"topic{i}")
+    weights = [1.0 / rank for rank in range(1, len(vocabulary) + 1)]
+    collection = IRSCollection(
+        f"bench{documents}", Analyzer(stopwords=set(), stemming=False)
+    )
+    for _ in range(documents):
+        length = rng.randint(30, 90)
+        collection.add_document(" ".join(rng.choices(vocabulary, weights, k=length)))
+    return collection
+
+
+def parse_queries(texts):
+    return [parse_irs_query(text, default_operator="sum") for text in texts]
+
+
+def time_model(model, collection, trees, min_seconds: float, warmup: bool) -> float:
+    """Queries/sec of ``model`` over ``trees``, over >= ``min_seconds``.
+
+    ``warmup`` runs one untimed pass first to populate the statistics caches
+    — meaningful only for the fast path; the naive path has no cache to warm
+    and a warm-up pass would just double its (large) measurement cost.
+    """
+    if warmup:
+        for tree in trees:
+            model.score(collection, tree)
+    executed = 0
+    started = perf_counter()
+    while True:
+        for tree in trees:
+            model.score(collection, tree)
+        executed += len(trees)
+        elapsed = perf_counter() - started
+        if elapsed >= min_seconds:
+            return executed / elapsed
+
+
+def check_equivalence(collection, max_abs: float = 1e-9) -> float:
+    """Assert fast and naive paths agree; returns the worst deviation."""
+    pairs = [
+        (VectorSpaceModel(), NaiveVectorSpaceModel()),
+        (InferenceNetworkModel(), NaiveInferenceNetworkModel()),
+    ]
+    worst = 0.0
+    for tree in parse_queries(EQUIVALENCE_QUERIES):
+        for fast, naive in pairs:
+            got = fast.score(collection, tree)
+            want = naive.score(collection, tree)
+            if set(got) != set(want):
+                raise AssertionError(
+                    f"{fast.name}: result sets diverge on {tree!r}: "
+                    f"{sorted(set(got) ^ set(want))[:5]}"
+                )
+            for doc_id, value in got.items():
+                worst = max(worst, abs(value - want[doc_id]))
+    if worst > max_abs:
+        raise AssertionError(f"fast/naive deviation {worst} exceeds {max_abs}")
+    return worst
+
+
+def run(smoke: bool, output: str, seed: int) -> dict:
+    tiers = SMOKE_TIERS if smoke else FULL_TIERS
+    # Naive scoring is O(candidates * corpus) per query; one timed pass is
+    # plenty at the large tiers, while the fast path gets a real interval.
+    naive_seconds = 0.2 if smoke else 0.5
+    fast_seconds = 0.3 if smoke else 1.0
+
+    trees = parse_queries(QUERIES)
+    results = {
+        "benchmark": "scoring",
+        "description": (
+            "queries/sec, fast term-at-a-time scoring with cached corpus "
+            "statistics vs preserved naive doc-at-a-time path"
+        ),
+        "smoke": smoke,
+        "seed": seed,
+        "queries": QUERIES,
+        "tiers": [],
+    }
+    for documents in tiers:
+        collection = build_collection(documents, seed=seed)
+        # Equivalence is asserted exhaustively by the test suite and checked
+        # here once per run at the smallest tier; at the large tiers a naive
+        # scoring pass per equivalence query would dominate the runtime.
+        max_deviation = (
+            check_equivalence(collection) if documents == min(tiers) else None
+        )
+        tier = {
+            "documents": documents,
+            "max_abs_deviation": max_deviation,
+            "models": {},
+        }
+        for name, fast, naive in [
+            ("vector", VectorSpaceModel(), NaiveVectorSpaceModel()),
+            ("inquery", InferenceNetworkModel(), NaiveInferenceNetworkModel()),
+        ]:
+            naive_qps = time_model(naive, collection, trees, naive_seconds, warmup=False)
+            fast_qps = time_model(fast, collection, trees, fast_seconds, warmup=True)
+            tier["models"][name] = {
+                "naive_qps": round(naive_qps, 2),
+                "fast_qps": round(fast_qps, 2),
+                "speedup": round(fast_qps / naive_qps, 2),
+            }
+            print(
+                f"{documents:>6} docs  {name:<8} naive {naive_qps:>10.1f} q/s   "
+                f"fast {fast_qps:>10.1f} q/s   speedup {fast_qps / naive_qps:>7.1f}x"
+            )
+        results["tiers"].append(tier)
+
+    # Acceptance gates.
+    targets = (
+        {"vector": 2.0, "inquery": 1.2}  # soft floors for noisy CI boxes
+        if smoke
+        else {"vector": 5.0, "inquery": 2.0}  # the PR's acceptance criteria
+    )
+    gate_tier = results["tiers"][-1 if smoke else tiers.index(ASSERT_TIER)]
+    results["targets"] = {
+        "tier_documents": gate_tier["documents"],
+        "required": targets,
+        "achieved": {
+            name: gate_tier["models"][name]["speedup"] for name in targets
+        },
+    }
+    failures = [
+        f"{name}: {gate_tier['models'][name]['speedup']}x < required {required}x"
+        for name, required in targets.items()
+        if gate_tier["models"][name]["speedup"] < required
+    ]
+    if failures:
+        raise SystemExit("scoring speedup regression: " + "; ".join(failures))
+
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {output}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpora, soft speedup floors, no BENCH_scoring.json",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="result JSON path (default: BENCH_scoring.json at the repo root "
+        "for full runs, nothing for --smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = "" if args.smoke else OUTPUT_PATH
+    run(smoke=args.smoke, output=output, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

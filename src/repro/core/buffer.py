@@ -8,11 +8,19 @@ The buffer lives as a ``DICT`` attribute of the COLLECTION database object,
 so it is persistent exactly like any other database state (it survives
 checkpoints and recovery).  :class:`ResultBuffer` wraps attribute access and
 feeds the hit/miss counters that the FIG3 benchmark reads.
+
+Writes are copy-on-write with a working copy per buffer view: the stored
+dictionary is copied **once** when this view first diverges from it, and
+later writes through the same view mutate the working copy in place before
+re-storing it.  Buffering N queries is therefore O(N) total instead of the
+O(N²) of copying the whole dictionary on every write.  Because the first
+diverging write copies, the pre-existing stored dictionary is never mutated
+— transaction undo snapshots stay intact and a full abort restores it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.context import CouplingCounters
 from repro.oodb.objects import DBObject
@@ -27,14 +35,35 @@ class ResultBuffer:
     def __init__(self, collection_obj: DBObject, counters: CouplingCounters) -> None:
         self._collection = collection_obj
         self._counters = counters
+        self._working: Optional[dict] = None
+        #: Keys whose entry dicts this view created (safe to mutate in place).
+        self._owned_keys: Set[str] = set()
 
     def _key(self, irs_query: str, model: Optional[str]) -> str:
         return f"{model or ''}|{irs_query}"
 
+    def _stored(self) -> dict:
+        return self._collection.get(_BUFFER_ATTR) or {}
+
+    def _working_copy(self) -> dict:
+        """The mutable buffer dict, copying the stored one at most once.
+
+        While this view remains the last writer, the stored object *is* the
+        working copy and no further copying happens.  If someone else wrote
+        (or recovery replaced the attribute), the next write re-copies.
+        """
+        stored = self._collection.get(_BUFFER_ATTR)
+        if stored is None:
+            self._working = {}
+            self._owned_keys = set()
+        elif stored is not self._working:
+            self._working = dict(stored)
+            self._owned_keys = set()
+        return self._working
+
     def lookup(self, irs_query: str, model: Optional[str] = None) -> Optional[Dict[OID, float]]:
         """The buffered result for ``irs_query``, or None on a miss."""
-        stored = self._collection.get(_BUFFER_ATTR) or {}
-        entry = stored.get(self._key(irs_query, model))
+        entry = self._stored().get(self._key(irs_query, model))
         if entry is None:
             self._counters.buffer_misses += 1
             return None
@@ -43,14 +72,15 @@ class ResultBuffer:
 
     def contains(self, irs_query: str, model: Optional[str] = None) -> bool:
         """True when the query is buffered (no counter side effects)."""
-        stored = self._collection.get(_BUFFER_ATTR) or {}
-        return self._key(irs_query, model) in stored
+        return self._key(irs_query, model) in self._stored()
 
     def store(self, irs_query: str, values: Dict[OID, float], model: Optional[str] = None) -> None:
         """Buffer ``values`` under ``irs_query``."""
-        stored = dict(self._collection.get(_BUFFER_ATTR) or {})
-        stored[self._key(irs_query, model)] = {str(oid): value for oid, value in values.items()}
-        self._collection.set(_BUFFER_ATTR, stored)
+        working = self._working_copy()
+        key = self._key(irs_query, model)
+        working[key] = {str(oid): value for oid, value in values.items()}
+        self._owned_keys.add(key)
+        self._collection.set(_BUFFER_ATTR, working)
 
     def amend(self, irs_query: str, oid: OID, value: float, model: Optional[str] = None) -> None:
         """Insert one derived value into an existing buffered result.
@@ -58,17 +88,25 @@ class ResultBuffer:
         Figure 3's flow chart: after ``deriveIRSValue`` the result is
         inserted into the buffer so later calls for the same object hit.
         """
-        stored = dict(self._collection.get(_BUFFER_ATTR) or {})
+        working = self._working_copy()
         key = self._key(irs_query, model)
-        entry = dict(stored.get(key, {}))
+        if key in self._owned_keys:
+            entry = working.setdefault(key, {})
+        else:
+            # The entry dict may be shared with the pre-copy stored buffer;
+            # copy it once before mutating.
+            entry = dict(working.get(key, {}))
+            working[key] = entry
+            self._owned_keys.add(key)
         entry[str(oid)] = value
-        stored[key] = entry
-        self._collection.set(_BUFFER_ATTR, stored)
+        self._collection.set(_BUFFER_ATTR, working)
 
     def invalidate(self) -> None:
         """Drop every buffered result (after update propagation)."""
-        self._collection.set(_BUFFER_ATTR, {})
+        self._working = {}
+        self._owned_keys = set()
+        self._collection.set(_BUFFER_ATTR, self._working)
 
     def size(self) -> int:
         """Number of buffered queries."""
-        return len(self._collection.get(_BUFFER_ATTR) or {})
+        return len(self._stored())

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from repro.errors import DocumentMissingError
 from repro.irs.analysis import Analyzer
 from repro.irs.inverted_index import InvertedIndex
+from repro.irs.statistics import StatisticsCache
 
 
 @dataclass
@@ -37,6 +38,21 @@ class IRSCollection:
         self.index = InvertedIndex()
         self._documents: Dict[int, IRSDocument] = {}
         self._next_doc_id = 1
+        self._stats: Optional[StatisticsCache] = None
+
+    @property
+    def stats(self) -> StatisticsCache:
+        """The collection's statistics cache (rebuilt if the index is swapped).
+
+        Validity against index mutations is handled inside the cache via the
+        index epoch; this property only guards against the index *object*
+        being replaced (e.g. by :meth:`from_payload`).
+        """
+        cache = self._stats
+        if cache is None or cache.index is not self.index:
+            cache = StatisticsCache(self.index)
+            self._stats = cache
+        return cache
 
     # -- document management ---------------------------------------------------
 

@@ -18,8 +18,9 @@ propagation).
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DuplicateCollectionError, UnknownCollectionError
 from repro.irs.analysis import Analyzer
@@ -66,6 +67,7 @@ class EngineCounters:
     documents_indexed: int = 0
     documents_removed: int = 0
     result_files_written: int = 0
+    result_cache_hits: int = 0
     per_collection_queries: Dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -73,19 +75,33 @@ class EngineCounters:
         self.documents_indexed = 0
         self.documents_removed = 0
         self.result_files_written = 0
+        self.result_cache_hits = 0
         self.per_collection_queries = {}
 
 
 class IRSEngine:
     """A multi-collection IRS with exchangeable retrieval models."""
 
-    def __init__(self, default_model: str = "inquery", analyzer: Optional[Analyzer] = None) -> None:
+    def __init__(
+        self,
+        default_model: str = "inquery",
+        analyzer: Optional[Analyzer] = None,
+        result_cache_size: int = 128,
+    ) -> None:
         if default_model not in MODELS:
             raise ValueError(f"unknown retrieval model {default_model!r}; know {sorted(MODELS)}")
         self._collections: Dict[str, IRSCollection] = {}
         self._default_model = default_model
         self._analyzer = analyzer
         self.counters = EngineCounters()
+        #: In-process bounded LRU over (collection, model, query, index epoch).
+        #: Complements — does not replace — the paper's persistent COLLECTION
+        #: buffer (Section 4.2): that one survives process restarts and is
+        #: invalidated by update propagation; this one only short-circuits
+        #: repeated identical queries against an unchanged index within the
+        #: current process.  ``result_cache_size=0`` disables it.
+        self._result_cache: "OrderedDict[Tuple[str, str, str, int], Dict[int, float]]" = OrderedDict()
+        self._result_cache_size = max(0, result_cache_size)
 
     # -- collection management ----------------------------------------------
 
@@ -98,10 +114,14 @@ class IRSEngine:
         return collection
 
     def drop_collection(self, name: str) -> None:
-        """Delete a collection and its index."""
+        """Delete a collection, its index, and its cached results."""
         if name not in self._collections:
             raise UnknownCollectionError(f"no IRS collection {name!r}")
         del self._collections[name]
+        # A later collection with the same name starts its index epoch from
+        # scratch, so stale entries would otherwise be indistinguishable.
+        for key in [k for k in self._result_cache if k[0] == name]:
+            del self._result_cache[key]
 
     def collection(self, name: str) -> IRSCollection:
         """Look up a collection by name."""
@@ -150,12 +170,23 @@ class IRSEngine:
             model_impl: RetrievalModel = MODELS[model_name]()
         except KeyError:
             raise ValueError(f"unknown retrieval model {model_name!r}") from None
-        tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
-        values = model_impl.score(collection, tree)
         self.counters.queries_executed += 1
         self.counters.per_collection_queries[collection_name] = (
             self.counters.per_collection_queries.get(collection_name, 0) + 1
         )
+        cache_key = (collection_name, model_name, irs_query, collection.index.epoch)
+        cached = self._result_cache.get(cache_key)
+        if cached is not None:
+            self._result_cache.move_to_end(cache_key)
+            self.counters.result_cache_hits += 1
+            # Hand out a copy so callers cannot poison the cached values.
+            return IRSResult(collection_name, irs_query, model_name, dict(cached))
+        tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
+        values = model_impl.score(collection, tree)
+        if self._result_cache_size > 0:
+            self._result_cache[cache_key] = dict(values)
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
         return IRSResult(collection_name, irs_query, model_name, values)
 
     def query_to_file(

@@ -5,12 +5,19 @@ IRS-collection are transformed to an internal representation (e.g., inverted
 lists)".  This module provides exactly that: per-term postings lists with
 term frequencies and positions, plus the global statistics retrieval models
 need (document count, document lengths, document/collection frequencies).
+
+All aggregate statistics (posting count, token count, per-term collection
+frequencies) are maintained as running counters updated by
+``add_document``/``remove_document``, so reading them is O(1).  Sorted
+postings lists are materialized once per term and reused until the term is
+touched again.  Every mutation bumps :attr:`InvertedIndex.epoch`, which the
+statistics caches of :mod:`repro.irs.statistics` use for invalidation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -32,6 +39,11 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: Dict[str, Dict[int, Posting]] = {}
         self._doc_lengths: Dict[int, int] = {}
+        self._collection_frequency: Dict[str, int] = {}
+        self._posting_count = 0
+        self._token_count = 0
+        self._sorted: Dict[str, List[Posting]] = {}
+        self._epoch = 0
 
     # -- building -------------------------------------------------------------
 
@@ -40,28 +52,55 @@ class InvertedIndex:
         if doc_id in self._doc_lengths:
             raise ValueError(f"document {doc_id} already indexed")
         self._doc_lengths[doc_id] = len(terms)
+        self._token_count += len(terms)
         for position, term in enumerate(terms):
             by_doc = self._postings.setdefault(term, {})
             posting = by_doc.get(doc_id)
             if posting is None:
                 by_doc[doc_id] = Posting(doc_id, [position])
+                self._posting_count += 1
             else:
                 posting.positions.append(position)
+            self._collection_frequency[term] = (
+                self._collection_frequency.get(term, 0) + 1
+            )
+            self._sorted.pop(term, None)
+        self._epoch += 1
 
     def remove_document(self, doc_id: int) -> None:
         """Remove all trace of ``doc_id``."""
         if doc_id not in self._doc_lengths:
             raise KeyError(doc_id)
+        self._token_count -= self._doc_lengths[doc_id]
         del self._doc_lengths[doc_id]
         empty_terms = []
         for term, by_doc in self._postings.items():
-            by_doc.pop(doc_id, None)
+            posting = by_doc.pop(doc_id, None)
+            if posting is None:
+                continue
+            self._posting_count -= 1
+            remaining = self._collection_frequency[term] - posting.tf
+            if remaining:
+                self._collection_frequency[term] = remaining
+            else:
+                del self._collection_frequency[term]
+            self._sorted.pop(term, None)
             if not by_doc:
                 empty_terms.append(term)
         for term in empty_terms:
             del self._postings[term]
+        self._epoch += 1
 
     # -- statistics ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped by every add/remove.
+
+        Caches keyed on (index, epoch) are valid exactly while the epoch is
+        unchanged — the invalidation contract of the statistics caches.
+        """
+        return self._epoch
 
     @property
     def document_count(self) -> int:
@@ -75,13 +114,13 @@ class InvertedIndex:
 
     @property
     def posting_count(self) -> int:
-        """Number of (term, document) postings."""
-        return sum(len(by_doc) for by_doc in self._postings.values())
+        """Number of (term, document) postings (running counter, O(1))."""
+        return self._posting_count
 
     @property
     def token_count(self) -> int:
-        """Total number of indexed term occurrences."""
-        return sum(self._doc_lengths.values())
+        """Total number of indexed term occurrences (running counter, O(1))."""
+        return self._token_count
 
     def document_length(self, doc_id: int) -> int:
         """Number of terms indexed for ``doc_id``."""
@@ -92,27 +131,43 @@ class InvertedIndex:
         """Mean document length (0.0 for an empty index)."""
         if not self._doc_lengths:
             return 0.0
-        return self.token_count / len(self._doc_lengths)
+        return self._token_count / len(self._doc_lengths)
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing ``term``."""
         return len(self._postings.get(term, ()))
 
     def collection_frequency(self, term: str) -> int:
-        """Total occurrences of ``term`` across all documents."""
-        return sum(p.tf for p in self._postings.get(term, {}).values())
+        """Total occurrences of ``term`` across all documents (O(1))."""
+        return self._collection_frequency.get(term, 0)
 
     # -- access ----------------------------------------------------------------
 
     def postings(self, term: str) -> List[Posting]:
-        """The postings list of ``term`` in doc-id order (empty when absent)."""
-        by_doc = self._postings.get(term, {})
-        return [by_doc[doc_id] for doc_id in sorted(by_doc)]
+        """The postings list of ``term`` in doc-id order (empty when absent).
+
+        The list is materialized once and cached until the term is touched
+        by add/remove again; callers must treat it as read-only.
+        """
+        cached = self._sorted.get(term)
+        if cached is not None:
+            return cached
+        by_doc = self._postings.get(term)
+        if by_doc is None:
+            return []
+        ordered = [by_doc[doc_id] for doc_id in sorted(by_doc)]
+        self._sorted[term] = ordered
+        return ordered
 
     def term_frequency(self, term: str, doc_id: int) -> int:
         """tf of ``term`` in ``doc_id`` (0 when absent)."""
         posting = self._postings.get(term, {}).get(doc_id)
         return posting.tf if posting else 0
+
+    def positions(self, term: str, doc_id: int) -> Optional[List[int]]:
+        """Positions of ``term`` in ``doc_id`` (None when absent, read-only)."""
+        posting = self._postings.get(term, {}).get(doc_id)
+        return posting.positions if posting else None
 
     def has_document(self, doc_id: int) -> bool:
         """True when ``doc_id`` is indexed."""
@@ -159,4 +214,13 @@ class InvertedIndex:
             }
             for term, by_doc in payload["postings"].items()
         }
+        index._token_count = sum(index._doc_lengths.values())
+        index._posting_count = sum(
+            len(by_doc) for by_doc in index._postings.values()
+        )
+        index._collection_frequency = {
+            term: sum(p.tf for p in by_doc.values())
+            for term, by_doc in index._postings.items()
+        }
+        index._epoch = 1
         return index

@@ -7,10 +7,14 @@ systems, vector retrieval systems, and systems based on probability"
 interface; the engine selects one per query.
 """
 
-from repro.irs.models.base import RetrievalModel
+from repro.irs.models.base import RetrievalModel, compile_query
 from repro.irs.models.boolean import BooleanModel
 from repro.irs.models.vector import VectorSpaceModel
 from repro.irs.models.probabilistic import InferenceNetworkModel
+from repro.irs.models.reference import (
+    NaiveInferenceNetworkModel,
+    NaiveVectorSpaceModel,
+)
 
 MODELS = {
     "boolean": BooleanModel,
@@ -23,5 +27,8 @@ __all__ = [
     "BooleanModel",
     "VectorSpaceModel",
     "InferenceNetworkModel",
+    "NaiveVectorSpaceModel",
+    "NaiveInferenceNetworkModel",
     "MODELS",
+    "compile_query",
 ]

@@ -5,6 +5,10 @@ The simplest paradigm the paper's loose coupling must support (Section 3).
 whole collection.  Matching documents all receive IRS value 1.0 — boolean
 systems know no graded relevance, which is exactly the degenerate case the
 coupling has to tolerate.
+
+Evaluation runs over a compiled query (each raw term analyzed once) using
+the statistics cache's memoized per-term document-id sets, so repeated
+terms and repeated queries never rebuild sets from postings.
 """
 
 from __future__ import annotations
@@ -12,8 +16,14 @@ from __future__ import annotations
 from typing import Dict, Set
 
 from repro.irs.collection import IRSCollection
-from repro.irs.models.base import RetrievalModel
-from repro.irs.queries import OperatorNode, ProximityNode, QueryNode, TermNode
+from repro.irs.models.base import (
+    CompiledOperator,
+    CompiledProximity,
+    CompiledTerm,
+    RetrievalModel,
+    compile_query,
+)
+from repro.irs.queries import QueryNode
 
 
 class BooleanModel(RetrievalModel):
@@ -23,27 +33,21 @@ class BooleanModel(RetrievalModel):
     default_operator = "and"
 
     def score(self, collection: IRSCollection, query: QueryNode) -> Dict[int, float]:
-        matching = self._evaluate(collection, query)
+        matching = self._evaluate(collection, compile_query(collection, query))
         return {doc_id: 1.0 for doc_id in matching}
 
-    def _evaluate(self, collection: IRSCollection, node: QueryNode) -> Set[int]:
-        if isinstance(node, TermNode):
-            term = collection.analyzer.term(node.term)
-            if term is None:
+    def _evaluate(self, collection: IRSCollection, node) -> Set[int]:
+        if isinstance(node, CompiledTerm):
+            if node.term is None:
                 return set()
-            return {p.doc_id for p in collection.index.postings(term)}
-        if isinstance(node, ProximityNode):
-            from repro.irs.proximity import candidate_documents, proximity_tf
+            return set(collection.stats.doc_id_set(node.term))
+        if isinstance(node, CompiledProximity):
+            from repro.irs.proximity import proximity_tf_map
 
-            return {
-                doc_id
-                for doc_id in candidate_documents(collection, node.terms())
-                if proximity_tf(
-                    collection, doc_id, node.terms(), node.window, node.ordered
-                )
-                > 0
-            }
-        if isinstance(node, OperatorNode):
+            if not node.matchable:
+                return set()
+            return set(proximity_tf_map(collection, node.node))
+        if isinstance(node, CompiledOperator):
             child_sets = [self._evaluate(collection, c) for c in node.children]
             if node.op == "and":
                 result = child_sets[0]

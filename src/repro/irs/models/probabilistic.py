@@ -16,16 +16,32 @@ with default belief ``db = 0.4``,
 the IRS documents' length in order to compute IRS values", Section 4.5.2)
 and a scaled idf.  Beliefs combine through the operator algebra of
 :mod:`repro.irs.models.operators`.
+
+Scoring is **term-at-a-time**: the query is compiled (each raw term
+analyzed once), then each distinct term's postings list is walked exactly
+once, producing a per-term belief map over the documents that contain it.
+Flat ``#sum``/``#wsum`` queries — the common shape — accumulate those maps
+directly into a scores dict; structured queries combine the precomputed
+leaf maps per candidate with plain dict lookups, never re-touching the
+analyzer or the index.  The naive document-at-a-time path survives in
+:mod:`repro.irs.models.reference` for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.irs.collection import IRSCollection
 from repro.irs.models import operators as ops
-from repro.irs.models.base import RetrievalModel
+from repro.irs.models.base import (
+    CompiledOperator,
+    CompiledProximity,
+    CompiledTerm,
+    RetrievalModel,
+    compile_query,
+    compiled_terms,
+)
 from repro.irs.queries import OperatorNode, ProximityNode, QueryNode, TermNode
 
 #: INQUERY's default belief for unobserved evidence.
@@ -46,14 +62,177 @@ class InferenceNetworkModel(RetrievalModel):
     # -- scoring -----------------------------------------------------------
 
     def score(self, collection: IRSCollection, query: QueryNode) -> Dict[int, float]:
-        candidates = self._candidates(collection, query)
+        compiled = compile_query(collection, query)
+        term_maps: Dict[str, Dict[int, float]] = {}
+        flat = self._flat_linear(compiled)
+        if flat is not None:
+            return self._score_term_at_a_time(collection, flat, term_maps)
+        return self._score_structured(collection, query, compiled, term_maps)
+
+    def _flat_linear(self, compiled) -> Optional[List[tuple]]:
+        """(weight, leaf) pairs when the query is a flat #sum/#wsum of leaves.
+
+        These linear combinations admit pure term-at-a-time accumulation;
+        anything else (nested operators, #and/#or/#not/#max) goes through
+        the structured combiner.  A #wsum whose weights do not sum to a
+        positive total falls through as well (op_wsum has a special case).
+        """
+        if isinstance(compiled, (CompiledTerm, CompiledProximity)):
+            return [(1.0, compiled)]
+        if not isinstance(compiled, CompiledOperator):
+            return None
+        if compiled.op not in ("sum", "wsum"):
+            return None
+        if not all(
+            isinstance(c, (CompiledTerm, CompiledProximity)) for c in compiled.children
+        ):
+            return None
+        if compiled.op == "sum":
+            weights = [1.0] * len(compiled.children)
+        else:
+            weights = list(compiled.weights)
+            if sum(weights) <= 0:
+                return None
+        return list(zip(weights, compiled.children))
+
+    def _score_term_at_a_time(
+        self,
+        collection: IRSCollection,
+        weighted_leaves: List[tuple],
+        term_maps: Dict[str, Dict[int, float]],
+    ) -> Dict[int, float]:
+        """Accumulate leaf belief maps directly into a scores dict.
+
+        For a linear combination ``sum_i w_i * bel_i / W`` every absent leaf
+        contributes the default belief, so the score decomposes as
+        ``db + sum_i w_i * (bel_i - db) / W`` — each term's postings are
+        walked once, adding its weighted excess belief to the accumulator.
+        Documents retrieved are exactly those with positive accumulated
+        excess (i.e. strictly more evidence than the no-evidence baseline).
+        """
+        db = self._db
+        total_weight = sum(w for w, _leaf in weighted_leaves)
+        acc: Dict[int, float] = {}
+        for weight, leaf in weighted_leaves:
+            for doc_id, belief in self._leaf_map(collection, leaf, term_maps).items():
+                acc[doc_id] = acc.get(doc_id, 0.0) + weight * (belief - db)
+        return {
+            doc_id: db + excess / total_weight
+            for doc_id, excess in acc.items()
+            if excess > 0.0
+        }
+
+    def _score_structured(
+        self,
+        collection: IRSCollection,
+        query: QueryNode,
+        compiled,
+        term_maps: Dict[str, Dict[int, float]],
+    ) -> Dict[int, float]:
+        """Combine precomputed leaf belief maps per candidate document."""
+        db = self._db
+        candidates: Set[int] = set()
+        for term in set(compiled_terms(compiled)):
+            candidates.update(collection.stats.doc_id_set(term))
+        if not candidates:
+            return {}
+
+        def evaluate(node, doc_id: int) -> float:
+            if isinstance(node, CompiledTerm):
+                return self._leaf_map(collection, node, term_maps).get(doc_id, db)
+            if isinstance(node, CompiledProximity):
+                return self._leaf_map(collection, node, term_maps).get(doc_id, db)
+            children = [evaluate(c, doc_id) for c in node.children]
+            op = node.op
+            if op == "and":
+                return ops.op_and(children)
+            if op == "or":
+                return ops.op_or(children)
+            if op == "not":
+                return ops.op_not(children[0])
+            if op == "sum":
+                return ops.op_sum(children)
+            if op == "wsum":
+                return ops.op_wsum(node.weights, children)
+            if op == "max":
+                return ops.op_max(children)
+            raise ValueError(f"cannot score operator {op!r}")  # pragma: no cover
+
         baseline = self.baseline(query)
         result: Dict[int, float] = {}
-        for doc_id in candidates:
-            belief = self._belief(collection, query, doc_id)
+        for doc_id in sorted(candidates):
+            belief = evaluate(compiled, doc_id)
             if belief > baseline:  # strictly more evidence than "no evidence"
                 result[doc_id] = belief
         return result
+
+    def _leaf_map(
+        self,
+        collection: IRSCollection,
+        leaf,
+        term_maps: Dict[str, Dict[int, float]],
+    ) -> Dict[int, float]:
+        """``{doc_id: belief}`` of one leaf over the documents that match it.
+
+        Term leaves walk their postings list exactly once per query (maps
+        are shared across repeated terms); proximity leaves reuse the
+        epoch-memoized match maps of :mod:`repro.irs.proximity`.
+        """
+        if isinstance(leaf, CompiledTerm):
+            if leaf.term is None:
+                return {}
+            cached = term_maps.get(leaf.term)
+            if cached is None:
+                cached = self._term_belief_map(collection, leaf.term)
+                term_maps[leaf.term] = cached
+            return cached
+        return self._proximity_belief_map(collection, leaf, term_maps)
+
+    def _term_belief_map(self, collection: IRSCollection, term: str) -> Dict[int, float]:
+        index = collection.index
+        stats = collection.stats
+        idf_part = stats.inquery_idf(term)
+        avg_dl = stats.average_document_length or 1.0
+        db = self._db
+        one_minus_db = 1.0 - db
+        beliefs: Dict[int, float] = {}
+        for posting in index.postings(term):
+            tf = posting.tf
+            dl = index.document_length(posting.doc_id)
+            tf_part = tf / (tf + 0.5 + 1.5 * dl / avg_dl)
+            beliefs[posting.doc_id] = db + one_minus_db * tf_part * idf_part
+        return beliefs
+
+    def _proximity_belief_map(
+        self,
+        collection: IRSCollection,
+        leaf: CompiledProximity,
+        term_maps: Dict[str, Dict[int, float]],
+    ) -> Dict[int, float]:
+        from repro.irs.proximity import proximity_tf_map
+
+        key = ("prox", leaf.ordered, leaf.window, tuple(leaf.node.terms()))
+        cached = term_maps.get(key)
+        if cached is not None:
+            return cached
+        beliefs: Dict[int, float] = {}
+        if leaf.matchable:
+            tf_map = proximity_tf_map(collection, leaf.node)
+            df = len(tf_map)
+            index = collection.index
+            n_docs = index.document_count
+            if df > 0 and n_docs > 0:
+                avg_dl = collection.stats.average_document_length or 1.0
+                db = self._db
+                one_minus_db = 1.0 - db
+                idf_part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
+                idf_part = max(0.0, min(1.0, idf_part))
+                for doc_id, tf in tf_map.items():
+                    dl = index.document_length(doc_id)
+                    tf_part = tf / (tf + 0.5 + 1.5 * dl / avg_dl)
+                    beliefs[doc_id] = db + one_minus_db * tf_part * idf_part
+        term_maps[key] = beliefs
+        return beliefs
 
     def baseline(self, query: QueryNode) -> float:
         """The query's belief for a document with *no* matching evidence.

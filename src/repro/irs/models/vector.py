@@ -5,6 +5,13 @@ retrieval systems" unchanged (Section 3).  Operator structure is flattened
 to a bag of positive terms — classic vector-space queries are unstructured —
 except ``#not`` whose terms *subtract* weight, and ``#wsum`` whose weights
 multiply the corresponding query-term weights.
+
+Scoring is term-at-a-time over the postings lists; idf values and the
+per-document TF-IDF norms come from the collection's epoch-validated
+:class:`~repro.irs.statistics.StatisticsCache` (all norms are built in a
+single pass over the postings instead of an O(vocabulary) scan per scored
+document).  The pre-cache implementation survives in
+:mod:`repro.irs.models.reference` for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -28,23 +35,22 @@ class VectorSpaceModel(RetrievalModel):
         if not query_vector:
             return {}
         index = collection.index
-        n_docs = index.document_count
+        stats = collection.stats
         scores: Dict[int, float] = {}
         for term, query_weight in query_vector.items():
-            df = index.document_frequency(term)
-            if df == 0:
+            idf = stats.idf(term)  # 0.0 exactly when df == 0
+            if idf == 0.0:
                 continue
-            idf = math.log(1.0 + n_docs / df)
             for posting in index.postings(term):
                 tf = 1.0 + math.log(posting.tf)
                 scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + query_weight * tf * idf
         if not scores:
             return {}
-        # Cosine normalization by document vector norms.
+        # Cosine normalization by the cached document vector norms.
         result: Dict[int, float] = {}
         query_norm = math.sqrt(sum(w * w for w in query_vector.values()))
         for doc_id, dot in scores.items():
-            doc_norm = self._document_norm(collection, doc_id)
+            doc_norm = stats.document_norm(doc_id)
             if doc_norm > 0 and dot > 0:
                 value = dot / (doc_norm * query_norm)
                 result[doc_id] = min(1.0, value)
@@ -52,7 +58,8 @@ class VectorSpaceModel(RetrievalModel):
 
     def _query_vector(self, collection: IRSCollection, node: QueryNode, sign: float = 1.0, weight: float = 1.0) -> Dict[str, float]:
         vector: Dict[str, float] = {}
-        self._accumulate(collection, node, sign, weight, vector)
+        memo: Dict[str, object] = {}
+        self._accumulate(collection, node, sign, weight, vector, memo)
         # Negative weights (from #not) are kept: they subtract during the
         # dot product; documents whose score goes non-positive are dropped.
         return {t: w for t, w in vector.items() if w != 0}
@@ -64,9 +71,14 @@ class VectorSpaceModel(RetrievalModel):
         sign: float,
         weight: float,
         vector: Dict[str, float],
+        memo: Dict[str, object],
     ) -> None:
         if isinstance(node, TermNode):
-            term = collection.analyzer.term(node.term)
+            if node.term in memo:
+                term = memo[node.term]
+            else:
+                term = collection.analyzer.term(node.term)
+                memo[node.term] = term
             if term is not None:
                 vector[term] = vector.get(term, 0.0) + sign * weight
             return
@@ -75,26 +87,19 @@ class VectorSpaceModel(RetrievalModel):
             # degenerates to the bag of its terms — the kind of paradigm
             # difference the loose coupling deliberately tolerates.
             for term_node in node.term_nodes:
-                self._accumulate(collection, term_node, sign, weight, vector)
+                self._accumulate(collection, term_node, sign, weight, vector, memo)
             return
         if isinstance(node, OperatorNode):
             if node.op == "not":
-                self._accumulate(collection, node.children[0], -sign, weight, vector)
+                self._accumulate(collection, node.children[0], -sign, weight, vector, memo)
                 return
             if node.op == "wsum":
                 for child_weight, child in zip(node.weights, node.children):
-                    self._accumulate(collection, child, sign, weight * child_weight, vector)
+                    self._accumulate(collection, child, sign, weight * child_weight, vector, memo)
                 return
             for child in node.children:
-                self._accumulate(collection, child, sign, weight, vector)
+                self._accumulate(collection, child, sign, weight, vector, memo)
 
     def _document_norm(self, collection: IRSCollection, doc_id: int) -> float:
-        index = collection.index
-        n_docs = index.document_count
-        total = 0.0
-        for term, tf in index.document_vector(doc_id).items():
-            df = index.document_frequency(term)
-            idf = math.log(1.0 + n_docs / df)
-            w = (1.0 + math.log(tf)) * idf
-            total += w * w
-        return math.sqrt(total)
+        """One document's TF-IDF norm (delegates to the statistics cache)."""
+        return collection.stats.document_norm(doc_id)

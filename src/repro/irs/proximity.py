@@ -91,17 +91,16 @@ def proximity_tf(
     indexed positions in the same form.  Terms that analyze away (stopwords)
     make the expression unmatchable — INQUERY behaved the same.
     """
+    index = collection.index
     position_lists: List[List[int]] = []
     for raw in terms:
         term = collection.analyzer.term(raw)
         if term is None:
             return 0
-        posting = next(
-            (p for p in collection.index.postings(term) if p.doc_id == doc_id), None
-        )
-        if posting is None:
+        positions = index.positions(term, doc_id)
+        if positions is None:
             return 0
-        position_lists.append(posting.positions)
+        position_lists.append(positions)
     if ordered:
         return ordered_window_matches(position_lists, window)
     return unordered_window_matches(position_lists, window)
@@ -119,24 +118,45 @@ def proximity_document_frequency(
     )
 
 
-def proximity_df_cached(collection: IRSCollection, node) -> int:
-    """df of a proximity node, memoized per collection state.
+def _proximity_cache(collection: IRSCollection) -> Dict:
+    """Per-collection proximity memo, dropped whenever the index mutates.
 
-    The cache key includes a cheap fingerprint of the index (document and
-    token counts) so additions/removals invalidate stale entries without a
-    version counter on the collection.
+    Keyed on the index *epoch* (not a document/token-count fingerprint, which
+    a same-length replace_document would leave unchanged); only the current
+    epoch's entries are retained, bounding the cache's size.
     """
-    cache = getattr(collection, "_proximity_df_cache", None)
-    if cache is None:
-        cache = {}
-        collection._proximity_df_cache = cache
-    fingerprint = (collection.index.document_count, collection.index.token_count)
-    key = (node.ordered, node.window, tuple(node.terms()), fingerprint)
-    if key not in cache:
-        cache[key] = proximity_document_frequency(
-            collection, node.terms(), node.window, node.ordered
-        )
-    return cache[key]
+    cache = getattr(collection, "_proximity_cache", None)
+    epoch = collection.index.epoch
+    if cache is None or cache["epoch"] != epoch:
+        cache = {"epoch": epoch, "tf_maps": {}}
+        collection._proximity_cache = cache
+    return cache
+
+
+def proximity_tf_map(collection: IRSCollection, node) -> Dict[int, int]:
+    """``{doc_id: match count}`` of one proximity node, matches only.
+
+    Memoized per index epoch, so a query tree (or a stream of repeated
+    queries) evaluates each distinct window exactly once per index state.
+    """
+    cache = _proximity_cache(collection)
+    key = (node.ordered, node.window, tuple(node.terms()))
+    tf_map = cache["tf_maps"].get(key)
+    if tf_map is None:
+        tf_map = {}
+        for doc_id in candidate_documents(collection, node.terms()):
+            tf = proximity_tf(
+                collection, doc_id, node.terms(), node.window, node.ordered
+            )
+            if tf > 0:
+                tf_map[doc_id] = tf
+        cache["tf_maps"][key] = tf_map
+    return tf_map
+
+
+def proximity_df_cached(collection: IRSCollection, node) -> int:
+    """df of a proximity node, memoized per collection state."""
+    return len(proximity_tf_map(collection, node))
 
 
 def candidate_documents(collection: IRSCollection, terms: Sequence[str]) -> List[int]:
@@ -147,8 +167,8 @@ def candidate_documents(collection: IRSCollection, terms: Sequence[str]) -> List
         term = collection.analyzer.term(raw)
         if term is None:
             return []
-        doc_sets.append({p.doc_id for p in collection.index.postings(term)})
+        doc_sets.append(collection.stats.doc_id_set(term))
     if not doc_sets:
         return []
-    shared = set.intersection(*doc_sets)
+    shared = doc_sets[0].intersection(*doc_sets[1:])
     return sorted(shared)

@@ -1,20 +1,129 @@
-"""Collection statistics: Zipf and Heaps checks for corpus realism.
+"""Collection statistics: the scoring cache plus corpus-realism checks.
 
-The proprietary MMF corpus is substituted with seeded synthetic documents
-(see DESIGN.md §2); these diagnostics validate that the substitute behaves
-like natural-language text where it matters for retrieval: a roughly
-Zipfian rank-frequency distribution (idf spread) and sublinear vocabulary
-growth (Heaps' law).  The STATS benchmark prints them; the corpus tests
-assert sane ranges.
+Two concerns live here:
+
+* :class:`StatisticsCache` — the query-evaluation fast path's memo of
+  global statistics (average document length, per-term df/idf, per-document
+  TF-IDF norms, per-term document-id sets).  One instance is attached to
+  each :class:`~repro.irs.collection.IRSCollection`; every read validates
+  against :attr:`InvertedIndex.epoch` and drops all memos when the index
+  mutated, so interleaved add/remove/query sequences never observe stale
+  values.
+* Zipf and Heaps diagnostics that validate the seeded synthetic corpus
+  behaves like natural-language text (see DESIGN.md §2).  The STATS
+  benchmark prints them; the corpus tests assert sane ranges.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.irs.inverted_index import InvertedIndex
+
+
+class StatisticsCache:
+    """Epoch-validated memo of the index statistics scoring needs.
+
+    Every accessor first compares the index's epoch with the epoch the
+    memos were built at; a mismatch clears everything.  Per-term values are
+    filled lazily; per-document norms are built for *all* documents in one
+    pass over the postings the first time any norm is requested — one
+    O(postings) sweep instead of an O(vocabulary) scan per scored document.
+    """
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self._index = index
+        self._epoch = -1
+        self._avg_dl: Optional[float] = None
+        self._idf: Dict[str, float] = {}
+        self._inquery_idf: Dict[str, float] = {}
+        self._doc_id_sets: Dict[str, FrozenSet[int]] = {}
+        self._norms: Optional[Dict[int, float]] = None
+
+    def _validate(self) -> None:
+        if self._epoch != self._index.epoch:
+            self._epoch = self._index.epoch
+            self._avg_dl = None
+            self._idf.clear()
+            self._inquery_idf.clear()
+            self._doc_id_sets.clear()
+            self._norms = None
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def average_document_length(self) -> float:
+        """Memoized mean document length."""
+        self._validate()
+        if self._avg_dl is None:
+            self._avg_dl = self._index.average_document_length
+        return self._avg_dl
+
+    def document_frequency(self, term: str) -> int:
+        """df of ``term`` (delegates to the index; already O(1))."""
+        return self._index.document_frequency(term)
+
+    def idf(self, term: str) -> float:
+        """The vector model's idf, ``log(1 + N/df)`` (0.0 when df == 0)."""
+        self._validate()
+        cached = self._idf.get(term)
+        if cached is None:
+            df = self._index.document_frequency(term)
+            if df == 0:
+                cached = 0.0
+            else:
+                cached = math.log(1.0 + self._index.document_count / df)
+            self._idf[term] = cached
+        return cached
+
+    def inquery_idf(self, term: str) -> float:
+        """INQUERY's scaled idf part, clamped to [0, 1] (0.0 when df == 0)."""
+        self._validate()
+        cached = self._inquery_idf.get(term)
+        if cached is None:
+            df = self._index.document_frequency(term)
+            n_docs = self._index.document_count
+            if df == 0 or n_docs == 0:
+                cached = 0.0
+            else:
+                part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
+                cached = max(0.0, min(1.0, part))
+            self._inquery_idf[term] = cached
+        return cached
+
+    def doc_id_set(self, term: str) -> FrozenSet[int]:
+        """The set of documents containing ``term`` (memoized)."""
+        self._validate()
+        cached = self._doc_id_sets.get(term)
+        if cached is None:
+            cached = frozenset(p.doc_id for p in self._index.postings(term))
+            self._doc_id_sets[term] = cached
+        return cached
+
+    def document_norm(self, doc_id: int) -> float:
+        """TF-IDF norm of one document (0.0 for unknown documents).
+
+        Norms of *all* documents are built together on first access: one
+        pass over every postings list accumulates squared weights per
+        document, then a square root per document.
+        """
+        self._validate()
+        if self._norms is None:
+            index = self._index
+            n_docs = index.document_count
+            squared: Dict[int, float] = {d: 0.0 for d in index.document_ids()}
+            for term in index.terms():
+                postings = index.postings(term)
+                idf = math.log(1.0 + n_docs / len(postings))
+                for posting in postings:
+                    w = (1.0 + math.log(posting.tf)) * idf
+                    squared[posting.doc_id] += w * w
+            self._norms = {d: math.sqrt(total) for d, total in squared.items()}
+        return self._norms.get(doc_id, 0.0)
 
 
 @dataclass(frozen=True)

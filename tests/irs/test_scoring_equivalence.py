@@ -1,0 +1,214 @@
+"""Fast-path vs naive-path score equivalence.
+
+The term-at-a-time scoring engine (precompiled queries + statistics cache)
+must be a pure optimization: on any corpus and any query of the operator
+algebra, per-document values match the preserved naive doc-at-a-time
+implementations of :mod:`repro.irs.models.reference` within 1e-9, with
+identical result sets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+from repro.irs.models import (
+    BooleanModel,
+    InferenceNetworkModel,
+    VectorSpaceModel,
+)
+from repro.irs.models.reference import (
+    NaiveInferenceNetworkModel,
+    NaiveVectorSpaceModel,
+)
+from repro.irs.queries import parse_irs_query
+
+TOLERANCE = 1e-9
+
+#: Every operator of the algebra, plus proximity nodes, plus stopped terms.
+OPERATOR_QUERIES = [
+    "www",
+    "www nii",
+    "#sum(www nii telnet)",
+    "#and(www nii)",
+    "#and(www #not(nii))",
+    "#or(www #and(nii telnet))",
+    "#or(#and(www nii) #or(telnet database))",
+    "#not(www)",
+    "#wsum(2 www 1 nii 0.5 telnet)",
+    "#wsum(1 #and(www nii) 3 telnet)",
+    "#max(www nii telnet)",
+    "#max(#and(www nii) #or(telnet database))",
+    "#od1(information retrieval)",
+    "#od3(www nii)",
+    "#uw5(www telnet)",
+    "#sum(#od2(www nii) telnet)",
+    "#and(#uw4(www database) #not(telnet))",
+    "the",          # analyzes away entirely
+    "#sum(the www)",  # stopped term inside an operator
+    "#wsum(2 the 1 www)",
+]
+
+
+def random_collection(seed: int, documents: int = 50) -> IRSCollection:
+    rng = random.Random(seed)
+    vocabulary = [
+        "www", "nii", "telnet", "database", "information", "retrieval",
+    ] + [f"w{i}" for i in range(40)]
+    collection = IRSCollection(f"rand{seed}", Analyzer())
+    for _ in range(documents):
+        words = rng.choices(vocabulary, k=rng.randint(3, 35))
+        collection.add_document(" ".join(words))
+    return collection
+
+
+def assert_equivalent(fast_result, naive_result, context):
+    assert set(fast_result) == set(naive_result), (
+        f"{context}: result sets diverge: "
+        f"{sorted(set(fast_result) ^ set(naive_result))}"
+    )
+    for doc_id, value in fast_result.items():
+        assert value == pytest.approx(naive_result[doc_id], abs=TOLERANCE), (
+            f"{context}: doc {doc_id}"
+        )
+
+
+MODEL_PAIRS = [
+    pytest.param(VectorSpaceModel(), NaiveVectorSpaceModel(), id="vector"),
+    pytest.param(InferenceNetworkModel(), NaiveInferenceNetworkModel(), id="inquery"),
+]
+
+
+class TestOperatorAlgebraEquivalence:
+    @pytest.mark.parametrize("fast,naive", MODEL_PAIRS)
+    @pytest.mark.parametrize("query", OPERATOR_QUERIES)
+    def test_equivalent_on_randomized_corpus(self, fast, naive, query):
+        collection = random_collection(seed=20260806)
+        tree = parse_irs_query(query, default_operator=fast.default_operator)
+        assert_equivalent(
+            fast.score(collection, tree),
+            naive.score(collection, tree),
+            f"{fast.name} / {query}",
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_equivalent_across_corpora(self, seed):
+        collection = random_collection(seed=seed, documents=30)
+        for query in OPERATOR_QUERIES:
+            for fast, naive in [
+                (VectorSpaceModel(), NaiveVectorSpaceModel()),
+                (InferenceNetworkModel(), NaiveInferenceNetworkModel()),
+            ]:
+                tree = parse_irs_query(query, default_operator=fast.default_operator)
+                assert_equivalent(
+                    fast.score(collection, tree),
+                    naive.score(collection, tree),
+                    f"seed {seed} / {fast.name} / {query}",
+                )
+
+    def test_boolean_compiled_path_matches_semantics(self):
+        collection = random_collection(seed=9, documents=30)
+        model = BooleanModel()
+        universe = set(collection.index.document_ids())
+        www = set(collection.stats.doc_id_set(collection.analyzer.term("www")))
+        nii = set(collection.stats.doc_id_set(collection.analyzer.term("nii")))
+        cases = {
+            "#and(www nii)": www & nii,
+            "#or(www nii)": www | nii,
+            "#and(www #not(nii))": www - nii,
+            "#not(www)": universe - www,
+        }
+        for query, expected in cases.items():
+            tree = parse_irs_query(query, default_operator="and")
+            assert set(model.score(collection, tree)) == expected, query
+
+
+class TestEquivalenceUnderUpdates:
+    def test_interleaved_updates_keep_paths_equivalent(self):
+        rng = random.Random(13)
+        collection = random_collection(seed=13, documents=20)
+        fast_i, naive_i = InferenceNetworkModel(), NaiveInferenceNetworkModel()
+        fast_v, naive_v = VectorSpaceModel(), NaiveVectorSpaceModel()
+        vocabulary = ["www", "nii", "telnet", "database"] + [f"w{i}" for i in range(40)]
+        for step in range(25):
+            roll = rng.random()
+            doc_ids = sorted(collection.index.document_ids())
+            if roll < 0.3 and len(doc_ids) > 5:
+                collection.remove_document(rng.choice(doc_ids))
+            elif roll < 0.5 and doc_ids:
+                collection.replace_document(
+                    rng.choice(doc_ids),
+                    " ".join(rng.choices(vocabulary, k=rng.randint(3, 25))),
+                )
+            else:
+                collection.add_document(
+                    " ".join(rng.choices(vocabulary, k=rng.randint(3, 25)))
+                )
+            query = rng.choice(OPERATOR_QUERIES)
+            tree = parse_irs_query(query, default_operator="sum")
+            assert_equivalent(
+                fast_i.score(collection, tree),
+                naive_i.score(collection, tree),
+                f"step {step} inquery / {query}",
+            )
+            assert_equivalent(
+                fast_v.score(collection, tree),
+                naive_v.score(collection, tree),
+                f"step {step} vector / {query}",
+            )
+
+
+@st.composite
+def _random_query(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(
+            st.sampled_from(
+                ["www", "nii", "telnet", "database", "w1", "w2", "w3", "the"]
+            )
+        )
+    op = draw(st.sampled_from(["and", "or", "not", "sum", "wsum", "max", "od2", "uw4"]))
+    if op == "not":
+        return f"#not({draw(_random_query(depth + 1))})"
+    if op in ("od2", "uw4"):
+        terms = draw(
+            st.lists(
+                st.sampled_from(["www", "nii", "telnet", "w1", "w2"]),
+                min_size=2,
+                max_size=3,
+            )
+        )
+        return f"#{op}({' '.join(terms)})"
+    children = draw(
+        st.lists(st.deferred(lambda: _random_query(depth + 1)), min_size=1, max_size=3)
+    )
+    if op == "wsum":
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+                min_size=len(children),
+                max_size=len(children),
+            )
+        )
+        inner = " ".join(f"{w:g} {c}" for w, c in zip(weights, children))
+        return f"#wsum({inner})"
+    return f"#{op}({' '.join(children)})"
+
+
+class TestRandomizedQueryProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(query=_random_query(), seed=st.integers(min_value=0, max_value=5))
+    def test_random_query_trees_equivalent(self, query, seed):
+        collection = random_collection(seed=seed, documents=25)
+        for fast, naive in [
+            (InferenceNetworkModel(), NaiveInferenceNetworkModel()),
+            (VectorSpaceModel(), NaiveVectorSpaceModel()),
+        ]:
+            tree = parse_irs_query(query, default_operator=fast.default_operator)
+            assert_equivalent(
+                fast.score(collection, tree),
+                naive.score(collection, tree),
+                f"{fast.name} / {query}",
+            )
