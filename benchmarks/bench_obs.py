@@ -1,0 +1,292 @@
+"""OBS — overhead of default-on instrumentation, plus the explain() demo.
+
+Times the bench_scoring IRS workload twice per round — once with the no-op
+instruments installed (``obs.disable()``) and once with fresh live ones —
+and reports the relative overhead of default-on tracing + metrics.  The
+result cache is disabled so every query pays the real scoring cost that the
+instruments wrap.  Also demonstrates ``explain()`` on the paper's two worked
+mixed queries and exports a span trace as a JSONL artifact.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full, writes BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI-sized
+
+The full run asserts overhead < 5%; ``--smoke`` asserts < 10% to absorb CI
+noise.  Both modes assert that the explain() stage tree covers the OODB
+evaluator, the coupling methods and IRS scoring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+from statistics import median
+from time import perf_counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from bench_scoring import QUERIES, generate_texts
+
+from repro import obs
+from repro.core import DocumentSystem
+from repro.core.collection import create_collection, index_objects
+from repro.irs.analysis import Analyzer
+from repro.irs.engine import IRSEngine
+from repro.obs import JsonlSpanExporter, Tracer, load_spans
+from repro.sgml.mmf import build_document, mmf_dtd
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
+TRACE_PATH = os.path.join(REPO_ROOT, "benchmarks", "results", "obs_trace.jsonl")
+
+QUERY_ONE = (
+    "ACCESS p, p -> length() FROM p IN PARA "
+    "WHERE p -> getIRSValue (collPara, 'WWW') > 0.45;"
+)
+
+QUERY_TWO = (
+    "ACCESS d -> getAttributeValue ('TITLE') "
+    "FROM d IN MMFDOC, p1 IN PARA, p2 IN PARA "
+    "WHERE d -> getAttributeValue ('YEAR') = '1994' AND "
+    "p1 -> getNext() == p2 AND "
+    "p1 -> getContaining ('MMFDOC') == d AND "
+    "p1 -> getIRSValue (collPara, 'WWW') > 0.4 AND "
+    "p2 -> getIRSValue (collPara, 'NII') > 0.4;"
+)
+
+#: Stages a cross-layer explain tree must cover (acceptance criterion).
+REQUIRED_STAGES = {
+    "oodb.query",
+    "coupling.findIRSValue",
+    "coupling.getIRSResult",
+    "irs.query",
+}
+
+
+def build_engine(documents: int, seed: int) -> IRSEngine:
+    """A cache-less engine over the bench_scoring corpus.
+
+    ``result_cache_size=0`` so repeated passes re-score instead of hitting
+    the LRU: the overhead measurement must wrap real scoring work, not a
+    dictionary lookup.
+    """
+    engine = IRSEngine(result_cache_size=0)
+    engine.create_collection("bench", Analyzer(stopwords=set(), stemming=False))
+    for text in generate_texts(documents, seed):
+        engine.index_document("bench", text)
+    return engine
+
+
+def time_pass(engine: IRSEngine, repeats: int) -> float:
+    """Seconds for ``repeats`` passes of the scoring workload."""
+    started = perf_counter()
+    for _ in range(repeats):
+        for query in QUERIES:
+            engine.query("bench", query, model="vector")
+    return perf_counter() - started
+
+
+def measure_overhead(documents: int, seed: int, pairs: int, repeats: int) -> dict:
+    """Median of paired enabled/disabled timing ratios.
+
+    Shared machines throttle and boost the CPU on timescales comparable to
+    a whole pass, so independent best-of timings of the two modes can drift
+    apart by far more than the few microseconds a span costs.  Instead each
+    sample times the two modes back to back (order alternating), so both
+    sit in the same throttle window, and the overhead is the median of the
+    per-pair ratios — robust against the wild spread of individual pairs.
+    """
+    engine = build_engine(documents, seed)
+    # The corpus is static during measurement but dominates the heap; span
+    # allocations on the enabled side otherwise trigger cyclic-GC passes
+    # that rescan the whole index, billing the corpus size to the
+    # instrumentation.  Freezing parks those objects outside the collector
+    # so both modes pay identical GC costs (the steady-state picture).
+    gc.collect()
+    gc.freeze()
+    # Warm the statistics caches once per mode so neither side pays the
+    # one-time cache build inside a timed interval.
+    obs.disable()
+    try:
+        time_pass(engine, 1)
+        with obs.instrumentation():
+            time_pass(engine, 1)
+        disabled, enabled, ratios = [], [], []
+        for index in range(pairs):
+            if index % 2:
+                with obs.instrumentation():
+                    on = time_pass(engine, repeats)
+                obs.disable()
+                off = time_pass(engine, repeats)
+            else:
+                obs.disable()
+                off = time_pass(engine, repeats)
+                with obs.instrumentation():
+                    on = time_pass(engine, repeats)
+            disabled.append(off)
+            enabled.append(on)
+            ratios.append(on / off)
+    finally:
+        obs.enable()
+        gc.unfreeze()
+    overhead_pct = (median(ratios) - 1.0) * 100.0
+    queries = repeats * len(QUERIES)
+    return {
+        "documents": documents,
+        "pairs": pairs,
+        "queries_per_pass": queries,
+        "best_disabled_qps": round(queries / min(disabled), 1),
+        "best_enabled_qps": round(queries / min(enabled), 1),
+        "ratio_spread": [round(min(ratios), 4), round(max(ratios), 4)],
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def build_journal() -> tuple:
+    """The paper's journal-article fixture (three MMF documents)."""
+    system = DocumentSystem()
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    documents = [
+        build_document(
+            "Hit",
+            [
+                "the www hypertext web and browsers are growing",
+                "the nii infrastructure funding policy debate continues",
+                "completely unrelated filler paragraph text here",
+            ],
+            year="1994",
+        ),
+        build_document(
+            "WrongOrder",
+            [
+                "the nii infrastructure network expands",
+                "the www web keeps growing quickly",
+            ],
+            year="1994",
+        ),
+        build_document(
+            "Together",
+            ["the www and the nii converge in one paragraph"],
+            year="1994",
+        ),
+    ]
+    for document in documents:
+        system.add_document(document, dtd=dtd)
+    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    index_objects(collection)
+    return system, collection
+
+
+def demo_explain() -> dict:
+    """Run explain() on both worked queries; assert stage coverage."""
+    system, collection = build_journal()
+    bindings = {"collPara": collection}
+    demo = {}
+    for label, text in (("query_one", QUERY_ONE), ("query_two", QUERY_TWO)):
+        collection.set("buffer", {})  # force the IRS stage into the trace
+        result = system.explain(text, bindings)
+        stages = result.stage_names()
+        missing = REQUIRED_STAGES - stages
+        if missing:
+            raise SystemExit(f"explain({label}) tree is missing stages: {sorted(missing)}")
+        print(f"\n=== explain: {label} ===")
+        print(result.render())
+        demo[label] = {
+            "rows": len(result.rows),
+            "stages": sorted(stages),
+            "spans": result.root.span_count() if result.root else 0,
+        }
+    return demo
+
+
+def export_trace(path: str, documents: int, seed: int) -> dict:
+    """One instrumented workload pass exported as a JSONL span artifact."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    if os.path.exists(path):
+        os.remove(path)
+    engine = build_engine(documents, seed)
+    with JsonlSpanExporter(path) as exporter:
+        with obs.instrumentation(tracer=Tracer(exporter=exporter)):
+            time_pass(engine, 1)
+    roots = load_spans(path)
+    return {"path": os.path.relpath(path, REPO_ROOT), "roots": len(roots)}
+
+
+def run(smoke: bool, output: str, seed: int, trace_out: str) -> dict:
+    documents = 400 if smoke else 2000
+    pairs = 60 if smoke else 60
+    # Short passes: a disabled+enabled pair must fit inside one CPU-quota
+    # window for the paired-ratio estimator to cancel throttling noise.
+    repeats = 3 if smoke else 1
+    limit_pct = 10.0 if smoke else 5.0
+
+    overhead = measure_overhead(documents, seed, pairs, repeats)
+    print(
+        f"{documents:>6} docs  disabled {overhead['best_disabled_qps']:>8.1f} q/s   "
+        f"enabled {overhead['best_enabled_qps']:>8.1f} q/s   "
+        f"overhead {overhead['overhead_pct']:>6.2f}%  (limit {limit_pct}%)"
+    )
+    trace = export_trace(trace_out, min(documents, 400), seed)
+    print(f"trace artifact: {trace['roots']} root spans -> {trace['path']}")
+    demo = demo_explain()
+
+    results = {
+        "benchmark": "obs",
+        "description": (
+            "relative cost of default-on tracing+metrics vs the no-op path "
+            "on the bench_scoring IRS workload, plus explain() stage coverage"
+        ),
+        "smoke": smoke,
+        "seed": seed,
+        "overhead": overhead,
+        "limit_pct": limit_pct,
+        "trace": trace,
+        "explain": demo,
+    }
+    if overhead["overhead_pct"] >= limit_pct:
+        raise SystemExit(
+            f"observability overhead regression: {overhead['overhead_pct']}% "
+            f">= limit {limit_pct}%"
+        )
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {output}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, softer overhead limit, no BENCH_obs.json",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="result JSON path (default: BENCH_obs.json at the repo root "
+        "for full runs, nothing for --smoke)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=TRACE_PATH,
+        help="JSONL span trace artifact path",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    output = args.output
+    if output is None:
+        output = "" if args.smoke else OUTPUT_PATH
+    run(smoke=args.smoke, output=output, seed=args.seed, trace_out=args.trace_out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

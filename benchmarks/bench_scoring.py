@@ -62,10 +62,10 @@ QUERIES = [
 EQUIVALENCE_QUERIES = QUERIES + ["#od3(topic0 topic1)", "#uw5(topic2 topic3)"]
 
 
-def build_collection(documents: int, seed: int = 42) -> IRSCollection:
-    """A seeded synthetic collection with a Zipf-flavoured vocabulary.
+def generate_texts(documents: int, seed: int = 42) -> list:
+    """Seeded synthetic document texts with a Zipf-flavoured vocabulary.
 
-    Stemming is off: the benchmark measures scoring, not Porter throughput.
+    Shared with :mod:`bench_obs` so both benchmarks exercise the same corpus.
     """
     rng = random.Random(seed)
     # Rank order defines Zipf weights; the query topics sit at mid-frequency
@@ -74,12 +74,23 @@ def build_collection(documents: int, seed: int = 42) -> IRSCollection:
     for i in range(10):
         vocabulary.insert(15 + 10 * i, f"topic{i}")
     weights = [1.0 / rank for rank in range(1, len(vocabulary) + 1)]
+    texts = []
+    for _ in range(documents):
+        length = rng.randint(30, 90)
+        texts.append(" ".join(rng.choices(vocabulary, weights, k=length)))
+    return texts
+
+
+def build_collection(documents: int, seed: int = 42) -> IRSCollection:
+    """A seeded synthetic collection over :func:`generate_texts`.
+
+    Stemming is off: the benchmark measures scoring, not Porter throughput.
+    """
     collection = IRSCollection(
         f"bench{documents}", Analyzer(stopwords=set(), stemming=False)
     )
-    for _ in range(documents):
-        length = rng.randint(30, 90)
-        collection.add_document(" ".join(rng.choices(vocabulary, weights, k=length)))
+    for text in generate_texts(documents, seed):
+        collection.add_document(text)
     return collection
 
 

@@ -20,8 +20,14 @@ Subpackages
     Seeded corpora, the Figure 4 base, query workloads, metrics.
 """
 
-from repro.core.system import DocumentSystem
-from repro.errors import ReproError
+import logging as _logging
+
+# Library etiquette: diagnostics flow through ``repro.*`` loggers; the
+# embedding application decides whether and where they appear.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from repro.core.system import DocumentSystem  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
 
 __version__ = "1.0.0"
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from repro import obs
 from repro.core.context import CouplingCounters
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
@@ -66,8 +67,10 @@ class ResultBuffer:
         entry = self._stored().get(self._key(irs_query, model))
         if entry is None:
             self._counters.buffer_misses += 1
+            obs.metrics().counter("coupling.buffer.misses").inc()
             return None
         self._counters.buffer_hits += 1
+        obs.metrics().counter("coupling.buffer.hits").inc()
         return {OID.parse(oid_str): value for oid_str, value in entry.items()}
 
     def contains(self, irs_query: str, model: Optional[str] = None) -> bool:
@@ -81,6 +84,7 @@ class ResultBuffer:
         working[key] = {str(oid): value for oid, value in values.items()}
         self._owned_keys.add(key)
         self._collection.set(_BUFFER_ATTR, working)
+        obs.metrics().counter("coupling.buffer.stores").inc()
 
     def amend(self, irs_query: str, oid: OID, value: float, model: Optional[str] = None) -> None:
         """Insert one derived value into an existing buffered result.
@@ -100,6 +104,7 @@ class ResultBuffer:
             self._owned_keys.add(key)
         entry[str(oid)] = value
         self._collection.set(_BUFFER_ATTR, working)
+        obs.metrics().counter("coupling.buffer.amends").inc()
 
     def invalidate(self) -> None:
         """Drop every buffered result (after update propagation)."""

@@ -27,8 +27,10 @@ Per instance, the persistent attributes are:
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, Optional, Set
 
+from repro import obs
 from repro.core import updates
 from repro.core.buffer import ResultBuffer
 from repro.core.context import coupling_context
@@ -181,54 +183,63 @@ def index_objects(
         raise CouplingError("collection has no specification query")
     mode = collection_obj.get("text_mode") or 0
 
-    rows = db.query(query_text, bindings or {})
-    members = []
-    for row in rows:
-        if len(row) != 1 or not isinstance(row[0], DBObject):
-            raise CouplingError(
-                "specification query must project exactly one object column"
+    started = time.perf_counter()
+    with obs.tracer().span("coupling.indexObjects") as span:
+        rows = db.query(query_text, bindings or {})
+        members = []
+        for row in rows:
+            if len(row) != 1 or not isinstance(row[0], DBObject):
+                raise CouplingError(
+                    "specification query must project exactly one object column"
+                )
+            obj = row[0]
+            if not obj.isa("IRSObject"):
+                raise CouplingError(f"{obj!r} is not an IRSObject")
+            members.append(obj)
+
+        irs_name = collection_obj.get("irs_name")
+        span.set_attribute("collection", irs_name)
+        span.set_attribute("members", len(members))
+        engine = context.engine
+
+        # Rebuild from scratch: drop previous documents of this collection.
+        old_map = collection_obj.get("doc_map") or {}
+        for doc_ids in old_map.values():
+            for doc_id in doc_ids:
+                engine.remove_document(irs_name, doc_id)
+
+        segment_words = collection_obj.get("segment_words") or 0
+        spool_lines = []
+        doc_map: Dict[str, list] = {}
+        for obj in members:
+            text = obj.send("getText", mode) if obj.responds_to("getText") else text_for(obj, mode)
+            doc_ids = []
+            for piece in segment_text(text, segment_words):
+                doc_id = engine.index_document(irs_name, piece, {"oid": str(obj.oid)})
+                doc_ids.append(doc_id)
+                spool_lines.append(f"{obj.oid}\t{piece}")
+                context.counters.documents_indexed += 1
+            doc_map[str(obj.oid)] = doc_ids
+
+        if context.result_file_directory is not None:
+            spool_path = os.path.join(
+                context.result_file_directory, f"{irs_name}.spool.txt"
             )
-        obj = row[0]
-        if not obj.isa("IRSObject"):
-            raise CouplingError(f"{obj!r} is not an IRSObject")
-        members.append(obj)
+            with open(spool_path, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(spool_lines))
 
-    irs_name = collection_obj.get("irs_name")
-    engine = context.engine
+        collection_obj.set("doc_map", doc_map)
+        collection_obj.set("buffer", {})
+        collection_obj.set("pending_ops", [])
+        from repro.core.hierarchical import invalidate_scorer
 
-    # Rebuild from scratch: drop previous documents of this collection.
-    old_map = collection_obj.get("doc_map") or {}
-    for doc_ids in old_map.values():
-        for doc_id in doc_ids:
-            engine.remove_document(irs_name, doc_id)
-
-    segment_words = collection_obj.get("segment_words") or 0
-    spool_lines = []
-    doc_map: Dict[str, list] = {}
-    for obj in members:
-        text = obj.send("getText", mode) if obj.responds_to("getText") else text_for(obj, mode)
-        doc_ids = []
-        for piece in segment_text(text, segment_words):
-            doc_id = engine.index_document(irs_name, piece, {"oid": str(obj.oid)})
-            doc_ids.append(doc_id)
-            spool_lines.append(f"{obj.oid}\t{piece}")
-            context.counters.documents_indexed += 1
-        doc_map[str(obj.oid)] = doc_ids
-
-    if context.result_file_directory is not None:
-        spool_path = os.path.join(
-            context.result_file_directory, f"{irs_name}.spool.txt"
-        )
-        with open(spool_path, "w", encoding="utf-8") as fh:
-            fh.write("\n".join(spool_lines))
-
-    collection_obj.set("doc_map", doc_map)
-    collection_obj.set("buffer", {})
-    collection_obj.set("pending_ops", [])
-    from repro.core.hierarchical import invalidate_scorer
-
-    invalidate_scorer(collection_obj)
-    context.counters.index_runs += 1
+        invalidate_scorer(collection_obj)
+        context.counters.index_runs += 1
+    registry = obs.metrics()
+    registry.counter("coupling.indexObjects.calls").inc()
+    registry.histogram("coupling.indexObjects.seconds").observe(
+        time.perf_counter() - started
+    )
     return True
 
 
@@ -245,23 +256,37 @@ def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]
     db = collection_obj.database
     context = coupling_context(db)
 
-    if updates.has_pending(collection_obj):
-        updates.propagate(collection_obj, forced=True)
+    started = time.perf_counter()
+    with obs.tracer().span(
+        "coupling.getIRSResult", query=obs.trim(irs_query)
+    ) as span:
+        if updates.has_pending(collection_obj):
+            updates.propagate(collection_obj, forced=True)
 
-    model = collection_obj.get("model")
-    buffer = ResultBuffer(collection_obj, context.counters)
-    cached = buffer.lookup(irs_query, model)
-    if cached is not None:
-        return cached
-
-    irs_name = collection_obj.get("irs_name")
-    if context.result_file_directory is not None:
-        values = _query_via_file(context, irs_name, irs_query, model)
-    else:
-        result = context.engine.query(irs_name, irs_query, model=model)
-        values = result.by_metadata(context.engine.collection(irs_name), "oid")
-    oid_values = {OID.parse(oid_str): value for oid_str, value in values.items()}
-    buffer.store(irs_query, oid_values, model)
+        model = collection_obj.get("model")
+        buffer = ResultBuffer(collection_obj, context.counters)
+        cached = buffer.lookup(irs_query, model)
+        if cached is not None:
+            span.set_attribute("buffered", True)
+            span.set_attribute("results", len(cached))
+            oid_values = cached
+        else:
+            span.set_attribute("buffered", False)
+            irs_name = collection_obj.get("irs_name")
+            span.set_attribute("collection", irs_name)
+            if context.result_file_directory is not None:
+                values = _query_via_file(context, irs_name, irs_query, model)
+            else:
+                result = context.engine.query(irs_name, irs_query, model=model)
+                values = result.by_metadata(context.engine.collection(irs_name), "oid")
+            oid_values = {OID.parse(oid_str): value for oid_str, value in values.items()}
+            buffer.store(irs_query, oid_values, model)
+            span.set_attribute("results", len(oid_values))
+    registry = obs.metrics()
+    registry.counter("coupling.getIRSResult.calls").inc()
+    registry.histogram("coupling.getIRSResult.seconds").observe(
+        time.perf_counter() - started
+    )
     return oid_values
 
 
@@ -285,17 +310,25 @@ def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> f
     """
     db = collection_obj.database
     context = coupling_context(db)
-    values = get_irs_result(collection_obj, irs_query)
-    if obj.oid in values:
-        return values[obj.oid]
-    doc_map = collection_obj.get("doc_map") or {}
-    if str(obj.oid) in doc_map:
-        # Represented, but the IRS found no relevance: genuinely 0.
-        return 0.0
-    derived = obj.send("deriveIRSValue", collection_obj, irs_query)
-    buffer = ResultBuffer(collection_obj, context.counters)
-    buffer.amend(irs_query, obj.oid, derived, collection_obj.get("model"))
-    return derived
+    registry = obs.metrics()
+    registry.counter("coupling.findIRSValue.calls").inc()
+    with obs.tracer().span(
+        "coupling.findIRSValue", query=obs.trim(irs_query), oid=str(obj.oid)
+    ) as span:
+        values = get_irs_result(collection_obj, irs_query)
+        if obj.oid in values:
+            span.set_attribute("source", "irs")
+            return values[obj.oid]
+        doc_map = collection_obj.get("doc_map") or {}
+        if str(obj.oid) in doc_map:
+            # Represented, but the IRS found no relevance: genuinely 0.
+            span.set_attribute("source", "zero")
+            return 0.0
+        span.set_attribute("source", "derived")
+        derived = obj.send("deriveIRSValue", collection_obj, irs_query)
+        buffer = ResultBuffer(collection_obj, context.counters)
+        buffer.amend(irs_query, obj.oid, derived, collection_obj.get("model"))
+        return derived
 
 
 def contains_object(collection_obj: DBObject, obj: DBObject) -> bool:

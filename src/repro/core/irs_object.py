@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro import obs
 from repro.core import derivation
 from repro.core.context import coupling_context
 from repro.core.text_modes import text_for
@@ -95,7 +96,15 @@ def derive_irs_value(obj: DBObject, collection: Any, irs_query: str) -> float:
     derivation for hypertext nodes (Section 5).
     """
     collection_obj = _resolve(obj, collection)
-    return derivation.derive(collection_obj, irs_query, obj)
+    obs.metrics().counter("coupling.derivations").inc()
+    with obs.tracer().span(
+        "coupling.deriveIRSValue",
+        oid=str(obj.oid),
+        scheme=collection_obj.get("derivation") or "maximum",
+    ) as span:
+        value = derivation.derive(collection_obj, irs_query, obj)
+        span.set_attribute("value", round(value, 6))
+    return value
 
 
 def set_default_collection(obj: DBObject, collection: Any) -> None:

@@ -126,12 +126,24 @@ class DocumentSystem:
         """Run a pure content query; returns ``{OID: value}``."""
         return collection_module.get_irs_result(collection_obj, irs_query)
 
+    def explain(self, text: str, bindings: Optional[Dict[str, Any]] = None):
+        """Execute a mixed query under a tracer; returns an ExplainResult.
+
+        ``result.render()`` prints the optimizer plan, execution counters,
+        and the cross-layer stage tree (OODB evaluation, coupling methods,
+        IRS scoring) with per-stage timings.
+        """
+        from repro.obs import explain as obs_explain
+
+        return obs_explain(self.db, text, bindings)
+
     # -- bookkeeping ------------------------------------------------------------------------
 
     def reset_counters(self) -> None:
         """Zero both coupling and IRS counters (benchmark hygiene)."""
         self.context.counters.reset()
         self.engine.counters.reset()
+        self.engine.reset_cache_stats()
 
     def close(self) -> None:
         """Persist IRS indexes (when durable) and close the database."""

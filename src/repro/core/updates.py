@@ -19,13 +19,17 @@ insert, and delete-then-reinsert becomes a modification.
 
 from __future__ import annotations
 
+import logging
 from typing import List
 
+from repro import obs
 from repro.core.context import coupling_context
 from repro.core.text_modes import text_for
 from repro.errors import CouplingError
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
+
+logger = logging.getLogger(__name__)
 
 INSERT = "insert"
 MODIFY = "modify"
@@ -47,6 +51,7 @@ def record_update(collection_obj: DBObject, op: str, obj: DBObject) -> None:
         raise CouplingError(f"unknown update operation {op!r}")
     context = coupling_context(collection_obj.database)
     context.counters.updates_logged += 1
+    obs.metrics().counter("coupling.updates.logged").inc()
     policy = collection_obj.get("update_policy") or context.default_update_policy
     if policy not in _POLICIES:
         raise CouplingError(f"unknown update policy {policy!r}; know {_POLICIES}")
@@ -54,6 +59,7 @@ def record_update(collection_obj: DBObject, op: str, obj: DBObject) -> None:
         _apply([[op, str(obj.oid)]], collection_obj)
         _invalidate_buffer(collection_obj)
         context.counters.updates_propagated += 1
+        obs.metrics().counter("coupling.updates.propagated").inc()
         return
     pending = [list(entry) for entry in (collection_obj.get("pending_ops") or [])]
     if context.cancellation_enabled:
@@ -111,12 +117,23 @@ def propagate(collection_obj: DBObject, forced: bool = False) -> int:
     pending = [tuple(entry) for entry in (collection_obj.get("pending_ops") or [])]
     if not pending:
         return 0
-    _apply([list(entry) for entry in pending], collection_obj)
-    collection_obj.set("pending_ops", [])
-    _invalidate_buffer(collection_obj)
+    with obs.tracer().span(
+        "coupling.propagateUpdates", operations=len(pending), forced=forced
+    ):
+        _apply([list(entry) for entry in pending], collection_obj)
+        collection_obj.set("pending_ops", [])
+        _invalidate_buffer(collection_obj)
     context.counters.updates_propagated += len(pending)
+    obs.metrics().counter("coupling.updates.propagated").inc(len(pending))
     if forced:
         context.counters.forced_propagations += 1
+        obs.metrics().counter("coupling.updates.forced_propagations").inc()
+    logger.debug(
+        "propagated %d pending update(s) to IRS collection %r%s",
+        len(pending),
+        collection_obj.get("irs_name"),
+        " (forced by query)" if forced else "",
+    )
     return len(pending)
 
 

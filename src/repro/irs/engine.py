@@ -17,16 +17,21 @@ propagation).
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import DuplicateCollectionError, UnknownCollectionError
 from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
 from repro.irs.models import MODELS, RetrievalModel
 from repro.irs.queries import parse_irs_query
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -79,6 +84,44 @@ class EngineCounters:
         self.per_collection_queries = {}
 
 
+@dataclass
+class ResultCacheStats:
+    """Attributed accounting for the engine's in-process result LRU.
+
+    A lookup failure is exactly one of: a plain *miss* (never cached), an
+    *epoch invalidation* (cached, but the index mutated since), or follows
+    an *eviction* (LRU pressure) or a *drop* (``drop_collection``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    epoch_invalidations: int = 0
+    dropped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "epoch_invalidations": self.epoch_invalidations,
+            "dropped": self.dropped,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.epoch_invalidations = 0
+        self.dropped = 0
+
+
 class IRSEngine:
     """A multi-collection IRS with exchangeable retrieval models."""
 
@@ -94,13 +137,17 @@ class IRSEngine:
         self._default_model = default_model
         self._analyzer = analyzer
         self.counters = EngineCounters()
-        #: In-process bounded LRU over (collection, model, query, index epoch).
-        #: Complements — does not replace — the paper's persistent COLLECTION
-        #: buffer (Section 4.2): that one survives process restarts and is
-        #: invalidated by update propagation; this one only short-circuits
-        #: repeated identical queries against an unchanged index within the
-        #: current process.  ``result_cache_size=0`` disables it.
-        self._result_cache: "OrderedDict[Tuple[str, str, str, int], Dict[int, float]]" = OrderedDict()
+        self.cache_stats = ResultCacheStats()
+        #: In-process bounded LRU keyed by (collection, model, query); the
+        #: stored entry remembers the index epoch it was computed at, so a
+        #: lookup that finds a stale entry can be attributed as an *epoch
+        #: invalidation* rather than a plain miss.  Complements — does not
+        #: replace — the paper's persistent COLLECTION buffer (Section 4.2):
+        #: that one survives process restarts and is invalidated by update
+        #: propagation; this one only short-circuits repeated identical
+        #: queries against an unchanged index within the current process.
+        #: ``result_cache_size=0`` disables it.
+        self._result_cache: "OrderedDict[Tuple[str, str, str], Tuple[int, Dict[int, float]]]" = OrderedDict()
         self._result_cache_size = max(0, result_cache_size)
 
     # -- collection management ----------------------------------------------
@@ -120,8 +167,14 @@ class IRSEngine:
         del self._collections[name]
         # A later collection with the same name starts its index epoch from
         # scratch, so stale entries would otherwise be indistinguishable.
-        for key in [k for k in self._result_cache if k[0] == name]:
+        stale = [k for k in self._result_cache if k[0] == name]
+        for key in stale:
             del self._result_cache[key]
+        self.cache_stats.dropped += len(stale)
+        obs.metrics().counter("irs.result_cache.dropped").inc(len(stale))
+        logger.debug(
+            "dropped IRS collection %r (%d cached results discarded)", name, len(stale)
+        )
 
     def collection(self, name: str) -> IRSCollection:
         """Look up a collection by name."""
@@ -144,19 +197,34 @@ class IRSEngine:
         self, collection_name: str, text: str, metadata: Optional[Dict[str, str]] = None
     ) -> int:
         """Add one document to a collection; returns its IRS doc id."""
-        doc_id = self.collection(collection_name).add_document(text, metadata)
+        collection = self.collection(collection_name)
+        epoch_before = collection.index.epoch
+        doc_id = collection.add_document(text, metadata)
         self.counters.documents_indexed += 1
+        registry = obs.metrics()
+        registry.counter("irs.index.additions").inc()
+        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
         return doc_id
 
     def remove_document(self, collection_name: str, doc_id: int) -> None:
         """Remove one document from a collection."""
-        self.collection(collection_name).remove_document(doc_id)
+        collection = self.collection(collection_name)
+        epoch_before = collection.index.epoch
+        collection.remove_document(doc_id)
         self.counters.documents_removed += 1
+        registry = obs.metrics()
+        registry.counter("irs.index.removals").inc()
+        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
 
     def replace_document(self, collection_name: str, doc_id: int, text: str) -> None:
         """Re-index one document with new text."""
-        self.collection(collection_name).replace_document(doc_id, text)
+        collection = self.collection(collection_name)
+        epoch_before = collection.index.epoch
+        collection.replace_document(doc_id, text)
         self.counters.documents_indexed += 1
+        registry = obs.metrics()
+        registry.counter("irs.index.replacements").inc()
+        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
 
     # -- querying ---------------------------------------------------------------
 
@@ -174,20 +242,78 @@ class IRSEngine:
         self.counters.per_collection_queries[collection_name] = (
             self.counters.per_collection_queries.get(collection_name, 0) + 1
         )
-        cache_key = (collection_name, model_name, irs_query, collection.index.epoch)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            self._result_cache.move_to_end(cache_key)
-            self.counters.result_cache_hits += 1
-            # Hand out a copy so callers cannot poison the cached values.
-            return IRSResult(collection_name, irs_query, model_name, dict(cached))
+        registry = obs.metrics()
+        registry.counter("irs.query.executed").inc()
+        started = time.perf_counter()
+        with obs.tracer().span(
+            "irs.query", collection=collection_name, model=model_name,
+            query=obs.trim(irs_query),
+        ) as span:
+            values = self._query_values(
+                collection, collection_name, model_name, model_impl, irs_query, span
+            )
+            span.set_attribute("results", len(values))
+        elapsed = time.perf_counter() - started
+        registry.histogram("irs.query.seconds." + model_name).observe(elapsed)
+        if obs.slow_log().record(
+            "irs", irs_query, elapsed, collection=collection_name, model=model_name
+        ):
+            registry.counter("irs.query.slow").inc()
+        return IRSResult(collection_name, irs_query, model_name, values)
+
+    def _query_values(
+        self,
+        collection: IRSCollection,
+        collection_name: str,
+        model_name: str,
+        model_impl: RetrievalModel,
+        irs_query: str,
+        span,
+    ) -> Dict[int, float]:
+        """Cache lookup + scoring for :meth:`query`, with hit attribution."""
+        registry = obs.metrics()
+        epoch = collection.index.epoch
+        base_key = (collection_name, model_name, irs_query)
+        entry = self._result_cache.get(base_key)
+        if entry is not None:
+            cached_epoch, cached_values = entry
+            if cached_epoch == epoch:
+                self._result_cache.move_to_end(base_key)
+                self.counters.result_cache_hits += 1
+                self.cache_stats.hits += 1
+                registry.counter("irs.result_cache.hits").inc()
+                span.set_attribute("cached", True)
+                # Hand out a copy so callers cannot poison the cached values.
+                return dict(cached_values)
+            # Same query, but the index mutated since it was cached.
+            del self._result_cache[base_key]
+            self.cache_stats.epoch_invalidations += 1
+            registry.counter("irs.result_cache.epoch_invalidations").inc()
+        self.cache_stats.misses += 1
+        registry.counter("irs.result_cache.misses").inc()
+        span.set_attribute("cached", False)
         tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
         values = model_impl.score(collection, tree)
         if self._result_cache_size > 0:
-            self._result_cache[cache_key] = dict(values)
+            self._result_cache[base_key] = (epoch, dict(values))
             while len(self._result_cache) > self._result_cache_size:
                 self._result_cache.popitem(last=False)
-        return IRSResult(collection_name, irs_query, model_name, values)
+                self.cache_stats.evictions += 1
+                registry.counter("irs.result_cache.evictions").inc()
+        return values
+
+    def statistics_cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Per-collection :meth:`StatisticsCache.cache_info` snapshots."""
+        return {
+            name: collection.stats.cache_info()
+            for name, collection in sorted(self._collections.items())
+        }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the result-LRU stats and every statistics cache's counters."""
+        self.cache_stats.reset()
+        for collection in self._collections.values():
+            collection.stats.reset_cache_info()
 
     def query_to_file(
         self,

@@ -41,15 +41,35 @@ class StatisticsCache:
         self._inquery_idf: Dict[str, float] = {}
         self._doc_id_sets: Dict[str, FrozenSet[int]] = {}
         self._norms: Optional[Dict[int, float]] = None
+        # Plain ints, not registry instruments: these sit on the per-document
+        # scoring fast path where even a dict lookup per access would show up.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
 
     def _validate(self) -> None:
         if self._epoch != self._index.epoch:
+            if self._epoch != -1:
+                self.invalidations += 1
             self._epoch = self._index.epoch
             self._avg_dl = None
             self._idf.clear()
             self._inquery_idf.clear()
             self._doc_id_sets.clear()
             self._norms = None
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def reset_cache_info(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
 
     @property
     def index(self) -> InvertedIndex:
@@ -60,7 +80,10 @@ class StatisticsCache:
         """Memoized mean document length."""
         self._validate()
         if self._avg_dl is None:
+            self.misses += 1
             self._avg_dl = self._index.average_document_length
+        else:
+            self.hits += 1
         return self._avg_dl
 
     def document_frequency(self, term: str) -> int:
@@ -72,12 +95,15 @@ class StatisticsCache:
         self._validate()
         cached = self._idf.get(term)
         if cached is None:
+            self.misses += 1
             df = self._index.document_frequency(term)
             if df == 0:
                 cached = 0.0
             else:
                 cached = math.log(1.0 + self._index.document_count / df)
             self._idf[term] = cached
+        else:
+            self.hits += 1
         return cached
 
     def inquery_idf(self, term: str) -> float:
@@ -85,6 +111,7 @@ class StatisticsCache:
         self._validate()
         cached = self._inquery_idf.get(term)
         if cached is None:
+            self.misses += 1
             df = self._index.document_frequency(term)
             n_docs = self._index.document_count
             if df == 0 or n_docs == 0:
@@ -93,6 +120,8 @@ class StatisticsCache:
                 part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
                 cached = max(0.0, min(1.0, part))
             self._inquery_idf[term] = cached
+        else:
+            self.hits += 1
         return cached
 
     def doc_id_set(self, term: str) -> FrozenSet[int]:
@@ -100,8 +129,11 @@ class StatisticsCache:
         self._validate()
         cached = self._doc_id_sets.get(term)
         if cached is None:
+            self.misses += 1
             cached = frozenset(p.doc_id for p in self._index.postings(term))
             self._doc_id_sets[term] = cached
+        else:
+            self.hits += 1
         return cached
 
     def document_norm(self, doc_id: int) -> float:
@@ -113,6 +145,7 @@ class StatisticsCache:
         """
         self._validate()
         if self._norms is None:
+            self.misses += 1
             index = self._index
             n_docs = index.document_count
             squared: Dict[int, float] = {d: 0.0 for d in index.document_ids()}
@@ -123,6 +156,8 @@ class StatisticsCache:
                     w = (1.0 + math.log(posting.tf)) * idf
                     squared[posting.doc_id] += w * w
             self._norms = {d: math.sqrt(total) for d, total in squared.items()}
+        else:
+            self.hits += 1
         return self._norms.get(doc_id, 0.0)
 
 

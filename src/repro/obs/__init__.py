@@ -1,0 +1,84 @@
+"""Cross-layer observability for the OODBMS-IRS coupling.
+
+One dependency-free package provides:
+
+* tracing — nested :class:`Span` trees via :class:`Tracer`, JSONL export
+  (:class:`JsonlSpanExporter` / :func:`load_spans`) and a bounded ring of
+  finished traces;
+* metrics — :class:`MetricsRegistry` with counters, gauges and fixed-bucket
+  histograms, snapshot-able as a plain dict;
+* a slow-query log (:class:`SlowQueryLog`) with a configurable threshold;
+* :func:`explain` — run a mixed query under a tracer and render the
+  per-stage timing/cardinality tree.
+
+Instrumented call sites in the OODB, the IRS engine and the coupling layer
+reach the active instruments through :func:`tracer` / :func:`metrics` /
+:func:`slow_log`.  Instrumentation is on by default; :func:`disable` swaps
+in shared no-op implementations so the overhead drops to one method call
+per site.
+"""
+
+from repro.obs.explain import ExplainResult, explain, render_span_tree
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+from repro.obs.runtime import (
+    configure,
+    disable,
+    enable,
+    instrumentation,
+    is_enabled,
+    metrics,
+    slow_log,
+    swap_metrics,
+    swap_tracer,
+    tracer,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import (
+    NOOP_TRACER,
+    JsonlSpanExporter,
+    NoopTracer,
+    Span,
+    Tracer,
+    load_spans,
+    trim,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "NOOP_METRICS",
+    "NOOP_TRACER",
+    "NoopMetricsRegistry",
+    "NoopTracer",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "configure",
+    "disable",
+    "enable",
+    "explain",
+    "instrumentation",
+    "is_enabled",
+    "load_spans",
+    "metrics",
+    "render_span_tree",
+    "slow_log",
+    "swap_metrics",
+    "swap_tracer",
+    "tracer",
+    "trim",
+]

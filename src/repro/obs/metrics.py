@@ -1,0 +1,225 @@
+"""Dependency-free metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the metrics half of the observability layer (the tracing
+half lives in :mod:`repro.obs.tracing`).  Everything here is plain-Python
+and allocation-light so instrumentation can stay default-on:
+
+* :class:`Counter` — monotonically increasing integer;
+* :class:`Gauge` — last-written float (e.g. "seconds of the last recovery");
+* :class:`Histogram` — fixed upper-bound buckets (no numpy), Prometheus-style
+  ``le`` semantics: an observation lands in the first bucket whose bound is
+  >= the value;
+* :class:`MetricsRegistry` — get-or-create instruments by name, snapshot the
+  whole registry as a plain dict;
+* :class:`NoopMetricsRegistry` / :data:`NOOP_METRICS` — the disabled path:
+  every operation is a no-op on shared singletons, so call sites never need
+  an ``if enabled`` check.
+
+Increments rely on the GIL for atomicity (adequate for this reproduction's
+threading level); instrument *creation* is lock-protected.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default histogram bounds, in seconds: spans five orders of magnitude from
+#: 0.1 ms to 5 s, which covers every latency this system produces.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A float that remembers its last written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds; one implicit ``+Inf`` bucket
+    catches everything above the largest bound.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {f"<={bound:g}": n for bound, n in zip(self.bounds, self.bucket_counts)}
+        buckets["+Inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, snapshot-able as a dict.
+
+    Instruments are created on first use and survive :meth:`reset` (which
+    zeroes values in place, so references held by call sites stay live).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(buckets or DEFAULT_LATENCY_BUCKETS)
+                )
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as a plain, JSON-encodable dict."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.snapshot() for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+
+class _NoopCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_COUNTER = _NoopCounter()
+_NOOP_GAUGE = _NoopGauge()
+_NOOP_HISTOGRAM = _NoopHistogram()
+
+
+class NoopMetricsRegistry(MetricsRegistry):
+    """The disabled path: shared do-nothing instruments, empty snapshots."""
+
+    def counter(self, name: str) -> Counter:
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NOOP_GAUGE
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return _NOOP_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+NOOP_METRICS = NoopMetricsRegistry()

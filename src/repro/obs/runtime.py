@@ -1,0 +1,125 @@
+"""Global observability runtime: the tracer/metrics/slow-log singletons.
+
+Instrumented call sites throughout the OODB, the IRS engine and the
+coupling layer reach their instruments through :func:`tracer`,
+:func:`metrics` and :func:`slow_log` — one module-level indirection per
+call, so swapping in the no-op implementations (:func:`disable`) turns the
+whole observability layer off at near-zero cost without touching any call
+site.
+
+Instrumentation is **on by default**.  Tests and :func:`repro.obs.explain`
+install their own instances temporarily via :func:`swap_tracer` /
+:func:`swap_metrics` or the :func:`instrumentation` context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.metrics import NOOP_METRICS, MetricsRegistry, NoopMetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import NOOP_TRACER, NoopTracer, Tracer
+
+_tracer: Tracer = Tracer()
+_metrics: MetricsRegistry = MetricsRegistry()
+_slow_log: SlowQueryLog = SlowQueryLog()
+
+
+def tracer() -> Tracer:
+    """The active tracer (a :class:`NoopTracer` when disabled)."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The active metrics registry (no-op when disabled)."""
+    return _metrics
+
+
+def slow_log() -> SlowQueryLog:
+    """The global slow-query log (always active; threshold-gated)."""
+    return _slow_log
+
+
+def is_enabled() -> bool:
+    """True when real (non-no-op) instrumentation is installed."""
+    return not isinstance(_tracer, NoopTracer) or not isinstance(
+        _metrics, NoopMetricsRegistry
+    )
+
+
+def enable(
+    tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None
+) -> None:
+    """(Re)install real instrumentation, optionally supplying instances.
+
+    After a :func:`disable`, calling ``enable()`` with no arguments starts
+    from fresh, empty instruments (disabled data is discarded).
+    """
+    global _tracer, _metrics
+    if tracer is not None:
+        _tracer = tracer
+    elif isinstance(_tracer, NoopTracer):
+        _tracer = Tracer()
+    if metrics is not None:
+        _metrics = metrics
+    elif isinstance(_metrics, NoopMetricsRegistry):
+        _metrics = MetricsRegistry()
+
+
+def disable() -> None:
+    """Swap in the no-op tracer and registry (near-zero-cost path)."""
+    global _tracer, _metrics
+    _tracer = NOOP_TRACER
+    _metrics = NOOP_METRICS
+
+
+def swap_tracer(new_tracer: Tracer) -> Tracer:
+    """Install ``new_tracer``; returns the previous one (for restore)."""
+    global _tracer
+    previous = _tracer
+    _tracer = new_tracer
+    return previous
+
+
+def swap_metrics(new_metrics: MetricsRegistry) -> MetricsRegistry:
+    """Install ``new_metrics``; returns the previous registry."""
+    global _metrics
+    previous = _metrics
+    _metrics = new_metrics
+    return previous
+
+
+def configure(
+    slow_query_seconds: Optional[float] = None,
+    slow_log_capacity: Optional[int] = None,
+) -> None:
+    """Adjust observability knobs in place."""
+    global _slow_log
+    if slow_log_capacity is not None:
+        replacement = SlowQueryLog(
+            threshold=_slow_log.threshold, capacity=slow_log_capacity
+        )
+        _slow_log = replacement
+    if slow_query_seconds is not None:
+        _slow_log.threshold = slow_query_seconds
+
+
+@contextmanager
+def instrumentation(
+    tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None
+) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Temporarily install instrumentation; restores the previous on exit.
+
+    Omitted arguments get fresh instances.  Used by tests and ``explain``
+    to observe in isolation from the global instruments.
+    """
+    new_tracer = tracer if tracer is not None else Tracer()
+    new_metrics = metrics if metrics is not None else MetricsRegistry()
+    previous_tracer = swap_tracer(new_tracer)
+    previous_metrics = swap_metrics(new_metrics)
+    try:
+        yield new_tracer, new_metrics
+    finally:
+        swap_tracer(previous_tracer)
+        swap_metrics(previous_metrics)

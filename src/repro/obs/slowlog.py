@@ -1,0 +1,65 @@
+"""Slow-query log: queries slower than a configurable threshold are kept.
+
+Both VQL queries (the OODB evaluator) and IRS queries report here.  An
+entry above the threshold is appended to a bounded in-memory log and echoed
+through the ``repro.obs.slowlog`` logger at WARNING level, so applications
+opt in to console/file output with one ``logging`` call.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+logger = logging.getLogger(__name__)
+
+#: Default threshold, seconds.  Generous on purpose: the log should surface
+#: pathological queries, not chatter about normal ones.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One query that crossed the threshold."""
+
+    kind: str            # "vql" or "irs"
+    text: str
+    seconds: float
+    timestamp: float
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class SlowQueryLog:
+    """Bounded log of queries slower than ``threshold`` seconds."""
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD, capacity: int = 128) -> None:
+        self.threshold = threshold
+        self._entries: "deque[SlowQueryEntry]" = deque(maxlen=max(1, capacity))
+
+    def record(self, kind: str, text: str, seconds: float, **info: Any) -> bool:
+        """Record when ``seconds`` >= threshold; returns whether it did."""
+        if seconds < self.threshold:
+            return False
+        entry = SlowQueryEntry(kind, text, seconds, time.time(), info)
+        self._entries.append(entry)
+        logger.warning(
+            "slow %s query (%.1f ms, threshold %.1f ms): %.120s",
+            kind,
+            seconds * 1000.0,
+            self.threshold * 1000.0,
+            text,
+        )
+        return True
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Recorded entries, oldest first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

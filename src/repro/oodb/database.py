@@ -17,10 +17,13 @@ single-writer fast path used by the benchmarks).
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.errors import SchemaError, TransactionError
 from repro.oodb import wal as wal_records
 from repro.oodb.indexes import AttributeIndex, IndexCatalog
@@ -31,6 +34,8 @@ from repro.oodb.schema import ClassDefinition, Schema
 from repro.oodb.store import ObjectStore, _StoredObject, decode_value, encode_value
 from repro.oodb.transactions import Transaction
 from repro.oodb.wal import WriteAheadLog
+
+logger = logging.getLogger(__name__)
 
 _SNAPSHOT_FILE = "snapshot.json"
 _WAL_FILE = "wal.log"
@@ -73,6 +78,7 @@ class Database:
         txn = Transaction(self)
         self._wal.append(wal_records.BEGIN, txn.txn_id)
         self._local.txn = txn
+        obs.metrics().counter("oodb.txn.begins").inc()
         return txn
 
     def _current_txn(self) -> Optional[Transaction]:
@@ -89,6 +95,9 @@ class Database:
         self._locks.release_all(txn.txn_id)
         if getattr(self._local, "txn", None) is txn:
             self._local.txn = None
+        obs.metrics().counter(
+            "oodb.txn.commits" if committed else "oodb.txn.aborts"
+        ).inc()
 
     def in_transaction(self) -> bool:
         """True when an explicit transaction is active on this thread."""
@@ -317,12 +326,24 @@ class Database:
         """Write a snapshot and truncate the WAL (durable mode only)."""
         if self._directory is None:
             return
-        snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
-        self._store.snapshot(
-            snapshot_path, self._allocator.high_water_mark, self._schema_payload()
+        started = time.perf_counter()
+        with obs.tracer().span("oodb.checkpoint", objects=len(self._store)):
+            snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+            self._store.snapshot(
+                snapshot_path, self._allocator.high_water_mark, self._schema_payload()
+            )
+            self._wal.append(wal_records.CHECKPOINT, 0)
+            self._wal.truncate()
+        elapsed = time.perf_counter() - started
+        registry = obs.metrics()
+        registry.counter("oodb.checkpoints").inc()
+        registry.histogram("oodb.checkpoint.seconds").observe(elapsed)
+        logger.info(
+            "checkpoint of %s: %d objects in %.1f ms",
+            self._directory,
+            len(self._store),
+            elapsed * 1000.0,
         )
-        self._wal.append(wal_records.CHECKPOINT, 0)
-        self._wal.truncate()
 
     def _schema_payload(self) -> List[Dict[str, Any]]:
         """Class structure + index catalog for the snapshot.
@@ -391,26 +412,46 @@ class Database:
 
     def _replay_wal(self) -> None:
         """Redo committed WAL records on top of the loaded snapshot."""
-        committed = self._wal.committed_transactions()
-        max_oid = 0
-        for record in self._wal.records():
-            if record.txn_id not in committed:
-                continue
-            payload = record.payload
-            if record.kind == wal_records.CREATE:
-                oid = OID(payload["oid"])
-                max_oid = max(max_oid, oid.value)
-                if not self._store.exists(oid):
-                    self._store.create(oid, payload["class"])
-            elif record.kind == wal_records.WRITE:
-                oid = OID(payload["oid"])
-                if self._store.exists(oid):
-                    self._store.write(oid, payload["attr"], decode_value(payload["value"]))
-            elif record.kind == wal_records.DELETE:
-                oid = OID(payload["oid"])
-                if self._store.exists(oid):
-                    self._store.delete(oid)
-        self._allocator.advance_to(max_oid + 1)
+        started = time.perf_counter()
+        replayed = 0
+        with obs.tracer().span("oodb.recovery", wal_records=len(self._wal)) as span:
+            committed = self._wal.committed_transactions()
+            max_oid = 0
+            for record in self._wal.records():
+                if record.txn_id not in committed:
+                    continue
+                payload = record.payload
+                if record.kind == wal_records.CREATE:
+                    oid = OID(payload["oid"])
+                    max_oid = max(max_oid, oid.value)
+                    if not self._store.exists(oid):
+                        self._store.create(oid, payload["class"])
+                    replayed += 1
+                elif record.kind == wal_records.WRITE:
+                    oid = OID(payload["oid"])
+                    if self._store.exists(oid):
+                        self._store.write(oid, payload["attr"], decode_value(payload["value"]))
+                    replayed += 1
+                elif record.kind == wal_records.DELETE:
+                    oid = OID(payload["oid"])
+                    if self._store.exists(oid):
+                        self._store.delete(oid)
+                    replayed += 1
+            self._allocator.advance_to(max_oid + 1)
+            span.set_attribute("records_replayed", replayed)
+        elapsed = time.perf_counter() - started
+        registry = obs.metrics()
+        registry.counter("oodb.recovery.runs").inc()
+        registry.counter("oodb.recovery.records_replayed").inc(replayed)
+        registry.gauge("oodb.recovery.last_seconds").set(elapsed)
+        registry.gauge("oodb.recovery.last_records").set(replayed)
+        if replayed:
+            logger.info(
+                "recovered %s: replayed %d committed WAL records in %.1f ms",
+                self._directory,
+                replayed,
+                elapsed * 1000.0,
+            )
 
     # ------------------------------------------------------------------
     # Schema convenience

@@ -11,13 +11,18 @@ transaction is chosen as victim and receives :class:`DeadlockError`.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Hashable, Optional, Set
 
+from repro import obs
 from repro.errors import DeadlockError, LockTimeoutError
+
+logger = logging.getLogger(__name__)
 
 
 class LockMode(Enum):
@@ -63,6 +68,7 @@ class LockManager:
         """
         with self._mutex:
             entry = self._entries.setdefault(resource, _LockEntry())
+        waited_since: Optional[float] = None
         with entry.condition:
             while True:
                 blockers = self._blockers(entry, txn_id, mode)
@@ -71,11 +77,25 @@ class LockManager:
                     with self._mutex:
                         self._held_by_txn[txn_id].add(resource)
                         self._waits_for.pop(txn_id, None)
+                    if waited_since is not None:
+                        obs.metrics().histogram("oodb.lock.wait_seconds").observe(
+                            time.perf_counter() - waited_since
+                        )
                     return
+                if waited_since is None:
+                    waited_since = time.perf_counter()
+                    obs.metrics().counter("oodb.lock.waits").inc()
                 with self._mutex:
                     self._waits_for[txn_id] = blockers
                     if self._would_deadlock(txn_id):
                         self._waits_for.pop(txn_id, None)
+                        obs.metrics().counter("oodb.lock.deadlocks").inc()
+                        logger.warning(
+                            "deadlock: txn %d aborted requesting %s on %r",
+                            txn_id,
+                            mode.value,
+                            resource,
+                        )
                         raise DeadlockError(
                             f"transaction {txn_id} deadlocked requesting "
                             f"{mode.value} on {resource!r}"
@@ -83,6 +103,14 @@ class LockManager:
                 if not entry.condition.wait(timeout=self._timeout):
                     with self._mutex:
                         self._waits_for.pop(txn_id, None)
+                    obs.metrics().counter("oodb.lock.timeouts").inc()
+                    logger.warning(
+                        "lock timeout: txn %d requesting %s on %r after %.1fs",
+                        txn_id,
+                        mode.value,
+                        resource,
+                        self._timeout,
+                    )
                     raise LockTimeoutError(
                         f"transaction {txn_id} timed out requesting "
                         f"{mode.value} on {resource!r}"

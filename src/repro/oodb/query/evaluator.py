@@ -11,9 +11,11 @@ evaluation strategies (Sections 4.5.3/4.5.4 of the paper).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.errors import QueryEvaluationError
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
@@ -71,9 +73,20 @@ class QueryEvaluator:
         """Execute and also return execution counters."""
         self.stats = QueryStats()
         bindings = bindings or {}
-        query = parse_query(text)
-        plan = self._optimizer.plan(query, bindings)
-        rows = self._execute(plan, bindings)
+        started = time.perf_counter()
+        with obs.tracer().span("oodb.query", query=obs.trim(text)) as span:
+            query = parse_query(text)
+            plan = self._optimizer.plan(query, bindings)
+            rows = self._execute(plan, bindings)
+            span.set_attribute("rows", len(rows))
+            span.set_attribute("tuples_examined", self.stats.tuples_examined)
+            span.set_attribute("method_calls", self.stats.method_calls)
+        elapsed = time.perf_counter() - started
+        registry = obs.metrics()
+        registry.counter("oodb.query.executed").inc()
+        registry.histogram("oodb.query.seconds").observe(elapsed)
+        if obs.slow_log().record("vql", text, elapsed, rows=len(rows)):
+            registry.counter("oodb.query.slow").inc()
         return rows, self.stats
 
     def explain(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -88,7 +101,10 @@ class QueryEvaluator:
         query = plan.query
         candidates: Dict[str, List[DBObject]] = {}
         for variable, vplan in plan.variable_plans.items():
-            objs = self._candidates(vplan, bindings)
+            with obs.tracer().span("oodb.query.candidates", variable=variable) as span:
+                span.set_attribute("class", vplan.class_name)
+                objs = self._candidates(vplan, bindings)
+                span.set_attribute("candidates", len(objs))
             candidates[variable] = objs
             self.stats.per_variable_candidates[variable] = len(objs)
             self.stats.candidates_scanned += len(objs)
@@ -116,33 +132,35 @@ class QueryEvaluator:
                     f"conjunct references unknown variables: {sorted(needed)}"
                 )
 
-        if query.is_aggregate:
-            rows = self._aggregate_rows(plan, candidates, order, pushdown, bindings)
-        elif query.order_by is not None:
-            rows = self._ordered_rows(plan, candidates, order, pushdown, bindings)
-        else:
-            rows = []
-            env: Dict[str, DBObject] = {}
+        with obs.tracer().span("oodb.query.join") as join_span:
+            if query.is_aggregate:
+                rows = self._aggregate_rows(plan, candidates, order, pushdown, bindings)
+            elif query.order_by is not None:
+                rows = self._ordered_rows(plan, candidates, order, pushdown, bindings)
+            else:
+                rows = []
+                env: Dict[str, DBObject] = {}
 
-            def bind(level: int) -> None:
-                if level == len(order):
-                    row = tuple(self._eval(expr, env, bindings) for expr in query.select)
-                    rows.append(row)
-                    return
-                variable = order[level]
-                for obj in candidates[variable]:
-                    env[variable] = obj
-                    self.stats.tuples_examined += 1
-                    if all(
-                        self._truthy(self._eval(c, env, bindings))
-                        for c in pushdown[level]
-                    ):
-                        bind(level + 1)
-                env.pop(variable, None)
+                def bind(level: int) -> None:
+                    if level == len(order):
+                        row = tuple(self._eval(expr, env, bindings) for expr in query.select)
+                        rows.append(row)
+                        return
+                    variable = order[level]
+                    for obj in candidates[variable]:
+                        env[variable] = obj
+                        self.stats.tuples_examined += 1
+                        if all(
+                            self._truthy(self._eval(c, env, bindings))
+                            for c in pushdown[level]
+                        ):
+                            bind(level + 1)
+                    env.pop(variable, None)
 
-            bind(0)
-        if query.limit is not None:
-            rows = rows[: query.limit]
+                bind(0)
+            if query.limit is not None:
+                rows = rows[: query.limit]
+            join_span.set_attribute("rows", len(rows))
         self.stats.rows_produced = len(rows)
         return rows
 

@@ -14,11 +14,16 @@ logs of production systems.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.errors import RecoveryError
+
+logger = logging.getLogger(__name__)
 
 #: Log record kinds.
 BEGIN = "BEGIN"
@@ -97,7 +102,10 @@ class WriteAheadLog:
                 records.append(LogRecord.from_json(line))
             except RecoveryError:
                 if index == len(lines) - 1:
-                    break  # torn tail from a crash mid-append: drop it
+                    logger.warning(
+                        "dropping torn WAL tail record in %s (crash mid-append)", path
+                    )
+                    break
                 raise
         return records
 
@@ -108,11 +116,18 @@ class WriteAheadLog:
         record = LogRecord(self._next_lsn, kind, txn_id, payload or {})
         self._next_lsn += 1
         self._records.append(record)
+        obs.metrics().counter("oodb.wal.appends").inc()
         if self._file is not None:
             self._file.write(record.to_json() + "\n")
             if kind in (COMMIT, CHECKPOINT):
+                started = time.perf_counter()
                 self._file.flush()
                 os.fsync(self._file.fileno())
+                registry = obs.metrics()
+                registry.counter("oodb.wal.fsyncs").inc()
+                registry.histogram("oodb.wal.fsync_seconds").observe(
+                    time.perf_counter() - started
+                )
         return record
 
     # -- reading ---------------------------------------------------------------

@@ -13,7 +13,9 @@ given).  Commands:
     .collection <name> <spec query>     create + index a collection
     .collections                        list collections
     .irs <collection> <irs query>       run a pure content query
-    .explain <vql>                      show the optimizer's plan
+    .explain <vql>                      plan + executed per-stage timing tree
+    .trace <vql>                        run a query and print its span tree
+    .stats                              metrics, cache and slow-query statistics
     .classes                            list schema classes
     .counters                           show coupling/IRS counters
     .bind <name> <collection>           bind a name usable in queries
@@ -101,6 +103,8 @@ class Shell:
             ".report": self._cmd_report,
             ".irs": self._cmd_irs,
             ".explain": self._cmd_explain,
+            ".trace": self._cmd_trace,
+            ".stats": self._cmd_stats,
             ".classes": self._cmd_classes,
             ".counters": self._cmd_counters,
             ".bind": self._cmd_bind,
@@ -199,7 +203,8 @@ class Shell:
             self._print("usage: .explain <vql query>")
             return
         text = " ".join(args)
-        plan = self.system.db.explain(text, self._bindings)
+        result = self.system.explain(text, self._bindings)
+        plan = result.plan
         for variable, info in plan["variables"].items():
             self._print(
                 f"  {variable} IN {info['class']}: "
@@ -208,6 +213,48 @@ class Shell:
                 f"filters={info['residual_filters']}"
             )
         self._print(f"  join conjuncts: {plan['join_conjuncts']}")
+        self._print(f"  rows: {len(result.rows)}")
+        self._print(result.render_tree())
+
+    def _cmd_trace(self, args: List[str]) -> None:
+        if not args:
+            self._print("usage: .trace <vql query>")
+            return
+        result = self.system.explain(" ".join(args), self._bindings)
+        self._print(result.render_tree())
+        self._print(f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})")
+
+    def _cmd_stats(self, _args: List[str]) -> None:
+        from repro import obs
+
+        snapshot = obs.metrics().snapshot()
+        if not any(snapshot.values()) and not obs.is_enabled():
+            self._print("  (observability disabled; repro.obs.enable() to turn on)")
+        for name, value in snapshot["counters"].items():
+            self._print(f"  {name}: {value}")
+        for name, value in snapshot["gauges"].items():
+            self._print(f"  {name}: {value:.6g}")
+        for name, hist in snapshot["histograms"].items():
+            mean = hist["mean"] * 1000.0
+            worst = (hist["max"] or 0.0) * 1000.0
+            self._print(
+                f"  {name}: count={hist['count']} mean={mean:.2f}ms max={worst:.2f}ms"
+            )
+        cache = self.system.engine.cache_stats
+        self._print(
+            f"  engine result cache: hits={cache.hits} misses={cache.misses} "
+            f"evictions={cache.evictions} epoch_invalidations={cache.epoch_invalidations} "
+            f"dropped={cache.dropped} hit_rate={cache.hit_rate:.2f}"
+        )
+        for name, info in self.system.engine.statistics_cache_info().items():
+            self._print(
+                f"  statistics cache {name!r}: hits={info['hits']} "
+                f"misses={info['misses']} invalidations={info['invalidations']}"
+            )
+        slow = obs.slow_log()
+        self._print(f"  slow queries (>{slow.threshold * 1000:.0f}ms): {len(slow)}")
+        for entry in slow.entries()[-5:]:
+            self._print(f"    [{entry.kind}] {entry.seconds * 1000:.1f}ms {entry.text[:80]}")
 
     def _cmd_classes(self, _args: List[str]) -> None:
         for name in self.system.db.schema.class_names():

@@ -1,0 +1,129 @@
+"""Attribution of result-cache and statistics-cache hit/miss counters."""
+
+import pytest
+
+from repro import obs
+from repro.irs.engine import IRSEngine
+
+
+@pytest.fixture()
+def engine():
+    engine = IRSEngine(result_cache_size=2)
+    engine.create_collection("c")
+    engine.index_document("c", "the www hypertext web")
+    engine.index_document("c", "the nii infrastructure network")
+    return engine
+
+
+class TestResultCacheStats:
+    def test_miss_then_hit(self, engine):
+        engine.query("c", "www")
+        engine.query("c", "www")
+        stats = engine.cache_stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.epoch_invalidations == 0
+        assert stats.hit_rate == 0.5
+
+    def test_epoch_invalidation_is_not_a_plain_miss(self, engine):
+        engine.query("c", "www")
+        engine.index_document("c", "more www text bumps the epoch")
+        engine.query("c", "www")
+        stats = engine.cache_stats
+        assert stats.epoch_invalidations == 1
+        assert stats.misses == 2  # both executions had to score
+        assert stats.hits == 0
+
+    def test_lru_eviction_is_counted(self, engine):
+        # Cache holds 2 entries; the third distinct query evicts the oldest.
+        engine.query("c", "www")
+        engine.query("c", "nii")
+        engine.query("c", "network")
+        assert engine.cache_stats.evictions == 1
+        # The oldest entry ("www") is gone, so re-querying it misses again.
+        engine.query("c", "www")
+        assert engine.cache_stats.misses == 4
+        assert engine.cache_stats.hits == 0
+
+    def test_lru_order_refreshed_on_hit(self, engine):
+        engine.query("c", "www")
+        engine.query("c", "nii")
+        engine.query("c", "www")  # hit -> "www" becomes most recent
+        engine.query("c", "network")  # evicts "nii", not "www"
+        engine.query("c", "www")
+        assert engine.cache_stats.hits == 2
+        assert engine.cache_stats.evictions == 1
+
+    def test_drop_collection_counts_dropped_entries(self, engine):
+        engine.query("c", "www")
+        engine.query("c", "nii")
+        engine.drop_collection("c")
+        assert engine.cache_stats.dropped == 2
+
+    def test_zero_capacity_disables_caching(self):
+        engine = IRSEngine(result_cache_size=0)
+        engine.create_collection("c")
+        engine.index_document("c", "the www web")
+        engine.query("c", "www")
+        engine.query("c", "www")
+        stats = engine.cache_stats
+        assert stats.hits == 0
+        assert stats.misses == 2
+        assert stats.evictions == 0
+
+    def test_metrics_registry_mirrors_attribution(self, engine):
+        with obs.instrumentation() as (_tracer, metrics):
+            engine.query("c", "www")
+            engine.query("c", "www")
+            engine.index_document("c", "epoch bump www")
+            engine.query("c", "www")
+            counters = metrics.snapshot()["counters"]
+            assert counters["irs.result_cache.misses"] == 2
+            assert counters["irs.result_cache.hits"] == 1
+            assert counters["irs.result_cache.epoch_invalidations"] == 1
+            assert counters["irs.index.additions"] == 1
+            assert counters["irs.index.epoch_bumps"] >= 1
+
+    def test_legacy_counter_still_tracks_hits(self, engine):
+        engine.query("c", "www")
+        engine.query("c", "www")
+        assert engine.counters.result_cache_hits == 1
+
+
+class TestStatisticsCacheStats:
+    def test_cold_then_warm_accessors(self, engine):
+        collection = engine.collection("c")
+        collection.stats.reset_cache_info()
+        collection.stats.average_document_length
+        collection.stats.average_document_length
+        info = collection.stats.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["invalidations"] == 0
+
+    def test_index_mutation_invalidates_statistics(self, engine):
+        collection = engine.collection("c")
+        collection.stats.reset_cache_info()
+        collection.stats.average_document_length
+        engine.index_document("c", "fresh text changes the statistics")
+        collection.stats.average_document_length
+        info = collection.stats.cache_info()
+        assert info["invalidations"] == 1
+        assert info["misses"] == 2
+
+    def test_statistics_cache_info_covers_all_collections(self, engine):
+        engine.create_collection("other")
+        engine.index_document("other", "something else")
+        engine.query("c", "www")
+        info = engine.statistics_cache_info()
+        assert sorted(info) == ["c", "other"]
+        assert info["c"]["misses"] > 0
+
+    def test_reset_cache_stats_zeroes_everything(self, engine):
+        engine.query("c", "www")
+        engine.query("c", "www")
+        engine.reset_cache_stats()
+        assert engine.cache_stats.as_dict()["hits"] == 0
+        assert engine.cache_stats.misses == 0
+        for info in engine.statistics_cache_info().values():
+            assert info == {"hits": 0, "misses": 0, "invalidations": 0}

@@ -1,0 +1,91 @@
+"""Metrics registry: counters, gauges, histogram bucket semantics."""
+
+import json
+
+from repro.obs import MetricsRegistry, NoopMetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["counters"]["c"] == 5
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(2.5)
+        gauge.add(0.5)
+        assert registry.snapshot()["gauges"]["g"] == 3.0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+
+class TestHistogram:
+    def test_bucket_upper_bounds_are_inclusive(self):
+        hist = Histogram(buckets=(0.01, 0.1, 1.0))
+        hist.observe(0.01)   # exactly the first bound -> first bucket
+        hist.observe(0.05)
+        hist.observe(1.0)    # exactly the last bound -> last finite bucket
+        hist.observe(2.0)    # above everything -> +Inf
+        snapshot = hist.snapshot()
+        assert snapshot["buckets"] == {
+            "<=0.01": 1,
+            "<=0.1": 1,
+            "<=1": 1,
+            "+Inf": 1,
+        }
+        assert snapshot["count"] == 4
+        assert snapshot["min"] == 0.01
+        assert snapshot["max"] == 2.0
+        assert snapshot["mean"] == (0.01 + 0.05 + 1.0 + 2.0) / 4
+
+    def test_unsorted_bounds_are_sorted(self):
+        hist = Histogram(buckets=(1.0, 0.01, 0.1))
+        assert hist.bounds == (0.01, 0.1, 1.0)
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] == 0.0
+        assert snapshot["min"] is None
+        assert len(snapshot["buckets"]) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+
+class TestRegistrySnapshotAndReset:
+    def test_snapshot_is_plain_json_encodable_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("h").observe(0.002)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        json.dumps(snapshot)  # must not raise
+
+    def test_reset_zeroes_in_place_keeping_references(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        hist = registry.histogram("h")
+        counter.inc(3)
+        hist.observe(0.5)
+        registry.reset()
+        assert counter.value == 0
+        assert hist.count == 0
+        counter.inc()  # the pre-reset reference still feeds the registry
+        assert registry.snapshot()["counters"]["a"] == 1
+
+
+class TestNoopRegistry:
+    def test_noop_is_inert_and_snapshot_empty(self):
+        registry = NoopMetricsRegistry()
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

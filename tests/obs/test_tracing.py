@@ -1,0 +1,189 @@
+"""Span nesting, ring buffering, and JSONL round-trips."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlSpanExporter,
+    NoopTracer,
+    Tracer,
+    load_spans,
+    render_span_tree,
+    trim,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child.a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child.b"):
+                pass
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.span_count() == 4
+
+    def test_attributes_from_kwargs_and_set_attribute(self):
+        tracer = Tracer()
+        with tracer.span("op", collection="collPara") as span:
+            span.set_attribute("rows", 7)
+        assert span.attributes == {"collection": "collPara", "rows": 7}
+
+    def test_durations_are_measured_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        root = tracer.last_trace()
+        assert root.duration > 0.0
+        assert root.children[0].duration <= root.duration
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("a"):
+            assert tracer.current_span().name == "a"
+            with tracer.span("b"):
+                assert tracer.current_span().name == "b"
+            assert tracer.current_span().name == "a"
+        assert tracer.current_span() is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("will-fail"):
+                raise ValueError("boom")
+        root = tracer.last_trace()
+        assert root.name == "will-fail"
+        assert "boom" in root.attributes["error"]
+
+    def test_trace_and_parent_ids_link_spans(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == root.trace_id == root.span_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer(ring_size=8)
+        seen = []
+
+        def work(name):
+            with tracer.span(name):
+                seen.append(tracer.current_span().name)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        with tracer.span("main-root"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Worker spans never attached under this thread's root.
+            assert tracer.current_span().name == "main-root"
+        roots = {s.name for s in tracer.finished_traces()}
+        assert roots == {"main-root", "t0", "t1", "t2", "t3"}
+        assert all(not s.children for s in tracer.finished_traces() if s.name != "main-root")
+
+
+class TestRingAndCaps:
+    def test_ring_keeps_only_last_n_roots(self):
+        tracer = Tracer(ring_size=3)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [s.name for s in tracer.finished_traces()] == ["r2", "r3", "r4"]
+        assert tracer.last_trace().name == "r4"
+        tracer.clear()
+        assert tracer.finished_traces() == []
+
+    def test_span_cap_drops_descendants_and_annotates_root(self):
+        # The cap counts the whole trace, root included: 1 root + 2 children.
+        tracer = Tracer(max_spans_per_trace=3)
+        with tracer.span("root"):
+            for i in range(10):
+                with tracer.span(f"c{i}"):
+                    pass
+        root = tracer.last_trace()
+        assert len(root.children) == 2
+        assert root.attributes["dropped_spans"] == 8
+
+
+class TestNoopTracer:
+    def test_noop_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", x=1) as span:
+            span.set_attribute("y", 2)
+        assert tracer.last_trace() is None
+        assert tracer.finished_traces() == []
+        assert tracer.current_span() is None
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_load_rebuilds_tree(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(exporter=JsonlSpanExporter(path))
+        with tracer.span("root", query="q1") as original:
+            with tracer.span("child.a", n=1):
+                pass
+            with tracer.span("child.b"):
+                with tracer.span("leaf"):
+                    pass
+        roots = load_spans(path)
+        assert len(roots) == 1
+        loaded = roots[0]
+        assert loaded.name == "root"
+        assert loaded.attributes == {"query": "q1"}
+        assert [c.name for c in loaded.children] == ["child.a", "child.b"]
+        assert loaded.children[1].children[0].name == "leaf"
+        assert loaded.duration == pytest.approx(original.duration)
+        assert loaded.span_count() == original.span_count()
+
+    def test_multiple_roots_accumulate(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSpanExporter(path) as exporter:
+            tracer = Tracer(exporter=exporter)
+            for i in range(3):
+                with tracer.span(f"r{i}"):
+                    pass
+        assert [r.name for r in load_spans(path)] == ["r0", "r1", "r2"]
+
+    def test_non_json_attribute_values_are_stringified(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(exporter=JsonlSpanExporter(path))
+        with tracer.span("root", obj=object()):
+            pass
+        (root,) = load_spans(path)
+        assert isinstance(root.attributes["obj"], str)
+
+
+class TestRendering:
+    def _tree(self, child_count):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(child_count):
+                with tracer.span("leaf"):
+                    pass
+        return tracer.last_trace()
+
+    def test_tree_renderer_shows_connectors_and_ms(self):
+        text = render_span_tree(self._tree(2))
+        assert text.splitlines()[0].startswith("root")
+        assert "├─ leaf" in text
+        assert "└─ leaf" in text
+        assert "ms" in text
+
+    def test_many_same_name_siblings_collapse(self):
+        text = render_span_tree(self._tree(10), max_siblings=3)
+        assert text.count("leaf") == 2  # one representative + one summary
+        assert "×9 more leaf" in text
+
+    def test_trim_caps_long_values(self):
+        assert trim("x" * 500, limit=100).startswith("x" * 99)
+        assert len(trim("x" * 500, limit=100)) == 100
+        assert trim("short") == "short"
