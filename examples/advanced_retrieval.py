@@ -9,7 +9,6 @@ Run:  python examples/advanced_retrieval.py
 """
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
 from repro.core.feedback import install_feedback_method
 from repro.sgml.mmf import build_document, mmf_dtd
 
@@ -44,26 +43,27 @@ documents = [
 for document in documents:
     system.add_document(document, dtd=dtd)
 
-coll = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
-index_objects(coll)
+session = system.session
+coll = session.create_collection("collPara", "ACCESS p FROM p IN PARA")
+session.index(coll)
 
 # -- proximity: the phrase vs loose co-occurrence --------------------------
 print("phrase  #od1(information retrieval):")
-for oid, value in sorted(get_irs_result(coll, "#od1(information retrieval)").items()):
+for oid, value in sorted(session.query(coll, "#od1(information retrieval)").to_dict().items()):
     text = system.db.get_object(oid).send("getTextContent")
     print(f"  {value:.3f}  {text[:60]}")
 
 print("\nwindow  #uw8(information retrieval):")
-for oid, value in sorted(get_irs_result(coll, "#uw8(information retrieval)").items()):
+for oid, value in sorted(session.query(coll, "#uw8(information retrieval)").to_dict().items()):
     text = system.db.get_object(oid).send("getTextContent")
     print(f"  {value:.3f}  {text[:60]}")
 
 # -- feedback: expand from a judged-relevant paragraph -----------------------
-initial = get_irs_result(coll, "ranking")
-judged = [system.db.get_object(oid) for oid in initial]
+initial = session.query(coll, "ranking")
+judged = [hit.element for hit in initial]
 expanded = coll.send("expandQuery", "ranking", judged)
 print(f"\nexpanded query: {expanded[:90]}...")
-after = get_irs_result(coll, expanded)
+after = session.query(coll, expanded)
 print(f"results before feedback: {len(initial)}, after: {len(after)}")
 
 # -- aggregates: relevance statistics per document ----------------------------

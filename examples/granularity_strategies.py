@@ -9,7 +9,6 @@ Run:  python examples/granularity_strategies.py
 """
 
 from repro.core import DocumentSystem
-from repro.core.collection import get_irs_result
 from repro.core.granularity import standard_policies
 from repro.workloads.corpus import CorpusGenerator, load_corpus
 from repro.workloads.metrics import print_table
@@ -43,17 +42,14 @@ print_table(
 # -- the paragraph question under two granularities -------------------------
 print("\nWho answers 'which paragraphs discuss www?' directly?")
 for name in ("doc_mmfdoc", "type_para"):
-    values = get_irs_result(collections[name], "www")
-    classes = sorted(
-        {system.db.get_object(oid).class_name for oid in values}
-    )
-    print(f"  {name:14s} -> {len(values):3d} results of class {classes}")
+    hits = system.session.query(collections[name], "www")
+    classes = sorted({hit.element.class_name for hit in hits})
+    print(f"  {name:14s} -> {len(hits):3d} results of class {classes}")
 
 # -- document values still available everywhere via derivation ---------------
 print("\nWhole-document relevance for 'www' (derived where not indexed):")
 # Pick a document that actually discusses www.
-doc_values = get_irs_result(collections["doc_mmfdoc"], "www")
-doc = system.db.get_object(max(doc_values, key=doc_values.get))
+doc = system.session.query(collections["doc_mmfdoc"], "www")[0].element
 for name in ("doc_mmfdoc", "type_para", "leaves"):
     value = doc.send("getIRSValue", collections[name], "www")
     direct = collections[name].send("containsObject", doc)

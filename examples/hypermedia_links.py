@@ -9,7 +9,6 @@ Run:  python examples/hypermedia_links.py
 """
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
 from repro.hypermedia import (
     IMPLIES_TEXT_MODE,
     MEDIA_TEXT_MODE,
@@ -39,19 +38,19 @@ paragraph = system.db.instances_of("PARA")[0]
 create_link(system.db, paragraph, figure, DESCRIBES)
 
 # -- images retrieved through referencing text -------------------------------
-caption_only = create_collection(
-    system.db, "figures_caption", "ACCESS f FROM f IN FIGURE", text_mode=0
+session = system.session
+caption_only = session.create_collection(
+    "figures_caption", "ACCESS f FROM f IN FIGURE", text_mode=0
 )
-index_objects(caption_only)
-media = create_collection(
-    system.db, "figures_media", "ACCESS f FROM f IN FIGURE",
-    text_mode=MEDIA_TEXT_MODE,
+session.index(caption_only)
+media = session.create_collection(
+    "figures_media", "ACCESS f FROM f IN FIGURE", text_mode=MEDIA_TEXT_MODE
 )
-index_objects(media)
+session.index(media)
 
 print("query 'www' against figure collections:")
-print(f"  caption-only text: {len(get_irs_result(caption_only, 'www'))} hits")
-print(f"  media text mode:   {len(get_irs_result(media, 'www'))} hits")
+print(f"  caption-only text: {len(session.query(caption_only, 'www'))} hits")
+print(f"  media text mode:   {len(session.query(media, 'www'))} hits")
 print(f"  figure's media text: {figure.send('getText', MEDIA_TEXT_MODE)!r}")
 
 # -- implies-links extend a node's IRS document -------------------------------
@@ -62,20 +61,18 @@ conclusion = system.add_document(
 conclusion_para = conclusion.send("getDescendants", "PARA")[0]
 create_link(system.db, paragraph, conclusion_para, IMPLIES)
 
-augmented = create_collection(
-    system.db, "paras_implies", "ACCESS p FROM p IN PARA",
-    text_mode=IMPLIES_TEXT_MODE,
+augmented = session.create_collection(
+    "paras_implies", "ACCESS p FROM p IN PARA", text_mode=IMPLIES_TEXT_MODE
 )
-index_objects(augmented)
-values = get_irs_result(augmented, "www")
+session.index(augmented)
+hits = session.query(augmented, "www")
 print("\nquery 'www' against implies-augmented paragraphs:")
-print(f"  conclusion paragraph retrievable: {conclusion_para.oid in values}")
+print(f"  conclusion paragraph retrievable: {conclusion_para.oid in hits.oids()}")
 
 # -- link-based derivation for unrepresented nodes ----------------------------
-plain = create_collection(
-    system.db, "paras_plain", "ACCESS p FROM p IN PARA",
-    derivation="link_propagation",
+plain = session.create_collection(
+    "paras_plain", "ACCESS p FROM p IN PARA", derivation="link_propagation"
 )
-index_objects(plain)
+session.index(plain)
 value = conclusion.send("getIRSValue", plain, "www")
 print(f"\n'Conclusions' document value for 'www' via link propagation: {value:.3f}")

@@ -11,7 +11,6 @@ Run:  python examples/mmf_journal.py
 """
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import CorpusGenerator, load_corpus
 
@@ -46,10 +45,11 @@ travel = system.add_document(
     dtd=dtd,
 )
 
-coll_para = create_collection(
-    system.db, "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
+session = system.session
+coll_para = session.create_collection(
+    "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
 )
-index_objects(coll_para)
+session.index(coll_para)
 
 # --- access path 1: the table of contents (structural navigation) ---------
 print("== Table of contents ==")
@@ -99,8 +99,8 @@ coll_para.send("insertObject", new_para)
 print(f"  pending operations: {coll_para.get('pending_ops')}")
 
 # A reader's query forces propagation before evaluation:
-values = get_irs_result(coll_para, "workshop")
-print(f"  after reader query, new paragraph retrievable: {new_para.oid in values}")
+hits = session.query(coll_para, "workshop")
+print(f"  after reader query, new paragraph retrievable: {new_para.oid in hits.oids()}")
 print(f"  forced propagations: {system.context.counters.forced_propagations}")
 
 # An insert-then-delete sequence never reaches the IRS:

@@ -11,7 +11,6 @@ Run:  python examples/publish_issue.py [output.html]
 import sys
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
 from repro.sgml.export import HTMLExporter
 from repro.sgml.mmf import build_document, mmf_dtd
 
@@ -40,11 +39,12 @@ issue = [
 ]
 roots = [system.add_document(doc, dtd=dtd) for doc in issue]
 
-collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
-index_objects(collection)
+session = system.session
+collection = session.create_collection("collPara", "ACCESS p FROM p IN PARA")
+session.index(collection)
 
 # The reader's vague information need:
-values = get_irs_result(collection, "#or(www hypertext)")
+values = session.query(collection, "#or(www hypertext)").to_dict()
 print(f"query '#or(www hypertext)' matched {len(values)} paragraphs")
 
 exporter = HTMLExporter(highlight_values=values, highlight_threshold=0.42)

@@ -8,7 +8,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 
 # 1. One facade wires OODBMS + IRS + SGML loader + coupling together.
@@ -41,13 +40,18 @@ system.add_document(
 )
 
 # 3. A COLLECTION with a specification query: paragraphs become IRS documents.
-coll_para = create_collection(
-    system.db, "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
+session = system.session
+coll_para = session.create_collection(
+    "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
 )
-index_objects(coll_para)
+session.index(coll_para)
 print(f"indexed {coll_para.send('memberCount')} paragraph objects")
 
-# 4. A mixed query: structure (YEAR) + content (relevance to 'WWW').
+# 4. Pure content-based access: a ranked ResultSet, best hit first.
+hits = session.query(coll_para, "WWW")
+print(f"ranked hits for 'WWW': {[round(s, 3) for s in hits.scores()]}")
+
+# 5. A mixed query: structure (YEAR) + content (relevance to 'WWW').
 rows = system.query(
     "ACCESS d -> getAttributeValue('TITLE'), p "
     "FROM d IN MMFDOC, p IN PARA "
@@ -61,7 +65,7 @@ for title, para in rows:
     value = para.send("getIRSValue", coll_para, "WWW")
     print(f"  {title!r}: {para.send('getTextContent')[:50]!r}  (IRS value {value:.3f})")
 
-# 5. Objects NOT in the collection derive their value from components.
+# 6. Objects NOT in the collection derive their value from components.
 doc = rows[0][1].send("getContaining", "MMFDOC")
 derived = doc.send("getIRSValue", coll_para, "WWW")
 print(f"\nwhole-document value (derived from paragraphs): {derived:.3f}")

@@ -28,7 +28,16 @@ _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from repro.core.system import DocumentSystem  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
+from repro.service import ResultSet, ScoredHit, ServiceConfig, Session  # noqa: E402
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["DocumentSystem", "ReproError", "__version__"]
+__all__ = [
+    "DocumentSystem",
+    "ReproError",
+    "ResultSet",
+    "ScoredHit",
+    "ServiceConfig",
+    "Session",
+    "__version__",
+]

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Tuple
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.system import DocumentSystem
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
@@ -102,7 +102,7 @@ class ControlModuleArchitecture:
         matching_roots = {row[0].oid for row in structure_rows}
 
         # Crossing 2: content query to the IRS.
-        values = get_irs_result(self._collection, query.irs_query)
+        values = _get_irs_result(self._collection, query.irs_query)
         crossings += 1
 
         # The module combines: map each relevant element to its root and

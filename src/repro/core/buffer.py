@@ -66,10 +66,10 @@ class ResultBuffer:
         """The buffered result for ``irs_query``, or None on a miss."""
         entry = self._stored().get(self._key(irs_query, model))
         if entry is None:
-            self._counters.buffer_misses += 1
+            self._counters.add("buffer_misses")
             obs.metrics().counter("coupling.buffer.misses").inc()
             return None
-        self._counters.buffer_hits += 1
+        self._counters.add("buffer_hits")
         obs.metrics().counter("coupling.buffer.hits").inc()
         return {OID.parse(oid_str): value for oid_str, value in entry.items()}
 

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Dict, Optional, Set
+import warnings
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.core import updates
@@ -80,8 +81,8 @@ def define_collection_class(db: Database) -> None:
 
 def _attach_collection_methods(cdef) -> None:
     cdef.add_method("indexObjects", index_objects)
-    cdef.add_method("getIRSResult", get_irs_result)
-    cdef.add_method("findIRSValue", find_irs_value)
+    cdef.add_method("getIRSResult", _get_irs_result)
+    cdef.add_method("findIRSValue", _find_irs_value)
     cdef.add_method("containsObject", contains_object)
     cdef.add_method("insertObject", insert_object)
     cdef.add_method("modifyObject", modify_object)
@@ -95,7 +96,7 @@ def _attach_collection_methods(cdef) -> None:
     operator_module.attach_operator_methods(cdef)
 
 
-def create_collection(
+def _create_collection(
     db: Database,
     name: str,
     spec_query: str = "",
@@ -112,6 +113,10 @@ def create_collection(
     IRSObjects to represent (Section 4.3.2: "The specification query is an
     OODBMS query expression and thus is powerful enough to specify any
     reasonable combination of objects").  Call ``indexObjects`` to run it.
+
+    Internal implementation — the supported entry points are
+    :meth:`repro.Session.create_collection` and the deprecated
+    :func:`create_collection` shim.
     """
     context = coupling_context(db)
     if context.engine.has_collection(name):
@@ -174,67 +179,83 @@ def index_objects(
     """
     db = collection_obj.database
     context = coupling_context(db)
-    if spec_query is not None:
-        collection_obj.set("spec_query", spec_query)
-    if text_mode is not None:
-        collection_obj.set("text_mode", text_mode)
-    query_text = collection_obj.get("spec_query")
-    if not query_text:
-        raise CouplingError("collection has no specification query")
-    mode = collection_obj.get("text_mode") or 0
-
     started = time.perf_counter()
-    with obs.tracer().span("coupling.indexObjects") as span:
-        rows = db.query(query_text, bindings or {})
-        members = []
-        for row in rows:
-            if len(row) != 1 or not isinstance(row[0], DBObject):
-                raise CouplingError(
-                    "specification query must project exactly one object column"
+    # Lock order (see repro.sync): claim the collection object in the
+    # database first — a deadlock/timeout abort can then only happen before
+    # the IRS index is touched — then the coupling mutation mutex, and only
+    # then (briefly, with all database reads done) the engine write lock.
+    db.lock_exclusive(collection_obj.oid)
+    with context.mutation_mutex(str(collection_obj.oid)):
+        if spec_query is not None:
+            collection_obj.set("spec_query", spec_query)
+        if text_mode is not None:
+            collection_obj.set("text_mode", text_mode)
+        query_text = collection_obj.get("spec_query")
+        if not query_text:
+            raise CouplingError("collection has no specification query")
+        mode = collection_obj.get("text_mode") or 0
+
+        with obs.tracer().span("coupling.indexObjects") as span:
+            rows = db.query(query_text, bindings or {})
+            members = []
+            for row in rows:
+                if len(row) != 1 or not isinstance(row[0], DBObject):
+                    raise CouplingError(
+                        "specification query must project exactly one object column"
+                    )
+                obj = row[0]
+                if not obj.isa("IRSObject"):
+                    raise CouplingError(f"{obj!r} is not an IRSObject")
+                members.append(obj)
+
+            irs_name = collection_obj.get("irs_name")
+            span.set_attribute("collection", irs_name)
+            span.set_attribute("members", len(members))
+            engine = context.engine
+
+            # Phase 1 — database reads only: every member's text, segmented,
+            # plus the previous doc ids to drop.
+            old_map = collection_obj.get("doc_map") or {}
+            segment_words = collection_obj.get("segment_words") or 0
+            pieces_by_oid: List[Tuple[str, List[str]]] = []
+            for obj in members:
+                text = obj.send("getText", mode) if obj.responds_to("getText") else text_for(obj, mode)
+                pieces_by_oid.append((str(obj.oid), segment_text(text, segment_words)))
+
+            # Phase 2 — engine mutations under the collection write lock so
+            # concurrent queries see the rebuild atomically.  No database
+            # access happens in here.
+            spool_lines = []
+            doc_map: Dict[str, list] = {}
+            indexed = 0
+            with engine.mutating(irs_name):
+                for doc_ids in old_map.values():
+                    for doc_id in doc_ids:
+                        engine.remove_document(irs_name, doc_id)
+                for oid_str, pieces in pieces_by_oid:
+                    doc_ids = []
+                    for piece in pieces:
+                        doc_id = engine.index_document(irs_name, piece, {"oid": oid_str})
+                        doc_ids.append(doc_id)
+                        spool_lines.append(f"{oid_str}\t{piece}")
+                        indexed += 1
+                    doc_map[oid_str] = doc_ids
+            context.counters.add("documents_indexed", indexed)
+
+            if context.result_file_directory is not None:
+                spool_path = os.path.join(
+                    context.result_file_directory, f"{irs_name}.spool.txt"
                 )
-            obj = row[0]
-            if not obj.isa("IRSObject"):
-                raise CouplingError(f"{obj!r} is not an IRSObject")
-            members.append(obj)
+                with open(spool_path, "w", encoding="utf-8") as fh:
+                    fh.write("\n".join(spool_lines))
 
-        irs_name = collection_obj.get("irs_name")
-        span.set_attribute("collection", irs_name)
-        span.set_attribute("members", len(members))
-        engine = context.engine
+            collection_obj.set("doc_map", doc_map)
+            collection_obj.set("buffer", {})
+            collection_obj.set("pending_ops", [])
+            from repro.core.hierarchical import invalidate_scorer
 
-        # Rebuild from scratch: drop previous documents of this collection.
-        old_map = collection_obj.get("doc_map") or {}
-        for doc_ids in old_map.values():
-            for doc_id in doc_ids:
-                engine.remove_document(irs_name, doc_id)
-
-        segment_words = collection_obj.get("segment_words") or 0
-        spool_lines = []
-        doc_map: Dict[str, list] = {}
-        for obj in members:
-            text = obj.send("getText", mode) if obj.responds_to("getText") else text_for(obj, mode)
-            doc_ids = []
-            for piece in segment_text(text, segment_words):
-                doc_id = engine.index_document(irs_name, piece, {"oid": str(obj.oid)})
-                doc_ids.append(doc_id)
-                spool_lines.append(f"{obj.oid}\t{piece}")
-                context.counters.documents_indexed += 1
-            doc_map[str(obj.oid)] = doc_ids
-
-        if context.result_file_directory is not None:
-            spool_path = os.path.join(
-                context.result_file_directory, f"{irs_name}.spool.txt"
-            )
-            with open(spool_path, "w", encoding="utf-8") as fh:
-                fh.write("\n".join(spool_lines))
-
-        collection_obj.set("doc_map", doc_map)
-        collection_obj.set("buffer", {})
-        collection_obj.set("pending_ops", [])
-        from repro.core.hierarchical import invalidate_scorer
-
-        invalidate_scorer(collection_obj)
-        context.counters.index_runs += 1
+            invalidate_scorer(collection_obj)
+            context.counters.add("index_runs")
     registry = obs.metrics()
     registry.counter("coupling.indexObjects.calls").inc()
     registry.histogram("coupling.indexObjects.seconds").observe(
@@ -243,7 +264,7 @@ def index_objects(
     return True
 
 
-def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]:
+def _get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]:
     """``getIRSResult(IRSQuery)`` — dictionary of IRSObjects to IRS values.
 
     "The IRS query IRSQuery is passed on to the IRS.  The result is a
@@ -252,6 +273,10 @@ def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]
     optimization, the results of IRS calls are buffered persistently."
 
     A pending deferred update forces propagation first (Section 4.6).
+
+    Internal implementation — the supported entry point is
+    :meth:`repro.Session.query`; the :func:`get_irs_result` shim remains
+    for old callers.
     """
     db = collection_obj.database
     context = coupling_context(db)
@@ -277,8 +302,14 @@ def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]
             if context.result_file_directory is not None:
                 values = _query_via_file(context, irs_name, irs_query, model)
             else:
-                result = context.engine.query(irs_name, irs_query, model=model)
-                values = result.by_metadata(context.engine.collection(irs_name), "oid")
+                # Score and map doc ids to OIDs under one read hold so a
+                # concurrent propagation cannot remove documents between the
+                # two steps.
+                with context.engine.reading(irs_name):
+                    result = context.engine.query(irs_name, irs_query, model=model)
+                    values = result.by_metadata(
+                        context.engine.collection(irs_name), "oid"
+                    )
             oid_values = {OID.parse(oid_str): value for oid_str, value in values.items()}
             buffer.store(irs_query, oid_values, model)
             span.set_attribute("results", len(oid_values))
@@ -300,13 +331,17 @@ def _query_via_file(context, irs_name: str, irs_query: str, model: Optional[str]
     return parse_result_file(path)
 
 
-def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
+def _find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
     """``findIRSValue(IRSQuery, obj)`` — the flow chart of Figure 3.
 
     "The method returns the IRS value for the parameter object.  If the
     object is represented in the IRS collection, the IRS directly
     calculates the value, otherwise deriveIRSValue is invoked for obj" —
     and the derived value is inserted into the buffer.
+
+    Internal implementation — the supported entry point is
+    :meth:`repro.Session.find_value`; the :func:`find_irs_value` shim
+    remains for old callers.
     """
     db = collection_obj.database
     context = coupling_context(db)
@@ -315,7 +350,7 @@ def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> f
     with obs.tracer().span(
         "coupling.findIRSValue", query=obs.trim(irs_query), oid=str(obj.oid)
     ) as span:
-        values = get_irs_result(collection_obj, irs_query)
+        values = _get_irs_result(collection_obj, irs_query)
         if obj.oid in values:
             span.set_attribute("source", "irs")
             return values[obj.oid]
@@ -329,6 +364,38 @@ def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> f
         buffer = ResultBuffer(collection_obj, context.counters)
         buffer.amend(irs_query, obj.oid, derived, collection_obj.get("model"))
         return derived
+
+
+# --------------------------------------------------------------------------
+# Deprecated free-function API (PR 3): the supported surface is repro.Session.
+# --------------------------------------------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def create_collection(
+    db: Database, name: str, spec_query: str = "", **options
+) -> DBObject:
+    """Deprecated shim for :meth:`repro.Session.create_collection`."""
+    _deprecated("repro.core.collection.create_collection", "repro.Session.create_collection")
+    return _create_collection(db, name, spec_query, **options)
+
+
+def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]:
+    """Deprecated shim for :meth:`repro.Session.query`."""
+    _deprecated("repro.core.collection.get_irs_result", "repro.Session.query")
+    return _get_irs_result(collection_obj, irs_query)
+
+
+def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
+    """Deprecated shim for :meth:`repro.Session.find_value`."""
+    _deprecated("repro.core.collection.find_irs_value", "repro.Session.find_value")
+    return _find_irs_value(collection_obj, irs_query, obj)
 
 
 def contains_object(collection_obj: DBObject, obj: DBObject) -> bool:
@@ -406,8 +473,8 @@ def register_semantic_restrictor(db: Database) -> None:
         collection_obj = _resolve_collection(database, collection_ref)
         if collection_obj is None or not isinstance(irs_query, str):
             return None
-        context.counters.get_irs_value_calls += 1
-        values = get_irs_result(collection_obj, irs_query)
+        context.counters.add("get_irs_value_calls")
+        values = _get_irs_result(collection_obj, irs_query)
         if op == ">":
             return {oid for oid, value in values.items() if value > constant}
         if op == ">=":

@@ -10,8 +10,9 @@ database instance.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import CouplingError
 from repro.irs.engine import IRSEngine
@@ -24,7 +25,12 @@ _CONTEXT_ATTR = "_coupling_context"
 
 @dataclass
 class CouplingCounters:
-    """Instrumentation shared by the whole coupling (reset per experiment)."""
+    """Instrumentation shared by the whole coupling (reset per experiment).
+
+    Increments on concurrent paths go through :meth:`add`; plain ``+= 1``
+    remains fine on single-threaded experiment code but the coupling core
+    uses :meth:`add` throughout so the service layer never loses counts.
+    """
 
     get_irs_value_calls: int = 0
     buffer_hits: int = 0
@@ -36,10 +42,20 @@ class CouplingCounters:
     updates_cancelled: int = 0
     updates_logged: int = 0
     forced_propagations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the counter called ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        with self._lock:
+            for name, value in vars(self).items():
+                if isinstance(value, int) and not name.startswith("_"):
+                    setattr(self, name, 0)
 
 
 @dataclass
@@ -56,6 +72,26 @@ class CouplingContext:
     #: Ablation switch: when False, the pending-operation log appends
     #: blindly instead of cancelling annihilating sequences (Section 4.6).
     cancellation_enabled: bool = True
+    #: Per-collection mutation mutexes serializing ``indexObjects`` and
+    #: update propagation (the coupling's engine-mutating paths).  Acquired
+    #: *before* any database lock, released after, so the ordering
+    #: mutation-mutex -> DB locks -> collection RW lock holds globally (see
+    #: :mod:`repro.sync`).
+    _mutation_mutexes: Dict[str, threading.RLock] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _mutex_guard: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def mutation_mutex(self, collection_name: str) -> threading.RLock:
+        """The re-entrant mutex serializing mutations of one collection."""
+        with self._mutex_guard:
+            mutex = self._mutation_mutexes.get(collection_name)
+            if mutex is None:
+                mutex = threading.RLock()
+                self._mutation_mutexes[collection_name] = mutex
+            return mutex
 
 
 def install_coupling(db: "Database", engine: IRSEngine, **context_options) -> CouplingContext:

@@ -64,7 +64,7 @@ def component_values(
     """
     from repro.core import collection as coll  # deferred: avoids an import cycle
 
-    values = coll.get_irs_result(collection_obj, irs_query)
+    values = coll._get_irs_result(collection_obj, irs_query)
     doc_map = collection_obj.get("doc_map") or {}
     components: List[Tuple[DBObject, float]] = []
     for descendant in obj.send("getDescendants"):
@@ -223,6 +223,6 @@ def known_schemes() -> List[str]:
 def derive(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
     """Apply the collection's configured scheme and count the derivation."""
     context = coupling_context(obj.database)
-    context.counters.derivations += 1
+    context.counters.add("derivations")
     scheme = scheme_named(collection_obj.get("derivation") or "maximum")
     return scheme(collection_obj, irs_query, obj)

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core import text_modes
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.oodb.database import Database
 from repro.oodb.objects import DBObject
 
@@ -47,7 +47,7 @@ class GranularityPolicy:
         derivation: str = "maximum",
     ) -> DBObject:
         """Create and populate a COLLECTION following this policy."""
-        collection_obj = create_collection(
+        collection_obj = _create_collection(
             db,
             collection_name or self.name,
             spec_query=self.spec_query,

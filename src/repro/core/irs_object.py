@@ -83,7 +83,7 @@ def get_irs_value(obj: DBObject, collection: Any = None, irs_query: Optional[str
             raise CouplingError("getIRSValue needs an IRS query string")
     collection_obj = _resolve(obj, collection)
     context = coupling_context(obj.database)
-    context.counters.get_irs_value_calls += 1
+    context.counters.add("get_irs_value_calls")
     return collection_obj.send("findIRSValue", irs_query, obj)
 
 

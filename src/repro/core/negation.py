@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.irs.models.probabilistic import DEFAULT_BELIEF
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
@@ -46,7 +46,7 @@ def closed_world_not(
     Pure set complement against the membership — the semantics a database
     user expects from ``NOT (value > t)``.
     """
-    values = get_irs_result(collection_obj, irs_query)
+    values = _get_irs_result(collection_obj, irs_query)
     matching = {oid for oid, value in values.items() if value > threshold}
     return members(collection_obj) - matching
 
@@ -61,7 +61,7 @@ def open_world_not(
     evidence of non-relevance (strong counter-evidence), which no pure
     absence can provide — the open-world behaviour the paper flags.
     """
-    values = get_irs_result(collection_obj, irs_query)
+    values = _get_irs_result(collection_obj, irs_query)
     result: Dict[OID, float] = {}
     for oid in members(collection_obj):
         belief = values.get(oid, DEFAULT_BELIEF)

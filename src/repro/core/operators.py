@@ -28,9 +28,9 @@ from repro.oodb.oid import OID
 
 
 def _sub_results(collection_obj: DBObject, queries: List[str]) -> List[Dict[OID, float]]:
-    from repro.core.collection import get_irs_result
+    from repro.core.collection import _get_irs_result
 
-    return [get_irs_result(collection_obj, q) for q in queries]
+    return [_get_irs_result(collection_obj, q) for q in queries]
 
 
 def _all_oids(results: List[Dict[OID, float]]) -> List[OID]:
@@ -119,9 +119,9 @@ def irs_operator_not(collection_obj: DBObject, query: str) -> Dict[OID, float]:
     makes sense against a closed set of candidates, which is exactly the
     open-vs-closed-world tension Section 6 flags as future work.
     """
-    from repro.core.collection import get_irs_result
+    from repro.core.collection import _get_irs_result
 
-    result = get_irs_result(collection_obj, query)
+    result = _get_irs_result(collection_obj, query)
     combined = {}
     for oid_str in (collection_obj.get("doc_map") or {}):
         oid = OID.parse(oid_str)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Optional, Union
 
-from repro.core import collection as collection_module
 from repro.core.context import CouplingContext, install_coupling
 from repro.core.irs_object import IRSOBJECT_CLASS
 from repro.irs.analysis import Analyzer
@@ -76,6 +75,12 @@ class DocumentSystem:
         )
         self.loader = SGMLLoader(self.db, base_class=IRSOBJECT_CLASS)
         self._dtds: Dict[str, DTD] = {}
+        # The default (inline) session: the supported query surface.  Build
+        # pooled ones with ``system.open_session(workers=...)``.
+        from repro.service.session import Session
+
+        self.session = Session(self.db)
+        self._sessions: List[Session] = []
 
     # -- document type management ----------------------------------------------
 
@@ -108,23 +113,45 @@ class DocumentSystem:
 
     # -- collections ----------------------------------------------------------------
 
+    def open_session(self, workers: int = 0, config: Any = None):
+        """Open a new :class:`repro.Session` on this system.
+
+        ``workers=0`` gives the classic inline mode; ``workers>=1`` starts
+        an embedded worker pool with cross-request batching.  Pooled
+        sessions opened here are closed with the system.
+        """
+        from repro.service.session import Session
+
+        session = Session(self.db, workers=workers, config=config)
+        if session.pooled:
+            self._sessions.append(session)
+        return session
+
     def create_collection(self, name: str, spec_query: str = "", **options: Any) -> DBObject:
-        """Create a COLLECTION object (see :func:`repro.core.collection.create_collection`)."""
-        return collection_module.create_collection(self.db, name, spec_query, **options)
+        """Create a COLLECTION object (delegates to :meth:`repro.Session.create_collection`)."""
+        return self.session.create_collection(name, spec_query, **options)
 
     def index_collection(self, collection_obj: DBObject, **options: Any) -> bool:
-        """Run ``indexObjects`` on a collection."""
-        return collection_module.index_objects(collection_obj, **options)
+        """Run ``indexObjects`` on a collection (via the default session)."""
+        return self.session.index(collection_obj, **options)
 
     # -- querying -----------------------------------------------------------------------
 
     def query(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> List[tuple]:
         """Run a mixed OODBMS query (content predicates via getIRSValue)."""
-        return self.db.query(text, bindings)
+        return self.session.execute(text, bindings)
+
+    def search(self, collection_obj: DBObject, irs_query: str, model: Optional[str] = None):
+        """Run a pure content query; returns a ranked :class:`repro.ResultSet`."""
+        return self.session.query(collection_obj, irs_query, model=model)
 
     def irs_query(self, collection_obj: DBObject, irs_query: str) -> Dict:
-        """Run a pure content query; returns ``{OID: value}``."""
-        return collection_module.get_irs_result(collection_obj, irs_query)
+        """Run a pure content query; returns ``{OID: value}``.
+
+        Legacy shape — prefer :meth:`search` / :meth:`repro.Session.query`,
+        which return a ranked :class:`repro.ResultSet`.
+        """
+        return self.session.query(collection_obj, irs_query).to_dict()
 
     def explain(self, text: str, bindings: Optional[Dict[str, Any]] = None):
         """Execute a mixed query under a tracer; returns an ExplainResult.
@@ -133,9 +160,7 @@ class DocumentSystem:
         and the cross-layer stage tree (OODB evaluation, coupling methods,
         IRS scoring) with per-stage timings.
         """
-        from repro.obs import explain as obs_explain
-
-        return obs_explain(self.db, text, bindings)
+        return self.session.explain(text, bindings)
 
     # -- bookkeeping ------------------------------------------------------------------------
 
@@ -147,6 +172,9 @@ class DocumentSystem:
 
     def close(self) -> None:
         """Persist IRS indexes (when durable) and close the database."""
+        for session in self._sessions:
+            session.close()
+        self._sessions = []
         if self._irs_index_directory is not None:
             from repro.irs.persistence import save_engine
 

@@ -52,7 +52,7 @@ def transient_members(
             doc_id = engine.index_document(irs_name, text, {"oid": str(obj.oid)})
             doc_map[str(obj.oid)] = [doc_id]
             inserted.append(obj)
-            context.counters.documents_indexed += 1
+            context.counters.add("documents_indexed")
         collection_obj.set("doc_map", doc_map)
         collection_obj.set("buffer", {})  # contents changed: results stale
         _invalidate_derived_caches(collection_obj)

@@ -20,12 +20,12 @@ insert, and delete-then-reinsert becomes a modification.
 from __future__ import annotations
 
 import logging
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.core.context import coupling_context
 from repro.core.text_modes import text_for
-from repro.errors import CouplingError
+from repro.errors import CouplingError, DocumentMissingError
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
 
@@ -49,24 +49,31 @@ def record_update(collection_obj: DBObject, op: str, obj: DBObject) -> None:
     """
     if op not in (INSERT, MODIFY, DELETE):
         raise CouplingError(f"unknown update operation {op!r}")
-    context = coupling_context(collection_obj.database)
-    context.counters.updates_logged += 1
+    db = collection_obj.database
+    context = coupling_context(db)
+    context.counters.add("updates_logged")
     obs.metrics().counter("coupling.updates.logged").inc()
-    policy = collection_obj.get("update_policy") or context.default_update_policy
-    if policy not in _POLICIES:
-        raise CouplingError(f"unknown update policy {policy!r}; know {_POLICIES}")
-    if policy == EAGER:
-        _apply([[op, str(obj.oid)]], collection_obj)
-        _invalidate_buffer(collection_obj)
-        context.counters.updates_propagated += 1
-        obs.metrics().counter("coupling.updates.propagated").inc()
-        return
-    pending = [list(entry) for entry in (collection_obj.get("pending_ops") or [])]
-    if context.cancellation_enabled:
-        pending = _log_with_cancellation(pending, op, str(obj.oid), context)
-    else:
-        pending.append([op, str(obj.oid)])
-    collection_obj.set("pending_ops", pending)
+    # Claim the collection object before reading its state so two recorders
+    # (or a recorder and a propagator) serialize in the database lock
+    # manager, where deadlocks are detected; the mutation mutex serializes
+    # non-transactional callers the lock manager never sees.
+    db.lock_exclusive(collection_obj.oid)
+    with context.mutation_mutex(str(collection_obj.oid)):
+        policy = collection_obj.get("update_policy") or context.default_update_policy
+        if policy not in _POLICIES:
+            raise CouplingError(f"unknown update policy {policy!r}; know {_POLICIES}")
+        if policy == EAGER:
+            _apply([[op, str(obj.oid)]], collection_obj)
+            _invalidate_buffer(collection_obj)
+            context.counters.add("updates_propagated")
+            obs.metrics().counter("coupling.updates.propagated").inc()
+            return
+        pending = [list(entry) for entry in (collection_obj.get("pending_ops") or [])]
+        if context.cancellation_enabled:
+            pending = _log_with_cancellation(pending, op, str(obj.oid), context)
+        else:
+            pending.append([op, str(obj.oid)])
+        collection_obj.set("pending_ops", pending)
 
 
 def _log_with_cancellation(
@@ -84,22 +91,22 @@ def _log_with_cancellation(
     if op == DELETE and pending_op == INSERT:
         # Generated then deleted before propagation: both vanish.
         del pending[index]
-        context.counters.updates_cancelled += 2
+        context.counters.add("updates_cancelled", 2)
         return pending
     if op == MODIFY and pending_op in (INSERT, MODIFY):
         # The earlier operation will pick up the current text anyway.
-        context.counters.updates_cancelled += 1
+        context.counters.add("updates_cancelled")
         return pending
     if op == DELETE and pending_op == MODIFY:
         # Modification of a to-be-deleted object is moot.
         del pending[index]
-        context.counters.updates_cancelled += 1
+        context.counters.add("updates_cancelled")
         pending.append([DELETE, oid_str])
         return pending
     if op == INSERT and pending_op == DELETE:
         # Delete then re-insert: net effect is a modification.
         del pending[index]
-        context.counters.updates_cancelled += 1
+        context.counters.add("updates_cancelled")
         pending.append([MODIFY, oid_str])
         return pending
     pending.append([op, oid_str])
@@ -112,21 +119,33 @@ def has_pending(collection_obj: DBObject) -> bool:
 
 
 def propagate(collection_obj: DBObject, forced: bool = False) -> int:
-    """Apply all pending operations to the IRS; returns how many ran."""
-    context = coupling_context(collection_obj.database)
-    pending = [tuple(entry) for entry in (collection_obj.get("pending_ops") or [])]
-    if not pending:
-        return 0
-    with obs.tracer().span(
-        "coupling.propagateUpdates", operations=len(pending), forced=forced
-    ):
-        _apply([list(entry) for entry in pending], collection_obj)
-        collection_obj.set("pending_ops", [])
-        _invalidate_buffer(collection_obj)
-    context.counters.updates_propagated += len(pending)
+    """Apply all pending operations to the IRS; returns how many ran.
+
+    Concurrency protocol: the collection object is X-locked first (inside a
+    transaction), so a deadlock/timeout abort can only strike while the IRS
+    index is still untouched and a service-layer retry finds consistent
+    state; the mutation mutex then serializes against non-transactional
+    mutators; finally :func:`_apply` batches its engine mutations under the
+    collection's write lock with all database reads done up front.
+    """
+    db = collection_obj.database
+    context = coupling_context(db)
+    db.lock_exclusive(collection_obj.oid)
+    with context.mutation_mutex(str(collection_obj.oid)):
+        pending = [tuple(entry) for entry in (collection_obj.get("pending_ops") or [])]
+        if not pending:
+            # Another propagator drained the log while we waited: done.
+            return 0
+        with obs.tracer().span(
+            "coupling.propagateUpdates", operations=len(pending), forced=forced
+        ):
+            _apply([list(entry) for entry in pending], collection_obj)
+            collection_obj.set("pending_ops", [])
+            _invalidate_buffer(collection_obj)
+    context.counters.add("updates_propagated", len(pending))
     obs.metrics().counter("coupling.updates.propagated").inc(len(pending))
     if forced:
-        context.counters.forced_propagations += 1
+        context.counters.add("forced_propagations")
         obs.metrics().counter("coupling.updates.forced_propagations").inc()
     logger.debug(
         "propagated %d pending update(s) to IRS collection %r%s",
@@ -138,7 +157,17 @@ def propagate(collection_obj: DBObject, forced: bool = False) -> int:
 
 
 def _apply(operations: List[list], collection_obj: DBObject) -> None:
-    """Run operations against the IRS collection, maintaining doc_map."""
+    """Run operations against the IRS collection, maintaining doc_map.
+
+    Two phases.  Phase 1 performs every database read (object texts,
+    segmentation) with no engine access; phase 2 performs the engine
+    mutations under the collection's write lock with no database access —
+    code holding that write lock must never wait on database locks (see
+    :mod:`repro.sync`), and readers observe the whole batch atomically.
+    Engine mutations tolerate already-missing documents so a retried
+    propagation (after a deadlock abort rolled back ``pending_ops`` but an
+    earlier attempt's engine work survived) stays idempotent.
+    """
     context = coupling_context(collection_obj.database)
     engine = context.engine
     irs_name = collection_obj.get("irs_name")
@@ -146,31 +175,51 @@ def _apply(operations: List[list], collection_obj: DBObject) -> None:
     segment_words = collection_obj.get("segment_words") or 0
     doc_map = dict(collection_obj.get("doc_map") or {})
     db = collection_obj.database
+    from repro.core.collection import segment_text
+
+    # Phase 1 — database reads only.
+    planned: List[Tuple[str, str, Optional[List[str]]]] = []
     for op, oid_str in operations:
-        oid = OID.parse(oid_str)
         if op == DELETE:
-            for doc_id in doc_map.pop(oid_str, []):
-                engine.remove_document(irs_name, doc_id)
+            planned.append((DELETE, oid_str, None))
             continue
+        oid = OID.parse(oid_str)
         if not db.object_exists(oid):
             continue  # object died before propagation; nothing to index
         obj = db.get_object(oid)
         text = obj.send("getText", text_mode) if obj.responds_to("getText") else text_for(obj, text_mode)
-        from repro.core.collection import segment_text
+        planned.append((op, oid_str, segment_text(text, segment_words)))
 
-        pieces = segment_text(text, segment_words)
-        old_ids = doc_map.get(oid_str, [])
-        if op == MODIFY and len(old_ids) == len(pieces) == 1:
-            # Fast path: same shape, replace in place.
-            engine.replace_document(irs_name, old_ids[0], pieces[0])
-            continue
-        for doc_id in old_ids:
-            engine.remove_document(irs_name, doc_id)
-        new_ids = []
-        for piece in pieces:
-            new_ids.append(engine.index_document(irs_name, piece, {"oid": oid_str}))
-            context.counters.documents_indexed += 1
-        doc_map[oid_str] = new_ids
+    # Phase 2 — engine mutations only, atomic for concurrent readers.
+    indexed = 0
+    with engine.mutating(irs_name):
+        for op, oid_str, pieces in planned:
+            if op == DELETE:
+                for doc_id in doc_map.pop(oid_str, []):
+                    try:
+                        engine.remove_document(irs_name, doc_id)
+                    except DocumentMissingError:
+                        pass
+                continue
+            old_ids = doc_map.get(oid_str, [])
+            if op == MODIFY and len(old_ids) == len(pieces) == 1:
+                try:
+                    # Fast path: same shape, replace in place.
+                    engine.replace_document(irs_name, old_ids[0], pieces[0])
+                    continue
+                except DocumentMissingError:
+                    old_ids = []  # fall through to a fresh index below
+            for doc_id in old_ids:
+                try:
+                    engine.remove_document(irs_name, doc_id)
+                except DocumentMissingError:
+                    pass
+            new_ids = []
+            for piece in pieces:
+                new_ids.append(engine.index_document(irs_name, piece, {"oid": oid_str}))
+                indexed += 1
+            doc_map[oid_str] = new_ids
+    context.counters.add("documents_indexed", indexed)
     collection_obj.set("doc_map", doc_map)
 
 

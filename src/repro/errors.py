@@ -3,6 +3,40 @@
 Every subsystem raises subclasses of :class:`ReproError` so applications can
 catch coupling-level failures with a single ``except`` clause while still
 being able to distinguish database, retrieval and document errors.
+
+Error mapping on the query paths
+--------------------------------
+
+The public query surface (``Session.query`` / ``Session.query_batch`` /
+``Session.index`` and everything ``DocumentSystem`` delegates to them) never
+lets a bare ``KeyError`` / ``ValueError`` / ``TypeError`` escape.  Failures
+are routed into the hierarchy as follows:
+
+==============================================  ===============================
+Failure                                          Raised as
+==============================================  ===============================
+malformed VQL text                               :class:`QuerySyntaxError`
+well-formed VQL that cannot be evaluated         :class:`QueryEvaluationError`
+malformed IRS query expression                   :class:`IRSQuerySyntaxError`
+unknown ``#op`` in an IRS query                  :class:`UnknownOperatorError`
+unknown retrieval model name                     :class:`UnknownModelError`
+unknown / duplicate IRS collection               :class:`UnknownCollectionError` /
+                                                 :class:`DuplicateCollectionError`
+coupling misuse (bad spec query, no coupling…)   :class:`CouplingError`
+lock-manager deadlock victim                     :class:`DeadlockError`
+                                                 (retried by the service layer)
+lock wait exceeded its timeout                   :class:`LockTimeoutError`
+                                                 (retried by the service layer)
+retry budget exhausted on the two above          :class:`RetryExhaustedError`
+admission queue full (backpressure)              :class:`ServiceOverloadedError`
+per-request deadline exceeded                    :class:`RequestTimeoutError`
+service used after shutdown                      :class:`ServiceClosedError`
+any other internal error on a query path         :class:`QueryError` (mixed/IRS
+                                                 queries) or
+                                                 :class:`CouplingError` (indexing)
+                                                 wrapping the original as
+                                                 ``__cause__``
+==============================================  ===============================
 """
 
 from __future__ import annotations
@@ -100,6 +134,15 @@ class DocumentMissingError(RetrievalError):
     """An IRS document id was not found in the collection."""
 
 
+class UnknownModelError(RetrievalError, ValueError):
+    """The requested retrieval model name is not registered.
+
+    Also inherits :class:`ValueError` for back-compatibility with callers
+    written against the pre-Session engine API, which raised bare
+    ``ValueError`` here.
+    """
+
+
 # --------------------------------------------------------------------------
 # SGML errors
 # --------------------------------------------------------------------------
@@ -134,3 +177,39 @@ class NotIndexedError(CouplingError):
 
 class StalePropagationError(CouplingError):
     """A query required update propagation but propagation is disabled."""
+
+
+# --------------------------------------------------------------------------
+# Service-layer errors (the concurrent session service of repro.service)
+# --------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent service layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded admission queue is full; the request was rejected.
+
+    Backpressure signal: the caller should slow down, shed load, or retry
+    after a delay.  Raised instead of queueing unboundedly.
+    """
+
+
+class RequestTimeoutError(ServiceError):
+    """A request did not complete within its per-request deadline.
+
+    The underlying work may still finish in the background; only the
+    caller's wait is abandoned.
+    """
+
+
+class RetryExhaustedError(ServiceError):
+    """Automatic retries on :class:`DeadlockError` / :class:`LockTimeoutError`
+    did not succeed within the configured retry budget.
+
+    The final attempt's error is attached as ``__cause__``.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service (or its session) was shut down before the request."""

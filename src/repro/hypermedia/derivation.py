@@ -43,11 +43,11 @@ def _derive(
     hops_left: int,
     visited: Set,
 ) -> float:
-    from repro.core.collection import get_irs_result
+    from repro.core.collection import _get_irs_result
     from repro.core.derivation import component_values
 
     visited.add(obj.oid)
-    values = get_irs_result(collection_obj, irs_query)
+    values = _get_irs_result(collection_obj, irs_query)
     best = values.get(obj.oid, 0.0)
     components = component_values(collection_obj, irs_query, obj)
     for _component, value in components:

@@ -11,6 +11,7 @@ as most IRSs allow to administer some meta data with each IRS document"
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,6 +40,7 @@ class IRSCollection:
         self._documents: Dict[int, IRSDocument] = {}
         self._next_doc_id = 1
         self._stats: Optional[StatisticsCache] = None
+        self._stats_lock = threading.Lock()
 
     @property
     def stats(self) -> StatisticsCache:
@@ -46,13 +48,15 @@ class IRSCollection:
 
         Validity against index mutations is handled inside the cache via the
         index epoch; this property only guards against the index *object*
-        being replaced (e.g. by :meth:`from_payload`).
+        being replaced (e.g. by :meth:`from_payload`).  Creation is locked so
+        concurrent scorers share one cache instead of racing to build two.
         """
-        cache = self._stats
-        if cache is None or cache.index is not self.index:
-            cache = StatisticsCache(self.index)
-            self._stats = cache
-        return cache
+        with self._stats_lock:
+            cache = self._stats
+            if cache is None or cache.index is not self.index:
+                cache = StatisticsCache(self.index)
+                self._stats = cache
+            return cache
 
     # -- document management ---------------------------------------------------
 

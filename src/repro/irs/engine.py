@@ -19,17 +19,24 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
-from repro.errors import DuplicateCollectionError, UnknownCollectionError
+from repro.errors import (
+    DuplicateCollectionError,
+    UnknownCollectionError,
+    UnknownModelError,
+)
 from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
 from repro.irs.models import MODELS, RetrievalModel
 from repro.irs.queries import parse_irs_query
+from repro.sync import ReadWriteLock
 
 logger = logging.getLogger(__name__)
 
@@ -66,7 +73,12 @@ class IRSResult:
 
 @dataclass
 class EngineCounters:
-    """Operation counters for the benchmark harness."""
+    """Operation counters for the benchmark harness.
+
+    Increments go through :meth:`inc` / :meth:`inc_collection_query`, which
+    serialize on a private lock so the service layer's worker pool never
+    loses an update to a read-modify-write race.
+    """
 
     queries_executed: int = 0
     documents_indexed: int = 0
@@ -74,14 +86,30 @@ class EngineCounters:
     result_files_written: int = 0
     result_cache_hits: int = 0
     per_collection_queries: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the counter called ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def inc_collection_query(self, collection_name: str) -> None:
+        """Atomically bump the per-collection query counter."""
+        with self._lock:
+            self.per_collection_queries[collection_name] = (
+                self.per_collection_queries.get(collection_name, 0) + 1
+            )
 
     def reset(self) -> None:
-        self.queries_executed = 0
-        self.documents_indexed = 0
-        self.documents_removed = 0
-        self.result_files_written = 0
-        self.result_cache_hits = 0
-        self.per_collection_queries = {}
+        with self._lock:
+            self.queries_executed = 0
+            self.documents_indexed = 0
+            self.documents_removed = 0
+            self.result_files_written = 0
+            self.result_cache_hits = 0
+            self.per_collection_queries = {}
 
 
 @dataclass
@@ -132,12 +160,22 @@ class IRSEngine:
         result_cache_size: int = 128,
     ) -> None:
         if default_model not in MODELS:
-            raise ValueError(f"unknown retrieval model {default_model!r}; know {sorted(MODELS)}")
+            raise UnknownModelError(
+                f"unknown retrieval model {default_model!r}; know {sorted(MODELS)}"
+            )
         self._collections: Dict[str, IRSCollection] = {}
         self._default_model = default_model
         self._analyzer = analyzer
         self.counters = EngineCounters()
         self.cache_stats = ResultCacheStats()
+        #: Guards the collection registry and the per-collection lock table.
+        self._registry_lock = threading.RLock()
+        #: Per-collection readers-writer locks: queries read, index mutations
+        #: write.  Acquired *after* any database locks (see repro.sync).
+        self._collection_locks: Dict[str, ReadWriteLock] = {}
+        #: Guards ``_result_cache`` and ``cache_stats`` — scoring itself runs
+        #: outside this lock so a slow query never blocks cache hits.
+        self._cache_lock = threading.RLock()
         #: In-process bounded LRU keyed by (collection, model, query); the
         #: stored entry remembers the index epoch it was computed at, so a
         #: lookup that finds a stale entry can be attributed as an *epoch
@@ -150,27 +188,57 @@ class IRSEngine:
         self._result_cache: "OrderedDict[Tuple[str, str, str], Tuple[int, Dict[int, float]]]" = OrderedDict()
         self._result_cache_size = max(0, result_cache_size)
 
+    # -- concurrency ---------------------------------------------------------
+
+    def rwlock(self, name: str) -> ReadWriteLock:
+        """The readers-writer lock serializing access to collection ``name``.
+
+        One lock per collection name, created on demand and kept across
+        drop/recreate so in-flight holders never race a registry swap.
+        """
+        with self._registry_lock:
+            lock = self._collection_locks.get(name)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._collection_locks[name] = lock
+            return lock
+
+    @contextmanager
+    def reading(self, name: str) -> Iterator[None]:
+        """Hold collection ``name``'s read lock (concurrent queries)."""
+        with self.rwlock(name).reading():
+            yield
+
+    @contextmanager
+    def mutating(self, name: str) -> Iterator[None]:
+        """Hold collection ``name``'s write lock (index mutations)."""
+        with self.rwlock(name).writing():
+            yield
+
     # -- collection management ----------------------------------------------
 
     def create_collection(self, name: str, analyzer: Optional[Analyzer] = None) -> IRSCollection:
         """Create an empty collection called ``name``."""
-        if name in self._collections:
-            raise DuplicateCollectionError(f"IRS collection {name!r} already exists")
-        collection = IRSCollection(name, analyzer or self._analyzer)
-        self._collections[name] = collection
-        return collection
+        with self._registry_lock:
+            if name in self._collections:
+                raise DuplicateCollectionError(f"IRS collection {name!r} already exists")
+            collection = IRSCollection(name, analyzer or self._analyzer)
+            self._collections[name] = collection
+            return collection
 
     def drop_collection(self, name: str) -> None:
         """Delete a collection, its index, and its cached results."""
-        if name not in self._collections:
-            raise UnknownCollectionError(f"no IRS collection {name!r}")
-        del self._collections[name]
+        with self._registry_lock:
+            if name not in self._collections:
+                raise UnknownCollectionError(f"no IRS collection {name!r}")
+            del self._collections[name]
         # A later collection with the same name starts its index epoch from
         # scratch, so stale entries would otherwise be indistinguishable.
-        stale = [k for k in self._result_cache if k[0] == name]
-        for key in stale:
-            del self._result_cache[key]
-        self.cache_stats.dropped += len(stale)
+        with self._cache_lock:
+            stale = [k for k in self._result_cache if k[0] == name]
+            for key in stale:
+                del self._result_cache[key]
+            self.cache_stats.dropped += len(stale)
         obs.metrics().counter("irs.result_cache.dropped").inc(len(stale))
         logger.debug(
             "dropped IRS collection %r (%d cached results discarded)", name, len(stale)
@@ -198,33 +266,39 @@ class IRSEngine:
     ) -> int:
         """Add one document to a collection; returns its IRS doc id."""
         collection = self.collection(collection_name)
-        epoch_before = collection.index.epoch
-        doc_id = collection.add_document(text, metadata)
-        self.counters.documents_indexed += 1
+        with self.mutating(collection_name):
+            epoch_before = collection.index.epoch
+            doc_id = collection.add_document(text, metadata)
+            epoch_after = collection.index.epoch
+        self.counters.inc("documents_indexed")
         registry = obs.metrics()
         registry.counter("irs.index.additions").inc()
-        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
+        registry.counter("irs.index.epoch_bumps").inc(epoch_after - epoch_before)
         return doc_id
 
     def remove_document(self, collection_name: str, doc_id: int) -> None:
         """Remove one document from a collection."""
         collection = self.collection(collection_name)
-        epoch_before = collection.index.epoch
-        collection.remove_document(doc_id)
-        self.counters.documents_removed += 1
+        with self.mutating(collection_name):
+            epoch_before = collection.index.epoch
+            collection.remove_document(doc_id)
+            epoch_after = collection.index.epoch
+        self.counters.inc("documents_removed")
         registry = obs.metrics()
         registry.counter("irs.index.removals").inc()
-        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
+        registry.counter("irs.index.epoch_bumps").inc(epoch_after - epoch_before)
 
     def replace_document(self, collection_name: str, doc_id: int, text: str) -> None:
         """Re-index one document with new text."""
         collection = self.collection(collection_name)
-        epoch_before = collection.index.epoch
-        collection.replace_document(doc_id, text)
-        self.counters.documents_indexed += 1
+        with self.mutating(collection_name):
+            epoch_before = collection.index.epoch
+            collection.replace_document(doc_id, text)
+            epoch_after = collection.index.epoch
+        self.counters.inc("documents_indexed")
         registry = obs.metrics()
         registry.counter("irs.index.replacements").inc()
-        registry.counter("irs.index.epoch_bumps").inc(collection.index.epoch - epoch_before)
+        registry.counter("irs.index.epoch_bumps").inc(epoch_after - epoch_before)
 
     # -- querying ---------------------------------------------------------------
 
@@ -237,11 +311,11 @@ class IRSEngine:
         try:
             model_impl: RetrievalModel = MODELS[model_name]()
         except KeyError:
-            raise ValueError(f"unknown retrieval model {model_name!r}") from None
-        self.counters.queries_executed += 1
-        self.counters.per_collection_queries[collection_name] = (
-            self.counters.per_collection_queries.get(collection_name, 0) + 1
-        )
+            raise UnknownModelError(
+                f"unknown retrieval model {model_name!r}"
+            ) from None
+        self.counters.inc("queries_executed")
+        self.counters.inc_collection_query(collection_name)
         registry = obs.metrics()
         registry.counter("irs.query.executed").inc()
         started = time.perf_counter()
@@ -249,9 +323,10 @@ class IRSEngine:
             "irs.query", collection=collection_name, model=model_name,
             query=obs.trim(irs_query),
         ) as span:
-            values = self._query_values(
-                collection, collection_name, model_name, model_impl, irs_query, span
-            )
+            with self.reading(collection_name):
+                values = self._query_values(
+                    collection, collection_name, model_name, model_impl, irs_query, span
+                )
             span.set_attribute("results", len(values))
         elapsed = time.perf_counter() - started
         registry.histogram("irs.query.seconds." + model_name).observe(elapsed)
@@ -270,36 +345,44 @@ class IRSEngine:
         irs_query: str,
         span,
     ) -> Dict[int, float]:
-        """Cache lookup + scoring for :meth:`query`, with hit attribution."""
+        """Cache lookup + scoring for :meth:`query`, with hit attribution.
+
+        Runs under the collection's read lock (the caller holds it), so the
+        index epoch cannot move mid-call.  The result-LRU probe and the
+        store each take ``_cache_lock`` briefly; scoring itself runs outside
+        it so one slow query never blocks concurrent cache hits.
+        """
         registry = obs.metrics()
         epoch = collection.index.epoch
         base_key = (collection_name, model_name, irs_query)
-        entry = self._result_cache.get(base_key)
-        if entry is not None:
-            cached_epoch, cached_values = entry
-            if cached_epoch == epoch:
-                self._result_cache.move_to_end(base_key)
-                self.counters.result_cache_hits += 1
-                self.cache_stats.hits += 1
-                registry.counter("irs.result_cache.hits").inc()
-                span.set_attribute("cached", True)
-                # Hand out a copy so callers cannot poison the cached values.
-                return dict(cached_values)
-            # Same query, but the index mutated since it was cached.
-            del self._result_cache[base_key]
-            self.cache_stats.epoch_invalidations += 1
-            registry.counter("irs.result_cache.epoch_invalidations").inc()
-        self.cache_stats.misses += 1
+        with self._cache_lock:
+            entry = self._result_cache.get(base_key)
+            if entry is not None:
+                cached_epoch, cached_values = entry
+                if cached_epoch == epoch:
+                    self._result_cache.move_to_end(base_key)
+                    self.counters.inc("result_cache_hits")
+                    self.cache_stats.hits += 1
+                    registry.counter("irs.result_cache.hits").inc()
+                    span.set_attribute("cached", True)
+                    # Hand out a copy so callers cannot poison the cached values.
+                    return dict(cached_values)
+                # Same query, but the index mutated since it was cached.
+                del self._result_cache[base_key]
+                self.cache_stats.epoch_invalidations += 1
+                registry.counter("irs.result_cache.epoch_invalidations").inc()
+            self.cache_stats.misses += 1
         registry.counter("irs.result_cache.misses").inc()
         span.set_attribute("cached", False)
         tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
         values = model_impl.score(collection, tree)
         if self._result_cache_size > 0:
-            self._result_cache[base_key] = (epoch, dict(values))
-            while len(self._result_cache) > self._result_cache_size:
-                self._result_cache.popitem(last=False)
-                self.cache_stats.evictions += 1
-                registry.counter("irs.result_cache.evictions").inc()
+            with self._cache_lock:
+                self._result_cache[base_key] = (epoch, dict(values))
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+                    self.cache_stats.evictions += 1
+                    registry.counter("irs.result_cache.evictions").inc()
         return values
 
     def statistics_cache_info(self) -> Dict[str, Dict[str, int]]:
@@ -340,7 +423,7 @@ class IRSEngine:
             if lines:
                 fh.write("\n")
         os.replace(tmp_path, path)
-        self.counters.result_files_written += 1
+        self.counters.inc("result_files_written")
         return path
 
 

@@ -17,6 +17,7 @@ Two concerns live here:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -31,11 +32,17 @@ class StatisticsCache:
     filled lazily; per-document norms are built for *all* documents in one
     pass over the postings the first time any norm is requested — one
     O(postings) sweep instead of an O(vocabulary) scan per scored document.
+
+    Accessors are serialized by a re-entrant lock so concurrent scorers on
+    the service layer's worker pool never observe a half-built memo; the
+    critical sections are dict probes (plus one norm sweep on a cold
+    cache), so contention stays negligible next to scoring itself.
     """
 
     def __init__(self, index: InvertedIndex) -> None:
         self._index = index
         self._epoch = -1
+        self._lock = threading.RLock()
         self._avg_dl: Optional[float] = None
         self._idf: Dict[str, float] = {}
         self._inquery_idf: Dict[str, float] = {}
@@ -60,16 +67,18 @@ class StatisticsCache:
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/invalidation counters as a plain dict."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
 
     def reset_cache_info(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     @property
     def index(self) -> InvertedIndex:
@@ -78,13 +87,14 @@ class StatisticsCache:
     @property
     def average_document_length(self) -> float:
         """Memoized mean document length."""
-        self._validate()
-        if self._avg_dl is None:
-            self.misses += 1
-            self._avg_dl = self._index.average_document_length
-        else:
-            self.hits += 1
-        return self._avg_dl
+        with self._lock:
+            self._validate()
+            if self._avg_dl is None:
+                self.misses += 1
+                self._avg_dl = self._index.average_document_length
+            else:
+                self.hits += 1
+            return self._avg_dl
 
     def document_frequency(self, term: str) -> int:
         """df of ``term`` (delegates to the index; already O(1))."""
@@ -92,49 +102,52 @@ class StatisticsCache:
 
     def idf(self, term: str) -> float:
         """The vector model's idf, ``log(1 + N/df)`` (0.0 when df == 0)."""
-        self._validate()
-        cached = self._idf.get(term)
-        if cached is None:
-            self.misses += 1
-            df = self._index.document_frequency(term)
-            if df == 0:
-                cached = 0.0
+        with self._lock:
+            self._validate()
+            cached = self._idf.get(term)
+            if cached is None:
+                self.misses += 1
+                df = self._index.document_frequency(term)
+                if df == 0:
+                    cached = 0.0
+                else:
+                    cached = math.log(1.0 + self._index.document_count / df)
+                self._idf[term] = cached
             else:
-                cached = math.log(1.0 + self._index.document_count / df)
-            self._idf[term] = cached
-        else:
-            self.hits += 1
-        return cached
+                self.hits += 1
+            return cached
 
     def inquery_idf(self, term: str) -> float:
         """INQUERY's scaled idf part, clamped to [0, 1] (0.0 when df == 0)."""
-        self._validate()
-        cached = self._inquery_idf.get(term)
-        if cached is None:
-            self.misses += 1
-            df = self._index.document_frequency(term)
-            n_docs = self._index.document_count
-            if df == 0 or n_docs == 0:
-                cached = 0.0
+        with self._lock:
+            self._validate()
+            cached = self._inquery_idf.get(term)
+            if cached is None:
+                self.misses += 1
+                df = self._index.document_frequency(term)
+                n_docs = self._index.document_count
+                if df == 0 or n_docs == 0:
+                    cached = 0.0
+                else:
+                    part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
+                    cached = max(0.0, min(1.0, part))
+                self._inquery_idf[term] = cached
             else:
-                part = math.log((n_docs + 0.5) / df) / math.log(n_docs + 1.0)
-                cached = max(0.0, min(1.0, part))
-            self._inquery_idf[term] = cached
-        else:
-            self.hits += 1
-        return cached
+                self.hits += 1
+            return cached
 
     def doc_id_set(self, term: str) -> FrozenSet[int]:
         """The set of documents containing ``term`` (memoized)."""
-        self._validate()
-        cached = self._doc_id_sets.get(term)
-        if cached is None:
-            self.misses += 1
-            cached = frozenset(p.doc_id for p in self._index.postings(term))
-            self._doc_id_sets[term] = cached
-        else:
-            self.hits += 1
-        return cached
+        with self._lock:
+            self._validate()
+            cached = self._doc_id_sets.get(term)
+            if cached is None:
+                self.misses += 1
+                cached = frozenset(p.doc_id for p in self._index.postings(term))
+                self._doc_id_sets[term] = cached
+            else:
+                self.hits += 1
+            return cached
 
     def document_norm(self, doc_id: int) -> float:
         """TF-IDF norm of one document (0.0 for unknown documents).
@@ -143,22 +156,23 @@ class StatisticsCache:
         pass over every postings list accumulates squared weights per
         document, then a square root per document.
         """
-        self._validate()
-        if self._norms is None:
-            self.misses += 1
-            index = self._index
-            n_docs = index.document_count
-            squared: Dict[int, float] = {d: 0.0 for d in index.document_ids()}
-            for term in index.terms():
-                postings = index.postings(term)
-                idf = math.log(1.0 + n_docs / len(postings))
-                for posting in postings:
-                    w = (1.0 + math.log(posting.tf)) * idf
-                    squared[posting.doc_id] += w * w
-            self._norms = {d: math.sqrt(total) for d, total in squared.items()}
-        else:
-            self.hits += 1
-        return self._norms.get(doc_id, 0.0)
+        with self._lock:
+            self._validate()
+            if self._norms is None:
+                self.misses += 1
+                index = self._index
+                n_docs = index.document_count
+                squared: Dict[int, float] = {d: 0.0 for d in index.document_ids()}
+                for term in index.terms():
+                    postings = index.postings(term)
+                    idf = math.log(1.0 + n_docs / len(postings))
+                    for posting in postings:
+                        w = (1.0 + math.log(posting.tf)) * idf
+                        squared[posting.doc_id] += w * w
+                self._norms = {d: math.sqrt(total) for d, total in squared.items()}
+            else:
+                self.hits += 1
+            return self._norms.get(doc_id, 0.0)
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,23 @@ class Database:
         """True when an explicit transaction is active on this thread."""
         return self._current_txn() is not None
 
+    def lock_exclusive(self, oid: OID) -> None:
+        """X-lock ``oid`` under the current transaction without writing it.
+
+        Used by update propagation to claim the collection object *before*
+        touching the IRS engine, so a deadlock/timeout abort can only happen
+        while the engine is still untouched.  No-op outside a transaction
+        (autocommit operations lock per-statement anyway).
+        """
+        txn = self._current_txn()
+        if txn is not None:
+            self._locks.acquire(txn.txn_id, oid, LockMode.EXCLUSIVE)
+
+    @property
+    def lock_manager(self) -> LockManager:
+        """The lock manager (conflict-listener hooks for the service layer)."""
+        return self._locks
+
     # ------------------------------------------------------------------
     # Object lifecycle
     # ------------------------------------------------------------------

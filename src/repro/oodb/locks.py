@@ -7,6 +7,18 @@ functionality" requirements (Section 1.2, property 2).
 
 Deadlocks are detected eagerly on a waits-for graph; the requesting
 transaction is chosen as victim and receives :class:`DeadlockError`.
+
+Grants are FIFO-fair: once a transaction is waiting on a resource, later
+arrivals whose mode conflicts with the waiter queue behind it instead of
+jumping the line, so a steady stream of readers cannot starve a writer
+under the service layer's concurrent load.  Lock upgrades (a holder
+re-requesting in a stronger mode) bypass the queue — they must, or an
+upgrade would deadlock against waiters that are themselves blocked on the
+upgrader's current hold.
+
+:meth:`LockManager.add_conflict_listener` registers a hook fired when a
+request first starts waiting; the service layer's tests use it to inject
+deterministic lock conflicts and to observe retry behaviour.
 """
 
 from __future__ import annotations
@@ -17,7 +29,7 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Hashable, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.errors import DeadlockError, LockTimeoutError
@@ -36,12 +48,19 @@ def _compatible(held: LockMode, requested: LockMode) -> bool:
     return held is LockMode.SHARED and requested is LockMode.SHARED
 
 
+#: Signature of a conflict listener: (txn_id, resource, mode, blockers).
+ConflictListener = Callable[[int, Hashable, LockMode, Set[int]], None]
+
+
 @dataclass
 class _LockEntry:
     """State of one lockable resource."""
 
     holders: Dict[int, LockMode] = field(default_factory=dict)
     condition: threading.Condition = field(default_factory=threading.Condition)
+    #: Waiting requests in arrival order; grants never jump an earlier
+    #: incompatible waiter (FIFO fairness).
+    waiters: List[Tuple[int, LockMode]] = field(default_factory=list)
 
 
 class LockManager:
@@ -57,6 +76,26 @@ class LockManager:
         self._waits_for: Dict[int, Set[int]] = defaultdict(set)
         self._held_by_txn: Dict[int, Set[Hashable]] = defaultdict(set)
         self._mutex = threading.Lock()
+        self._conflict_listeners: List[ConflictListener] = []
+
+    # -- conflict listeners -----------------------------------------------------
+
+    def add_conflict_listener(self, listener: ConflictListener) -> None:
+        """Register a hook fired when a request first starts waiting.
+
+        Called with ``(txn_id, resource, mode, blockers)`` while the entry's
+        condition is held — listeners must be quick and must not call back
+        into the lock manager.  Used by the service layer for retry metrics
+        and by tests for deterministic conflict injection.
+        """
+        self._conflict_listeners.append(listener)
+
+    def remove_conflict_listener(self, listener: ConflictListener) -> None:
+        """Unregister a listener added by :meth:`add_conflict_listener`."""
+        try:
+            self._conflict_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- acquisition -----------------------------------------------------------
 
@@ -70,60 +109,101 @@ class LockManager:
             entry = self._entries.setdefault(resource, _LockEntry())
         waited_since: Optional[float] = None
         with entry.condition:
-            while True:
-                blockers = self._blockers(entry, txn_id, mode)
-                if not blockers:
-                    entry.holders[txn_id] = self._merged_mode(entry, txn_id, mode)
+            try:
+                while True:
+                    blockers = self._blocking_set(entry, txn_id, mode)
+                    if not blockers:
+                        entry.holders[txn_id] = self._merged_mode(entry, txn_id, mode)
+                        self._remove_waiter(entry, txn_id)
+                        with self._mutex:
+                            self._held_by_txn[txn_id].add(resource)
+                            self._waits_for.pop(txn_id, None)
+                        # Later queued requests compatible with this grant
+                        # (e.g. a run of readers) may now proceed together.
+                        entry.condition.notify_all()
+                        if waited_since is not None:
+                            obs.metrics().histogram("oodb.lock.wait_seconds").observe(
+                                time.perf_counter() - waited_since
+                            )
+                        return
+                    if waited_since is None:
+                        waited_since = time.perf_counter()
+                        obs.metrics().counter("oodb.lock.waits").inc()
+                        if txn_id not in entry.holders:
+                            entry.waiters.append((txn_id, mode))
+                        for listener in list(self._conflict_listeners):
+                            listener(txn_id, resource, mode, set(blockers))
+                        # A listener may have released/changed state: re-check
+                        # before the deadlock test and the wait.
+                        continue
                     with self._mutex:
-                        self._held_by_txn[txn_id].add(resource)
-                        self._waits_for.pop(txn_id, None)
-                    if waited_since is not None:
-                        obs.metrics().histogram("oodb.lock.wait_seconds").observe(
-                            time.perf_counter() - waited_since
-                        )
-                    return
-                if waited_since is None:
-                    waited_since = time.perf_counter()
-                    obs.metrics().counter("oodb.lock.waits").inc()
-                with self._mutex:
-                    self._waits_for[txn_id] = blockers
-                    if self._would_deadlock(txn_id):
-                        self._waits_for.pop(txn_id, None)
-                        obs.metrics().counter("oodb.lock.deadlocks").inc()
+                        self._waits_for[txn_id] = blockers
+                        if self._would_deadlock(txn_id):
+                            self._waits_for.pop(txn_id, None)
+                            obs.metrics().counter("oodb.lock.deadlocks").inc()
+                            logger.warning(
+                                "deadlock: txn %d aborted requesting %s on %r",
+                                txn_id,
+                                mode.value,
+                                resource,
+                            )
+                            raise DeadlockError(
+                                f"transaction {txn_id} deadlocked requesting "
+                                f"{mode.value} on {resource!r}"
+                            )
+                    if not entry.condition.wait(timeout=self._timeout):
+                        with self._mutex:
+                            self._waits_for.pop(txn_id, None)
+                        obs.metrics().counter("oodb.lock.timeouts").inc()
                         logger.warning(
-                            "deadlock: txn %d aborted requesting %s on %r",
+                            "lock timeout: txn %d requesting %s on %r after %.1fs",
                             txn_id,
                             mode.value,
                             resource,
+                            self._timeout,
                         )
-                        raise DeadlockError(
-                            f"transaction {txn_id} deadlocked requesting "
+                        raise LockTimeoutError(
+                            f"transaction {txn_id} timed out requesting "
                             f"{mode.value} on {resource!r}"
                         )
-                if not entry.condition.wait(timeout=self._timeout):
-                    with self._mutex:
-                        self._waits_for.pop(txn_id, None)
-                    obs.metrics().counter("oodb.lock.timeouts").inc()
-                    logger.warning(
-                        "lock timeout: txn %d requesting %s on %r after %.1fs",
-                        txn_id,
-                        mode.value,
-                        resource,
-                        self._timeout,
-                    )
-                    raise LockTimeoutError(
-                        f"transaction {txn_id} timed out requesting "
-                        f"{mode.value} on {resource!r}"
-                    )
+            except BaseException:
+                # Deadlock victim / timeout / interrupt: leave the queue and
+                # wake waiters whose only fairness block was this request.
+                if self._remove_waiter(entry, txn_id):
+                    entry.condition.notify_all()
+                raise
 
     @staticmethod
-    def _blockers(entry: _LockEntry, txn_id: int, mode: LockMode) -> Set[int]:
-        """Other transactions whose held locks conflict with the request."""
-        return {
+    def _remove_waiter(entry: _LockEntry, txn_id: int) -> bool:
+        """Drop ``txn_id`` from the entry's waiter queue; True if present."""
+        remaining = [(w, m) for w, m in entry.waiters if w != txn_id]
+        removed = len(remaining) != len(entry.waiters)
+        entry.waiters[:] = remaining
+        return removed
+
+    @staticmethod
+    def _blocking_set(entry: _LockEntry, txn_id: int, mode: LockMode) -> Set[int]:
+        """Transactions this request must wait for: conflicting holders plus
+        earlier incompatible waiters (FIFO fairness).
+
+        A transaction already holding the entry (an upgrade) only waits on
+        real conflicts, never on queued waiters — those waiters are blocked
+        on the upgrader's current hold, so queueing behind them would
+        deadlock by construction.
+        """
+        blockers = {
             holder
             for holder, held_mode in entry.holders.items()
             if holder != txn_id and not _compatible(held_mode, mode)
         }
+        if txn_id in entry.holders:
+            return blockers
+        for waiter, waiter_mode in entry.waiters:
+            if waiter == txn_id:
+                break
+            if not _compatible(waiter_mode, mode):
+                blockers.add(waiter)
+        return blockers
 
     @staticmethod
     def _merged_mode(entry: _LockEntry, txn_id: int, mode: LockMode) -> LockMode:

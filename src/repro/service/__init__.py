@@ -1,0 +1,20 @@
+"""The concurrent session service layer (PR 3).
+
+``Session`` is the supported public entry point; ``DocumentService`` is the
+embedded executor behind pooled sessions (admission queue, batching windows,
+worker pool, deadlock retry); ``ResultSet``/``ScoredHit`` are the typed query
+results; ``ServiceConfig`` tunes the pool.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.executor import DocumentService
+from repro.service.results import ResultSet, ScoredHit
+from repro.service.session import Session
+
+__all__ = [
+    "DocumentService",
+    "ResultSet",
+    "ScoredHit",
+    "ServiceConfig",
+    "Session",
+]

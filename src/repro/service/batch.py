@@ -1,0 +1,187 @@
+"""Batched IRS query execution: one snapshot, many requests.
+
+The service's throughput win on concurrent IRS traffic comes from here,
+not from thread parallelism (scoring is pure Python): a batching window's
+requests against the same collection are
+
+* **deduplicated** — each distinct ``(model, query)`` pair is scored once
+  per window, however many clients asked for it;
+* **snapshot-shared** — all distinct queries of a group are scored under a
+  single read hold of the collection's lock, against one index epoch and
+  one :class:`~repro.irs.statistics.StatisticsCache` state, so a group is
+  never split across an update;
+* **propagation-amortized** — pending deferred updates are propagated once
+  per group instead of once per request.
+
+Semantic difference from the classic inline path, by design: the pooled
+path does **not** write the COLLECTION object's persistent result buffer
+(Section 4.2).  Under concurrency every buffer write would X-lock the
+collection object and serialize all readers; the engine's in-process
+result LRU plus the per-group snapshot provide the equivalent intra- and
+inter-query reuse.  ``Session(workers=0)`` (the default, inline mode)
+keeps the paper's persistent-buffer semantics exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core import updates
+from repro.core.context import CouplingContext
+from repro.errors import (
+    CouplingError,
+    QueryError,
+    ReproError,
+)
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.oodb.oid import OID
+from repro.service.results import ResultSet
+
+
+def map_query_error(exc: BaseException) -> BaseException:
+    """Route an arbitrary query-path failure into the ReproError hierarchy.
+
+    :class:`ReproError` subclasses pass through untouched; anything else
+    (bare ``KeyError`` / ``ValueError`` / …) is wrapped as
+    :class:`QueryError` with the original attached as ``__cause__`` —
+    callers of the public API never need bare ``except Exception``.
+    """
+    if isinstance(exc, ReproError):
+        return exc
+    wrapped = QueryError(f"query failed: {exc!r}")
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+def map_coupling_error(exc: BaseException) -> BaseException:
+    """Like :func:`map_query_error` but for indexing/maintenance paths."""
+    if isinstance(exc, ReproError):
+        return exc
+    wrapped = CouplingError(f"coupling operation failed: {exc!r}")
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+@dataclass
+class GroupOutcome:
+    """Per-distinct-query results (or failures) of one executed group."""
+
+    epoch: Optional[int] = None
+    #: (model, query) -> ranked {OID: value}
+    values: Dict[Tuple[Optional[str], str], Dict[OID, float]] = field(
+        default_factory=dict
+    )
+    #: (model, query) -> mapped exception for queries that failed
+    errors: Dict[Tuple[Optional[str], str], BaseException] = field(
+        default_factory=dict
+    )
+    #: (model, query) -> the ResultSet built for the first request of that
+    #: key; duplicates share its ranked hits list (built once per group).
+    built: Dict[Tuple[Optional[str], str], ResultSet] = field(default_factory=dict)
+    deduplicated: int = 0
+
+
+def execute_group(
+    db: Database,
+    context: CouplingContext,
+    collection_obj: DBObject,
+    requested: List[Tuple[Optional[str], str]],
+) -> GroupOutcome:
+    """Execute one collection's batched IRS queries against one snapshot.
+
+    ``requested`` lists each request's ``(model_override, irs_query)``;
+    duplicates are welcome — that is the point.  Failures are per query:
+    one malformed expression poisons only its own requests, the rest of
+    the group still gets results.
+    """
+    engine = context.engine
+    registry = obs.metrics()
+    started = time.perf_counter()
+    outcome = GroupOutcome()
+
+    with obs.tracer().span(
+        "service.group", requests=len(requested)
+    ) as span:
+        # One propagation per group, before the read snapshot is taken.
+        if updates.has_pending(collection_obj):
+            updates.propagate(collection_obj, forced=True)
+
+        default_model = collection_obj.get("model")
+        irs_name = collection_obj.get("irs_name")
+        span.set_attribute("collection", irs_name)
+
+        distinct: List[Tuple[Optional[str], str]] = []
+        seen = set()
+        for model, irs_query in requested:
+            key = (model or default_model, irs_query)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(key)
+        outcome.deduplicated = len(requested) - len(distinct)
+        span.set_attribute("distinct", len(distinct))
+
+        # All distinct queries scored under ONE read hold: a single epoch,
+        # a single statistics snapshot, no update in between.
+        with engine.reading(irs_name):
+            collection = engine.collection(irs_name)
+            outcome.epoch = collection.index.epoch
+            for key in distinct:
+                model, irs_query = key
+                try:
+                    result = engine.query(irs_name, irs_query, model=model)
+                    values = result.by_metadata(collection, "oid")
+                    outcome.values[key] = {
+                        OID.parse(oid_str): value for oid_str, value in values.items()
+                    }
+                except BaseException as exc:  # mapped + contained per query
+                    outcome.errors[key] = map_query_error(exc)
+
+    elapsed = time.perf_counter() - started
+    registry.histogram("service.batch.group_seconds").observe(elapsed)
+    registry.histogram("service.batch.group_size").observe(len(requested))
+    registry.counter("service.batch.dedup_saved").inc(outcome.deduplicated)
+    return outcome
+
+
+def result_for(
+    outcome: GroupOutcome,
+    db: Database,
+    collection_obj: DBObject,
+    irs_name: str,
+    model: Optional[str],
+    default_model: Optional[str],
+    irs_query: str,
+) -> ResultSet:
+    """Build one request's :class:`ResultSet` from its group's outcome.
+
+    Ranking and hit construction happen once per distinct query; duplicate
+    requests get their own lightweight :class:`ResultSet` sharing the same
+    ranked hits list.
+    """
+    key = (model or default_model, irs_query)
+    error = outcome.errors.get(key)
+    if error is not None:
+        raise error
+    built = outcome.built.get(key)
+    if built is None:
+        built = ResultSet.from_values(
+            outcome.values[key],
+            db=db,
+            collection=irs_name,
+            query=irs_query,
+            model=key[0],
+            epoch=outcome.epoch,
+        )
+        outcome.built[key] = built
+        return built
+    return ResultSet(
+        built.hits,
+        collection=irs_name,
+        query=irs_query,
+        model=key[0],
+        epoch=outcome.epoch,
+    )

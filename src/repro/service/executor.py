@@ -1,0 +1,409 @@
+"""The embedded multi-client service: admission, batching, workers, retry.
+
+Request lifecycle::
+
+    submit ──> bounded admission queue ──> dispatcher drains a window
+                   │ (Full → ServiceOverloadedError)
+                   v
+          window partitioned: IRS requests grouped per collection,
+          everything else solo
+                   │
+                   v
+          worker pool executes groups (one snapshot per group, distinct
+          queries deduplicated — see repro.service.batch) and solos, each
+          wrapped in retry-with-jittered-backoff on DeadlockError /
+          LockTimeoutError
+                   │
+                   v
+          per-request futures resolve; the dispatcher waits for the
+          window to finish (the cycle barrier) — meanwhile the next
+          window's requests accumulate in the queue, which is what makes
+          cross-request batching effective
+
+Everything is instrumented through :mod:`repro.obs`: ``service.queue.depth``
+gauge, per-stage latency histograms (``service.request.queue_seconds`` /
+``run_seconds`` / ``total_seconds``), ``service.retries`` counters, batch
+shape histograms.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import wait as _wait_futures
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.core.context import coupling_context
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    RequestTimeoutError,
+    RetryExhaustedError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.service import batch as batch_module
+from repro.service.config import ServiceConfig
+from repro.service.results import ResultSet
+
+_UNSET = object()
+
+#: A query_batch item: (collection_obj, irs_query) or (collection_obj,
+#: irs_query, model).
+BatchItem = Union[Tuple[DBObject, str], Tuple[DBObject, str, Optional[str]]]
+
+
+@dataclass
+class _Request:
+    """One admitted unit of work, resolved through its future."""
+
+    kind: str  # "irs" or "call"
+    future: "Future[Any]"
+    enqueued_at: float
+    collection_obj: Optional[DBObject] = None
+    irs_query: str = ""
+    model: Optional[str] = None
+    fn: Optional[Callable[[], Any]] = None
+    error_mapper: Callable[[BaseException], BaseException] = field(
+        default=batch_module.map_query_error
+    )
+    label: str = ""
+
+
+class DocumentService:
+    """Executes coupling requests for many concurrent clients.
+
+    Embedded (in-process, thread-based); one instance per database.  Most
+    callers never touch this class directly — :class:`repro.Session` with
+    ``workers >= 1`` owns one.
+    """
+
+    def __init__(self, db: Database, config: Optional[ServiceConfig] = None) -> None:
+        self.db = db
+        self.config = config or ServiceConfig()
+        self.context = coupling_context(db)
+        self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=self.config.max_queue)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+        self._rng = random.Random(self.config.retry_seed)
+        self._rng_lock = threading.Lock()
+        if self.config.auto_start:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._dispatcher is not None and self._dispatcher.is_alive()
+
+    def start(self) -> None:
+        """Start the worker pool and the dispatcher (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service already closed")
+        if self.running:
+            return
+        self._stop.clear()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-service"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def close(self) -> None:
+        """Stop accepting work, fail queued requests, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+            self._dispatcher = None
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.future.set_exception(
+                ServiceClosedError("service closed before the request ran")
+            )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        obs.metrics().gauge("service.queue.depth").set(0)
+
+    def __enter__(self) -> "DocumentService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_query(
+        self, collection_obj: DBObject, irs_query: str, model: Optional[str] = None
+    ) -> "Future[ResultSet]":
+        """Enqueue one IRS query; resolves to a :class:`ResultSet`."""
+        return self._admit(
+            _Request(
+                kind="irs",
+                future=Future(),
+                enqueued_at=time.perf_counter(),
+                collection_obj=collection_obj,
+                irs_query=irs_query,
+                model=model,
+                label="query",
+            )
+        )
+
+    def submit_call(
+        self,
+        fn: Callable[[], Any],
+        label: str = "call",
+        error_mapper: Callable[[BaseException], BaseException] = batch_module.map_coupling_error,
+    ) -> "Future[Any]":
+        """Enqueue an arbitrary coupling operation (index, mixed query, …)."""
+        return self._admit(
+            _Request(
+                kind="call",
+                future=Future(),
+                enqueued_at=time.perf_counter(),
+                fn=fn,
+                error_mapper=error_mapper,
+                label=label,
+            )
+        )
+
+    def _admit(self, request: _Request) -> "Future[Any]":
+        if self._closed:
+            raise ServiceClosedError("service already closed")
+        registry = obs.metrics()
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            registry.counter("service.requests.rejected").inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.config.max_queue} requests); "
+                "shed load or retry later"
+            ) from None
+        registry.counter("service.requests.submitted").inc()
+        registry.gauge("service.queue.depth").set(self._queue.qsize())
+        return request.future
+
+    # -- synchronous wrappers ----------------------------------------------
+
+    def query(
+        self,
+        collection_obj: DBObject,
+        irs_query: str,
+        model: Optional[str] = None,
+        timeout: Any = _UNSET,
+    ) -> ResultSet:
+        """Submit one IRS query and wait for its result."""
+        return self._await(self.submit_query(collection_obj, irs_query, model), timeout)
+
+    def query_batch(
+        self, items: Sequence[BatchItem], timeout: Any = _UNSET
+    ) -> List[ResultSet]:
+        """Submit many IRS queries at once and wait for all of them.
+
+        Submitting together is what lets the dispatcher put them into one
+        batching window (shared snapshots, deduplicated scoring).
+        """
+        futures = []
+        for item in items:
+            collection_obj, irs_query = item[0], item[1]
+            model = item[2] if len(item) > 2 else None
+            futures.append(self.submit_query(collection_obj, irs_query, model))
+        return [self._await(future, timeout) for future in futures]
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        label: str = "call",
+        error_mapper: Callable[[BaseException], BaseException] = batch_module.map_coupling_error,
+        timeout: Any = _UNSET,
+    ) -> Any:
+        """Submit an arbitrary operation and wait for it."""
+        return self._await(self.submit_call(fn, label, error_mapper), timeout)
+
+    def _await(self, future: "Future[Any]", timeout: Any = _UNSET) -> Any:
+        effective = self.config.request_timeout if timeout is _UNSET else timeout
+        try:
+            return future.result(timeout=effective)
+        except _FutureTimeout:
+            obs.metrics().counter("service.requests.timeouts").inc()
+            raise RequestTimeoutError(
+                f"request did not complete within {effective}s"
+            ) from None
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            window = [first]
+            deadline = time.perf_counter() + self.config.batch_linger
+            while len(window) < self.config.window_size:
+                try:
+                    window.append(self._queue.get_nowait())
+                except queue.Empty:
+                    # Linger briefly: clients released by the previous
+                    # window's barrier are resubmitting right now.
+                    if time.perf_counter() >= deadline or self._stop.is_set():
+                        break
+                    time.sleep(0.0003)
+            obs.metrics().gauge("service.queue.depth").set(self._queue.qsize())
+            self._run_window(window)
+
+    def _run_window(self, window: List[_Request]) -> None:
+        registry = obs.metrics()
+        registry.histogram("service.batch.window_size").observe(len(window))
+        groups: Dict[Any, List[_Request]] = {}
+        solos: List[_Request] = []
+        for request in window:
+            if request.kind == "irs":
+                groups.setdefault(request.collection_obj.oid, []).append(request)
+            else:
+                solos.append(request)
+        registry.histogram("service.batch.groups").observe(len(groups))
+        pool = self._pool
+        if pool is None:  # closed mid-flight
+            for request in window:
+                request.future.set_exception(ServiceClosedError("service closed"))
+            return
+        tasks = [
+            pool.submit(self._run_group, requests) for requests in groups.values()
+        ]
+        tasks.extend(pool.submit(self._run_solo, request) for request in solos)
+        # Cycle barrier: while this window executes, the next one's
+        # requests pile up in the admission queue and batch better.
+        _wait_futures(tasks)
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_group(self, requests: List[_Request]) -> None:
+        collection_obj = requests[0].collection_obj
+        started = time.perf_counter()
+        try:
+            outcome = self._with_retry(
+                lambda: self._execute_group_once(collection_obj, requests),
+                label="group",
+            )
+        except BaseException as exc:
+            mapped = batch_module.map_query_error(exc)
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(mapped)
+            self._observe(requests, started, failed=True)
+            return
+        default_model = collection_obj.get("model")
+        irs_name = collection_obj.get("irs_name")
+        for request in requests:
+            if request.future.done():
+                continue
+            try:
+                request.future.set_result(
+                    batch_module.result_for(
+                        outcome,
+                        self.db,
+                        collection_obj,
+                        irs_name,
+                        request.model,
+                        default_model,
+                        request.irs_query,
+                    )
+                )
+            except BaseException as exc:
+                request.future.set_exception(exc)
+        self._observe(requests, started)
+
+    def _execute_group_once(self, collection_obj: DBObject, requests: List[_Request]):
+        if self.config.transactional_reads:
+            with self.db.begin():
+                return batch_module.execute_group(
+                    self.db,
+                    self.context,
+                    collection_obj,
+                    [(r.model, r.irs_query) for r in requests],
+                )
+        return batch_module.execute_group(
+            self.db,
+            self.context,
+            collection_obj,
+            [(r.model, r.irs_query) for r in requests],
+        )
+
+    def _run_solo(self, request: _Request) -> None:
+        started = time.perf_counter()
+        try:
+            result = self._with_retry(request.fn, label=request.label)
+        except BaseException as exc:
+            if not request.future.done():
+                request.future.set_exception(request.error_mapper(exc))
+            self._observe([request], started, failed=True)
+            return
+        if not request.future.done():
+            request.future.set_result(result)
+        self._observe([request], started)
+
+    def _with_retry(self, fn: Callable[[], Any], label: str) -> Any:
+        """Run ``fn``, retrying deadlock/lock-timeout victims with backoff."""
+        registry = obs.metrics()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self.config.failure_injector is not None:
+                    self.config.failure_injector(label, attempt)
+                return fn()
+            except (DeadlockError, LockTimeoutError) as exc:
+                if attempt > self.config.max_retries:
+                    registry.counter("service.retries.exhausted").inc()
+                    raise RetryExhaustedError(
+                        f"{label} still aborting after {attempt} attempts"
+                    ) from exc
+                registry.counter("service.retries").inc()
+                registry.counter(f"service.retries.{label}").inc()
+                with self._rng_lock:
+                    jitter = 0.5 + self._rng.random()
+                delay = (
+                    min(
+                        self.config.backoff_cap,
+                        self.config.backoff_base * (2 ** (attempt - 1)),
+                    )
+                    * jitter
+                )
+                time.sleep(delay)
+
+    def _observe(
+        self, requests: List[_Request], started: float, failed: bool = False
+    ) -> None:
+        registry = obs.metrics()
+        now = time.perf_counter()
+        run_seconds = now - started
+        for request in requests:
+            registry.histogram("service.request.queue_seconds").observe(
+                started - request.enqueued_at
+            )
+            registry.histogram("service.request.run_seconds").observe(run_seconds)
+            registry.histogram("service.request.total_seconds").observe(
+                now - request.enqueued_at
+            )
+            registry.counter(
+                "service.requests.failed" if failed else "service.requests.completed"
+            ).inc()

@@ -1,0 +1,164 @@
+"""Typed query results: :class:`ScoredHit` rows inside a :class:`ResultSet`.
+
+The pre-Session API returned raw ``Dict[OID, float]`` mappings; callers
+re-sorted them by hand and lost the context (collection, query, model, the
+index epoch the scores were computed at).  :class:`ResultSet` keeps all of
+that, ranks once, and still round-trips to the old shape via
+:meth:`ResultSet.to_dict` for back-compatibility.
+
+The ``epoch`` field is the inverted-index epoch the scores were computed
+under (one snapshot — the whole set was scored at a single epoch).  The
+concurrency tests replay workloads serially per epoch and assert every
+concurrent :class:`ResultSet` equals the serial result at *its* epoch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.oodb.oid import OID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.database import Database
+    from repro.oodb.objects import DBObject
+
+
+class ScoredHit:
+    """One ranked row: an object, its IRS value, and (lazily) its handle.
+
+    ``element`` resolves against the database on access, not at result
+    construction — a batch of hundreds of hits costs nothing until a caller
+    actually dereferences a row (and a hit whose object has died since
+    scoring resolves to None instead of erroring).
+    """
+
+    __slots__ = ("oid", "score", "_db")
+
+    def __init__(self, oid: OID, score: float, db: Optional["Database"] = None) -> None:
+        self.oid = oid
+        self.score = score
+        self._db = db
+
+    @property
+    def element(self) -> Optional["DBObject"]:
+        db = self._db
+        if db is not None and db.object_exists(self.oid):
+            return db.get_object(self.oid)
+        return None
+
+    def __iter__(self):
+        # Tuple-style unpacking: ``for oid, score, element in result_set``.
+        yield self.oid
+        yield self.score
+        yield self.element
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ScoredHit):
+            return (self.oid, self.score) == (other.oid, other.score)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.score))
+
+    def __repr__(self) -> str:
+        return f"ScoredHit({self.oid}, {self.score:.4f})"
+
+
+class ResultSet:
+    """Ranked hits of one IRS (or mixed) query, best first.
+
+    Ordering is deterministic: descending score, ascending OID as the
+    tiebreaker — the same rule the engine's ``IRSResult.ranked`` uses.
+    """
+
+    __slots__ = ("hits", "collection", "query", "model", "epoch")
+
+    def __init__(
+        self,
+        hits: List[ScoredHit],
+        collection: str = "",
+        query: str = "",
+        model: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        self.hits = hits
+        self.collection = collection
+        self.query = query
+        self.model = model
+        self.epoch = epoch
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Dict[OID, float],
+        db: Optional["Database"] = None,
+        collection: str = "",
+        query: str = "",
+        model: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> "ResultSet":
+        """Rank a raw ``{OID: value}`` mapping into a result set.
+
+        When ``db`` is given, each hit lazily resolves a live object handle
+        through :attr:`ScoredHit.element`.
+        """
+        hits = [
+            ScoredHit(oid, score, db)
+            for oid, score in sorted(values.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+        return cls(hits, collection=collection, query=query, model=model, epoch=epoch)
+
+    # -- sequence protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self) -> Iterator[ScoredHit]:
+        return iter(self.hits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(
+                self.hits[index],
+                collection=self.collection,
+                query=self.query,
+                model=self.model,
+                epoch=self.epoch,
+            )
+        return self.hits[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.hits)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultSet):
+            return [(h.oid, h.score) for h in self.hits] == [
+                (h.oid, h.score) for h in other.hits
+            ]
+        return NotImplemented
+
+    # -- accessors ----------------------------------------------------------
+
+    def top(self, n: int) -> "ResultSet":
+        """The best ``n`` hits as a new result set."""
+        return self[: max(0, n)]
+
+    def oids(self) -> List[OID]:
+        """Hit OIDs in rank order."""
+        return [hit.oid for hit in self.hits]
+
+    def scores(self) -> List[float]:
+        """Scores in rank order."""
+        return [hit.score for hit in self.hits]
+
+    def to_dict(self) -> Dict[OID, float]:
+        """The old API's shape: an unordered ``{OID: value}`` mapping."""
+        return {hit.oid: hit.score for hit in self.hits}
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"{h.oid}={h.score:.3f}" for h in self.hits[:3])
+        more = f", …+{len(self.hits) - 3}" if len(self.hits) > 3 else ""
+        return (
+            f"<ResultSet {self.collection!r} query={self.query!r} "
+            f"epoch={self.epoch} [{head}{more}]>"
+        )

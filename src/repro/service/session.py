@@ -1,0 +1,245 @@
+"""``repro.Session`` — the supported entry point of the coupling API.
+
+A session binds a database (usually through a :class:`repro.DocumentSystem`)
+to a query surface that returns typed :class:`~repro.service.results.ResultSet`
+objects and routes every failure through the :class:`~repro.errors.ReproError`
+hierarchy.
+
+Two execution modes, chosen at construction:
+
+``workers=0`` (**inline**, the default)
+    Calls run on the caller's thread with the classic coupling semantics of
+    the paper — including persistent result-buffer writes on the COLLECTION
+    object (Section 4.2).  No service threads exist.
+
+``workers>=1`` (**pooled**)
+    Calls are admitted to an embedded
+    :class:`~repro.service.executor.DocumentService`: bounded queue,
+    cross-request batching with shared snapshots, automatic deadlock retry,
+    per-request timeouts.  Built for many concurrent client threads sharing
+    one session.  The pooled IRS path relies on the engine's result LRU
+    instead of the persistent buffer (see :mod:`repro.service.batch`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core import collection as collection_module
+from repro.core import updates
+from repro.core.context import CouplingContext, coupling_context
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject
+from repro.service import batch as batch_module
+from repro.service.config import ServiceConfig
+from repro.service.executor import BatchItem, DocumentService, _UNSET
+from repro.service.results import ResultSet
+from repro.errors import ReproError
+
+
+@contextmanager
+def _mapped_errors(mapper: Callable[[BaseException], BaseException]):
+    """Route non-Repro failures through ``mapper`` (ReproErrors pass through)."""
+    try:
+        yield
+    except ReproError:
+        raise
+    except BaseException as exc:
+        raise mapper(exc) from exc
+
+
+class Session:
+    """A client's handle onto the coupled document system.
+
+    Construct from a :class:`repro.DocumentSystem` (which owns a default
+    inline session as ``system.session``) or directly from a
+    :class:`~repro.oodb.database.Database` that has the coupling installed.
+    """
+
+    def __init__(
+        self,
+        source: Union[Database, Any],
+        workers: int = 0,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.db: Database = source if isinstance(source, Database) else source.db
+        self.context: CouplingContext = coupling_context(self.db)
+        if config is None and workers > 0:
+            config = ServiceConfig(workers=workers)
+        self._service: Optional[DocumentService] = (
+            DocumentService(self.db, config) if config is not None else None
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pooled(self) -> bool:
+        """True when this session executes through a worker pool."""
+        return self._service is not None
+
+    @property
+    def service(self) -> Optional[DocumentService]:
+        """The embedded service (None for inline sessions)."""
+        return self._service
+
+    # -- collection management ---------------------------------------------
+
+    def create_collection(
+        self, name: str, spec_query: str = "", **options: Any
+    ) -> DBObject:
+        """Create a COLLECTION object and its encapsulated IRS collection."""
+        with _mapped_errors(batch_module.map_coupling_error):
+            return collection_module._create_collection(
+                self.db, name, spec_query, **options
+            )
+
+    def index(self, collection_obj: DBObject, **options: Any) -> bool:
+        """Run ``indexObjects``: (re)populate the IRS collection."""
+        if self._service is not None:
+            return self._service.call(
+                lambda: collection_module.index_objects(collection_obj, **options),
+                label="index",
+            )
+        with _mapped_errors(batch_module.map_coupling_error):
+            return collection_module.index_objects(collection_obj, **options)
+
+    def propagate(self, collection_obj: DBObject) -> int:
+        """Apply pending deferred updates now."""
+        if self._service is not None:
+            return self._service.call(
+                lambda: updates.propagate(collection_obj), label="propagate"
+            )
+        with _mapped_errors(batch_module.map_coupling_error):
+            return updates.propagate(collection_obj)
+
+    # -- querying -----------------------------------------------------------
+
+    def query(
+        self,
+        collection_obj: DBObject,
+        irs_query: str,
+        model: Optional[str] = None,
+        timeout: Any = _UNSET,
+    ) -> ResultSet:
+        """``getIRSResult`` as a typed result: ranked hits, best first."""
+        if self._service is not None:
+            return self._service.query(collection_obj, irs_query, model, timeout)
+        return self._query_inline(collection_obj, irs_query, model)
+
+    def query_batch(
+        self, items: Sequence[BatchItem], timeout: Any = _UNSET
+    ) -> List[ResultSet]:
+        """Run many IRS queries; one :class:`ResultSet` per item, in order.
+
+        Items are ``(collection_obj, irs_query)`` or
+        ``(collection_obj, irs_query, model)`` tuples.  Pooled sessions
+        execute the batch through one batching window (shared snapshots,
+        deduplicated scoring); inline sessions run the items sequentially.
+        """
+        if self._service is not None:
+            return self._service.query_batch(items, timeout)
+        results = []
+        for item in items:
+            collection_obj, irs_query = item[0], item[1]
+            model = item[2] if len(item) > 2 else None
+            results.append(self._query_inline(collection_obj, irs_query, model))
+        return results
+
+    def _query_inline(
+        self, collection_obj: DBObject, irs_query: str, model: Optional[str]
+    ) -> ResultSet:
+        default_model = collection_obj.get("model")
+        irs_name = collection_obj.get("irs_name")
+        with _mapped_errors(batch_module.map_query_error):
+            if model is None or model == default_model:
+                # The classic path: persistent buffer, default model.
+                values = collection_module._get_irs_result(collection_obj, irs_query)
+            else:
+                # Model override: score directly (the persistent buffer is
+                # keyed per model but the classic path only serves the
+                # collection default; overrides bypass it).
+                engine = self.context.engine
+                if updates.has_pending(collection_obj):
+                    updates.propagate(collection_obj, forced=True)
+                from repro.oodb.oid import OID
+
+                with engine.reading(irs_name):
+                    result = engine.query(irs_name, irs_query, model=model)
+                    raw = result.by_metadata(engine.collection(irs_name), "oid")
+                values = {OID.parse(oid_str): value for oid_str, value in raw.items()}
+            epoch = self.context.engine.collection(irs_name).index.epoch
+        return ResultSet.from_values(
+            values,
+            db=self.db,
+            collection=irs_name,
+            query=irs_query,
+            model=model or default_model,
+            epoch=epoch,
+        )
+
+    def find_value(
+        self, collection_obj: DBObject, irs_query: str, obj: DBObject
+    ) -> float:
+        """``findIRSValue``: the IRS value of one object (derived if needed)."""
+        if self._service is not None:
+            return self._service.call(
+                lambda: collection_module._find_irs_value(
+                    collection_obj, irs_query, obj
+                ),
+                label="find_value",
+                error_mapper=batch_module.map_query_error,
+            )
+        with _mapped_errors(batch_module.map_query_error):
+            return collection_module._find_irs_value(collection_obj, irs_query, obj)
+
+    def execute(
+        self,
+        text: str,
+        bindings: Optional[Dict[str, Any]] = None,
+        timeout: Any = _UNSET,
+    ) -> List[tuple]:
+        """Run a mixed OODBMS query (content predicates via ``getIRSValue``)."""
+        if self._service is not None:
+            return self._service.call(
+                lambda: self.db.query(text, bindings),
+                label="mixed",
+                error_mapper=batch_module.map_query_error,
+                timeout=timeout,
+            )
+        with _mapped_errors(batch_module.map_query_error):
+            return self.db.query(text, bindings)
+
+    def explain(self, text: str, bindings: Optional[Dict[str, Any]] = None):
+        """Execute a mixed query under the tracer; returns an ExplainResult.
+
+        Always runs inline — the explain tree belongs to the calling thread.
+        """
+        from repro.obs import explain as obs_explain
+
+        with _mapped_errors(batch_module.map_query_error):
+            return obs_explain(self.db, text, bindings)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the worker pool (inline sessions: no-op).
+
+        The database stays open — it belongs to the system, not the session.
+        """
+        if self._service is not None:
+            self._service.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = (
+            f"pooled workers={self._service.config.workers}"
+            if self._service is not None
+            else "inline"
+        )
+        return f"<Session {mode} db={self.db!r}>"

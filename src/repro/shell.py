@@ -32,7 +32,7 @@ from __future__ import annotations
 import sys
 from typing import Any, Dict, List, Optional, TextIO
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.core.system import DocumentSystem
 from repro.errors import ReproError
 from repro.oodb.objects import DBObject
@@ -149,7 +149,7 @@ class Shell:
             self._print("usage: .collection <name> <spec query>")
             return
         name, spec = args[0], args[1] if len(args) == 2 else f"{args[1]} {args[2]}"
-        collection = create_collection(self.system.db, name, spec)
+        collection = _create_collection(self.system.db, name, spec)
         index_objects(collection)
         self._bindings[name] = collection
         self._print(
@@ -191,7 +191,7 @@ class Shell:
         if not isinstance(collection, DBObject):
             self._print(f"no collection bound as {name!r}; use .collection first")
             return
-        values = get_irs_result(collection, irs_query)
+        values = _get_irs_result(collection, irs_query)
         rows = [
             [self._render(self.system.db.get_object(oid)), f"{value:.4f}"]
             for oid, value in sorted(values.items(), key=lambda kv: -kv[1])

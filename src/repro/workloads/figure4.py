@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.sgml.document import Element
 from repro.sgml.mmf import build_document
 
@@ -121,7 +121,7 @@ def load_figure4(system) -> Dict[str, object]:
             if child.get("tag") == "PARA":
                 paragraphs[f"P{counter}"] = child
                 counter += 1
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
     )
     index_objects(collection)

@@ -1,0 +1,44 @@
+"""Fixtures for the service-layer suite.
+
+Everything here goes through the supported :class:`repro.Session` surface —
+this suite runs under ``PYTHONWARNINGS=error::DeprecationWarning`` in CI, so
+no fixture may touch the deprecated free functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DocumentSystem
+from repro.sgml.mmf import build_document, mmf_dtd
+
+TEXTS = [
+    ["Telnet is a protocol for remote login", "Telnet enables remote sessions"],
+    ["The WWW connects documents worldwide", "The NII supports the WWW expansion"],
+    ["The NII is the national information infrastructure", "Funding for NII research grows"],
+    ["Gopher predates the WWW as a menu system", "Archie searches FTP archives"],
+]
+
+
+@pytest.fixture
+def system():
+    """A DocumentSystem with four MMF documents loaded."""
+    sys_ = DocumentSystem()
+    dtd = mmf_dtd()
+    sys_.register_dtd(dtd)
+    sys_.roots = [
+        sys_.add_document(build_document(f"Doc{i}", texts, year="1994"), dtd=dtd)
+        for i, texts in enumerate(TEXTS)
+    ]
+    yield sys_
+    sys_.close()
+
+
+@pytest.fixture
+def collection(system):
+    """A populated paragraph collection (deferred updates)."""
+    coll = system.session.create_collection(
+        "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
+    )
+    system.session.index(coll)
+    return coll

@@ -1,0 +1,41 @@
+"""The deprecated free-function shims: still working, now warning."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.collection import create_collection, find_irs_value, get_irs_result
+
+
+class TestDeprecatedShims:
+    def test_create_collection_warns_and_works(self, system):
+        with pytest.warns(DeprecationWarning, match="Session.create_collection"):
+            coll = create_collection(system.db, "legacy", "ACCESS p FROM p IN PARA")
+        assert coll.get("irs_name") == "legacy"
+
+    def test_get_irs_result_warns_and_matches_session(self, system, collection):
+        expected = system.session.query(collection, "telnet").to_dict()
+        with pytest.warns(DeprecationWarning, match="Session.query"):
+            values = get_irs_result(collection, "telnet")
+        assert values == expected
+
+    def test_find_irs_value_warns_and_matches_session(self, system, collection):
+        rs = system.session.query(collection, "telnet")
+        hit = rs[0]
+        with pytest.warns(DeprecationWarning, match="Session.find_value"):
+            value = find_irs_value(collection, "telnet", hit.element)
+        assert value == pytest.approx(hit.score)
+
+    def test_session_surface_is_warning_free(self, system, collection):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            coll2 = system.session.create_collection(
+                "clean", "ACCESS p FROM p IN PARA"
+            )
+            system.session.index(coll2)
+            system.session.query(coll2, "telnet")
+            system.session.query_batch([(coll2, "www"), (coll2, "nii")])
+            system.search(coll2, "telnet")
+            system.irs_query(coll2, "telnet")

@@ -1,0 +1,88 @@
+"""Snapshot of the supported public surface.
+
+If one of these assertions fails, the public API changed: that is either a
+deliberate, documented decision (update the snapshot AND ``docs/api.md``),
+or a regression this test just caught.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+from repro.service.session import Session
+
+EXPECTED_ALL = [
+    "DocumentSystem",
+    "ReproError",
+    "ResultSet",
+    "ScoredHit",
+    "ServiceConfig",
+    "Session",
+    "__version__",
+]
+
+SESSION_SIGNATURES = {
+    "__init__": "(self, source, workers=0, config=None)",
+    "create_collection": "(self, name, spec_query='', **options)",
+    "index": "(self, collection_obj, **options)",
+    "propagate": "(self, collection_obj)",
+    "query": "(self, collection_obj, irs_query, model=None, timeout=<unset>)",
+    "query_batch": "(self, items, timeout=<unset>)",
+    "find_value": "(self, collection_obj, irs_query, obj)",
+    "execute": "(self, text, bindings=None, timeout=<unset>)",
+    "explain": "(self, text, bindings=None)",
+    "close": "(self)",
+}
+
+RESULT_SET_METHODS = {"from_values", "top", "oids", "scores", "to_dict"}
+
+
+def _signature(fn) -> str:
+    parts = []
+    for name, parameter in inspect.signature(fn).parameters.items():
+        if parameter.default is inspect.Parameter.empty:
+            parts.append(name if parameter.kind != inspect.Parameter.VAR_KEYWORD else f"**{name}")
+        elif type(parameter.default).__name__ == "object":
+            parts.append(f"{name}=<unset>")
+        else:
+            parts.append(f"{name}={parameter.default!r}")
+    return f"({', '.join(parts)})"
+
+
+class TestPublicSurface:
+    def test_repro_all_snapshot(self):
+        assert sorted(repro.__all__) == sorted(EXPECTED_ALL)
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name!r}"
+
+    def test_session_is_the_exported_class(self):
+        assert repro.Session is Session
+
+    def test_session_method_signatures(self):
+        for method, expected in SESSION_SIGNATURES.items():
+            actual = _signature(getattr(Session, method))
+            assert actual == expected, (
+                f"Session.{method} signature drifted: {actual} != {expected}"
+            )
+
+    def test_session_has_no_unexpected_public_methods(self):
+        public = {
+            name
+            for name, member in vars(Session).items()
+            if not name.startswith("_") and callable(member)
+        }
+        assert public == set(SESSION_SIGNATURES) - {"__init__"}
+
+    def test_result_set_surface(self):
+        from repro import ResultSet, ScoredHit
+
+        assert RESULT_SET_METHODS <= {
+            name for name in vars(ResultSet) if not name.startswith("_")
+        }
+        hit = ScoredHit.__new__(ScoredHit)
+        assert hasattr(type(hit), "element")
+        assert set(ScoredHit.__slots__) >= {"oid", "score"}
+
+    def test_version(self):
+        assert repro.__version__ == "1.1.0"
