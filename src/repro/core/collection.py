@@ -224,11 +224,12 @@ def index_objects(
 
             # Phase 2 — engine mutations under the collection write lock so
             # concurrent queries see the rebuild atomically.  No database
-            # access happens in here.
+            # access happens in here; epoch bumps coalesce into one so the
+            # rebuild invalidates epoch-keyed caches once, not per document.
             spool_lines = []
             doc_map: Dict[str, list] = {}
             indexed = 0
-            with engine.mutating(irs_name):
+            with engine.bulk_mutating(irs_name):
                 for doc_ids in old_map.values():
                     for doc_id in doc_ids:
                         engine.remove_document(irs_name, doc_id)

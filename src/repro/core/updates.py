@@ -190,9 +190,11 @@ def _apply(operations: List[list], collection_obj: DBObject) -> None:
         text = obj.send("getText", text_mode) if obj.responds_to("getText") else text_for(obj, text_mode)
         planned.append((op, oid_str, segment_text(text, segment_words)))
 
-    # Phase 2 — engine mutations only, atomic for concurrent readers.
+    # Phase 2 — engine mutations only, atomic for concurrent readers.  The
+    # bulk context coalesces the whole window's epoch bumps into one, so a
+    # batch of N pending updates evicts epoch-keyed caches once, not N times.
     indexed = 0
-    with engine.mutating(irs_name):
+    with engine.bulk_mutating(irs_name):
         for op, oid_str, pieces in planned:
             if op == DELETE:
                 for doc_id in doc_map.pop(oid_str, []):

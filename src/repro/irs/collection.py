@@ -7,17 +7,37 @@ the IRS result to objects ... can be implemented efficiently by storing the
 according object identifier (OID) with each IRS document.  This is possible
 as most IRSs allow to administer some meta data with each IRS document"
 (Section 4.3).
+
+Two index representations exist behind the same ``self.index`` attribute:
+
+* monolithic — one :class:`InvertedIndex` (the default for directly
+  constructed collections, and the benchmark baseline);
+* segmented — a :class:`~repro.irs.segments.manager.SegmentManager` behind
+  a :class:`~repro.irs.segments.view.MergedIndexView` (what the engine
+  creates by default; see DESIGN.md §"Segmented indexing").
+
+Scoring code never needs to know which one it got: the view mirrors the
+index interface exactly, and :attr:`stats` hands back the matching
+statistics cache implementation.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.errors import DocumentMissingError
 from repro.irs.analysis import Analyzer
 from repro.irs.inverted_index import InvertedIndex
+from repro.irs.segments import (
+    MergedIndexView,
+    SealedSegment,
+    SegmentConfig,
+    SegmentedStatistics,
+    SegmentManager,
+)
 from repro.irs.statistics import StatisticsCache
 
 
@@ -33,10 +53,22 @@ class IRSDocument:
 class IRSCollection:
     """A named set of IRS documents with an inverted index over them."""
 
-    def __init__(self, name: str, analyzer: Optional[Analyzer] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        analyzer: Optional[Analyzer] = None,
+        segment_config: Optional[SegmentConfig] = None,
+    ) -> None:
         self.name = name
         self.analyzer = analyzer or Analyzer()
-        self.index = InvertedIndex()
+        self.segments: Optional[SegmentManager]
+        self.index: Union[InvertedIndex, MergedIndexView]
+        if segment_config is not None and segment_config.enabled:
+            self.segments = SegmentManager(name, segment_config)
+            self.index = MergedIndexView(self.segments)
+        else:
+            self.segments = None
+            self.index = InvertedIndex()
         self._documents: Dict[int, IRSDocument] = {}
         self._next_doc_id = 1
         self._stats: Optional[StatisticsCache] = None
@@ -54,9 +86,40 @@ class IRSCollection:
         with self._stats_lock:
             cache = self._stats
             if cache is None or cache.index is not self.index:
-                cache = StatisticsCache(self.index)
+                if self.segments is not None:
+                    cache = SegmentedStatistics(self.index, self.segments)
+                else:
+                    cache = StatisticsCache(self.index)
                 self._stats = cache
             return cache
+
+    @property
+    def segment_count(self) -> int:
+        """Number of live index segments (1 for a monolithic collection)."""
+        if self.segments is not None:
+            return self.segments.segment_count
+        return 1
+
+    @contextmanager
+    def batched_epoch(self) -> Iterator[None]:
+        """Coalesce the epoch bumps of a write batch into one (see engine)."""
+        if self.segments is not None:
+            with self.segments.batched_epoch():
+                yield
+        else:
+            with self.index.batched_epoch():
+                yield
+
+    def compact(self) -> bool:
+        """Fold all segments into one, purging tombstones (write lock held).
+
+        No-op (False) on monolithic collections and when there is nothing
+        to fold.  Content-preserving: the epoch does not move, so caches
+        keyed on it stay warm.
+        """
+        if self.segments is None:
+            return False
+        return self.segments.compact()
 
     # -- document management ---------------------------------------------------
 
@@ -142,8 +205,14 @@ class IRSCollection:
     # -- persistence ---------------------------------------------------------------
 
     def to_payload(self) -> dict:
-        """JSON-encodable dump (documents + index + analyzer config)."""
-        return {
+        """JSON-encodable dump (documents + index + analyzer config).
+
+        Monolithic collections keep the original ``"index"`` format;
+        segmented ones dump per-segment payloads under ``"segments"``
+        (physical postings plus the tombstone list, replayed on load), the
+        memtable last.
+        """
+        payload = {
             "name": self.name,
             "next_doc_id": self._next_doc_id,
             "analyzer": self.analyzer.config(),
@@ -151,17 +220,58 @@ class IRSCollection:
                 {"doc_id": d.doc_id, "text": d.text, "metadata": d.metadata}
                 for d in self.documents()
             ],
-            "index": self.index.to_payload(),
         }
+        if self.segments is None:
+            payload["index"] = self.index.to_payload()
+        else:
+            entries = [s.to_payload() for s in self.segments.sealed_segments()]
+            memtable = self.segments.memtable
+            if memtable.document_count:
+                entries.append(
+                    {"index": memtable.index.to_payload(), "tombstones": []}
+                )
+            payload["segments"] = entries
+        return payload
 
     @classmethod
-    def from_payload(cls, payload: dict, analyzer: Optional[Analyzer] = None) -> "IRSCollection":
-        """Rebuild a collection dumped by :meth:`to_payload`."""
-        collection = cls(payload["name"], analyzer)
+    def from_payload(
+        cls,
+        payload: dict,
+        analyzer: Optional[Analyzer] = None,
+        segment_config: Optional[SegmentConfig] = None,
+    ) -> "IRSCollection":
+        """Rebuild a collection dumped by :meth:`to_payload`.
+
+        Either payload format loads into either representation:
+        ``segment_config`` (or a ``"segments"`` payload) selects segmented;
+        a legacy ``"index"`` payload under a segmented target becomes one
+        sealed segment.
+        """
+        if segment_config is None and "segments" in payload:
+            segment_config = SegmentConfig()
+        collection = cls(payload["name"], analyzer, segment_config=segment_config)
         collection._next_doc_id = payload["next_doc_id"]
         for entry in payload["documents"]:
             collection._documents[entry["doc_id"]] = IRSDocument(
                 entry["doc_id"], entry["text"], dict(entry["metadata"])
             )
-        collection.index = InvertedIndex.from_payload(payload["index"])
+        if collection.segments is not None:
+            entries = payload.get("segments")
+            if entries is None:
+                entries = [{"index": payload["index"], "tombstones": []}]
+            for entry in entries:
+                collection.segments.load_sealed(entry)
+        elif "segments" in payload:
+            # Segmented dump into a monolithic target: fold the segments
+            # (minus their tombstoned documents) into one index.
+            segments = [
+                SealedSegment.from_payload(position, entry)
+                for position, entry in enumerate(payload["segments"])
+            ]
+            merged = SealedSegment.merged(
+                0, segments, [segment.tombstones for segment in segments]
+            )
+            collection.index = merged.index
+        else:
+            collection.index = InvertedIndex.from_payload(payload["index"])
         return collection

@@ -36,6 +36,7 @@ from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
 from repro.irs.models import MODELS, RetrievalModel
 from repro.irs.queries import parse_irs_query
+from repro.irs.segments import MergeScheduler, SegmentConfig
 from repro.sync import ReadWriteLock
 
 logger = logging.getLogger(__name__)
@@ -158,6 +159,7 @@ class IRSEngine:
         default_model: str = "inquery",
         analyzer: Optional[Analyzer] = None,
         result_cache_size: int = 128,
+        segment_config: Optional[SegmentConfig] = None,
     ) -> None:
         if default_model not in MODELS:
             raise UnknownModelError(
@@ -166,6 +168,10 @@ class IRSEngine:
         self._collections: Dict[str, IRSCollection] = {}
         self._default_model = default_model
         self._analyzer = analyzer
+        #: Engine-created collections are segmented by default; pass
+        #: ``SegmentConfig(enabled=False)`` for monolithic (baseline) mode.
+        self.segment_config = segment_config or SegmentConfig()
+        self._merge_scheduler: Optional[MergeScheduler] = None
         self.counters = EngineCounters()
         self.cache_stats = ResultCacheStats()
         #: Guards the collection registry and the per-collection lock table.
@@ -215,6 +221,29 @@ class IRSEngine:
         with self.rwlock(name).writing():
             yield
 
+    @contextmanager
+    def bulk_mutating(self, name: str) -> Iterator[None]:
+        """Write lock plus epoch batching for a grouped mutation window.
+
+        Every add/remove inside the context defers its epoch bump; the
+        epoch advances once on exit if anything mutated, so a propagation
+        window of N pending updates evicts epoch-keyed caches (statistics,
+        result LRU, proximity, ResultSets) once instead of N times.  The
+        coalesced bump is attributed to ``irs.index.epoch_bumps`` here
+        because the per-operation engine methods observe a zero delta
+        inside the batch.
+        """
+        collection = self.collection(name)
+        with self.rwlock(name).writing():
+            epoch_before = collection.index.epoch
+            try:
+                with collection.batched_epoch():
+                    yield
+            finally:
+                delta = collection.index.epoch - epoch_before
+                if delta:
+                    obs.metrics().counter("irs.index.epoch_bumps").inc(delta)
+
     # -- collection management ----------------------------------------------
 
     def create_collection(self, name: str, analyzer: Optional[Analyzer] = None) -> IRSCollection:
@@ -222,7 +251,9 @@ class IRSEngine:
         with self._registry_lock:
             if name in self._collections:
                 raise DuplicateCollectionError(f"IRS collection {name!r} already exists")
-            collection = IRSCollection(name, analyzer or self._analyzer)
+            collection = IRSCollection(
+                name, analyzer or self._analyzer, segment_config=self.segment_config
+            )
             self._collections[name] = collection
             return collection
 
@@ -324,14 +355,22 @@ class IRSEngine:
             query=obs.trim(irs_query),
         ) as span:
             with self.reading(collection_name):
+                # Captured under the read lock: the segment/epoch state the
+                # scores were computed against, so a slow entry or .explain
+                # can attribute a stall to a rebuild or a wide segment stack.
+                epoch = collection.index.epoch
+                segment_count = collection.segment_count
                 values = self._query_values(
                     collection, collection_name, model_name, model_impl, irs_query, span
                 )
             span.set_attribute("results", len(values))
+            span.set_attribute("epoch", epoch)
+            span.set_attribute("segments", segment_count)
         elapsed = time.perf_counter() - started
         registry.histogram("irs.query.seconds." + model_name).observe(elapsed)
         if obs.slow_log().record(
-            "irs", irs_query, elapsed, collection=collection_name, model=model_name
+            "irs", irs_query, elapsed, collection=collection_name, model=model_name,
+            segments=segment_count, epoch=epoch,
         ):
             registry.counter("irs.query.slow").inc()
         return IRSResult(collection_name, irs_query, model_name, values)
@@ -384,6 +423,42 @@ class IRSEngine:
                     self.cache_stats.evictions += 1
                     registry.counter("irs.result_cache.evictions").inc()
         return values
+
+    # -- segment maintenance ---------------------------------------------------
+
+    def compact_collection(self, name: str) -> bool:
+        """Fold all of ``name``'s segments into one, purging tombstones.
+
+        Runs under the collection write lock; content-preserving, so the
+        epoch (and every cache keyed on it) is untouched.  Returns True
+        when a merge happened (False for monolithic collections or a
+        single clean segment).
+        """
+        collection = self.collection(name)
+        with self.mutating(name):
+            return collection.compact()
+
+    def start_merge_scheduler(self, interval: Optional[float] = None) -> MergeScheduler:
+        """Start (or return) the background size-tiered merge scheduler."""
+        scheduler = self._merge_scheduler
+        if scheduler is None:
+            scheduler = MergeScheduler(self, interval)
+            self._merge_scheduler = scheduler
+        scheduler.start()
+        return scheduler
+
+    def stop_merge_scheduler(self) -> None:
+        """Stop the background merge scheduler if it is running."""
+        if self._merge_scheduler is not None:
+            self._merge_scheduler.stop()
+
+    def segment_info(self) -> Dict[str, Dict[str, object]]:
+        """Per-collection segment snapshots (empty for monolithic ones)."""
+        return {
+            name: collection.segments.info()
+            for name, collection in sorted(self._collections.items())
+            if collection.segments is not None
+        }
 
     def statistics_cache_info(self) -> Dict[str, Dict[str, int]]:
         """Per-collection :meth:`StatisticsCache.cache_info` snapshots."""

@@ -4,6 +4,12 @@ Section 1.1: the internal representations "are stored in a file system".
 One JSON file per collection under the engine directory; a manifest lists
 the collections.  :func:`save_engine` / :func:`load_engine` round-trip a
 whole :class:`~repro.irs.engine.IRSEngine`.
+
+Two collection payload formats exist (see ``IRSCollection.to_payload``):
+the legacy monolithic ``"index"`` dump and the per-segment ``"segments"``
+dump of the log-structured subsystem.  ``load_engine`` reads both; a
+legacy payload loading into a segmented engine becomes a collection with
+one sealed segment.
 """
 
 from __future__ import annotations
@@ -50,7 +56,9 @@ def load_engine(
         path = os.path.join(directory, _collection_file(name))
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
-        collection = IRSCollection.from_payload(payload, analyzer)
+        collection = IRSCollection.from_payload(
+            payload, analyzer, segment_config=engine.segment_config
+        )
         engine._collections[name] = collection
     return engine
 

@@ -1,0 +1,331 @@
+"""SegmentManager: lifecycle of a collection's segment stack.
+
+One manager per segmented collection owns:
+
+* the mutable :class:`~repro.irs.segments.segment.MemtableSegment` plus the
+  ordered list of immutable :class:`SealedSegment`\\ s;
+* a *locator* (doc id -> owning segment) so point lookups and tombstoning
+  never scan segments;
+* shared live-document bookkeeping (``_doc_lengths``, running token count)
+  that the :class:`~repro.irs.segments.view.MergedIndexView` serves as
+  O(1) global statistics;
+* two version counters with distinct invalidation semantics:
+
+  - :attr:`epoch` — bumped by every *content* change (add/remove).  This is
+    the counter PR 1's StatisticsCache, the engine result LRU and PR 3's
+    epoch-tagged ResultSets key on, exactly as the monolithic
+    ``InvertedIndex.epoch`` was.
+  - :attr:`structure` — bumped by content-*preserving* reorganizations
+    (sealing the memtable, committing a merge).  Scores are unchanged
+    across a structure bump, so caches keyed on the epoch stay warm; only
+    the view's per-term merged postings (keyed on ``(epoch, structure)``)
+    are refreshed.
+
+Locking contract: mutators (``add_document``, ``remove_document``,
+``seal``, ``compact``, ``commit_merge``) require the collection's write
+lock; ``begin_merge`` requires at least the read lock (it snapshots
+tombstones); ``SealedSegment.merged`` building runs lock-free on immutable
+inputs.  The manager itself only carries a tiny admin mutex for the
+single-merge-in-flight flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+from repro import obs
+from repro.irs.segments.segment import (
+    MemtableSegment,
+    SealedSegment,
+    SegmentConfig,
+)
+
+Segment = Union[MemtableSegment, SealedSegment]
+
+
+@dataclass
+class MergePlan:
+    """A merge in flight: chosen inputs plus their tombstone snapshots."""
+
+    segment_id: int
+    segments: List[SealedSegment]
+    snapshots: List[Set[int]] = field(default_factory=list)
+
+    def build(self) -> SealedSegment:
+        """Fold the inputs into one segment; runs without any lock."""
+        return SealedSegment.merged(self.segment_id, self.segments, self.snapshots)
+
+
+class SegmentManager:
+    """Owns one collection's memtable, sealed segments and merge state."""
+
+    def __init__(self, name: str, config: Optional[SegmentConfig] = None) -> None:
+        self.name = name
+        self.config = config or SegmentConfig()
+        self._memtable = MemtableSegment(0)
+        self._sealed: List[SealedSegment] = []
+        self._next_segment_id = 1
+        self._locator: Dict[int, Segment] = {}
+        #: Live documents only; shared with the view (and, via the view's
+        #: ``_doc_lengths`` property, with the naive reference models).
+        self._doc_lengths: Dict[int, int] = {}
+        self._token_count = 0
+        self._epoch = 0
+        self._structure = 0
+        self._batch_depth = 0
+        self._batch_dirty = False
+        #: Guards the one-merge-in-flight flag (begin may run under a read
+        #: lock, so two planners could race without it).
+        self._admin_lock = threading.Lock()
+        self._merging = False
+        self.seals = 0
+        self.merges = 0
+        self.tombstones_purged = 0
+
+    # -- versions ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Content generation: the cache-invalidation counter."""
+        return self._epoch
+
+    @property
+    def structure(self) -> int:
+        """Reorganization generation (seal/merge); content-preserving."""
+        return self._structure
+
+    @property
+    def version(self) -> tuple:
+        return (self._epoch, self._structure)
+
+    def _bump_epoch(self) -> None:
+        if self._batch_depth:
+            self._batch_dirty = True
+        else:
+            self._epoch += 1
+
+    @contextmanager
+    def batched_epoch(self) -> Iterator[None]:
+        """Coalesce the epoch bumps of a write batch into one.
+
+        Used by the engine's ``bulk_mutating`` so a propagation window of N
+        pending updates invalidates downstream caches once, not N times.
+        Requires the collection write lock (like every mutator).
+        """
+        self._batch_depth += 1
+        try:
+            yield
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_dirty:
+                self._batch_dirty = False
+                self._epoch += 1
+
+    # -- write path (collection write lock held) --------------------------
+
+    def add_document(self, doc_id: int, terms: List[str]) -> None:
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id} already indexed")
+        self._memtable.add_document(doc_id, terms)
+        self._locator[doc_id] = self._memtable
+        self._doc_lengths[doc_id] = len(terms)
+        self._token_count += len(terms)
+        self._bump_epoch()
+        self._maybe_seal()
+
+    def remove_document(self, doc_id: int) -> None:
+        segment = self._locator.pop(doc_id, None)
+        if segment is None:
+            raise KeyError(doc_id)
+        if segment is self._memtable:
+            segment.remove_document(doc_id)
+        else:
+            segment.tombstone(doc_id)
+            obs.metrics().counter("irs.segments.tombstones").inc()
+        self._token_count -= self._doc_lengths.pop(doc_id)
+        self._bump_epoch()
+
+    def _maybe_seal(self) -> None:
+        memtable = self._memtable
+        if (
+            memtable.document_count >= self.config.seal_document_count
+            or memtable.token_count >= self.config.seal_token_count
+        ):
+            self.seal()
+
+    def seal(self) -> Optional[SealedSegment]:
+        """Freeze the memtable into a sealed segment; start a fresh one.
+
+        Content-preserving: bumps :attr:`structure`, not :attr:`epoch`.
+        Returns the new sealed segment, or None when the memtable is empty.
+        """
+        if not self._memtable.document_count:
+            return None
+        sealed = self._memtable.seal()
+        self._sealed.append(sealed)
+        for doc_id in sealed.forward:
+            self._locator[doc_id] = sealed
+        self._memtable = MemtableSegment(self._next_segment_id)
+        self._next_segment_id += 1
+        self._structure += 1
+        self.seals += 1
+        registry = obs.metrics()
+        registry.counter("irs.segments.sealed").inc()
+        registry.gauge("irs.segments.count." + self.name).set(self.segment_count)
+        registry.gauge("irs.segments.memtable_docs." + self.name).set(0)
+        return sealed
+
+    # -- read-side accessors (collection read lock held) -------------------
+
+    @property
+    def memtable(self) -> MemtableSegment:
+        return self._memtable
+
+    def sealed_segments(self) -> List[SealedSegment]:
+        return self._sealed
+
+    @property
+    def segment_count(self) -> int:
+        """Live segments: sealed ones plus the memtable when non-empty."""
+        return len(self._sealed) + (1 if self._memtable.document_count else 0)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def token_count(self) -> int:
+        return self._token_count
+
+    def document_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id]
+
+    def has_document(self, doc_id: int) -> bool:
+        return doc_id in self._doc_lengths
+
+    def segment_of(self, doc_id: int) -> Optional[Segment]:
+        """The segment holding the *live* ``doc_id`` (None when absent)."""
+        return self._locator.get(doc_id)
+
+    def forward_vector(self, doc_id: int) -> Optional[Dict[str, int]]:
+        """The live ``{term: tf}`` vector of ``doc_id`` (not a copy)."""
+        segment = self._locator.get(doc_id)
+        if segment is None:
+            return None
+        return segment.forward.get(doc_id)
+
+    def tombstone_count(self) -> int:
+        return sum(len(segment.tombstones) for segment in self._sealed)
+
+    def tombstone_ratio(self) -> float:
+        physical = len(self._doc_lengths) + self.tombstone_count()
+        return self.tombstone_count() / physical if physical else 0.0
+
+    def info(self) -> Dict[str, object]:
+        """One observability snapshot (shell ``.stats``, engine info)."""
+        return {
+            "segments": self.segment_count,
+            "sealed": len(self._sealed),
+            "memtable_documents": self._memtable.document_count,
+            "memtable_tokens": self._memtable.token_count,
+            "documents": len(self._doc_lengths),
+            "tombstones": self.tombstone_count(),
+            "tombstone_ratio": round(self.tombstone_ratio(), 4),
+            "epoch": self._epoch,
+            "structure": self._structure,
+            "seals": self.seals,
+            "merges": self.merges,
+            "tombstones_purged": self.tombstones_purged,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def load_sealed(self, entry: dict) -> SealedSegment:
+        """Register one persisted segment (collection load path only)."""
+        segment = SealedSegment.from_payload(self._next_segment_id, entry)
+        self._next_segment_id += 1
+        self._sealed.append(segment)
+        for doc_id in segment.forward:
+            self._locator[doc_id] = segment
+            self._doc_lengths[doc_id] = segment.index.document_length(doc_id)
+        self._token_count += segment.live_token_count
+        self._structure += 1
+        self._epoch = 1
+        return segment
+
+    # -- merging -----------------------------------------------------------
+
+    def begin_merge(self, segments: Sequence[SealedSegment]) -> Optional[MergePlan]:
+        """Claim a merge over ``segments`` and snapshot their tombstones.
+
+        Requires at least the collection read lock (writers are excluded,
+        so the snapshots are consistent).  Returns None when another merge
+        is already in flight or a candidate is no longer registered.
+        """
+        with self._admin_lock:
+            if self._merging or not segments:
+                return None
+            if any(segment not in self._sealed for segment in segments):
+                return None
+            self._merging = True
+            plan = MergePlan(self._next_segment_id, list(segments))
+            self._next_segment_id += 1
+        plan.snapshots = [set(segment.tombstones) for segment in plan.segments]
+        return plan
+
+    def commit_merge(self, plan: MergePlan, merged: SealedSegment) -> None:
+        """Swap the merged segment in (collection write lock held).
+
+        Documents tombstoned on an input *after* the snapshot are physically
+        present in ``merged``; they are re-tombstoned here so no deletion is
+        lost, then the inputs are spliced out at the position of the first.
+        """
+        try:
+            purged = 0
+            for segment, snapshot in zip(plan.segments, plan.snapshots):
+                purged += len(snapshot)
+                for doc_id in segment.tombstones - snapshot:
+                    merged.tombstone(doc_id)
+            position = self._sealed.index(plan.segments[0])
+            retained = [s for s in self._sealed if s not in plan.segments]
+            retained.insert(min(position, len(retained)), merged)
+            self._sealed = retained
+            for doc_id in merged.forward:
+                self._locator[doc_id] = merged
+            self._structure += 1
+            self.merges += 1
+            self.tombstones_purged += purged
+            registry = obs.metrics()
+            registry.counter("irs.segments.merges").inc()
+            registry.counter("irs.segments.merged_inputs").inc(len(plan.segments))
+            registry.counter("irs.segments.tombstones_purged").inc(purged)
+            registry.gauge("irs.segments.count." + self.name).set(self.segment_count)
+        finally:
+            with self._admin_lock:
+                self._merging = False
+
+    def abort_merge(self, plan: MergePlan) -> None:
+        with self._admin_lock:
+            self._merging = False
+
+    def compact(self) -> bool:
+        """Seal and fold everything into one tombstone-free segment.
+
+        Requires the collection write lock.  Returns True when a merge
+        happened.  A no-op (False) when there is nothing to fold or a
+        background merge holds the in-flight flag.
+        """
+        self.seal()
+        if not self._sealed:
+            return False
+        if len(self._sealed) == 1 and not self._sealed[0].tombstones:
+            return False
+        plan = self.begin_merge(list(self._sealed))
+        if plan is None:
+            return False
+        merged = plan.build()
+        self.commit_merge(plan, merged)
+        return True

@@ -1,0 +1,274 @@
+"""Segments: the building blocks of the log-structured index.
+
+A segmented collection's postings live in a stack of segments instead of
+one monolithic :class:`~repro.irs.inverted_index.InvertedIndex`:
+
+* :class:`MemtableSegment` — the single mutable in-memory segment.  All
+  writes (indexObjects, update propagation) land here; removal is physical
+  because the memtable is small.
+* :class:`SealedSegment` — an immutable segment produced by sealing a full
+  memtable (or by merging).  Its postings never change; deletion is logical
+  via :meth:`SealedSegment.tombstone`, which records per-term dead
+  document/collection frequencies so merged statistics stay integer-exact
+  without rescanning postings.
+
+Both keep a *forward map* (doc id -> term -> tf) alongside the inverted
+postings.  The forward map makes tombstoning O(|document|) instead of
+O(vocabulary), lets the statistics layer compute one document's norm
+without sweeping every postings list, and is what a merge reads to carry
+live documents into the merged segment.
+
+Everything here is lock-free by design: callers synchronize through the
+engine's per-collection :class:`~repro.sync.ReadWriteLock` (see
+:mod:`repro.irs.segments.manager` for the locking contract of each call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.irs.inverted_index import InvertedIndex, Posting
+
+
+@dataclass(frozen=True)
+class SegmentConfig:
+    """Tuning knobs of the segmented index (documented in docs/api.md).
+
+    The defaults are sized for this reproduction's corpora (hundreds to a
+    few tens of thousands of short documents): the memtable seals at 1024
+    documents or 256k tokens, and the size-tiered merge policy folds a tier
+    once ``tier_fanout`` segments of similar size have accumulated.
+    """
+
+    #: When False the engine builds monolithic collections (the pre-segment
+    #: behavior); kept as an escape hatch and as the benchmark baseline.
+    enabled: bool = True
+    #: Seal the memtable once it holds this many documents ...
+    seal_document_count: int = 1024
+    #: ... or this many tokens, whichever comes first.
+    seal_token_count: int = 262_144
+    #: A size tier is ``floor(log_fanout(live_docs))``; a tier with this many
+    #: segments is merged into one.
+    tier_fanout: int = 4
+    #: Upper bound on segments folded by a single merge.
+    max_merge_segments: int = 10
+    #: A sealed segment whose tombstone ratio reaches this is rewritten
+    #: (merged alone) even when its size tier is not full.
+    tombstone_purge_ratio: float = 0.25
+    #: Background scheduler: seconds between merge scans.
+    merge_interval_seconds: float = 0.05
+    #: Background scheduler: per-collection merge time budget per scan.
+    merge_budget_seconds: float = 0.25
+
+
+def _forward_from_index(index: InvertedIndex) -> Dict[int, Dict[str, int]]:
+    """Rebuild the forward map from an index's postings.
+
+    Reads ``_postings`` directly (same private-access idiom as
+    :mod:`repro.irs.compression`) to avoid materializing sorted postings
+    lists as a side effect.
+    """
+    forward: Dict[int, Dict[str, int]] = {doc_id: {} for doc_id in index._doc_lengths}
+    for term, by_doc in index._postings.items():
+        for doc_id, posting in by_doc.items():
+            forward[doc_id][term] = posting.tf
+    return forward
+
+
+class MemtableSegment:
+    """The mutable in-memory segment absorbing all writes."""
+
+    __slots__ = ("segment_id", "index", "forward")
+
+    def __init__(self, segment_id: int) -> None:
+        self.segment_id = segment_id
+        self.index = InvertedIndex()
+        #: doc id -> {term: tf}; maintained incrementally on add/remove.
+        self.forward: Dict[int, Dict[str, int]] = {}
+
+    def add_document(self, doc_id: int, terms: List[str]) -> None:
+        self.index.add_document(doc_id, terms)
+        vector: Dict[str, int] = {}
+        for term in terms:
+            vector[term] = vector.get(term, 0) + 1
+        self.forward[doc_id] = vector
+
+    def remove_document(self, doc_id: int) -> None:
+        """Physical removal: the memtable is the one segment that can."""
+        vector = self.forward.pop(doc_id)
+        self.index.remove_document(doc_id, terms=list(vector))
+
+    @property
+    def document_count(self) -> int:
+        return self.index.document_count
+
+    @property
+    def token_count(self) -> int:
+        return self.index.token_count
+
+    def seal(self) -> "SealedSegment":
+        """Freeze this memtable into a sealed segment (O(1) handover)."""
+        return SealedSegment(self.segment_id, self.index, self.forward)
+
+
+class SealedSegment:
+    """An immutable segment: frozen postings plus tombstone bookkeeping.
+
+    Postings and document lengths never change after sealing; deletion is
+    recorded in :attr:`tombstones` and in per-term dead-frequency counters,
+    so live df/cf/posting counts are O(1) subtractions.  The forward map
+    holds exactly the *live* documents (a tombstone pops its entry after
+    charging the counters).
+    """
+
+    __slots__ = (
+        "segment_id",
+        "index",
+        "forward",
+        "tombstones",
+        "dead_documents",
+        "dead_tokens",
+        "_dead_df",
+        "_dead_cf",
+        "_dead_postings",
+    )
+
+    def __init__(
+        self,
+        segment_id: int,
+        index: InvertedIndex,
+        forward: Dict[int, Dict[str, int]],
+    ) -> None:
+        self.segment_id = segment_id
+        self.index = index
+        self.forward = forward
+        self.tombstones: Set[int] = set()
+        self.dead_documents = 0
+        self.dead_tokens = 0
+        self._dead_df: Dict[str, int] = {}
+        self._dead_cf: Dict[str, int] = {}
+        self._dead_postings = 0
+
+    # -- deletion ---------------------------------------------------------
+
+    def tombstone(self, doc_id: int) -> None:
+        """Logically delete ``doc_id``: O(|document terms|), no index edit."""
+        vector = self.forward.pop(doc_id)
+        self.tombstones.add(doc_id)
+        self.dead_documents += 1
+        self.dead_tokens += self.index.document_length(doc_id)
+        self._dead_postings += len(vector)
+        for term, tf in vector.items():
+            self._dead_df[term] = self._dead_df.get(term, 0) + 1
+            self._dead_cf[term] = self._dead_cf.get(term, 0) + tf
+
+    def is_live(self, doc_id: int) -> bool:
+        return doc_id in self.forward
+
+    # -- live statistics (exact, O(1) per term) ---------------------------
+
+    @property
+    def live_document_count(self) -> int:
+        return self.index.document_count - self.dead_documents
+
+    @property
+    def live_token_count(self) -> int:
+        return self.index.token_count - self.dead_tokens
+
+    @property
+    def live_posting_count(self) -> int:
+        return self.index.posting_count - self._dead_postings
+
+    @property
+    def tombstone_ratio(self) -> float:
+        physical = self.index.document_count
+        return self.dead_documents / physical if physical else 0.0
+
+    def document_frequency(self, term: str) -> int:
+        df = self.index.document_frequency(term) - self._dead_df.get(term, 0)
+        return df if df > 0 else 0
+
+    def collection_frequency(self, term: str) -> int:
+        cf = self.index.collection_frequency(term) - self._dead_cf.get(term, 0)
+        return cf if cf > 0 else 0
+
+    def live_postings(self, term: str) -> List[Posting]:
+        """Postings of ``term`` restricted to live documents, doc-id order."""
+        postings = self.index.postings(term)
+        if not self._dead_df.get(term):
+            return postings
+        return [p for p in postings if p.doc_id in self.forward]
+
+    # -- persistence ------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Physical index plus the tombstone list (replayed on load)."""
+        return {
+            "index": self.index.to_payload(),
+            "tombstones": sorted(self.tombstones),
+        }
+
+    @classmethod
+    def from_payload(cls, segment_id: int, payload: dict) -> "SealedSegment":
+        index = InvertedIndex.from_payload(payload["index"])
+        segment = cls(segment_id, index, _forward_from_index(index))
+        for doc_id in payload.get("tombstones", ()):
+            segment.tombstone(int(doc_id))
+        return segment
+
+    # -- merging ----------------------------------------------------------
+
+    @classmethod
+    def merged(
+        cls,
+        segment_id: int,
+        segments: Sequence["SealedSegment"],
+        dead_sets: Sequence[Iterable[int]],
+    ) -> "SealedSegment":
+        """Fold ``segments`` into one, dropping the docs in ``dead_sets``.
+
+        ``dead_sets[i]`` is the tombstone *snapshot* of ``segments[i]`` taken
+        when the merge began; documents tombstoned after the snapshot are
+        re-tombstoned on the merged segment at commit (see
+        ``SegmentManager.commit_merge``).  Reads only the inputs' physical
+        structures, which are immutable, so it runs without any lock.
+        Posting objects are shared, not copied — they are frozen once sealed.
+        """
+        merged_index = InvertedIndex()
+        doc_lengths = merged_index._doc_lengths
+        cf = merged_index._collection_frequency
+        postings = merged_index._postings
+        forward: Dict[int, Dict[str, int]] = {}
+        posting_count = 0
+        token_count = 0
+        for segment, dead in zip(segments, dead_sets):
+            dead = set(dead)
+            source = segment.index
+            for doc_id, length in source._doc_lengths.items():
+                if doc_id in dead:
+                    continue
+                doc_lengths[doc_id] = length
+                token_count += length
+                forward[doc_id] = {}
+            for term, by_doc in source._postings.items():
+                out = postings.get(term)
+                created = out is None
+                if created:
+                    out = postings[term] = {}
+                contributed = 0
+                for doc_id, posting in by_doc.items():
+                    if doc_id in dead:
+                        continue
+                    out[doc_id] = posting
+                    contributed += posting.tf
+                    posting_count += 1
+                    forward[doc_id][term] = posting.tf
+                if contributed:
+                    cf[term] = cf.get(term, 0) + contributed
+                elif created:
+                    del postings[term]
+        merged_index._posting_count = posting_count
+        merged_index._token_count = token_count
+        merged_index._epoch = 1
+        return cls(segment_id, merged_index, forward)

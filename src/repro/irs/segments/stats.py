@@ -1,0 +1,67 @@
+"""SegmentedStatistics: the no-rebuild-cliff statistics cache.
+
+The monolithic :class:`~repro.irs.statistics.StatisticsCache` builds the
+TF-IDF norms of *all* documents in one O(postings) sweep the first time any
+norm is read — the right trade for a read-mostly index, but after every
+update propagation (epoch bump) the very next vector-model query pays the
+whole sweep again: the rebuild cliff this subsystem removes.
+
+Over a segment stack the forward maps give each document's term vector in
+O(|document|), so norms are computed *per document on demand* and memoized:
+a query scoring k candidate documents after an update costs O(sum of their
+vector sizes), not O(total postings).  df/idf/avg-dl memos are inherited
+unchanged — the :class:`MergedIndexView` already serves integer-exact
+global statistics, so the idf of every term is bit-identical to the
+monolithic cache's and only the *accumulation order* inside one norm
+differs (per-document here vs per-term in the sweep), a float-rounding
+difference far below the 1e-9 tolerance the equivalence suite checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.irs.segments.manager import SegmentManager
+from repro.irs.segments.view import MergedIndexView
+from repro.irs.statistics import StatisticsCache
+
+
+class SegmentedStatistics(StatisticsCache):
+    """Epoch-validated statistics memo with per-document lazy norms."""
+
+    def __init__(self, view: MergedIndexView, manager: SegmentManager) -> None:
+        super().__init__(view)
+        self._manager = manager
+        self._doc_norms: Dict[int, float] = {}
+
+    def _validate(self) -> None:
+        if self._epoch != self._index.epoch:
+            self._doc_norms = {}
+        super()._validate()
+
+    def document_norm(self, doc_id: int) -> float:
+        """TF-IDF norm of one document, from its forward vector.
+
+        O(|document terms|) on a miss (idf lookups are memoized across
+        documents), O(1) on a hit; 0.0 for unknown documents.
+        """
+        with self._lock:
+            self._validate()
+            cached = self._doc_norms.get(doc_id)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+            vector = self._manager.forward_vector(doc_id)
+            if not vector:
+                norm = 0.0
+            else:
+                total = 0.0
+                for term, tf in vector.items():
+                    # self.idf re-enters the RLock and shares the per-term memo.
+                    weight = (1.0 + math.log(tf)) * self.idf(term)
+                    total += weight * weight
+                norm = math.sqrt(total)
+            self._doc_norms[doc_id] = norm
+            return norm

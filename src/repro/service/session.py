@@ -113,6 +113,25 @@ class Session:
         with _mapped_errors(batch_module.map_coupling_error):
             return updates.propagate(collection_obj)
 
+    def remove(self, collection_obj: DBObject, obj: DBObject) -> None:
+        """Remove ``obj``'s documents from the collection (``deleteObject``).
+
+        Records a DELETE update on the COLLECTION object: under the eager
+        policy the object's IRS documents are dropped immediately (a
+        tombstone on a segmented index); under the deferred policy the
+        removal waits in ``pending_ops`` until the next propagation — a
+        query issued with removals pending forces it, exactly like the
+        other update kinds (Section 4.6).
+        """
+        if self._service is not None:
+            self._service.call(
+                lambda: collection_module.delete_object(collection_obj, obj),
+                label="remove",
+            )
+            return
+        with _mapped_errors(batch_module.map_coupling_error):
+            collection_module.delete_object(collection_obj, obj)
+
     # -- querying -----------------------------------------------------------
 
     def query(

@@ -1,0 +1,131 @@
+"""Service-layer behavior of the segmented index subsystem.
+
+Covers the update-path satellites: ``Session.remove``, batched epoch
+propagation (one epoch bump per grouped window), and segment/epoch
+attribution in the slow-query log and ``explain`` traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session, obs
+from repro.errors import ReproError
+
+QUERY_IRS = (
+    "ACCESS p FROM p IN PARA "
+    "WHERE p -> getIRSValue (collPara, 'telnet') > 0.1;"
+)
+
+
+def engine_of(system):
+    return system.session.context.engine
+
+
+def irs_collection(system, collection_obj):
+    return engine_of(system).collection(collection_obj.get("irs_name"))
+
+
+class TestBatchedEpochPropagation:
+    def test_index_objects_bumps_epoch_once(self, system):
+        coll = system.session.create_collection(
+            "collFresh", "ACCESS p FROM p IN PARA", update_policy="deferred"
+        )
+        irs = irs_collection(system, coll)
+        before = irs.index.epoch
+        assert system.session.index(coll)
+        assert len(irs) == 8, "all eight paragraphs indexed"
+        assert irs.index.epoch == before + 1, (
+            "a grouped indexObjects window is one epoch bump, not one per doc"
+        )
+
+    def test_propagation_window_bumps_epoch_once(self, system, collection):
+        irs = irs_collection(system, collection)
+        paras = system.db.instances_of("PARA")[:3]
+        for i, para in enumerate(paras):
+            system.loader.update_content(para, f"updated archie text {i}")
+            collection.send("modifyObject", para)
+        assert len(collection.get("pending_ops")) == 3
+        before = irs.index.epoch
+        applied = system.session.propagate(collection)
+        assert applied == 3
+        assert irs.index.epoch == before + 1
+        assert collection.get("pending_ops") == []
+
+    def test_empty_propagation_leaves_epoch_alone(self, system, collection):
+        irs = irs_collection(system, collection)
+        before = irs.index.epoch
+        assert system.session.propagate(collection) == 0
+        assert irs.index.epoch == before
+
+
+class TestSessionRemove:
+    def test_deferred_remove_pends_then_query_forces(self, system, collection):
+        hit = system.session.query(collection, "telnet")[0]
+        system.session.remove(collection, hit.element)
+        pending = collection.get("pending_ops")
+        assert pending == [["delete", str(hit.oid)]]
+        # A query with removals pending forces propagation (Section 4.6).
+        result = system.session.query(collection, "telnet")
+        assert hit.oid not in result.oids()
+        assert collection.get("pending_ops") == []
+        assert not collection.send("containsObject", hit.element)
+
+    def test_eager_remove_drops_documents_immediately(self, system, collection):
+        collection.set("update_policy", "eager")
+        hit = system.session.query(collection, "telnet")[0]
+        irs = irs_collection(system, collection)
+        size = len(irs)
+        system.session.remove(collection, hit.element)
+        assert len(irs) == size - 1
+        assert collection.get("pending_ops") in ([], None)
+        assert hit.oid not in system.session.query(collection, "telnet").oids()
+
+    def test_pooled_remove(self, system, collection):
+        with Session(system, workers=2) as pooled:
+            hit = pooled.query(collection, "telnet")[0]
+            pooled.remove(collection, hit.element)
+            assert hit.oid not in pooled.query(collection, "telnet").oids()
+
+    def test_remove_routes_errors_through_repro_hierarchy(self, system, collection):
+        collection.set("update_policy", "bogus")
+        para = system.db.instances_of("PARA")[0]
+        with pytest.raises(ReproError):
+            system.session.remove(collection, para)
+        with Session(system, workers=1) as pooled:
+            with pytest.raises(ReproError):
+                pooled.remove(collection, para)
+
+    def test_remove_then_reindex_restores_object(self, system, collection):
+        hit = system.session.query(collection, "telnet")[0]
+        system.session.remove(collection, hit.element)
+        system.session.query(collection, "telnet")  # force the propagation
+        assert system.session.index(collection)
+        assert hit.oid in system.session.query(collection, "telnet").oids()
+
+
+class TestSegmentAttribution:
+    def test_slow_log_records_segments_and_epoch(self, system, collection):
+        irs = irs_collection(system, collection)
+        obs.configure(slow_query_seconds=0.0)
+        try:
+            obs.slow_log().clear()
+            system.session.query(collection, "telnet")
+            entries = [e for e in obs.slow_log().entries() if e.kind == "irs"]
+            assert entries, "zero threshold must log the IRS query"
+            entry = entries[-1]
+            assert entry.info["segments"] == irs.segment_count
+            assert entry.info["epoch"] == irs.index.epoch
+            assert entry.info["collection"] == collection.get("irs_name")
+        finally:
+            obs.configure(slow_query_seconds=0.25)
+            obs.slow_log().clear()
+
+    def test_explain_attributes_segments_and_epoch(self, system, collection):
+        irs = irs_collection(system, collection)
+        collection.set("buffer", {})  # force the IRS engine to be consulted
+        result = system.session.explain(QUERY_IRS, {"collPara": collection})
+        spans = [s for s in result.root.iter_spans() if s.name == "irs.query"]
+        assert spans, "explain tree must reach the IRS layer"
+        assert spans[0].attributes["segments"] == irs.segment_count
+        assert spans[0].attributes["epoch"] == irs.index.epoch

@@ -27,6 +27,7 @@ SESSION_SIGNATURES = {
     "create_collection": "(self, name, spec_query='', **options)",
     "index": "(self, collection_obj, **options)",
     "propagate": "(self, collection_obj)",
+    "remove": "(self, collection_obj, obj)",
     "query": "(self, collection_obj, irs_query, model=None, timeout=<unset>)",
     "query_batch": "(self, items, timeout=<unset>)",
     "find_value": "(self, collection_obj, irs_query, obj)",
