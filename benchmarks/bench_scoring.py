@@ -10,11 +10,20 @@ Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_scoring.py            # full tiers
     PYTHONPATH=src python benchmarks/bench_scoring.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_scoring.py --mode topk --smoke
 
 The full run asserts the PR's acceptance targets (>=5x vector, >=2x inquery
 at the 5k-document tier); ``--smoke`` asserts softer floors suited to noisy
 CI machines plus exact-path equivalence, so scoring-path perf regressions
 fail loudly without flaking.
+
+``--mode topk`` measures the block-max top-k path: exhaustive ranking vs
+pruned ``top_k=10`` queries through the engine over a compacted segmented
+collection, plus the postings memory of the compact block representation
+against the dict-of-Posting proxy.  The full run (100k-document tier)
+asserts the PR's acceptance targets — pruned top-10 at >=10x exhaustive
+q/s for both models and compact postings >=3x smaller; the smoke run
+(20k) asserts pruned >= exhaustive, the no-regression floor.
 """
 
 from __future__ import annotations
@@ -30,12 +39,14 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 
 from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
+from repro.irs.engine import IRSEngine
 from repro.irs.models import InferenceNetworkModel, VectorSpaceModel
 from repro.irs.models.reference import (
     NaiveInferenceNetworkModel,
     NaiveVectorSpaceModel,
 )
 from repro.irs.queries import parse_irs_query
+from repro.irs.segments import SegmentConfig
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_scoring.json")
@@ -60,6 +71,22 @@ QUERIES = [
 
 #: Queries used only for the fast/naive equivalence gate (proximity included).
 EQUIVALENCE_QUERIES = QUERIES + ["#od3(topic0 topic1)", "#uw5(topic2 topic3)"]
+
+# -- top-k mode -------------------------------------------------------------
+
+TOPK_FULL_TIERS = (20000, 100000)
+TOPK_SMOKE_TIERS = (20000,)
+TOPK_K = 10
+
+#: Prunable shapes only: the top-k scorer's eligibility covers vector
+#: queries and inquery #sum/#wsum trees; structured operators fall back to
+#: exhaustive scoring and would just measure the fallback overhead here.
+TOPK_QUERIES = [
+    "topic0",
+    "topic1 topic4",
+    "#sum(topic0 topic2 topic7)",
+    "#wsum(2 topic0 1 topic8 0.5 topic9)",
+]
 
 
 def generate_texts(documents: int, seed: int = 42) -> list:
@@ -142,7 +169,164 @@ def check_equivalence(collection, max_abs: float = 1e-9) -> float:
     return worst
 
 
-def run(smoke: bool, output: str, seed: int) -> dict:
+def build_engine(documents: int, seed: int = 42) -> IRSEngine:
+    """A compacted segmented collection named ``bench`` inside an engine."""
+    engine = IRSEngine(
+        result_cache_size=0,
+        analyzer=Analyzer(stopwords=set(), stemming=False),
+        segment_config=SegmentConfig(seal_document_count=4096),
+    )
+    engine.create_collection("bench")
+    for text in generate_texts(documents, seed):
+        engine.index_document("bench", text)
+    engine.compact_collection("bench")
+    return engine
+
+
+def time_engine_queries(engine, trees_text, min_seconds: float, model: str, top_k):
+    """Queries/sec of ``engine.query`` over the query texts."""
+    executed = 0
+    started = perf_counter()
+    while True:
+        for text in trees_text:
+            engine.query("bench", text, model=model, top_k=top_k)
+        executed += len(trees_text)
+        elapsed = perf_counter() - started
+        if elapsed >= min_seconds:
+            return executed / elapsed
+
+
+def postings_memory(engine) -> dict:
+    """Compact block bytes vs the dict-of-Posting proxy (8 bytes per
+    id/position plus term text, :func:`repro.irs.compression.raw_size`'s
+    convention), over the sealed segments."""
+    manager = engine.collection("bench").segments
+    compact_bytes = 0
+    dict_bytes = 0
+    for segment in manager.sealed_segments():
+        index = segment.index
+        compact_bytes += index.postings_bytes()
+        for term in index.terms():
+            dict_bytes += (
+                len(term.encode("utf-8"))
+                + 8 * index.document_frequency(term)
+                + 8 * index.collection_frequency(term)
+            )
+    return {
+        "compact_bytes": compact_bytes,
+        "dict_bytes": dict_bytes,
+        "ratio": round(dict_bytes / compact_bytes, 2) if compact_bytes else None,
+    }
+
+
+def check_topk_equivalence(engine, k: int = TOPK_K) -> None:
+    """Spot-check the safe-up-to-k contract (tests assert it exhaustively)."""
+    for model in ("vector", "inquery"):
+        for text in TOPK_QUERIES:
+            ranked = engine.query("bench", text, model=model).ranked()
+            pruned = engine.query("bench", text, model=model, top_k=k)
+            got = sorted(pruned.values.items(), key=lambda kv: (-kv[1], kv[0]))
+            if got != ranked[:k]:
+                raise AssertionError(
+                    f"top-{k} prefix diverges from exhaustive ranking "
+                    f"({model}, {text!r})"
+                )
+
+
+def run_topk(smoke: bool, seed: int) -> dict:
+    tiers = TOPK_SMOKE_TIERS if smoke else TOPK_FULL_TIERS
+    min_seconds = 0.3 if smoke else 1.0
+    section = {
+        "k": TOPK_K,
+        "queries": TOPK_QUERIES,
+        "tiers": [],
+    }
+    for documents in tiers:
+        started = perf_counter()
+        engine = build_engine(documents, seed=seed)
+        print(f"{documents:>6} docs  built in {perf_counter() - started:.1f}s")
+        check_topk_equivalence(engine)
+        tier = {
+            "documents": documents,
+            "memory": postings_memory(engine),
+            "models": {},
+        }
+        for model in ("vector", "inquery"):
+            # Warm statistics + per-epoch impact caches (amortized across
+            # an epoch in production; excluded from the timed interval).
+            for text in TOPK_QUERIES:
+                engine.query("bench", text, model=model, top_k=TOPK_K)
+            full_qps = time_engine_queries(
+                engine, TOPK_QUERIES, min_seconds, model, top_k=None
+            )
+            pruned_qps = time_engine_queries(
+                engine, TOPK_QUERIES, min_seconds, model, top_k=TOPK_K
+            )
+            tier["models"][model] = {
+                "exhaustive_qps": round(full_qps, 2),
+                "pruned_qps": round(pruned_qps, 2),
+                "speedup": round(pruned_qps / full_qps, 2),
+            }
+            print(
+                f"{documents:>6} docs  {model:<8} exhaustive {full_qps:>9.1f} q/s   "
+                f"top-{TOPK_K} {pruned_qps:>9.1f} q/s   "
+                f"speedup {pruned_qps / full_qps:>6.1f}x"
+            )
+        memory = tier["memory"]
+        print(
+            f"{documents:>6} docs  postings  compact {memory['compact_bytes']:>12,} B"
+            f"   dict proxy {memory['dict_bytes']:>12,} B"
+            f"   ratio {memory['ratio']:>5}x"
+        )
+        section["tiers"].append(tier)
+
+    gate_tier = section["tiers"][-1]
+    required_speedup = 1.0 if smoke else 10.0
+    section["targets"] = {
+        "tier_documents": gate_tier["documents"],
+        "required_speedup": required_speedup,
+        "required_memory_ratio": None if smoke else 3.0,
+        "achieved": {
+            model: gate_tier["models"][model]["speedup"]
+            for model in gate_tier["models"]
+        },
+        "achieved_memory_ratio": gate_tier["memory"]["ratio"],
+    }
+    failures = [
+        f"{model}: pruned top-{TOPK_K} {stats['speedup']}x exhaustive "
+        f"< required {required_speedup}x"
+        for model, stats in gate_tier["models"].items()
+        if stats["speedup"] < required_speedup
+    ]
+    if not smoke and gate_tier["memory"]["ratio"] < 3.0:
+        failures.append(
+            f"postings memory ratio {gate_tier['memory']['ratio']}x < required 3.0x"
+        )
+    if failures:
+        raise SystemExit("top-k regression: " + "; ".join(failures))
+    return section
+
+
+def run(smoke: bool, output: str, seed: int, mode: str = "all") -> dict:
+    results = {
+        "benchmark": "scoring",
+        "smoke": smoke,
+        "seed": seed,
+        "mode": mode,
+    }
+    if mode in ("classic", "all"):
+        results.update(run_classic(smoke, seed))
+    if mode in ("topk", "all"):
+        results["topk"] = run_topk(smoke, seed)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {output}")
+    return results
+
+
+def run_classic(smoke: bool, seed: int) -> dict:
     tiers = SMOKE_TIERS if smoke else FULL_TIERS
     # Naive scoring is O(candidates * corpus) per query; one timed pass is
     # plenty at the large tiers, while the fast path gets a real interval.
@@ -151,13 +335,10 @@ def run(smoke: bool, output: str, seed: int) -> dict:
 
     trees = parse_queries(QUERIES)
     results = {
-        "benchmark": "scoring",
         "description": (
             "queries/sec, fast term-at-a-time scoring with cached corpus "
             "statistics vs preserved naive doc-at-a-time path"
         ),
-        "smoke": smoke,
-        "seed": seed,
         "queries": QUERIES,
         "tiers": [],
     }
@@ -212,12 +393,6 @@ def run(smoke: bool, output: str, seed: int) -> dict:
     ]
     if failures:
         raise SystemExit("scoring speedup regression: " + "; ".join(failures))
-
-    if output:
-        with open(output, "w", encoding="utf-8") as fh:
-            json.dump(results, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {output}")
     return results
 
 
@@ -227,6 +402,12 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="small corpora, soft speedup floors, no BENCH_scoring.json",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("classic", "topk", "all"),
+        default="all",
+        help="classic fast-vs-naive tiers, the block-max top-k tiers, or both",
     )
     parser.add_argument(
         "--output",
@@ -239,7 +420,7 @@ def main(argv=None) -> int:
     output = args.output
     if output is None:
         output = "" if args.smoke else OUTPUT_PATH
-    run(smoke=args.smoke, output=output, seed=args.seed)
+    run(smoke=args.smoke, output=output, seed=args.seed, mode=args.mode)
     return 0
 
 

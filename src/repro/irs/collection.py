@@ -271,7 +271,9 @@ class IRSCollection:
             merged = SealedSegment.merged(
                 0, segments, [segment.tombstones for segment in segments]
             )
-            collection.index = merged.index
+            # The merge emits the immutable compact form; a monolithic
+            # collection stays mutable, so decode into an InvertedIndex.
+            collection.index = InvertedIndex.from_payload(merged.index.to_payload())
         else:
             collection.index = InvertedIndex.from_payload(payload["index"])
         return collection

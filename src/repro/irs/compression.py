@@ -21,10 +21,20 @@ from repro.irs.inverted_index import InvertedIndex
 
 # ---------------------------------------------------------------------------
 # Variable-byte primitives
+#
+# Convention: big-endian 7-bit groups with the **stop bit (MSB) set on the
+# final byte** of each integer.  This is the classic stop-bit scheme of the
+# [SAZ94]-era literature (Scholer et al. call it the same), *not* the
+# LEB128/protobuf varint convention (little-endian groups, MSB set on every
+# non-final byte).  The two are incompatible on the wire; everything in this
+# repository — whole-index compression below, the block postings of
+# :mod:`repro.irs.postings`, persistence payloads — uses this one scheme.
+# Property-based round-trip tests in ``tests/irs/test_compression.py`` pin
+# the convention down, including empty-positions and 2**60-sized gaps.
 # ---------------------------------------------------------------------------
 
 def vbyte_encode(number: int) -> bytes:
-    """Encode one non-negative integer (low 7 bits per byte, MSB = stop)."""
+    """Encode one non-negative integer (big-endian 7-bit groups, MSB = stop)."""
     if number < 0:
         raise ValueError("vbyte encodes non-negative integers only")
     pieces = []
@@ -45,18 +55,53 @@ def vbyte_encode_sequence(numbers: List[int]) -> bytes:
 
 
 def vbyte_decode(data: bytes) -> List[int]:
-    """Decode a concatenated vbyte stream back into integers."""
+    """Decode a concatenated vbyte stream back into integers.
+
+    Raises :class:`ValueError` on any trailing partial integer — including
+    one whose accumulated continuation bytes are all zero (``b"\\x00"``),
+    which the pre-fix implementation silently swallowed.
+    """
     numbers = []
     current = 0
+    pending = False
     for byte in data:
         if byte & 0x80:
             numbers.append((current << 7) | (byte & 0x7F))
             current = 0
+            pending = False
         else:
             current = (current << 7) | byte
-    if current != 0:
+            pending = True
+    if pending:
         raise ValueError("truncated vbyte stream")
     return numbers
+
+
+def vbyte_decode_stream(
+    data: bytes, offset: int, count: int
+) -> "tuple[List[int], int]":
+    """Decode exactly ``count`` integers starting at ``offset``.
+
+    Returns ``(values, next_offset)``.  This is the random-access primitive
+    the block postings use: a block's varint stream can be decoded without
+    touching (or even validating) the bytes of any other block.
+    """
+    values: List[int] = []
+    append = values.append
+    current = 0
+    position = offset
+    end = len(data)
+    while len(values) < count:
+        if position >= end:
+            raise ValueError("truncated vbyte stream")
+        byte = data[position]
+        position += 1
+        if byte & 0x80:
+            append((current << 7) | (byte & 0x7F))
+            current = 0
+        else:
+            current = (current << 7) | byte
+    return values, position
 
 
 def gaps(sorted_values: List[int]) -> List[int]:

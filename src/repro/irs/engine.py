@@ -334,9 +334,22 @@ class IRSEngine:
     # -- querying ---------------------------------------------------------------
 
     def query(
-        self, collection_name: str, irs_query: str, model: Optional[str] = None
+        self,
+        collection_name: str,
+        irs_query: str,
+        model: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> IRSResult:
-        """Evaluate ``irs_query`` against a collection (API exchange)."""
+        """Evaluate ``irs_query`` against a collection (API exchange).
+
+        With ``top_k`` the result holds only the best ``top_k`` documents
+        (rank order: value descending, doc id ascending) — scored through
+        the MaxScore/block-max pruned path of :mod:`repro.irs.topk` when
+        the query shape allows it, identical scores guaranteed; otherwise
+        exhaustively, then truncated.  The pruning decision is recorded on
+        the ``irs.query`` span (``pruned`` / ``prune_fallback``), so it
+        shows up in ``explain()`` output.
+        """
         collection = self.collection(collection_name)
         model_name = model or self._default_model
         try:
@@ -354,6 +367,8 @@ class IRSEngine:
             "irs.query", collection=collection_name, model=model_name,
             query=obs.trim(irs_query),
         ) as span:
+            if top_k is not None:
+                span.set_attribute("top_k", top_k)
             with self.reading(collection_name):
                 # Captured under the read lock: the segment/epoch state the
                 # scores were computed against, so a slow entry or .explain
@@ -361,7 +376,8 @@ class IRSEngine:
                 epoch = collection.index.epoch
                 segment_count = collection.segment_count
                 values = self._query_values(
-                    collection, collection_name, model_name, model_impl, irs_query, span
+                    collection, collection_name, model_name, model_impl,
+                    irs_query, span, top_k,
                 )
             span.set_attribute("results", len(values))
             span.set_attribute("epoch", epoch)
@@ -383,6 +399,7 @@ class IRSEngine:
         model_impl: RetrievalModel,
         irs_query: str,
         span,
+        top_k: Optional[int] = None,
     ) -> Dict[int, float]:
         """Cache lookup + scoring for :meth:`query`, with hit attribution.
 
@@ -393,7 +410,12 @@ class IRSEngine:
         """
         registry = obs.metrics()
         epoch = collection.index.epoch
-        base_key = (collection_name, model_name, irs_query)
+        # Top-k results are a different value set than full results, so the
+        # cache key grows a k dimension (classic keys stay 3-tuples).
+        if top_k is None:
+            base_key = (collection_name, model_name, irs_query)
+        else:
+            base_key = (collection_name, model_name, irs_query, top_k)
         with self._cache_lock:
             entry = self._result_cache.get(base_key)
             if entry is not None:
@@ -414,7 +436,12 @@ class IRSEngine:
         registry.counter("irs.result_cache.misses").inc()
         span.set_attribute("cached", False)
         tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
-        values = model_impl.score(collection, tree)
+        if top_k is None:
+            values = model_impl.score(collection, tree)
+        else:
+            values = self._score_top_k(
+                collection, model_name, model_impl, tree, top_k, span, registry
+            )
         if self._result_cache_size > 0:
             with self._cache_lock:
                 self._result_cache[base_key] = (epoch, dict(values))
@@ -423,6 +450,37 @@ class IRSEngine:
                     self.cache_stats.evictions += 1
                     registry.counter("irs.result_cache.evictions").inc()
         return values
+
+    def _score_top_k(
+        self,
+        collection: IRSCollection,
+        model_name: str,
+        model_impl: RetrievalModel,
+        tree,
+        top_k: int,
+        span,
+        registry,
+    ) -> Dict[int, float]:
+        """Pruned top-k scoring with exhaustive fallback (read lock held)."""
+        from repro.irs import topk as topk_mod
+
+        outcome = topk_mod.topk_scores(collection, model_name, model_impl, tree, top_k)
+        if outcome.values is not None:
+            span.set_attribute("pruned", True)
+            registry.counter("irs.topk.pruned_queries").inc()
+            registry.counter("irs.postings.blocks_skipped").inc(
+                outcome.blocks_skipped
+            )
+            registry.counter("irs.topk.early_terminations").inc(
+                outcome.early_terminations
+            )
+            return outcome.values
+        # Structured operators (#and/#or/#not/#max), proximity leaves and
+        # non-positive weights keep their exhaustive semantics; record why.
+        span.set_attribute("pruned", False)
+        span.set_attribute("prune_fallback", outcome.reason)
+        registry.counter("irs.topk.fallbacks").inc()
+        return topk_mod.truncate_top_k(model_impl.score(collection, tree), top_k)
 
     # -- segment maintenance ---------------------------------------------------
 

@@ -234,6 +234,9 @@ class SegmentManager:
             "documents": len(self._doc_lengths),
             "tombstones": self.tombstone_count(),
             "tombstone_ratio": round(self.tombstone_ratio(), 4),
+            "sealed_postings_bytes": sum(
+                segment.postings_bytes() for segment in self._sealed
+            ),
             "epoch": self._epoch,
             "structure": self._structure,
             "seals": self.seals,

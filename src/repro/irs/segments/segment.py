@@ -25,10 +25,16 @@ engine's per-collection :class:`~repro.sync.ReadWriteLock` (see
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.irs.inverted_index import InvertedIndex, Posting
+from repro.irs.postings import (
+    CompactIndex,
+    ListCursor,
+    PostingsCursor,
+)
 
 
 @dataclass(frozen=True)
@@ -62,18 +68,39 @@ class SegmentConfig:
     merge_budget_seconds: float = 0.25
 
 
-def _forward_from_index(index: InvertedIndex) -> Dict[int, Dict[str, int]]:
+def _forward_from_index(index) -> Dict[int, Dict[str, int]]:
     """Rebuild the forward map from an index's postings.
 
-    Reads ``_postings`` directly (same private-access idiom as
+    For the compact form this is one decode sweep; for the dict form it
+    reads ``_postings`` directly (same private-access idiom as
     :mod:`repro.irs.compression`) to avoid materializing sorted postings
     lists as a side effect.
     """
+    if isinstance(index, CompactIndex):
+        return index.forward_map()
     forward: Dict[int, Dict[str, int]] = {doc_id: {} for doc_id in index._doc_lengths}
     for term, by_doc in index._postings.items():
         for doc_id, posting in by_doc.items():
             forward[doc_id][term] = posting.tf
     return forward
+
+
+def _live_entries(
+    segment: "SealedSegment", term: str, dead: Set[int]
+) -> Iterator[tuple]:
+    """``(doc_id, tf, positions)`` of one input's live postings, doc order."""
+    index = segment.index
+    if isinstance(index, CompactIndex):
+        compact = index.compact_postings(term)
+        if compact is None:
+            return
+        for entry in compact.iter_entries():
+            if entry[0] not in dead:
+                yield entry
+    else:
+        for posting in index.postings(term):
+            if posting.doc_id not in dead:
+                yield posting.doc_id, posting.tf, posting.positions
 
 
 class MemtableSegment:
@@ -107,9 +134,20 @@ class MemtableSegment:
     def token_count(self) -> int:
         return self.index.token_count
 
+    def term_cursor(self, term: str) -> Optional[PostingsCursor]:
+        """A cursor over this memtable's postings of ``term`` (dict form)."""
+        postings = self.index.postings(term)
+        return ListCursor(postings) if postings else None
+
     def seal(self) -> "SealedSegment":
-        """Freeze this memtable into a sealed segment (O(1) handover)."""
-        return SealedSegment(self.segment_id, self.index, self.forward)
+        """Freeze this memtable into a sealed segment.
+
+        The handover re-encodes the memtable's dict postings into the
+        compact block form — O(memtable tokens) once per sealed segment,
+        amortized across the writes that filled it.
+        """
+        compact = CompactIndex.from_inverted(self.index)
+        return SealedSegment(self.segment_id, compact, self.forward)
 
 
 class SealedSegment:
@@ -120,6 +158,12 @@ class SealedSegment:
     so live df/cf/posting counts are O(1) subtractions.  The forward map
     holds exactly the *live* documents (a tombstone pops its entry after
     charging the counters).
+
+    The index is normally a :class:`~repro.irs.postings.CompactIndex`
+    (block postings — sealing and merging both emit that form natively);
+    an :class:`InvertedIndex` is still accepted so hand-built segments in
+    tests and legacy call sites keep working, with every read going
+    through the shared index surface.
     """
 
     __slots__ = (
@@ -200,6 +244,34 @@ class SealedSegment:
             return postings
         return [p for p in postings if p.doc_id in self.forward]
 
+    def term_cursor(self, term: str) -> Optional[PostingsCursor]:
+        """A :class:`PostingsCursor` over the live postings of ``term``.
+
+        On the compact form this touches only block metadata up front —
+        no decoding until the scorer asks for a document.  The live filter
+        (this segment's forward map) is attached only when the term
+        actually has tombstoned documents, so the common path stays
+        branch-free.
+        """
+        index = self.index
+        if isinstance(index, CompactIndex):
+            compact = index.compact_postings(term)
+            if compact is None:
+                return None
+            live = self.forward if self._dead_df.get(term) else None
+            return compact.cursor(live)
+        postings = self.live_postings(term)
+        return ListCursor(postings) if postings else None
+
+    def postings_bytes(self) -> int:
+        """Bytes of this segment's postings representation."""
+        index = self.index
+        if isinstance(index, CompactIndex):
+            return index.postings_bytes()
+        from repro.irs.compression import compressed_size
+
+        return compressed_size(index)
+
     # -- persistence ------------------------------------------------------
 
     def to_payload(self) -> dict:
@@ -211,7 +283,10 @@ class SealedSegment:
 
     @classmethod
     def from_payload(cls, segment_id: int, payload: dict) -> "SealedSegment":
-        index = InvertedIndex.from_payload(payload["index"])
+        # Payloads are representation-neutral (the logical schema of
+        # ``InvertedIndex.to_payload``); loading encodes straight into the
+        # compact block form.
+        index = CompactIndex.from_payload(payload["index"])
         segment = cls(segment_id, index, _forward_from_index(index))
         for doc_id in payload.get("tombstones", ()):
             segment.tombstone(int(doc_id))
@@ -233,42 +308,36 @@ class SealedSegment:
         re-tombstoned on the merged segment at commit (see
         ``SegmentManager.commit_merge``).  Reads only the inputs' physical
         structures, which are immutable, so it runs without any lock.
-        Posting objects are shared, not copied — they are frozen once sealed.
+
+        Build-once: live entries stream per term straight from the inputs'
+        blocks through a k-way merge into the output's
+        :class:`~repro.irs.postings.CompactPostingsBuilder` — no
+        dict-of-Posting intermediate is ever materialized.
         """
-        merged_index = InvertedIndex()
-        doc_lengths = merged_index._doc_lengths
-        cf = merged_index._collection_frequency
-        postings = merged_index._postings
+        dead_sets = [set(dead) for dead in dead_sets]
+        doc_lengths: Dict[int, int] = {}
         forward: Dict[int, Dict[str, int]] = {}
-        posting_count = 0
-        token_count = 0
         for segment, dead in zip(segments, dead_sets):
-            dead = set(dead)
-            source = segment.index
-            for doc_id, length in source._doc_lengths.items():
-                if doc_id in dead:
-                    continue
-                doc_lengths[doc_id] = length
-                token_count += length
-                forward[doc_id] = {}
-            for term, by_doc in source._postings.items():
-                out = postings.get(term)
-                created = out is None
-                if created:
-                    out = postings[term] = {}
-                contributed = 0
-                for doc_id, posting in by_doc.items():
-                    if doc_id in dead:
-                        continue
-                    out[doc_id] = posting
-                    contributed += posting.tf
-                    posting_count += 1
-                    forward[doc_id][term] = posting.tf
-                if contributed:
-                    cf[term] = cf.get(term, 0) + contributed
-                elif created:
-                    del postings[term]
-        merged_index._posting_count = posting_count
-        merged_index._token_count = token_count
-        merged_index._epoch = 1
+            for doc_id, length in segment.index._doc_lengths.items():
+                if doc_id not in dead:
+                    doc_lengths[doc_id] = length
+                    forward[doc_id] = {}
+        all_terms: Set[str] = set()
+        for segment in segments:
+            all_terms.update(segment.index.terms())
+
+        def entries_of(term: str) -> Iterator[tuple]:
+            # Doc-id ranges may interleave after earlier merges, so the
+            # per-segment sorted streams go through a k-way heap merge.
+            streams = [
+                _live_entries(segment, term, dead)
+                for segment, dead in zip(segments, dead_sets)
+            ]
+            for doc_id, tf, positions in heapq.merge(*streams):
+                forward[doc_id][term] = tf
+                yield doc_id, tf, positions
+
+        merged_index = CompactIndex.from_entry_streams(
+            ((term, entries_of(term)) for term in all_terms), doc_lengths
+        )
         return cls(segment_id, merged_index, forward)

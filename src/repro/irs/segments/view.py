@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.irs.inverted_index import Posting
+from repro.irs.postings import MergedCursor, PostingsCursor
 from repro.irs.segments.manager import SegmentManager
 
 
@@ -145,6 +146,34 @@ class MergedIndexView:
             merged.sort(key=lambda posting: posting.doc_id)
         memo[term] = merged
         return merged
+
+    def term_cursors(self, term: str) -> List[PostingsCursor]:
+        """One live cursor per segment holding ``term`` (memtable last).
+
+        The top-k scorer consumes these per segment — doc ids are unique
+        across live segments, so scoring each segment's cursor against a
+        shared heap visits every live document exactly once while keeping
+        each cursor's block bounds tight.
+        """
+        manager = self._manager
+        cursors = []
+        for segment in manager.sealed_segments():
+            cursor = segment.term_cursor(term)
+            if cursor is not None:
+                cursors.append(cursor)
+        memtable_cursor = manager.memtable.term_cursor(term)
+        if memtable_cursor is not None:
+            cursors.append(memtable_cursor)
+        return cursors
+
+    def cursor(self, term: str) -> Optional[PostingsCursor]:
+        """One doc-id-ordered :class:`PostingsCursor` over the whole stack."""
+        cursors = self.term_cursors(term)
+        if not cursors:
+            return None
+        if len(cursors) == 1:
+            return cursors[0]
+        return MergedCursor(cursors)
 
     def term_frequency(self, term: str, doc_id: int) -> int:
         segment = self._manager.segment_of(doc_id)

@@ -1,0 +1,656 @@
+"""MaxScore/block-max top-k early termination over the cursor protocol.
+
+The exhaustive engine walks every posting of every query term; this module
+answers "give me the best ``k``" while *provably* returning the same top-k
+ranking and the same scores (the safe-up-to-k contract):
+
+* terms are ordered by their maximum possible score contribution and split
+  into **essential** and **non-essential** lists against the running top-k
+  threshold (Turtle & Flood's MaxScore) — documents appearing only in
+  non-essential lists can never enter the heap and are never visited;
+* candidates surface document-at-a-time from the essential cursors, with
+  per-block upper bounds checked *before* a block is decoded (Block-Max);
+  a whole block whose bound cannot reach the threshold is skipped through
+  the skip entries (``irs.postings.blocks_skipped``);
+* when even the sum of all remaining bounds cannot reach the threshold the
+  segment's evaluation stops outright (``irs.topk.early_terminations``).
+
+Impacts are exact, not estimated.  One decode sweep per (model, term,
+index version) computes the per-document score contribution per unit of
+query weight ("impact") of the current epoch, kept as per-block arrays
+aligned with the cursor's physical positions and memoized in an impact
+cache.  Candidate screening then needs one array lookup and one float
+compare per posting — and upper bounds built from *actual* impacts (not
+block maxima) make the non-essential probes nearly tight.
+
+Exactness.  Screening compares bounds against a threshold deflated by one
+part in 10^7 (:data:`CUT_SCALE`): a candidate is skipped only when its
+bound is *clearly* below the k-th score, so float re-association between
+the bound sum and the real accumulation can never skip a qualifying
+document, while ties at the k-th score are always evaluated.  Survivors
+are scored with bit-identical arithmetic to the exhaustive models (same
+expressions, same accumulation order), and ties resolve by the same
+``(-value, doc_id)`` order :meth:`IRSResult.ranked` uses — so the pruned
+top-k equals ``exhaustive.ranked()[:k]`` exactly, not just approximately.
+
+Eligibility.  Only flat ``#sum``/``#wsum`` shapes over plain positive-
+weight terms qualify (vector additionally accepts any operator nesting it
+would flatten anyway, except ``#not``); structured operators, proximity
+leaves, and negative weights fall back to exhaustive scoring + truncation,
+with the decision recorded on the query span (visible in ``explain()``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.irs.inverted_index import InvertedIndex
+from repro.irs.models.base import (
+    CompiledOperator,
+    CompiledProximity,
+    compile_query,
+)
+from repro.irs.postings import BLOCK_SIZE, CompactIndex
+from repro.irs.queries import OperatorNode, ProximityNode, QueryNode
+from repro.irs.segments.segment import MemtableSegment, SealedSegment
+
+#: Relative deflation applied to the pruning threshold.  A candidate is
+#: skipped only when its upper bound falls below ``theta * CUT_SCALE`` (in
+#: the model's contribution space); one part in 10^7 dwarfs any float
+#: re-association error between a bound sum and the exhaustive
+#: accumulation while costing nothing measurable in pruning power.
+CUT_SCALE = 1.0 - 1e-7
+
+#: Impact-cache entries per collection before a wholesale reset (a simple
+#: bound on memory for adversarial query streams, not an LRU).  Entries
+#: hold per-posting float arrays, so the cap is deliberately modest.
+_IMPACT_CACHE_LIMIT = 512
+
+
+@dataclass
+class TopKOutcome:
+    """What the pruned path produced (or why it declined)."""
+
+    values: Optional[Dict[int, float]]  #: None => caller must fall back
+    reason: Optional[str] = None  #: fallback reason when values is None
+    blocks_skipped: int = 0
+    early_terminations: int = 0
+    candidates_scored: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Eligibility
+# ---------------------------------------------------------------------------
+
+def _vector_plan(collection, model_impl, tree) -> Tuple[Optional[list], Optional[str]]:
+    """Ordered ``(term, query_weight)`` pairs for a prunable vector query."""
+
+    def reject(node) -> Optional[str]:
+        if isinstance(node, ProximityNode):
+            return "proximity"
+        if isinstance(node, OperatorNode):
+            if node.op == "not":
+                return "operator:not"
+            for child in node.children:
+                reason = reject(child)
+                if reason:
+                    return reason
+        return None
+
+    reason = reject(tree)
+    if reason:
+        return None, reason
+    # Same flattening the exhaustive path performs (shared code path, so
+    # term order — and hence accumulation order — is identical).
+    query_vector = model_impl._query_vector(collection, tree)
+    if any(weight <= 0 for weight in query_vector.values()):
+        return None, "weights"
+    return list(query_vector.items()), None
+
+
+def _inquery_plan(collection, model_impl, tree) -> Tuple[Optional[list], Optional[str]]:
+    """Ordered ``(weight, analyzed-term-or-None)`` leaves for inquery."""
+    compiled = compile_query(collection, tree)
+    flat = model_impl._flat_linear(compiled)
+    if flat is None:
+        if isinstance(compiled, CompiledOperator) and compiled.op not in (
+            "sum",
+            "wsum",
+        ):
+            return None, "operator:" + compiled.op
+        return None, "structure"
+    if any(isinstance(leaf, CompiledProximity) for _w, leaf in flat):
+        return None, "proximity"
+    if any(weight <= 0 for weight, _leaf in flat):
+        return None, "weights"
+    return [(weight, leaf.term) for weight, leaf in flat], None
+
+
+# ---------------------------------------------------------------------------
+# Impact cache: exact per-posting impacts, one sweep per index version
+# ---------------------------------------------------------------------------
+
+def _sources(collection) -> list:
+    """The scoring units: sealed segments + memtable, or the one index."""
+    manager = collection.segments
+    if manager is not None:
+        return [*manager.sealed_segments(), manager.memtable]
+    return [collection.index]
+
+
+def _source_cursor(source, term):
+    if isinstance(source, InvertedIndex):
+        return source.cursor(term)
+    return source.term_cursor(term)
+
+
+def _block_raw(source, term):
+    """Per-block ``(doc_ids, tfs, live_or_None)`` in cursor alignment.
+
+    Alignment matters: block ``b``, offset ``i`` here is exactly
+    ``(cursor.block, cursor.position_in_block)`` of the cursor
+    :func:`_source_cursor` returns for the same source — the compact
+    form's physical blocks (tombstoned positions kept; the third element
+    is the live-doc filter to apply), the dict form's virtual
+    :data:`BLOCK_SIZE` runs (pre-filtered, so the filter is None).
+    """
+    if isinstance(source, SealedSegment):
+        index = source.index
+        if isinstance(index, CompactIndex):
+            compact = index.compact_postings(term)
+            if compact is None:
+                return
+            live = source.forward if source._dead_df.get(term) else None
+            for block in range(compact.block_count):
+                ids, tfs = compact.decode_block(block)
+                yield ids, tfs, live
+            return
+        postings = source.live_postings(term)
+    elif isinstance(source, MemtableSegment):
+        postings = source.index.postings(term)
+    else:
+        postings = source.postings(term)
+    for start in range(0, len(postings), BLOCK_SIZE):
+        run = postings[start : start + BLOCK_SIZE]
+        yield [p.doc_id for p in run], [p.tf for p in run], None
+
+
+def _impact_cache(collection) -> dict:
+    cache = getattr(collection, "_topk_impact_cache", None)
+    if cache is None:
+        cache = {"lock": threading.Lock(), "entries": {}}
+        collection._topk_impact_cache = cache
+    return cache
+
+
+def _index_version(collection) -> tuple:
+    manager = collection.segments
+    if manager is not None:
+        return manager.version
+    return (collection.index.epoch,)
+
+
+def _term_impacts(
+    collection,
+    cache_key: tuple,
+    term: str,
+    unit_impact: Callable[[int, int], float],
+) -> Dict[int, tuple]:
+    """``id(source) -> (max_u, block_maxes, block_us, block_ids,
+    block_tfs, probe)`` for one term.
+
+    ``unit_impact(doc_id, tf)`` is the model's per-occurrence impact (the
+    score contribution per unit of query weight).  The sweep decodes each
+    live posting once per index version and derives two aligned views:
+    per-block arrays — impacts, doc ids, tfs, position-aligned so list
+    scans never touch the encoded bytes again (tombstoned positions carry
+    impact 0.0) — and the ``probe`` map ``doc_id -> (u, tf)`` for O(1)
+    membership probes against the other query terms.  Results are
+    memoized until any content or structure change moves the version.
+    """
+    cache = _impact_cache(collection)
+    version = _index_version(collection)
+    with cache["lock"]:
+        entry = cache["entries"].get(cache_key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+    per_source: Dict[int, tuple] = {}
+    for source in _sources(collection):
+        block_us: List[List[float]] = []
+        block_maxes: List[float] = []
+        block_ids: List[List[int]] = []
+        block_tfs: List[List[int]] = []
+        probe: Dict[int, tuple] = {}
+        for ids, tfs, live in _block_raw(source, term):
+            us: List[float] = []
+            for doc_id, tf in zip(ids, tfs):
+                if live is not None and doc_id not in live:
+                    us.append(0.0)
+                    continue
+                u = unit_impact(doc_id, tf)
+                us.append(u)
+                probe[doc_id] = (u, tf)
+            block_us.append(us)
+            block_maxes.append(max(us) if us else 0.0)
+            block_ids.append(ids)
+            block_tfs.append(tfs)
+        if block_maxes:
+            max_u = max(block_maxes)
+            if max_u > 0.0:
+                per_source[id(source)] = (
+                    max_u,
+                    block_maxes,
+                    block_us,
+                    block_ids,
+                    block_tfs,
+                    probe,
+                )
+    with cache["lock"]:
+        entries = cache["entries"]
+        if len(entries) >= _IMPACT_CACHE_LIMIT:
+            entries.clear()
+        entries[cache_key] = (version, per_source)
+    return per_source
+
+
+# ---------------------------------------------------------------------------
+# The MaxScore / block-max DAAT core
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _TermList:
+    """One term's cursor within one segment, with its exact impact arrays."""
+
+    term: str
+    cursor: object
+    weight: float  #: combined query weight
+    ub: float  #: weight * max impact over the whole list
+    block_maxes: List[float]  #: per-block max impact (unweighted)
+    block_us: List[List[float]]  #: per-block impact per physical position
+    block_ids: List[List[int]]  #: per-block doc ids (cursor-aligned)
+    block_tfs: List[List[int]]  #: per-block tfs (cursor-aligned)
+    probe: Dict[int, tuple]  #: live doc_id -> (impact, tf) membership map
+    live: Optional[dict]  #: live-doc filter for batch scans (None: all live)
+
+
+_NEG_INF = float("-inf")
+
+
+def _score_segment(
+    lists: List[_TermList],
+    k: int,
+    heap: List[Tuple[float, int]],
+    score_candidate: Callable[[int, Dict[str, int]], Optional[float]],
+    cut_of: Callable[[float], float],
+    outcome: TopKOutcome,
+) -> None:
+    """Run MaxScore over one segment, sharing the global top-k heap.
+
+    Lists are scanned strongest (highest upper bound) first.  A document
+    is *considered* exactly once — in the strongest query-term list that
+    contains it; weaker lists skip it via an O(1) probe into the stronger
+    lists' impact maps.  Scanning stops at the classic MaxScore boundary:
+    once the summed upper bounds of the unscanned lists fall below the
+    threshold, no unseen document can qualify (every document they would
+    surface is either already considered or bounded out).
+
+    A scan walks the cursor-aligned impact arrays block by block (the
+    impact cache decoded them once per index version, so the encoded
+    bytes are never touched here): a block whose max impact cannot reach
+    the threshold is hopped over through its skip entry — that is the
+    block-max skip ``irs.postings.blocks_skipped`` counts — and each
+    position of a visited block is screened with one compare against the
+    threshold translated into the list's impact space.  Survivors probe
+    the other lists for their exact impacts, tightening the bound term
+    by term (the one- and two-probe shapes, which dominate real query
+    mixes, are unrolled straight-line), and only candidates whose bound
+    still reaches the threshold are scored exactly.
+
+    All bound arithmetic happens in the model's *contribution space* (the
+    raw weighted-impact sum, before any final transform); ``cut_of`` maps
+    the k-th heap value into that space, deflated by :data:`CUT_SCALE`.
+    Until the heap holds ``k`` entries the cut is ``-inf`` (nothing is
+    screened); a candidate is skipped only when its bound falls *clearly*
+    below the k-th score, so ties at the threshold are always evaluated.
+    """
+    lists.sort(key=lambda tl: tl.ub, reverse=True)
+    m = len(lists)
+    total_ub = sum(tl.ub for tl in lists)
+    cut = cut_of(heap[0][0]) if len(heap) >= k else _NEG_INF
+    heap_len = len(heap)
+    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
+    remaining = total_ub  # summed ubs of lists[li:], the unscanned tail
+    for li, lead in enumerate(lists):
+        if remaining < cut:
+            # MaxScore boundary: the unscanned lists are non-essential —
+            # every document they hold is already considered or bounded out.
+            outcome.early_terminations += 1
+            break
+        wl = lead.weight
+        lead_term = lead.term
+        block_maxes = lead.block_maxes
+        block_us = lead.block_us
+        block_ids = lead.block_ids
+        block_tfs = lead.block_tfs
+        live = lead.live
+        # Probe order is ub-descending with the already-scanned (stronger)
+        # lists first: a hit in one of those means the document was
+        # already considered during that list's scan, and a miss removes
+        # the largest remaining slack from the bound fastest.
+        probes = [
+            (tl.probe.get, tl.ub, tl.weight, tl.term, j < li)
+            for j, tl in enumerate(lists)
+            if j != li
+        ]
+        n_probes = m - 1
+        if n_probes >= 1:
+            get_1, ub_1, w_1, term_1, scanned_1 = probes[0]
+        if n_probes >= 2:
+            get_2, ub_2, w_2, term_2, scanned_2 = probes[1]
+        rest = total_ub - lead.ub
+        t = (cut - rest) / wl
+        skipped = 0
+        for b in range(len(block_us)):
+            if block_maxes[b] < t:
+                skipped += 1
+                continue
+            us = block_us[b]
+            ids = block_ids[b]
+            tfs = block_tfs[b]
+            for i, u in enumerate(us):
+                if u < t:
+                    continue
+                doc = ids[i]
+                if live is not None and doc not in live:
+                    continue
+                if n_probes == 0:
+                    # u >= t already proves wl*u reaches the cut.
+                    tf_map = {lead_term: tfs[i]}
+                elif n_probes == 1:
+                    hit = get_1(doc)
+                    if hit is None:
+                        # rest == ub_1 here, so the bound collapses to wl*u.
+                        if wl * u < cut:
+                            continue
+                        tf_map = {lead_term: tfs[i]}
+                    else:
+                        if scanned_1:
+                            continue
+                        if wl * u + w_1 * hit[0] < cut:
+                            continue
+                        tf_map = {lead_term: tfs[i], term_1: hit[1]}
+                elif n_probes == 2:
+                    bound = rest + wl * u - ub_1
+                    hit_1 = get_1(doc)
+                    if hit_1 is not None:
+                        if scanned_1:
+                            continue
+                        bound += w_1 * hit_1[0]
+                    if bound < cut:
+                        continue
+                    bound -= ub_2
+                    hit_2 = get_2(doc)
+                    if hit_2 is not None:
+                        if scanned_2:
+                            continue
+                        bound += w_2 * hit_2[0]
+                    if bound < cut:
+                        continue
+                    tf_map = {lead_term: tfs[i]}
+                    if hit_1 is not None:
+                        tf_map[term_1] = hit_1[1]
+                    if hit_2 is not None:
+                        tf_map[term_2] = hit_2[1]
+                else:
+                    bound = rest + wl * u
+                    viable = True
+                    matched = None
+                    for probe_get, ub_o, w_o, term_o, scanned in probes:
+                        bound -= ub_o
+                        hit = probe_get(doc)
+                        if hit is not None:
+                            if scanned:
+                                # Already considered in that list's scan.
+                                viable = False
+                                break
+                            bound += w_o * hit[0]
+                            if matched is None:
+                                matched = []
+                            matched.append((term_o, hit[1]))
+                        if bound < cut:
+                            viable = False
+                            break
+                    if not viable:
+                        continue
+                    tf_map = {lead_term: tfs[i]}
+                    if matched:
+                        tf_map.update(matched)
+                value = score_candidate(doc, tf_map)
+                outcome.candidates_scored += 1
+                if value is None:
+                    continue
+                entry = (value, -doc)
+                if heap_len < k:
+                    heappush(heap, entry)
+                    heap_len += 1
+                    if heap_len < k:
+                        continue
+                elif entry > heap[0]:
+                    heapreplace(heap, entry)
+                else:
+                    continue
+                cut = cut_of(heap[0][0])
+                t = (cut - rest) / wl
+        outcome.blocks_skipped += skipped
+        remaining -= lead.ub
+
+
+# ---------------------------------------------------------------------------
+# Model adapters
+# ---------------------------------------------------------------------------
+
+def _run(
+    collection,
+    k: int,
+    weighted_terms: List[Tuple[str, float]],
+    impacts_of: Callable[[str], Dict[int, tuple]],
+    score_candidate,
+    cut_of,
+) -> TopKOutcome:
+    """Shared driver: build per-segment term lists, score segment by segment.
+
+    Documents are unique across live segments, so running the segments
+    sequentially against one shared heap scores every live document at
+    most once — and segments after the first start with a warm threshold.
+    """
+    outcome = TopKOutcome(values={})
+    heap: List[Tuple[float, int]] = []
+    sources = _sources(collection)
+    impact_maps = {term: impacts_of(term) for term, _w in weighted_terms}
+    for source in sources:
+        lists: List[_TermList] = []
+        for term, weight in weighted_terms:
+            per_source = impact_maps[term].get(id(source))
+            if per_source is None:
+                continue
+            max_u, block_maxes, block_us, block_ids, block_tfs, probe = per_source
+            cursor = _source_cursor(source, term)
+            if cursor is None:
+                continue
+            lists.append(
+                _TermList(
+                    term=term,
+                    cursor=cursor,
+                    weight=weight,
+                    ub=weight * max_u,
+                    block_maxes=block_maxes,
+                    block_us=block_us,
+                    block_ids=block_ids,
+                    block_tfs=block_tfs,
+                    probe=probe,
+                    live=getattr(cursor, "_live", None),
+                )
+            )
+        if lists:
+            _score_segment(lists, k, heap, score_candidate, cut_of, outcome)
+    outcome.values = {-neg_doc: value for value, neg_doc in heap}
+    return outcome
+
+
+def _vector_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
+    entries, reason = _vector_plan(collection, model_impl, tree)
+    if entries is None:
+        return TopKOutcome(values=None, reason=reason)
+    stats = collection.stats
+    scored = [
+        (term, weight, stats.idf(term))
+        for term, weight in entries
+        if stats.idf(term) != 0.0
+    ]
+    if not scored:
+        return TopKOutcome(values={})
+    query_norm = math.sqrt(sum(w * w for _t, w in entries))
+    idf_by_term = {term: idf for term, _w, idf in scored}
+
+    def impacts_of(term: str) -> Dict[int, tuple]:
+        idf = idf_by_term[term]
+        document_norm = stats.document_norm
+        log = math.log
+
+        def unit_impact(doc_id: int, tf: int) -> float:
+            norm = document_norm(doc_id)
+            if norm <= 0.0:
+                return 0.0
+            return (1.0 + log(tf)) * idf / norm
+
+        return _term_impacts(collection, ("vector", term), term, unit_impact)
+
+    def score_candidate(doc_id: int, tf_map: Dict[str, int]) -> Optional[float]:
+        # Bit-identical to VectorSpaceModel.score: same expressions, same
+        # per-document accumulation order (query-vector term order).
+        dot = 0.0
+        for term, weight, idf in scored:
+            tf = tf_map.get(term)
+            if tf:
+                dot += weight * (1.0 + math.log(tf)) * idf
+        if dot <= 0.0:
+            return None
+        doc_norm = stats.document_norm(doc_id)
+        if doc_norm <= 0.0:
+            return None
+        value = dot / (doc_norm * query_norm)
+        return min(1.0, value)
+
+    # Contribution space is value space: impacts carry 1/doc_norm, the
+    # weights below carry 1/query_norm, and the min(1, .) cap only ever
+    # lowers a score further below its bound.
+    weighted = [(term, weight / query_norm) for term, weight, _idf in scored]
+
+    def cut_of(theta: float) -> float:
+        return theta * CUT_SCALE
+
+    return _run(collection, k, weighted, impacts_of, score_candidate, cut_of)
+
+
+def _inquery_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
+    leaves, reason = _inquery_plan(collection, model_impl, tree)
+    if leaves is None:
+        return TopKOutcome(values=None, reason=reason)
+    stats = collection.stats
+    index = collection.index
+    db = model_impl._db
+    one_minus_db = 1.0 - db
+    total_weight = sum(weight for weight, _term in leaves)
+    avg_dl = stats.average_document_length or 1.0
+    # Leaves kept for scoring: real terms with evidence capacity.  Stopped
+    # and zero-idf leaves contribute exactly 0.0 excess (their belief is
+    # the default belief bit-for-bit), so dropping them from the loop
+    # cannot change any accumulated float — but their weight stays in W.
+    idf_parts: Dict[str, float] = {}
+    scoring_leaves: List[Tuple[float, str]] = []
+    for weight, term in leaves:
+        if term is None:
+            continue
+        idf_part = idf_parts.get(term)
+        if idf_part is None:
+            idf_part = idf_parts[term] = stats.inquery_idf(term)
+        if idf_part > 0.0:
+            scoring_leaves.append((weight, term))
+    if not scoring_leaves:
+        return TopKOutcome(values={})
+    combined_weight: Dict[str, float] = {}
+    for weight, term in scoring_leaves:
+        combined_weight[term] = combined_weight.get(term, 0.0) + weight
+    document_length = index.document_length
+
+    def impacts_of(term: str) -> Dict[int, tuple]:
+        idf_part = idf_parts[term]
+
+        def unit_impact(doc_id: int, tf: int) -> float:
+            dl = document_length(doc_id)
+            tf_part = tf / (tf + 0.5 + 1.5 * dl / avg_dl)
+            return one_minus_db * tf_part * idf_part
+
+        return _term_impacts(collection, ("inquery", db, term), term, unit_impact)
+
+    def score_candidate(doc_id: int, tf_map: Dict[str, int]) -> Optional[float]:
+        # Bit-identical to _score_term_at_a_time + _term_belief_map: same
+        # belief expression, same leaf-order accumulation.
+        acc = 0.0
+        for weight, term in scoring_leaves:
+            tf = tf_map.get(term)
+            if not tf:
+                continue
+            dl = document_length(doc_id)
+            tf_part = tf / (tf + 0.5 + 1.5 * dl / avg_dl)
+            belief = db + one_minus_db * tf_part * idf_parts[term]
+            acc += weight * (belief - db)
+        if acc <= 0.0:
+            return None
+        return db + acc / total_weight
+
+    # Contribution space is the weighted-excess sum (the accumulator of
+    # the exhaustive TAAT loop); the k-th *value* maps back through the
+    # final ``db + acc / W`` transform.
+    def cut_of(theta: float) -> float:
+        return (theta - db) * total_weight * CUT_SCALE
+
+    weighted = list(combined_weight.items())
+    return _run(collection, k, weighted, impacts_of, score_candidate, cut_of)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def topk_scores(
+    collection, model_name: str, model_impl, tree: QueryNode, k: int
+) -> TopKOutcome:
+    """Score the best ``k`` documents with early termination when possible.
+
+    Returns an outcome whose ``values`` is the exact top-k score dict (the
+    safe-up-to-k contract versus the exhaustive engine), or ``None`` with a
+    ``reason`` when the query shape or model is not prunable — the caller
+    then runs the exhaustive path and truncates.  Must be called under the
+    collection's read lock (same contract as model scoring).
+    """
+    if k <= 0:
+        return TopKOutcome(values={})
+    if model_name == "vector":
+        return _vector_outcome(collection, model_impl, tree, k)
+    if model_name == "inquery":
+        return _inquery_outcome(collection, model_impl, tree, k)
+    return TopKOutcome(values=None, reason="model:" + model_name)
+
+
+def truncate_top_k(values: Dict[int, float], k: int) -> Dict[int, float]:
+    """The exhaustive fallback's tail: keep the best ``k`` by rank order."""
+    if len(values) <= k:
+        return values
+    ranked = sorted(values.items(), key=lambda kv: (-kv[1], kv[0]))
+    return dict(ranked[:k])

@@ -4,8 +4,8 @@ The service's throughput win on concurrent IRS traffic comes from here,
 not from thread parallelism (scoring is pure Python): a batching window's
 requests against the same collection are
 
-* **deduplicated** — each distinct ``(model, query)`` pair is scored once
-  per window, however many clients asked for it;
+* **deduplicated** — each distinct ``(model, query, top_k)`` triple is
+  scored once per window, however many clients asked for it;
 * **snapshot-shared** — all distinct queries of a group are scored under a
   single read hold of the collection's lock, against one index epoch and
   one :class:`~repro.irs.statistics.StatisticsCache` state, so a group is
@@ -71,17 +71,19 @@ class GroupOutcome:
     """Per-distinct-query results (or failures) of one executed group."""
 
     epoch: Optional[int] = None
-    #: (model, query) -> ranked {OID: value}
-    values: Dict[Tuple[Optional[str], str], Dict[OID, float]] = field(
+    #: (model, query, top_k) -> ranked {OID: value}
+    values: Dict[Tuple[Optional[str], str, Optional[int]], Dict[OID, float]] = field(
         default_factory=dict
     )
-    #: (model, query) -> mapped exception for queries that failed
-    errors: Dict[Tuple[Optional[str], str], BaseException] = field(
+    #: (model, query, top_k) -> mapped exception for queries that failed
+    errors: Dict[Tuple[Optional[str], str, Optional[int]], BaseException] = field(
         default_factory=dict
     )
-    #: (model, query) -> the ResultSet built for the first request of that
-    #: key; duplicates share its ranked hits list (built once per group).
-    built: Dict[Tuple[Optional[str], str], ResultSet] = field(default_factory=dict)
+    #: (model, query, top_k) -> the ResultSet built for the first request of
+    #: that key; duplicates share its ranked hits list (built once per group).
+    built: Dict[Tuple[Optional[str], str, Optional[int]], ResultSet] = field(
+        default_factory=dict
+    )
     deduplicated: int = 0
 
 
@@ -89,14 +91,14 @@ def execute_group(
     db: Database,
     context: CouplingContext,
     collection_obj: DBObject,
-    requested: List[Tuple[Optional[str], str]],
+    requested: List[Tuple[Optional[str], str, Optional[int]]],
 ) -> GroupOutcome:
     """Execute one collection's batched IRS queries against one snapshot.
 
-    ``requested`` lists each request's ``(model_override, irs_query)``;
-    duplicates are welcome — that is the point.  Failures are per query:
-    one malformed expression poisons only its own requests, the rest of
-    the group still gets results.
+    ``requested`` lists each request's ``(model_override, irs_query,
+    top_k)``; duplicates are welcome — that is the point.  Failures are
+    per query: one malformed expression poisons only its own requests,
+    the rest of the group still gets results.
     """
     engine = context.engine
     registry = obs.metrics()
@@ -114,10 +116,10 @@ def execute_group(
         irs_name = collection_obj.get("irs_name")
         span.set_attribute("collection", irs_name)
 
-        distinct: List[Tuple[Optional[str], str]] = []
+        distinct: List[Tuple[Optional[str], str, Optional[int]]] = []
         seen = set()
-        for model, irs_query in requested:
-            key = (model or default_model, irs_query)
+        for model, irs_query, top_k in requested:
+            key = (model or default_model, irs_query, top_k)
             if key not in seen:
                 seen.add(key)
                 distinct.append(key)
@@ -130,9 +132,9 @@ def execute_group(
             collection = engine.collection(irs_name)
             outcome.epoch = collection.index.epoch
             for key in distinct:
-                model, irs_query = key
+                model, irs_query, top_k = key
                 try:
-                    result = engine.query(irs_name, irs_query, model=model)
+                    result = engine.query(irs_name, irs_query, model=model, top_k=top_k)
                     values = result.by_metadata(collection, "oid")
                     outcome.values[key] = {
                         OID.parse(oid_str): value for oid_str, value in values.items()
@@ -155,6 +157,7 @@ def result_for(
     model: Optional[str],
     default_model: Optional[str],
     irs_query: str,
+    top_k: Optional[int] = None,
 ) -> ResultSet:
     """Build one request's :class:`ResultSet` from its group's outcome.
 
@@ -162,7 +165,7 @@ def result_for(
     requests get their own lightweight :class:`ResultSet` sharing the same
     ranked hits list.
     """
-    key = (model or default_model, irs_query)
+    key = (model or default_model, irs_query, top_k)
     error = outcome.errors.get(key)
     if error is not None:
         raise error

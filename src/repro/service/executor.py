@@ -57,8 +57,12 @@ from repro.service.results import ResultSet
 _UNSET = object()
 
 #: A query_batch item: (collection_obj, irs_query) or (collection_obj,
-#: irs_query, model).
-BatchItem = Union[Tuple[DBObject, str], Tuple[DBObject, str, Optional[str]]]
+#: irs_query, model) or (collection_obj, irs_query, model, top_k).
+BatchItem = Union[
+    Tuple[DBObject, str],
+    Tuple[DBObject, str, Optional[str]],
+    Tuple[DBObject, str, Optional[str], Optional[int]],
+]
 
 
 @dataclass
@@ -71,6 +75,7 @@ class _Request:
     collection_obj: Optional[DBObject] = None
     irs_query: str = ""
     model: Optional[str] = None
+    top_k: Optional[int] = None
     fn: Optional[Callable[[], Any]] = None
     error_mapper: Callable[[BaseException], BaseException] = field(
         default=batch_module.map_query_error
@@ -163,7 +168,11 @@ class DocumentService:
     # -- submission ---------------------------------------------------------
 
     def submit_query(
-        self, collection_obj: DBObject, irs_query: str, model: Optional[str] = None
+        self,
+        collection_obj: DBObject,
+        irs_query: str,
+        model: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> "Future[ResultSet]":
         """Enqueue one IRS query; resolves to a :class:`ResultSet`."""
         return self._admit(
@@ -174,6 +183,7 @@ class DocumentService:
                 collection_obj=collection_obj,
                 irs_query=irs_query,
                 model=model,
+                top_k=top_k,
                 label="query",
             )
         )
@@ -220,9 +230,12 @@ class DocumentService:
         irs_query: str,
         model: Optional[str] = None,
         timeout: Any = _UNSET,
+        top_k: Optional[int] = None,
     ) -> ResultSet:
         """Submit one IRS query and wait for its result."""
-        return self._await(self.submit_query(collection_obj, irs_query, model), timeout)
+        return self._await(
+            self.submit_query(collection_obj, irs_query, model, top_k), timeout
+        )
 
     def query_batch(
         self, items: Sequence[BatchItem], timeout: Any = _UNSET
@@ -236,7 +249,8 @@ class DocumentService:
         for item in items:
             collection_obj, irs_query = item[0], item[1]
             model = item[2] if len(item) > 2 else None
-            futures.append(self.submit_query(collection_obj, irs_query, model))
+            top_k = item[3] if len(item) > 3 else None
+            futures.append(self.submit_query(collection_obj, irs_query, model, top_k))
         return [self._await(future, timeout) for future in futures]
 
     def call(
@@ -337,6 +351,7 @@ class DocumentService:
                         request.model,
                         default_model,
                         request.irs_query,
+                        request.top_k,
                     )
                 )
             except BaseException as exc:
@@ -350,13 +365,13 @@ class DocumentService:
                     self.db,
                     self.context,
                     collection_obj,
-                    [(r.model, r.irs_query) for r in requests],
+                    [(r.model, r.irs_query, r.top_k) for r in requests],
                 )
         return batch_module.execute_group(
             self.db,
             self.context,
             collection_obj,
-            [(r.model, r.irs_query) for r in requests],
+            [(r.model, r.irs_query, r.top_k) for r in requests],
         )
 
     def _run_solo(self, request: _Request) -> None:

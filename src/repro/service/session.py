@@ -140,21 +140,30 @@ class Session:
         irs_query: str,
         model: Optional[str] = None,
         timeout: Any = _UNSET,
+        top_k: Optional[int] = None,
     ) -> ResultSet:
-        """``getIRSResult`` as a typed result: ranked hits, best first."""
+        """``getIRSResult`` as a typed result: ranked hits, best first.
+
+        ``top_k`` asks for only the k best hits; eligible ranked queries
+        are scored with block-max early termination (same k-prefix as the
+        exhaustive ranking), others fall back to exhaustive scoring and
+        truncate.
+        """
         if self._service is not None:
-            return self._service.query(collection_obj, irs_query, model, timeout)
-        return self._query_inline(collection_obj, irs_query, model)
+            return self._service.query(collection_obj, irs_query, model, timeout, top_k)
+        return self._query_inline(collection_obj, irs_query, model, top_k)
 
     def query_batch(
         self, items: Sequence[BatchItem], timeout: Any = _UNSET
     ) -> List[ResultSet]:
         """Run many IRS queries; one :class:`ResultSet` per item, in order.
 
-        Items are ``(collection_obj, irs_query)`` or
-        ``(collection_obj, irs_query, model)`` tuples.  Pooled sessions
-        execute the batch through one batching window (shared snapshots,
-        deduplicated scoring); inline sessions run the items sequentially.
+        Items are ``(collection_obj, irs_query)``,
+        ``(collection_obj, irs_query, model)`` or
+        ``(collection_obj, irs_query, model, top_k)`` tuples.  Pooled
+        sessions execute the batch through one batching window (shared
+        snapshots, deduplicated scoring); inline sessions run the items
+        sequentially.
         """
         if self._service is not None:
             return self._service.query_batch(items, timeout)
@@ -162,29 +171,38 @@ class Session:
         for item in items:
             collection_obj, irs_query = item[0], item[1]
             model = item[2] if len(item) > 2 else None
-            results.append(self._query_inline(collection_obj, irs_query, model))
+            top_k = item[3] if len(item) > 3 else None
+            results.append(
+                self._query_inline(collection_obj, irs_query, model, top_k)
+            )
         return results
 
     def _query_inline(
-        self, collection_obj: DBObject, irs_query: str, model: Optional[str]
+        self,
+        collection_obj: DBObject,
+        irs_query: str,
+        model: Optional[str],
+        top_k: Optional[int] = None,
     ) -> ResultSet:
         default_model = collection_obj.get("model")
         irs_name = collection_obj.get("irs_name")
         with _mapped_errors(batch_module.map_query_error):
-            if model is None or model == default_model:
+            if top_k is None and (model is None or model == default_model):
                 # The classic path: persistent buffer, default model.
                 values = collection_module._get_irs_result(collection_obj, irs_query)
             else:
-                # Model override: score directly (the persistent buffer is
-                # keyed per model but the classic path only serves the
-                # collection default; overrides bypass it).
+                # Model override or top-k request: score directly (the
+                # persistent buffer stores full rankings for the collection
+                # default model only; both cases bypass it).
                 engine = self.context.engine
                 if updates.has_pending(collection_obj):
                     updates.propagate(collection_obj, forced=True)
                 from repro.oodb.oid import OID
 
                 with engine.reading(irs_name):
-                    result = engine.query(irs_name, irs_query, model=model)
+                    result = engine.query(
+                        irs_name, irs_query, model=model, top_k=top_k
+                    )
                     raw = result.by_metadata(engine.collection(irs_name), "oid")
                 values = {OID.parse(oid_str): value for oid_str, value in raw.items()}
             epoch = self.context.engine.collection(irs_name).index.epoch

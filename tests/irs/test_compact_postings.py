@@ -1,0 +1,306 @@
+"""Compact block postings: round-trips, cursors, tombstones, payloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.irs.inverted_index import InvertedIndex, Posting
+from repro.irs.postings import (
+    BLOCK_SIZE,
+    CURSOR_DONE,
+    CompactIndex,
+    CompactPostings,
+    CompactPostingsBuilder,
+    ListCursor,
+    MergedCursor,
+)
+
+
+def build(entries):
+    """entries: [(doc_id, positions)] ascending -> CompactPostings."""
+    builder = CompactPostingsBuilder()
+    for doc_id, positions in entries:
+        builder.add(doc_id, positions)
+    return builder.build()
+
+
+def sample_entries(n, seed=0, gap_max=50):
+    rng = random.Random(seed)
+    doc = 0
+    entries = []
+    for _ in range(n):
+        doc += rng.randint(1, gap_max)
+        k = rng.randint(1, 6)
+        positions = sorted(rng.sample(range(0, 500), k))
+        entries.append((doc, positions))
+    return entries
+
+
+entry_lists = st.builds(
+    sample_entries,
+    st.integers(0, 3 * BLOCK_SIZE + 7),
+    seed=st.integers(0, 2**16),
+    gap_max=st.integers(1, 10**6),
+)
+
+
+class TestBuilderRoundTrip:
+    def test_empty(self):
+        postings = build([])
+        assert postings.doc_count == 0
+        assert postings.block_count == 0
+        assert postings.max_tf == 0
+        assert postings.to_postings() == []
+        cursor = postings.cursor()
+        assert cursor.current_doc() == CURSOR_DONE
+
+    def test_small_round_trip(self):
+        entries = [(3, [0, 4]), (9, [1]), (200, [5, 6, 7])]
+        postings = build(entries)
+        assert postings.doc_count == 3
+        assert postings.collection_frequency == 6
+        assert [(p.doc_id, p.positions) for p in postings.to_postings()] == entries
+        assert [
+            (d, tf) for d, tf, _ in postings.iter_entries(with_positions=False)
+        ] == [(3, 2), (9, 1), (200, 3)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(entry_lists)
+    def test_round_trip_property(self, entries):
+        postings = build(entries)
+        assert postings.doc_count == len(entries)
+        assert [(p.doc_id, p.positions) for p in postings.to_postings()] == entries
+        assert postings.collection_frequency == sum(
+            len(positions) for _, positions in entries
+        )
+
+    def test_rejects_non_ascending(self):
+        builder = CompactPostingsBuilder()
+        builder.add(5, [0])
+        with pytest.raises(ValueError):
+            builder.add(5, [1])
+        with pytest.raises(ValueError):
+            builder.add(3, [1])
+
+    def test_rejects_empty_positions(self):
+        with pytest.raises(ValueError):
+            CompactPostingsBuilder().add(1, [])
+
+
+class TestBlockMetadata:
+    @pytest.fixture
+    def postings(self):
+        # 2.5 blocks, doc ids 2, 4, 6, ..., tf grows with doc id.
+        entries = [
+            (2 * (i + 1), list(range(1 + i % 7)) or [0])
+            for i in range(2 * BLOCK_SIZE + BLOCK_SIZE // 2)
+        ]
+        return build(entries), entries
+
+    def test_block_shape(self, postings):
+        compact, entries = postings
+        assert compact.block_count == 3
+        assert compact.block_doc_count(0) == BLOCK_SIZE
+        assert compact.block_doc_count(2) == BLOCK_SIZE // 2
+        assert compact.block_last_doc(0) == entries[BLOCK_SIZE - 1][0]
+        assert compact.block_last_doc(2) == entries[-1][0]
+
+    def test_block_max_tf_is_exact(self, postings):
+        compact, entries = postings
+        for b in range(compact.block_count):
+            chunk = entries[b * BLOCK_SIZE : (b + 1) * BLOCK_SIZE]
+            assert compact.block_max_tf(b) == max(len(p) for _, p in chunk)
+        assert compact.max_tf == max(len(p) for _, p in entries)
+
+    def test_blocks_decode_independently(self, postings):
+        compact, entries = postings
+        ids, tfs = compact.decode_block(1)  # no block 0 decode needed
+        chunk = entries[BLOCK_SIZE : 2 * BLOCK_SIZE]
+        assert ids == [d for d, _ in chunk]
+        assert tfs == [len(p) for _, p in chunk]
+        positions = compact.decode_block_positions(1, tfs)
+        assert positions == [p for _, p in chunk]
+
+    def test_point_lookups(self, postings):
+        compact, entries = postings
+        present = entries[BLOCK_SIZE + 3]
+        assert compact.term_frequency(present[0]) == len(present[1])
+        assert compact.positions(present[0]) == present[1]
+        assert compact.term_frequency(present[0] + 1) == 0
+        assert compact.positions(present[0] + 1) is None
+        assert compact.term_frequency(10**9) == 0
+
+    def test_compact_is_smaller_than_dict_proxy(self, postings):
+        compact, entries = postings
+        dict_bytes = sum(8 + 8 * len(p) for _, p in entries)
+        assert compact.postings_bytes < dict_bytes / 3
+
+
+class TestCompactCursor:
+    @pytest.fixture
+    def entries(self):
+        return sample_entries(3 * BLOCK_SIZE + 11, seed=5)
+
+    def test_full_scan_matches_entries(self, entries):
+        cursor = build(entries).cursor()
+        seen = []
+        doc = cursor.current_doc()
+        while doc != CURSOR_DONE:
+            seen.append((doc, cursor.current_tf()))
+            doc = cursor.advance()
+        assert seen == [(d, len(p)) for d, p in entries]
+
+    def test_next_geq_skips_blocks_without_decoding(self, entries):
+        postings = build(entries)
+        cursor = postings.cursor()
+        target = entries[2 * BLOCK_SIZE + 1][0]
+        assert cursor.next_geq(target) == target
+        # Block 0 was decoded to position the cursor; block 1 was hopped
+        # over through its skip entry without decoding.
+        assert cursor.blocks_skipped == 1
+        assert cursor.block == 2
+
+    def test_next_geq_between_docs_lands_on_successor(self, entries):
+        cursor = build(entries).cursor()
+        doc = entries[10][0]
+        assert cursor.next_geq(doc + 1) == entries[11][0]
+        assert cursor.next_geq(entries[-1][0] + 1) == CURSOR_DONE
+
+    def test_advance_block_counts_skips(self, entries):
+        cursor = build(entries).cursor()
+        assert cursor.advance_block()  # block 0 never decoded -> skipped
+        assert cursor.blocks_skipped == 1
+        cursor.current_doc()  # decodes block 1
+        cursor.advance_block()
+        assert cursor.blocks_skipped == 1  # decoded blocks don't count
+        cursor.mark_block_read()  # consumed out of band (impact cache)
+        cursor.advance_block()
+        assert cursor.blocks_skipped == 1
+
+    def test_block_arrays_alignment(self, entries):
+        cursor = build(entries).cursor()
+        cursor.next_geq(entries[BLOCK_SIZE + 7][0])
+        ids, tfs, start = cursor.block_arrays()
+        assert ids[start] == cursor.current_doc()
+        assert tfs[start] == cursor.current_tf()
+        assert len(ids) == len(tfs) == BLOCK_SIZE
+
+    def test_live_filtering_hides_tombstoned_docs(self, entries):
+        dead = {entries[i][0] for i in range(0, len(entries), 3)}
+        live = {d: None for d, _ in entries if d not in dead}
+        cursor = build(entries).cursor(live=live)
+        seen = []
+        doc = cursor.current_doc()
+        while doc != CURSOR_DONE:
+            seen.append(doc)
+            doc = cursor.advance()
+        assert seen == sorted(live)
+        # next_geq also respects liveness.
+        cursor = build(entries).cursor(live=live)
+        some_dead = next(iter(sorted(dead)))
+        landed = cursor.next_geq(some_dead)
+        assert landed in live and landed >= some_dead
+
+    @settings(max_examples=20, deadline=None)
+    @given(entry_lists, st.integers(0, 2**16))
+    def test_cursor_equivalence_with_list_cursor(self, entries, seed):
+        compact = build(entries).cursor()
+        listc = ListCursor([Posting(d, p) for d, p in entries])
+        rng = random.Random(seed)
+        last = 0
+        for _ in range(12):
+            if rng.random() < 0.5:
+                a, b = compact.advance(), listc.advance()
+            else:
+                last += rng.randint(1, 2 * BLOCK_SIZE)
+                a, b = compact.next_geq(last), listc.next_geq(last)
+            assert a == b
+            if a == CURSOR_DONE:
+                break
+            assert compact.current_tf() == listc.current_tf()
+
+
+class TestMergedCursor:
+    def test_union_in_doc_order(self):
+        a = build([(1, [0]), (5, [0, 1]), (9, [0])]).cursor()
+        b = ListCursor([Posting(2, [0]), Posting(7, [0, 1, 2])])
+        merged = MergedCursor([a, b])
+        seen = []
+        doc = merged.current_doc()
+        while doc != CURSOR_DONE:
+            seen.append((doc, merged.current_tf()))
+            doc = merged.advance()
+        assert seen == [(1, 1), (2, 1), (5, 2), (7, 3), (9, 1)]
+
+    def test_next_geq(self):
+        a = build([(1, [0]), (5, [0]), (9, [0])]).cursor()
+        b = ListCursor([Posting(2, [0]), Posting(7, [0])])
+        merged = MergedCursor([a, b])
+        assert merged.next_geq(6) == 7
+        assert merged.next_geq(10) == CURSOR_DONE
+
+
+class TestCompactIndex:
+    @pytest.fixture
+    def inverted(self):
+        idx = InvertedIndex()
+        rng = random.Random(11)
+        vocab = ["www", "nii", "telnet", "gopher", "archie"]
+        for doc_id in range(1, 40):
+            tokens = rng.choices(vocab, k=rng.randint(3, 12))
+            idx.add_document(doc_id, tokens)
+        return idx
+
+    def test_from_inverted_preserves_statistics(self, inverted):
+        compact = CompactIndex.from_inverted(inverted)
+        assert compact.document_count == inverted.document_count
+        assert compact.token_count == inverted.token_count
+        assert compact.posting_count == inverted.posting_count
+        assert sorted(compact.terms()) == sorted(inverted.terms())
+        for term in inverted.terms():
+            assert compact.document_frequency(term) == inverted.document_frequency(term)
+            assert compact.collection_frequency(term) == inverted.collection_frequency(
+                term
+            )
+            assert [(p.doc_id, p.positions) for p in compact.postings(term)] == [
+                (p.doc_id, p.positions) for p in inverted.postings(term)
+            ]
+        for doc_id in inverted.document_ids():
+            assert compact.document_length(doc_id) == inverted.document_length(doc_id)
+            assert compact.document_vector(doc_id) == inverted.document_vector(doc_id)
+
+    def test_payload_cross_load_both_directions(self, inverted):
+        compact = CompactIndex.from_inverted(inverted)
+        # Compact dump -> dict form.
+        back = InvertedIndex.from_payload(compact.to_payload())
+        for term in inverted.terms():
+            assert [(p.doc_id, p.positions) for p in back.postings(term)] == [
+                (p.doc_id, p.positions) for p in inverted.postings(term)
+            ]
+        # Dict dump -> compact form.
+        loaded = CompactIndex.from_payload(inverted.to_payload())
+        for term in inverted.terms():
+            assert [(p.doc_id, p.positions) for p in loaded.postings(term)] == [
+                (p.doc_id, p.positions) for p in inverted.postings(term)
+            ]
+        assert loaded.document_count == inverted.document_count
+
+    def test_forward_map_matches_vectors(self, inverted):
+        compact = CompactIndex.from_inverted(inverted)
+        forward = compact.forward_map()
+        assert set(forward) == set(inverted.document_ids())
+        for doc_id, vector in forward.items():
+            assert vector == inverted.document_vector(doc_id)
+
+    def test_postings_bytes_beats_dict_proxy(self, inverted):
+        compact = CompactIndex.from_inverted(inverted)
+        dict_proxy = 0
+        for term in inverted.terms():
+            dict_proxy += len(term.encode("utf-8"))
+            for p in inverted.postings(term):
+                dict_proxy += 8 + 8 * len(p.positions)
+        assert compact.postings_bytes() < dict_proxy

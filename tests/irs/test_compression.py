@@ -14,6 +14,7 @@ from repro.irs.compression import (
     raw_size,
     ungaps,
     vbyte_decode,
+    vbyte_decode_stream,
     vbyte_encode,
     vbyte_encode_sequence,
 )
@@ -110,3 +111,92 @@ class TestWholeIndex:
         # the repeated small gaps of the multi-level index pack tighter.
         assert compressed_size(all_irs) < raw_size(all_irs) / 3
         assert compressed_overhead <= raw_overhead * 1.1
+
+
+class TestStopBitConvention:
+    """Pin down the wire format: big-endian 7-bit groups, MSB on the FINAL
+    byte (the classic stop-bit scheme), not LEB128/protobuf varints."""
+
+    def test_single_byte_has_stop_bit(self):
+        assert vbyte_encode(0) == b"\x80"
+        assert vbyte_encode(127) == b"\xff"
+
+    def test_multi_byte_is_big_endian_with_final_stop(self):
+        # 300 = 0b10_0101100 -> groups [0b10, 0b0101100], stop on the last.
+        assert vbyte_encode(300) == bytes([0x02, 0x80 | 0x2C])
+        # Non-final bytes never carry the MSB.
+        for n in (128, 16384, 2**40, 2**60):
+            encoded = vbyte_encode(n)
+            assert all(b & 0x80 == 0 for b in encoded[:-1])
+            assert encoded[-1] & 0x80
+
+    def test_not_leb128(self):
+        # LEB128 would encode 300 as b"\xac\x02"; our scheme must not.
+        assert vbyte_encode(300) != b"\xac\x02"
+
+    @given(st.integers(0, 2**64))
+    def test_round_trip_any_width(self, n):
+        assert vbyte_decode(vbyte_encode(n)) == [n]
+
+    @given(st.lists(st.integers(0, 2**61), max_size=30))
+    def test_huge_gap_sequences_round_trip(self, numbers):
+        assert vbyte_decode(vbyte_encode_sequence(numbers)) == numbers
+
+    @given(st.lists(st.integers(0, 2**61), max_size=30), st.integers(128, 2**61))
+    def test_truncation_always_detected(self, numbers, last):
+        # The final integer is multi-byte, so dropping its stop byte leaves
+        # a pending partial integer.  (Dropping the stop byte of a
+        # single-byte integer instead yields the valid shorter stream.)
+        data = vbyte_encode_sequence(numbers + [last])
+        with pytest.raises(ValueError):
+            vbyte_decode(data[:-1])
+
+    def test_all_zero_continuation_truncation_detected(self):
+        # b"\x00" is a pending continuation byte with value 0 — the old
+        # decoder silently dropped it.
+        with pytest.raises(ValueError):
+            vbyte_decode(b"\x00")
+        with pytest.raises(ValueError):
+            vbyte_decode(vbyte_encode(5) + b"\x00\x00")
+
+
+class TestStreamDecode:
+    @given(
+        st.lists(st.integers(0, 2**61), max_size=40),
+        st.lists(st.integers(0, 2**61), max_size=40),
+    )
+    def test_random_access_matches_full_decode(self, first, second):
+        data = vbyte_encode_sequence(first) + vbyte_encode_sequence(second)
+        values, offset = vbyte_decode_stream(data, 0, len(first))
+        assert values == first
+        rest, end = vbyte_decode_stream(data, offset, len(second))
+        assert rest == second
+        assert end == len(data)
+
+    def test_count_zero_reads_nothing(self):
+        assert vbyte_decode_stream(b"\xff\xff", 0, 0) == ([], 0)
+
+    def test_truncated_stream_raises(self):
+        data = vbyte_encode_sequence([1, 300])
+        with pytest.raises(ValueError):
+            vbyte_decode_stream(data, 0, 3)
+        with pytest.raises(ValueError):
+            vbyte_decode_stream(data[:-1], 1, 1)
+
+
+class TestEmptyPositions:
+    def test_doc_with_empty_position_list_round_trips(self):
+        postings = {4: [], 7: [0, 2], 9: []}
+        assert decode_postings(encode_postings(postings)) == postings
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 2**40),
+            st.lists(st.integers(0, 2**40), max_size=6, unique=True),
+            max_size=8,
+        )
+    )
+    def test_round_trip_with_empty_and_huge(self, raw):
+        postings = {doc: sorted(positions) for doc, positions in raw.items()}
+        assert decode_postings(encode_postings(postings)) == postings

@@ -28,7 +28,7 @@ SESSION_SIGNATURES = {
     "index": "(self, collection_obj, **options)",
     "propagate": "(self, collection_obj)",
     "remove": "(self, collection_obj, obj)",
-    "query": "(self, collection_obj, irs_query, model=None, timeout=<unset>)",
+    "query": "(self, collection_obj, irs_query, model=None, timeout=<unset>, top_k=None)",
     "query_batch": "(self, items, timeout=<unset>)",
     "find_value": "(self, collection_obj, irs_query, obj)",
     "execute": "(self, text, bindings=None, timeout=<unset>)",
