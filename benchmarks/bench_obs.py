@@ -1,20 +1,29 @@
 """OBS — overhead of default-on instrumentation, plus the explain() demo.
 
-Times the bench_scoring IRS workload twice per round — once with the no-op
-instruments installed (``obs.disable()``) and once with fresh live ones —
-and reports the relative overhead of default-on tracing + metrics.  The
-result cache is disabled so every query pays the real scoring cost that the
-instruments wrap.  Also demonstrates ``explain()`` on the paper's two worked
-mixed queries and exports a span trace as a JSONL artifact.
+``--mode overhead`` (default) times the bench_scoring IRS workload twice
+per round — once with the no-op instruments installed (``obs.disable()``)
+and once with fresh live ones — and reports the relative overhead of
+default-on tracing + metrics.  The result cache is disabled so every query
+pays the real scoring cost that the instruments wrap.  Also demonstrates
+``explain()`` on the paper's two worked mixed queries and exports a span
+trace as a JSONL artifact.
+
+``--mode concurrency`` drives the same paired-ratio estimator through a
+pooled :class:`repro.Session` with 8 workers, so the measured overhead
+includes per-request telemetry attribution, rolling histograms and queue
+instrumentation under real thread contention — the default-on cost a
+service deployment actually pays.  It also writes the Prometheus
+exposition and a metrics snapshot as CI artifacts.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_obs.py            # full, writes BENCH_obs.json
     PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_obs.py --mode concurrency --smoke
 
-The full run asserts overhead < 5%; ``--smoke`` asserts < 10% to absorb CI
-noise.  Both modes assert that the explain() stage tree covers the OODB
-evaluator, the coupling methods and IRS scoring.
+Full runs assert overhead < 5%; ``--smoke`` asserts < 10% to absorb CI
+noise.  The overhead mode also asserts that the explain() stage tree
+covers the OODB evaluator, the coupling methods and IRS scoring.
 """
 
 from __future__ import annotations
@@ -31,17 +40,26 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 
 from bench_scoring import QUERIES, generate_texts
 
-from repro import obs
+from repro import Session, obs
 from repro.core import DocumentSystem
 from repro.core.collection import create_collection, index_objects
 from repro.irs.analysis import Analyzer
 from repro.irs.engine import IRSEngine
-from repro.obs import JsonlSpanExporter, Tracer, load_spans
+from repro.obs import (
+    JsonlSpanExporter,
+    Tracer,
+    load_spans,
+    prometheus_text,
+    write_metrics_snapshot,
+)
 from repro.sgml.mmf import build_document, mmf_dtd
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
-TRACE_PATH = os.path.join(REPO_ROOT, "benchmarks", "results", "obs_trace.jsonl")
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+TRACE_PATH = os.path.join(RESULTS_DIR, "obs_trace.jsonl")
+PROM_PATH = os.path.join(RESULTS_DIR, "obs_prometheus.txt")
+METRICS_PATH = os.path.join(RESULTS_DIR, "obs_metrics.jsonl")
 
 QUERY_ONE = (
     "ACCESS p, p -> length() FROM p IN PARA "
@@ -146,6 +164,127 @@ def measure_overhead(documents: int, seed: int, pairs: int, repeats: int) -> dic
     }
 
 
+def build_corpus_system(documents: int, seed: int) -> tuple:
+    """A DocumentSystem over the bench_scoring corpus, 4 paragraphs per doc.
+
+    The engine's result LRU is disabled so repeated batched passes re-score
+    instead of answering from the cache — the concurrency ratio must wrap
+    real batch execution, attribution and rolling-histogram updates.
+    """
+    system = DocumentSystem()
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    texts = generate_texts(documents, seed)
+    for start in range(0, len(texts), 4):
+        chunk = texts[start : start + 4]
+        system.add_document(
+            build_document(f"Doc{start // 4}", chunk, year="1994"), dtd=dtd
+        )
+    collection = system.session.create_collection(
+        "collPara", "ACCESS p FROM p IN PARA"
+    )
+    system.session.index(collection)
+    system.engine._result_cache_size = 0
+    system.engine._result_cache.clear()
+    return system, collection
+
+
+def time_service_pass(session: Session, collection, repeats: int) -> float:
+    """Seconds for ``repeats`` batched passes through the pooled session."""
+    items = [(collection, query) for query in QUERIES]
+    started = perf_counter()
+    for _ in range(repeats):
+        session.query_batch(items, timeout=60.0)
+    return perf_counter() - started
+
+
+def measure_concurrency_overhead(
+    documents: int, seed: int, pairs: int, repeats: int, workers: int
+) -> dict:
+    """Paired enabled/disabled ratios through an 8-worker pooled session.
+
+    Same estimator as :func:`measure_overhead`, but each pass runs the
+    query set as one batched window through the service layer, so the
+    enabled side pays admission gauges, queue timing, per-request cost
+    attribution, trace sampling and rolling-histogram observes under
+    genuine thread contention.
+    """
+    system, collection = build_corpus_system(documents, seed)
+    session = Session(system.db, workers=workers)
+    gc.collect()
+    gc.freeze()
+    try:
+        obs.disable()
+        time_service_pass(session, collection, 1)
+        with obs.instrumentation():
+            time_service_pass(session, collection, 1)
+        disabled, enabled, ratios = [], [], []
+        for index in range(pairs):
+            if index % 2:
+                with obs.instrumentation():
+                    on = time_service_pass(session, collection, repeats)
+                obs.disable()
+                off = time_service_pass(session, collection, repeats)
+            else:
+                obs.disable()
+                off = time_service_pass(session, collection, repeats)
+                with obs.instrumentation():
+                    on = time_service_pass(session, collection, repeats)
+            disabled.append(off)
+            enabled.append(on)
+            ratios.append(on / off)
+    finally:
+        obs.enable()
+        gc.unfreeze()
+        session.service.close()
+    overhead_pct = (median(ratios) - 1.0) * 100.0
+    queries = repeats * len(QUERIES)
+    return {
+        "documents": documents,
+        "workers": workers,
+        "pairs": pairs,
+        "queries_per_pass": queries,
+        "best_disabled_qps": round(queries / min(disabled), 1),
+        "best_enabled_qps": round(queries / min(enabled), 1),
+        "ratio_spread": [round(min(ratios), 4), round(max(ratios), 4)],
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def export_exposition(
+    documents: int, seed: int, workers: int, prom_out: str, metrics_out: str
+) -> dict:
+    """One fully instrumented batched pass, exported as scrape artifacts.
+
+    Writes the Prometheus text exposition and a JSONL metrics snapshot the
+    CI job uploads, so every build leaves an inspectable picture of what
+    the instruments saw.
+    """
+    os.makedirs(os.path.dirname(prom_out) or ".", exist_ok=True)
+    if os.path.exists(metrics_out):
+        os.remove(metrics_out)
+    system, collection = build_corpus_system(documents, seed)
+    session = Session(system.db, workers=workers)
+    try:
+        with obs.instrumentation() as (_tracer, metrics):
+            time_service_pass(session, collection, 1)
+            health = system.health()
+            text = prometheus_text(metrics)
+            write_metrics_snapshot(
+                metrics_out, metrics, extra={"health": health}
+            )
+        with open(prom_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    finally:
+        session.service.close()
+    return {
+        "prometheus": os.path.relpath(prom_out, REPO_ROOT),
+        "prometheus_lines": len(text.splitlines()),
+        "metrics_snapshot": os.path.relpath(metrics_out, REPO_ROOT),
+        "health_status": health["status"],
+    }
+
+
 def build_journal() -> tuple:
     """The paper's journal-article fixture (three MMF documents)."""
     system = DocumentSystem()
@@ -217,7 +356,7 @@ def export_trace(path: str, documents: int, seed: int) -> dict:
     return {"path": os.path.relpath(path, REPO_ROOT), "roots": len(roots)}
 
 
-def run(smoke: bool, output: str, seed: int, trace_out: str) -> dict:
+def run(smoke: bool, output: str, seed: int, trace_out: str, mode: str) -> dict:
     documents = 400 if smoke else 2000
     pairs = 60 if smoke else 60
     # Short passes: a disabled+enabled pair must fit inside one CPU-quota
@@ -225,33 +364,63 @@ def run(smoke: bool, output: str, seed: int, trace_out: str) -> dict:
     repeats = 3 if smoke else 1
     limit_pct = 10.0 if smoke else 5.0
 
-    overhead = measure_overhead(documents, seed, pairs, repeats)
-    print(
-        f"{documents:>6} docs  disabled {overhead['best_disabled_qps']:>8.1f} q/s   "
-        f"enabled {overhead['best_enabled_qps']:>8.1f} q/s   "
-        f"overhead {overhead['overhead_pct']:>6.2f}%  (limit {limit_pct}%)"
-    )
-    trace = export_trace(trace_out, min(documents, 400), seed)
-    print(f"trace artifact: {trace['roots']} root spans -> {trace['path']}")
-    demo = demo_explain()
-
     results = {
         "benchmark": "obs",
-        "description": (
-            "relative cost of default-on tracing+metrics vs the no-op path "
-            "on the bench_scoring IRS workload, plus explain() stage coverage"
-        ),
+        "mode": mode,
         "smoke": smoke,
         "seed": seed,
-        "overhead": overhead,
         "limit_pct": limit_pct,
-        "trace": trace,
-        "explain": demo,
     }
+    if mode == "concurrency":
+        # Smaller corpus than the engine-only mode: each pass is a full
+        # batched window per repeat, and 8 workers multiply the work done
+        # per wall-clock second.
+        documents = 200 if smoke else 800
+        overhead = measure_concurrency_overhead(
+            documents, seed, pairs, repeats, workers=8
+        )
+        results["description"] = (
+            "relative cost of default-on telemetry (attribution, rolling "
+            "histograms, sampling) through an 8-worker pooled session"
+        )
+        results["overhead"] = overhead
+        print(
+            f"{documents:>6} docs x {overhead['workers']} workers  "
+            f"disabled {overhead['best_disabled_qps']:>8.1f} q/s   "
+            f"enabled {overhead['best_enabled_qps']:>8.1f} q/s   "
+            f"overhead {overhead['overhead_pct']:>6.2f}%  (limit {limit_pct}%)"
+        )
+        artifacts = export_exposition(
+            documents, seed, 8, PROM_PATH, METRICS_PATH
+        )
+        results["artifacts"] = artifacts
+        print(
+            f"exposition artifacts: {artifacts['prometheus_lines']} lines -> "
+            f"{artifacts['prometheus']}, snapshot -> "
+            f"{artifacts['metrics_snapshot']} (health: "
+            f"{artifacts['health_status']})"
+        )
+    else:
+        overhead = measure_overhead(documents, seed, pairs, repeats)
+        results["description"] = (
+            "relative cost of default-on tracing+metrics vs the no-op path "
+            "on the bench_scoring IRS workload, plus explain() stage coverage"
+        )
+        results["overhead"] = overhead
+        print(
+            f"{documents:>6} docs  disabled {overhead['best_disabled_qps']:>8.1f} q/s   "
+            f"enabled {overhead['best_enabled_qps']:>8.1f} q/s   "
+            f"overhead {overhead['overhead_pct']:>6.2f}%  (limit {limit_pct}%)"
+        )
+        trace = export_trace(trace_out, min(documents, 400), seed)
+        print(f"trace artifact: {trace['roots']} root spans -> {trace['path']}")
+        results["trace"] = trace
+        results["explain"] = demo_explain()
+
     if overhead["overhead_pct"] >= limit_pct:
         raise SystemExit(
-            f"observability overhead regression: {overhead['overhead_pct']}% "
-            f">= limit {limit_pct}%"
+            f"observability overhead regression ({mode}): "
+            f"{overhead['overhead_pct']}% >= limit {limit_pct}%"
         )
     if output:
         with open(output, "w", encoding="utf-8") as fh:
@@ -269,10 +438,17 @@ def main(argv=None) -> int:
         help="small corpus, softer overhead limit, no BENCH_obs.json",
     )
     parser.add_argument(
+        "--mode",
+        choices=("overhead", "concurrency"),
+        default="overhead",
+        help="overhead: engine-only paired ratios (default); concurrency: "
+        "8-worker pooled session with telemetry attribution + artifacts",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="result JSON path (default: BENCH_obs.json at the repo root "
-        "for full runs, nothing for --smoke)",
+        "for full overhead runs, nothing for --smoke or concurrency)",
     )
     parser.add_argument(
         "--trace-out",
@@ -283,8 +459,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     output = args.output
     if output is None:
-        output = "" if args.smoke else OUTPUT_PATH
-    run(smoke=args.smoke, output=output, seed=args.seed, trace_out=args.trace_out)
+        output = "" if (args.smoke or args.mode != "overhead") else OUTPUT_PATH
+    run(
+        smoke=args.smoke,
+        output=output,
+        seed=args.seed,
+        trace_out=args.trace_out,
+        mode=args.mode,
+    )
     return 0
 
 

@@ -162,6 +162,29 @@ class DocumentSystem:
         """
         return self.session.explain(text, bindings)
 
+    def health(self, slo_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Overload health report: admission, merges, memtable, latency.
+
+        ``slo_seconds`` is the latency objective the slow-ratio is measured
+        against (default :data:`repro.obs.health.DEFAULT_SLO_SECONDS`).
+        See :mod:`repro.obs.health` for the report's structure and the
+        ``ok`` / ``degraded`` / ``overloaded`` verdict rules.
+        """
+        from repro.obs.health import DEFAULT_SLO_SECONDS, build_health
+
+        services = [
+            session.service
+            for session in self._sessions
+            if session.service is not None
+        ]
+        return build_health(
+            engine=self.engine,
+            services=services,
+            slo_seconds=(
+                DEFAULT_SLO_SECONDS if slo_seconds is None else slo_seconds
+            ),
+        )
+
     # -- bookkeeping ------------------------------------------------------------------------
 
     def reset_counters(self) -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.telemetry import active_profile
 from repro.errors import (
     DuplicateCollectionError,
     UnknownCollectionError,
@@ -362,6 +363,8 @@ class IRSEngine:
         self.counters.inc_collection_query(collection_name)
         registry = obs.metrics()
         registry.counter("irs.query.executed").inc()
+        profile = active_profile()
+        stats_before = collection.stats.cache_info() if profile is not None else None
         started = time.perf_counter()
         with obs.tracer().span(
             "irs.query", collection=collection_name, model=model_name,
@@ -383,11 +386,38 @@ class IRSEngine:
             span.set_attribute("epoch", epoch)
             span.set_attribute("segments", segment_count)
         elapsed = time.perf_counter() - started
-        registry.histogram("irs.query.seconds." + model_name).observe(elapsed)
-        if obs.slow_log().record(
-            "irs", irs_query, elapsed, collection=collection_name, model=model_name,
+        registry.rolling("irs.query.seconds." + model_name).observe(elapsed)
+        attrs = getattr(span, "attributes", None) or {}
+        if profile is not None:
+            profile.queries += 1
+            profile.scoring_seconds += elapsed
+            profile.segments_touched += segment_count
+            # Term-statistics cache traffic attributed by delta.  Concurrent
+            # queries on the same collection can bleed into each other's
+            # delta; exact per-thread accounting would need a per-posting
+            # hook, which the ≤5% overhead budget rules out.
+            stats_after = collection.stats.cache_info()
+            profile.stats_cache_hits += stats_after["hits"] - stats_before["hits"]
+            profile.stats_cache_misses += (
+                stats_after["misses"] - stats_before["misses"]
+            )
+        # The slow log carries the same attribution PR 5 put on the span:
+        # k, the pruning outcome, and how wide the segment stack was.
+        info: Dict[str, object] = dict(
+            collection=collection_name, model=model_name,
             segments=segment_count, epoch=epoch,
-        ):
+        )
+        if top_k is not None:
+            info["top_k"] = top_k
+            if attrs.get("cached"):
+                info["outcome"] = "cached"
+            elif attrs.get("pruned"):
+                info["outcome"] = "pruned"
+            elif "prune_fallback" in attrs:
+                info["outcome"] = "fallback:" + str(attrs["prune_fallback"])
+        elif attrs.get("cached"):
+            info["outcome"] = "cached"
+        if obs.slow_log().record("irs", irs_query, elapsed, **info):
             registry.counter("irs.query.slow").inc()
         return IRSResult(collection_name, irs_query, model_name, values)
 
@@ -409,6 +439,7 @@ class IRSEngine:
         it so one slow query never blocks concurrent cache hits.
         """
         registry = obs.metrics()
+        profile = active_profile()
         epoch = collection.index.epoch
         # Top-k results are a different value set than full results, so the
         # cache key grows a k dimension (classic keys stay 3-tuples).
@@ -426,6 +457,8 @@ class IRSEngine:
                     self.cache_stats.hits += 1
                     registry.counter("irs.result_cache.hits").inc()
                     span.set_attribute("cached", True)
+                    if profile is not None:
+                        profile.result_cache_hits += 1
                     # Hand out a copy so callers cannot poison the cached values.
                     return dict(cached_values)
                 # Same query, but the index mutated since it was cached.
@@ -435,9 +468,13 @@ class IRSEngine:
             self.cache_stats.misses += 1
         registry.counter("irs.result_cache.misses").inc()
         span.set_attribute("cached", False)
+        if profile is not None:
+            profile.result_cache_misses += 1
         tree = parse_irs_query(irs_query, default_operator=model_impl.default_operator)
         if top_k is None:
             values = model_impl.score(collection, tree)
+            if profile is not None:
+                profile.candidates_scored += len(values)
         else:
             values = self._score_top_k(
                 collection, model_name, model_impl, tree, top_k, span, registry
@@ -465,22 +502,37 @@ class IRSEngine:
         from repro.irs import topk as topk_mod
 
         outcome = topk_mod.topk_scores(collection, model_name, model_impl, tree, top_k)
+        profile = active_profile()
         if outcome.values is not None:
             span.set_attribute("pruned", True)
+            span.set_attribute("candidates", outcome.candidates_scored)
             registry.counter("irs.topk.pruned_queries").inc()
             registry.counter("irs.postings.blocks_skipped").inc(
                 outcome.blocks_skipped
             )
+            registry.counter("irs.postings.blocks_decoded").inc(
+                outcome.blocks_decoded
+            )
             registry.counter("irs.topk.early_terminations").inc(
                 outcome.early_terminations
             )
+            if profile is not None:
+                profile.pruned_queries += 1
+                profile.blocks_skipped += outcome.blocks_skipped
+                profile.blocks_decoded += outcome.blocks_decoded
+                profile.early_terminations += outcome.early_terminations
+                profile.candidates_scored += outcome.candidates_scored
             return outcome.values
         # Structured operators (#and/#or/#not/#max), proximity leaves and
         # non-positive weights keep their exhaustive semantics; record why.
         span.set_attribute("pruned", False)
         span.set_attribute("prune_fallback", outcome.reason)
         registry.counter("irs.topk.fallbacks").inc()
-        return topk_mod.truncate_top_k(model_impl.score(collection, tree), top_k)
+        values = model_impl.score(collection, tree)
+        if profile is not None:
+            profile.fallback_queries += 1
+            profile.candidates_scored += len(values)
+        return topk_mod.truncate_top_k(values, top_k)
 
     # -- segment maintenance ---------------------------------------------------
 
@@ -509,6 +561,48 @@ class IRSEngine:
         """Stop the background merge scheduler if it is running."""
         if self._merge_scheduler is not None:
             self._merge_scheduler.stop()
+
+    @property
+    def merge_scheduler_running(self) -> bool:
+        """True while the background merge scheduler thread is alive."""
+        scheduler = self._merge_scheduler
+        return bool(scheduler is not None and scheduler.running)
+
+    def merge_backlog(self) -> int:
+        """Sealed segments the size-tiered policy would merge right now.
+
+        A health signal: a persistently non-zero backlog means sealing is
+        outpacing the scheduler and reads are fanning out over ever more
+        segments.  Racy by design — a point-in-time read without locks.
+        """
+        from repro.irs.segments.merge import select_candidates
+
+        backlog = 0
+        for collection in list(self._collections.values()):
+            manager = collection.segments
+            if manager is not None:
+                backlog += len(select_candidates(manager))
+        return backlog
+
+    def total_segments(self) -> int:
+        """Segments across all collections (monolithic collections count 1)."""
+        return sum(
+            collection.segment_count
+            for collection in list(self._collections.values())
+        )
+
+    def memtable_info(self) -> Dict[str, int]:
+        """Unsealed (memtable) volume across collections, for health reports."""
+        documents = tokens = approx_bytes = 0
+        for collection in list(self._collections.values()):
+            manager = collection.segments
+            if manager is None:
+                continue
+            memtable = manager.memtable
+            documents += memtable.document_count
+            tokens += memtable.token_count
+            approx_bytes += memtable.approx_bytes()
+        return {"documents": documents, "tokens": tokens, "bytes": approx_bytes}
 
     def segment_info(self) -> Dict[str, Dict[str, object]]:
         """Per-collection segment snapshots (empty for monolithic ones)."""

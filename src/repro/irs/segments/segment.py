@@ -134,6 +134,17 @@ class MemtableSegment:
     def token_count(self) -> int:
         return self.index.token_count
 
+    def approx_bytes(self) -> int:
+        """Rough heap footprint of the dict-form memtable, for health reports.
+
+        Dict-form postings cost a posting object (~64 B) plus its inverted-
+        and forward-map slots (~2 dict entries, ~70 B) per token occurrence,
+        and per-document overhead (forward vector dict, length entry).  A
+        coarse constant-factor model — the point is the trend (memtable
+        growth between seals), not an exact byte count.
+        """
+        return 144 * self.index.posting_count + 96 * self.index.document_count
+
     def term_cursor(self, term: str) -> Optional[PostingsCursor]:
         """A cursor over this memtable's postings of ``term`` (dict form)."""
         postings = self.index.postings(term)

@@ -78,6 +78,7 @@ class TopKOutcome:
     values: Optional[Dict[int, float]]  #: None => caller must fall back
     reason: Optional[str] = None  #: fallback reason when values is None
     blocks_skipped: int = 0
+    blocks_decoded: int = 0  #: blocks whose positions were actually screened
     early_terminations: int = 0
     candidates_scored: int = 0
 
@@ -447,6 +448,7 @@ def _score_segment(
                 cut = cut_of(heap[0][0])
                 t = (cut - rest) / wl
         outcome.blocks_skipped += skipped
+        outcome.blocks_decoded += len(block_us) - skipped
         remaining -= lead.ub
 
 

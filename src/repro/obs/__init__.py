@@ -9,7 +9,15 @@ One dependency-free package provides:
   histograms, snapshot-able as a plain dict;
 * a slow-query log (:class:`SlowQueryLog`) with a configurable threshold;
 * :func:`explain` — run a mixed query under a tracer and render the
-  per-stage timing/cardinality tree.
+  per-stage timing/cardinality tree;
+* request telemetry (:class:`RequestTelemetry` / :class:`CostProfile`) —
+  per-request cost attribution through the batching layer, surfaced on
+  ``ResultSet.telemetry``, with tail-based trace retention
+  (:class:`TraceSampler`);
+* rolling latency (:class:`RollingHistogram`) — log-bucketed
+  sliding-window percentiles (p50/p95/p99/p999);
+* exposition (:func:`prometheus_text`, :class:`MetricsSnapshotter`) and
+  overload health signals (:func:`build_health`).
 
 Instrumented call sites in the OODB, the IRS engine and the coupling layer
 reach the active instruments through :func:`tracer` / :func:`metrics` /
@@ -19,6 +27,13 @@ per site.
 """
 
 from repro.obs.explain import ExplainResult, explain, render_span_tree
+from repro.obs.export import (
+    MetricsSnapshotter,
+    prometheus_text,
+    write_metrics_snapshot,
+)
+from repro.obs.health import build_health
+from repro.obs.histogram import NoopRollingHistogram, RollingHistogram
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NOOP_METRICS,
@@ -27,6 +42,15 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NoopMetricsRegistry,
+)
+from repro.obs.telemetry import (
+    CostProfile,
+    RequestTelemetry,
+    TraceSampler,
+    active_profile,
+    collecting,
+    configure_sampling,
+    sampler,
 )
 from repro.obs.runtime import (
     configure,
@@ -52,6 +76,7 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CostProfile",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "ExplainResult",
@@ -59,15 +84,24 @@ __all__ = [
     "Histogram",
     "JsonlSpanExporter",
     "MetricsRegistry",
+    "MetricsSnapshotter",
     "NOOP_METRICS",
     "NOOP_TRACER",
     "NoopMetricsRegistry",
+    "NoopRollingHistogram",
     "NoopTracer",
+    "RequestTelemetry",
+    "RollingHistogram",
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
+    "TraceSampler",
     "Tracer",
+    "active_profile",
+    "build_health",
+    "collecting",
     "configure",
+    "configure_sampling",
     "disable",
     "enable",
     "explain",
@@ -75,10 +109,13 @@ __all__ = [
     "is_enabled",
     "load_spans",
     "metrics",
+    "prometheus_text",
     "render_span_tree",
+    "sampler",
     "slow_log",
     "swap_metrics",
     "swap_tracer",
     "tracer",
     "trim",
+    "write_metrics_snapshot",
 ]

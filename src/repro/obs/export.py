@@ -1,0 +1,169 @@
+"""Metrics exposition: Prometheus text format and periodic JSONL snapshots.
+
+Two consumers, two formats:
+
+* :func:`prometheus_text` renders the whole
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4): counters as ``<name>_total``, gauges
+  verbatim, fixed histograms with *cumulative* ``le`` buckets plus
+  ``_sum``/``_count``, and rolling histograms as summaries with
+  ``quantile`` labels (a sliding-window percentile is a summary, not a
+  histogram — its quantiles are pre-computed and its buckets are not
+  cumulative-forever).  Serve it from any HTTP handler, or dump it to a
+  file as a CI artifact.
+
+* :class:`MetricsSnapshotter` appends one JSON line per interval —
+  timestamped full registry snapshots — for offline analysis of a run
+  (the benchmark harness uploads these).  :func:`write_metrics_snapshot`
+  is the one-shot form.
+
+No sockets here: the repo has no network service yet (see ROADMAP); these
+are the formats, not the endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import runtime
+from repro.obs.histogram import SNAPSHOT_QUANTILES
+from repro.obs.metrics import MetricsRegistry
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str = "") -> str:
+    """Sanitize a registry name into a Prometheus metric name."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _INVALID.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(
+    registry: Optional[MetricsRegistry] = None, prefix: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format (one big string)."""
+    snapshot = (registry or runtime.metrics()).snapshot()
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for label, count in hist["buckets"].items():
+            cumulative += count
+            bound = label[2:] if label.startswith("<=") else label
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    for name, roll in snapshot.get("rolling", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for label, quantile in SNAPSHOT_QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} {_fmt(roll.get(label, 0.0))}'
+            )
+        lines.append(f"{metric}_sum {_fmt(roll['sum'])}")
+        lines.append(f"{metric}_count {roll['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_snapshot(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Append one timestamped registry snapshot to ``path`` as a JSON line."""
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "metrics": (registry or runtime.metrics()).snapshot(),
+    }
+    if extra:
+        record.update(extra)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+class MetricsSnapshotter:
+    """A background thread appending registry snapshots to a JSONL file.
+
+    Daemonic and interval-driven; :meth:`stop` writes one final snapshot so
+    short runs always produce at least one line.  Usable as a context
+    manager around a benchmark or service run.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval_seconds: float = 5.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be > 0")
+        self.path = path
+        self.interval_seconds = interval_seconds
+        self._registry = registry
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.snapshots_written = 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self._write()
+
+    def _write(self) -> None:
+        write_metrics_snapshot(self.path, self._registry)
+        self.snapshots_written += 1
+
+    def start(self) -> "MetricsSnapshotter":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="metrics-snapshotter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_snapshot: bool = True) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if final_snapshot:
+            self._write()
+
+    def __enter__(self) -> "MetricsSnapshotter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

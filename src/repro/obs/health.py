@@ -1,0 +1,138 @@
+"""Overload health signals: one dict that says whether the system is keeping up.
+
+:func:`build_health` condenses the live signals an operator (or, per the
+ROADMAP, a remote load balancer) needs into a JSON-encodable report:
+
+* **admission** — current queue depth, capacity, utilization, the
+  high-watermark since start (``service.queue.depth_peak``), and the count
+  of rejected requests.  A queue near capacity means clients are about to
+  see :class:`~repro.errors.ServiceOverloadedError`.
+* **merge** — how many sealed segments the size-tiered policy would merge
+  right now (backlog), whether the scheduler is running, and total segment
+  count.  A growing backlog means reads are fanning out over ever more
+  segments.
+* **memtable** — unsealed documents/tokens and an approximate heap
+  footprint, per :meth:`MemtableSegment.approx_bytes`.
+* **latency** — p50/p95/p99/p999 of the most relevant rolling histogram
+  plus the *slow ratio*: the fraction of windowed requests above the SLO.
+
+The verdict (``ok`` / ``degraded`` / ``overloaded``) is a coarse triage
+signal, not a pager: *overloaded* when the queue is nearly full or most
+requests bust the SLO, *degraded* when pressure is building (half-full
+queue, slow-ratio above 10%, or a large merge backlog).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.obs import runtime
+
+#: Rolling-histogram name health reads request latency from, in order of
+#: preference (service-level first; inline-only workloads fall back).
+LATENCY_METRICS = ("service.request.total_seconds", "irs.query.seconds")
+
+DEFAULT_SLO_SECONDS = 0.25
+
+
+def _latency_section(registry, slo_seconds: float) -> Dict[str, Any]:
+    snapshot = registry.snapshot().get("rolling", {})
+    chosen_name, chosen = None, None
+    for preferred in LATENCY_METRICS:
+        candidates = {
+            name: roll
+            for name, roll in snapshot.items()
+            if name == preferred or name.startswith(preferred + ".")
+        }
+        live = {name: r for name, r in candidates.items() if r.get("count")}
+        if live:
+            # Busiest instrument wins (e.g. the dominant model's latencies).
+            chosen_name = max(live, key=lambda name: live[name]["count"])
+            chosen = live[chosen_name]
+            break
+    if chosen is None:
+        return {
+            "source": None,
+            "count": 0,
+            "slo_seconds": slo_seconds,
+            "slow_ratio": 0.0,
+        }
+    slow_ratio = registry.rolling(chosen_name).fraction_above(slo_seconds)
+    return {
+        "source": chosen_name,
+        "count": chosen["count"],
+        "p50": chosen["p50"],
+        "p95": chosen["p95"],
+        "p99": chosen["p99"],
+        "p999": chosen["p999"],
+        "slo_seconds": slo_seconds,
+        "slow_ratio": slow_ratio,
+    }
+
+
+def _admission_section(services: Iterable[Any], registry) -> Dict[str, Any]:
+    depth = capacity = 0
+    for service in services:
+        config = getattr(service, "config", None)
+        if config is None:
+            continue
+        capacity += config.max_queue
+        queue = getattr(service, "_queue", None)
+        if queue is not None:
+            depth += queue.qsize()
+    snapshot = registry.snapshot()
+    gauges = snapshot.get("gauges", {})
+    counters = snapshot.get("counters", {})
+    return {
+        "queue_depth": depth,
+        "queue_capacity": capacity,
+        "utilization": depth / capacity if capacity else 0.0,
+        "depth_peak": gauges.get("service.queue.depth_peak", 0.0),
+        "rejected": counters.get("service.requests.rejected", 0),
+    }
+
+
+def _merge_section(engine) -> Dict[str, Any]:
+    if engine is None:
+        return {"backlog": 0, "segments": 0, "scheduler_running": False}
+    return {
+        "backlog": engine.merge_backlog(),
+        "segments": engine.total_segments(),
+        "scheduler_running": engine.merge_scheduler_running,
+    }
+
+
+def _memtable_section(engine) -> Dict[str, Any]:
+    if engine is None:
+        return {"documents": 0, "tokens": 0, "bytes": 0}
+    return engine.memtable_info()
+
+
+def _verdict(admission, merge, latency) -> str:
+    utilization = admission["utilization"]
+    slow_ratio = latency["slow_ratio"]
+    if utilization >= 0.9 or slow_ratio >= 0.5:
+        return "overloaded"
+    if utilization >= 0.5 or slow_ratio > 0.1 or merge["backlog"] >= 8:
+        return "degraded"
+    return "ok"
+
+
+def build_health(
+    engine=None,
+    services: Iterable[Any] = (),
+    registry=None,
+    slo_seconds: float = DEFAULT_SLO_SECONDS,
+) -> Dict[str, Any]:
+    """Assemble the health report (see module docstring for semantics)."""
+    registry = registry or runtime.metrics()
+    admission = _admission_section(services, registry)
+    merge = _merge_section(engine)
+    latency = _latency_section(registry, slo_seconds)
+    return {
+        "status": _verdict(admission, merge, latency),
+        "admission": admission,
+        "merge": merge,
+        "memtable": _memtable_section(engine),
+        "latency": latency,
+    }

@@ -1,22 +1,32 @@
-"""Dependency-free metrics: counters, gauges and fixed-bucket histograms.
+"""Dependency-free metrics: counters, gauges, histograms — fixed and rolling.
 
 The registry is the metrics half of the observability layer (the tracing
 half lives in :mod:`repro.obs.tracing`).  Everything here is plain-Python
 and allocation-light so instrumentation can stay default-on:
 
 * :class:`Counter` — monotonically increasing integer;
-* :class:`Gauge` — last-written float (e.g. "seconds of the last recovery");
+* :class:`Gauge` — last-written float (e.g. "seconds of the last recovery"),
+  plus :meth:`Gauge.max_of` for high-watermark tracking;
 * :class:`Histogram` — fixed upper-bound buckets (no numpy), Prometheus-style
   ``le`` semantics: an observation lands in the first bucket whose bound is
-  >= the value;
+  >= the value.  Used for *shape* metrics (window sizes, group sizes) and
+  the OODB layer, where cumulative-forever is what you want;
+* :class:`~repro.obs.histogram.RollingHistogram` (via
+  :meth:`MetricsRegistry.rolling`) — log-bucketed sliding-window latency
+  with p50/p95/p99/p999 snapshots.  Latency metrics live here since PR 7;
 * :class:`MetricsRegistry` — get-or-create instruments by name, snapshot the
   whole registry as a plain dict;
 * :class:`NoopMetricsRegistry` / :data:`NOOP_METRICS` — the disabled path:
   every operation is a no-op on shared singletons, so call sites never need
   an ``if enabled`` check.
 
-Increments rely on the GIL for atomicity (adequate for this reproduction's
-threading level); instrument *creation* is lock-protected.
+Increments are lock-protected per instrument.  CPython's eval loop makes a
+bare ``+=`` *often* atomic, but ``value += amount`` on an instance attribute
+is a read/modify/write of three bytecodes and the 3.9+ eval-breaker can
+switch threads between them — under the pooled executor two workers bumping
+the same counter could lose updates.  An uncontended ``threading.Lock`` is
+~100 ns, invisible next to the per-request work these instruments measure
+(increments are per query / per batch, never per posting).
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 from typing import Dict, Optional, Sequence, Tuple
+
+from repro.obs.histogram import NOOP_ROLLING, RollingHistogram
 
 #: Default histogram bounds, in seconds: spans five orders of magnitude from
 #: 0.1 ms to 5 s, which covers every latency this system produces.
@@ -34,46 +46,61 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.  Thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
-    """A float that remembers its last written value."""
+    """A float that remembers its last written value.  Thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    def max_of(self, value: float) -> None:
+        """Raise the gauge to ``value`` if higher (high-watermark tracking)."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
-    """Fixed-bucket histogram with count/sum/min/max.
+    """Fixed-bucket histogram with count/sum/min/max.  Thread-safe.
 
     ``bounds`` are inclusive upper bounds; one implicit ``+Inf`` bucket
     catches everything above the largest bound.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "total", "minimum", "maximum", "_lock"
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
@@ -82,38 +109,44 @@ class Histogram:
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.minimum = None
-        self.maximum = None
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.minimum = None
+            self.maximum = None
 
     def snapshot(self) -> Dict[str, object]:
-        buckets = {f"<={bound:g}": n for bound, n in zip(self.bounds, self.bucket_counts)}
-        buckets["+Inf"] = self.bucket_counts[-1]
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
-            "buckets": buckets,
-        }
+        with self._lock:
+            buckets = {
+                f"<={bound:g}": n for bound, n in zip(self.bounds, self.bucket_counts)
+            }
+            buckets["+Inf"] = self.bucket_counts[-1]
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.total / self.count if self.count else 0.0,
+                "min": self.minimum,
+                "max": self.maximum,
+                "buckets": buckets,
+            }
 
 
 class MetricsRegistry:
@@ -128,6 +161,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._rollings: Dict[str, RollingHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
@@ -152,6 +186,20 @@ class MetricsRegistry:
                 )
         return instrument
 
+    def rolling(self, name: str, **options: float) -> RollingHistogram:
+        """Get-or-create a sliding-window latency histogram.
+
+        ``options`` (window_seconds, slices, lo, hi, buckets_per_octave)
+        apply only on first creation.
+        """
+        instrument = self._rollings.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._rollings.setdefault(
+                    name, RollingHistogram(**options)
+                )
+        return instrument
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """The whole registry as a plain, JSON-encodable dict."""
         with self._lock:
@@ -160,6 +208,9 @@ class MetricsRegistry:
                 "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
                 "histograms": {
                     name: h.snapshot() for name, h in sorted(self._histograms.items())
+                },
+                "rolling": {
+                    name: r.snapshot() for name, r in sorted(self._rollings.items())
                 },
             }
 
@@ -172,6 +223,8 @@ class MetricsRegistry:
                 gauge.reset()
             for histogram in self._histograms.values():
                 histogram.reset()
+            for rolling in self._rollings.values():
+                rolling.reset()
 
 
 class _NoopCounter(Counter):
@@ -188,6 +241,9 @@ class _NoopGauge(Gauge):
         pass
 
     def add(self, amount: float) -> None:
+        pass
+
+    def max_of(self, value: float) -> None:
         pass
 
 
@@ -215,8 +271,11 @@ class NoopMetricsRegistry(MetricsRegistry):
     def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
         return _NOOP_HISTOGRAM
 
+    def rolling(self, name: str, **options: float) -> RollingHistogram:
+        return NOOP_ROLLING
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        return {"counters": {}, "gauges": {}, "histograms": {}}
+        return {"counters": {}, "gauges": {}, "histograms": {}, "rolling": {}}
 
     def reset(self) -> None:
         pass

@@ -93,8 +93,14 @@ def swap_metrics(new_metrics: MetricsRegistry) -> MetricsRegistry:
 def configure(
     slow_query_seconds: Optional[float] = None,
     slow_log_capacity: Optional[int] = None,
+    trace_head_every: Optional[int] = None,
+    slow_trace_seconds: Optional[float] = None,
 ) -> None:
-    """Adjust observability knobs in place."""
+    """Adjust observability knobs in place.
+
+    ``trace_head_every`` / ``slow_trace_seconds`` control tail-based trace
+    retention (see :class:`repro.obs.telemetry.TraceSampler`).
+    """
     global _slow_log
     if slow_log_capacity is not None:
         replacement = SlowQueryLog(
@@ -103,6 +109,12 @@ def configure(
         _slow_log = replacement
     if slow_query_seconds is not None:
         _slow_log.threshold = slow_query_seconds
+    if trace_head_every is not None or slow_trace_seconds is not None:
+        from repro.obs.telemetry import configure_sampling
+
+        configure_sampling(
+            head_every=trace_head_every, slow_seconds=slow_trace_seconds
+        )
 
 
 @contextmanager

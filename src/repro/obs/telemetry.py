@@ -1,0 +1,260 @@
+"""Request-level telemetry: cost profiles, attribution, and trace retention.
+
+The batching layer (PR 3) deliberately blurs request identity: a window of
+requests against one collection shares a single propagation, a single
+read-lock snapshot, and one scoring pass per *distinct* ``(model, query,
+top_k)`` key.  That is what makes it fast — and what makes a single
+request impossible to debug, because no artifact says what *this* request
+cost.  This module restores identity without unsharing the work:
+
+* :class:`CostProfile` — a flat bundle of cost counters (blocks decoded /
+  skipped, candidates scored, cache hits, segments touched, propagation
+  work).  Fields are floats so shared work can be split fractionally.
+* :func:`collecting` / :func:`active_profile` — a thread-local slot the
+  engine and scorer write into while a query executes.  One ``getattr``
+  when idle; no locks (collection is per worker thread).
+* :class:`RequestTelemetry` — the per-request artifact surfaced on
+  ``ResultSet.telemetry``: identity, timings, batch context (window /
+  group / rider counts), outcome, the attributed :class:`CostProfile`,
+  and (when retained) the full span tree.
+* :class:`TraceSampler` — tail-based retention.  Full span trees are kept
+  for slow or errored requests; healthy fast traffic is head-sampled
+  (every Nth request) so trace memory stays bounded under service load.
+
+**Conservation.**  Attribution is exact by construction: a request that
+rode key *K* in a group of *G* requests receives ``cost[K] / riders[K] +
+shared / G``.  Summing over the group's requests rebuilds ``sum(cost) +
+shared`` — no double counting, no loss (verified by the conservation test
+in ``tests/service/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+#: Counter fields of a CostProfile, in presentation order.  Floats, because
+#: shared batch work is attributed fractionally to rider requests.
+COST_FIELDS = (
+    "queries",
+    "result_cache_hits",
+    "result_cache_misses",
+    "stats_cache_hits",
+    "stats_cache_misses",
+    "blocks_decoded",
+    "blocks_skipped",
+    "early_terminations",
+    "candidates_scored",
+    "pruned_queries",
+    "fallback_queries",
+    "segments_touched",
+    "propagations",
+    "propagated_updates",
+    "propagation_seconds",
+    "scoring_seconds",
+)
+
+
+class CostProfile:
+    """What a request (or a shared batch stage) cost, as flat counters."""
+
+    __slots__ = COST_FIELDS
+
+    def __init__(self, **initial: float) -> None:
+        for field in COST_FIELDS:
+            setattr(self, field, initial.get(field, 0.0))
+
+    def merge(self, other: "CostProfile", scale: float = 1.0) -> "CostProfile":
+        """Add ``other`` (optionally scaled — for split shared work)."""
+        for field in COST_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field) * scale)
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        return {field: getattr(self, field) for field in COST_FIELDS}
+
+    def __repr__(self) -> str:
+        nonzero = {k: round(v, 6) for k, v in self.as_dict().items() if v}
+        return f"<CostProfile {nonzero}>"
+
+
+# -- thread-local collection slot -------------------------------------------
+
+_local = threading.local()
+
+
+def active_profile() -> Optional[CostProfile]:
+    """The profile the current thread is collecting into (None when idle)."""
+    return getattr(_local, "profile", None)
+
+
+@contextmanager
+def collecting(profile: Optional[CostProfile]) -> Iterator[Optional[CostProfile]]:
+    """Collect engine/scorer costs into ``profile`` on this thread.
+
+    ``None`` is a no-op (the disabled path costs one ``if``).  Nesting
+    restores the outer profile on exit, so an inner instrumented call
+    (e.g. a mixed query issuing a sub-query) cannot leak attribution.
+    """
+    if profile is None:
+        yield None
+        return
+    previous = getattr(_local, "profile", None)
+    _local.profile = profile
+    try:
+        yield profile
+    finally:
+        _local.profile = previous
+
+
+# -- the per-request artifact ------------------------------------------------
+
+_request_ids = itertools.count(1)
+
+
+class RequestTelemetry:
+    """Everything one request can report about itself.
+
+    Attached to ``ResultSet.telemetry`` by the session/service layer.
+    ``group_totals`` carries the *unsplit* group aggregate (same dict object
+    shared by every rider of the window group) so callers can verify
+    conservation or compute their share of the batch.
+    """
+
+    __slots__ = (
+        "request_id",
+        "collection",
+        "query",
+        "model",
+        "top_k",
+        "epoch",
+        "mode",
+        "outcome",
+        "cost",
+        "queue_seconds",
+        "run_seconds",
+        "total_seconds",
+        "window_size",
+        "group_size",
+        "distinct_queries",
+        "riders",
+        "group_totals",
+        "trace",
+        "sampled",
+    )
+
+    def __init__(
+        self,
+        collection: str = "",
+        query: str = "",
+        model: str = "",
+        top_k: Optional[int] = None,
+        mode: str = "inline",
+    ) -> None:
+        self.request_id = next(_request_ids)
+        self.collection = collection
+        self.query = query
+        self.model = model
+        self.top_k = top_k
+        self.epoch: Optional[int] = None
+        self.mode = mode  # "inline" | "batched"
+        self.outcome = "unknown"  # cached | pruned | fallback:<reason> | exhaustive
+        self.cost = CostProfile()
+        self.queue_seconds = 0.0
+        self.run_seconds = 0.0
+        self.total_seconds = 0.0
+        self.window_size = 1
+        self.group_size = 1
+        self.distinct_queries = 1
+        self.riders = 1
+        self.group_totals: Optional[Dict[str, float]] = None
+        self.trace = None  # a Span tree when retained, else None
+        self.sampled = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-encodable view (trace serialized via ``Span.to_record``)."""
+        record: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "collection": self.collection,
+            "query": self.query,
+            "model": self.model,
+            "top_k": self.top_k,
+            "epoch": self.epoch,
+            "mode": self.mode,
+            "outcome": self.outcome,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "total_seconds": self.total_seconds,
+            "window_size": self.window_size,
+            "group_size": self.group_size,
+            "distinct_queries": self.distinct_queries,
+            "riders": self.riders,
+            "sampled": self.sampled,
+            "cost": self.cost.as_dict(),
+        }
+        if self.group_totals is not None:
+            record["group_totals"] = dict(self.group_totals)
+        if self.trace is not None:
+            record["trace"] = self.trace.to_record()
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestTelemetry #{self.request_id} {self.mode} {self.outcome} "
+            f"total={self.total_seconds * 1e3:.2f}ms riders={self.riders}>"
+        )
+
+
+# -- tail-based trace retention ----------------------------------------------
+
+
+class TraceSampler:
+    """Decide which requests keep their full span tree.
+
+    Slow (``seconds >= slow_seconds``) and errored requests always keep the
+    tree — those are the ones worth debugging.  Healthy traffic is
+    head-sampled: the first of every ``head_every`` decisions keeps its
+    tree, the rest drop it.  ``head_every=0`` disables head sampling;
+    ``head_every=1`` keeps everything.  ``slow_seconds=None`` tracks the
+    slow-query-log threshold, so one knob governs both artifacts.
+    """
+
+    def __init__(self, head_every: int = 16, slow_seconds: Optional[float] = None):
+        self.head_every = head_every
+        self.slow_seconds = slow_seconds
+        self._decisions = itertools.count()
+
+    def keep(self, seconds: float, error: bool = False) -> bool:
+        if error:
+            return True
+        slow = self.slow_seconds
+        if slow is None:
+            from repro.obs.runtime import slow_log
+
+            slow = slow_log().threshold
+        if seconds >= slow:
+            return True
+        if self.head_every <= 0:
+            return False
+        return next(self._decisions) % self.head_every == 0
+
+
+_sampler = TraceSampler()
+
+
+def sampler() -> TraceSampler:
+    """The process-wide trace retention policy."""
+    return _sampler
+
+
+def configure_sampling(
+    head_every: Optional[int] = None, slow_seconds: Optional[float] = None
+) -> TraceSampler:
+    """Adjust trace retention; ``slow_seconds=None`` keeps the current value."""
+    if head_every is not None:
+        _sampler.head_every = head_every
+    if slow_seconds is not None:
+        _sampler.slow_seconds = slow_seconds
+    return _sampler

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.telemetry import CostProfile, collecting
 from repro.core import updates
 from repro.core.context import CouplingContext
 from repro.errors import (
@@ -85,6 +86,43 @@ class GroupOutcome:
         default_factory=dict
     )
     deduplicated: int = 0
+    # -- telemetry (populated only while instrumentation is enabled) --------
+    #: requests in the group and distinct keys scored, for attribution.
+    requested_count: int = 0
+    #: (model, query, top_k) -> how many of the group's requests asked for it.
+    riders: Dict[Tuple[Optional[str], str, Optional[int]], int] = field(
+        default_factory=dict
+    )
+    #: per-distinct-query cost, measured around the one scoring pass.
+    costs: Optional[Dict[Tuple[Optional[str], str, Optional[int]], CostProfile]] = None
+    #: group-shared cost (propagation before the snapshot) — split evenly
+    #: across ALL requests of the group during attribution.
+    shared: Optional[CostProfile] = None
+    #: (model, query, top_k) -> the finished ``service.query`` span, whose
+    #: children hold the ``irs.query`` subtree for that key's scoring pass.
+    query_spans: Dict[Tuple[Optional[str], str, Optional[int]], object] = field(
+        default_factory=dict
+    )
+
+    def group_totals(self) -> Optional[Dict[str, float]]:
+        """The unsplit group aggregate: sum of distinct costs plus shared.
+
+        Per-request attributed profiles sum back to exactly this (the
+        conservation invariant); riders of a failed key are the one
+        exception — their share dies with the error.
+        """
+        if self.costs is None:
+            return None
+        total = CostProfile()
+        for profile in self.costs.values():
+            total.merge(profile)
+        if self.shared is not None:
+            total.merge(self.shared)
+        aggregate = total.as_dict()
+        aggregate["requests"] = self.requested_count
+        aggregate["distinct"] = len(self.costs)
+        aggregate["deduplicated"] = self.deduplicated
+        return aggregate
 
 
 def execute_group(
@@ -104,49 +142,105 @@ def execute_group(
     registry = obs.metrics()
     started = time.perf_counter()
     outcome = GroupOutcome()
+    outcome.requested_count = len(requested)
+    collect = obs.is_enabled()
+    if collect:
+        outcome.costs = {}
+        outcome.shared = CostProfile()
 
     with obs.tracer().span(
         "service.group", requests=len(requested)
     ) as span:
         # One propagation per group, before the read snapshot is taken.
+        # Shared work: it benefits every request of the group equally, so
+        # its cost lands in ``outcome.shared`` (split evenly at attribution).
         if updates.has_pending(collection_obj):
-            updates.propagate(collection_obj, forced=True)
+            propagation_started = time.perf_counter()
+            applied = updates.propagate(collection_obj, forced=True)
+            if collect:
+                outcome.shared.propagations += 1
+                outcome.shared.propagated_updates += applied
+                outcome.shared.propagation_seconds += (
+                    time.perf_counter() - propagation_started
+                )
 
         default_model = collection_obj.get("model")
         irs_name = collection_obj.get("irs_name")
         span.set_attribute("collection", irs_name)
 
         distinct: List[Tuple[Optional[str], str, Optional[int]]] = []
-        seen = set()
         for model, irs_query, top_k in requested:
             key = (model or default_model, irs_query, top_k)
-            if key not in seen:
-                seen.add(key)
+            if key not in outcome.riders:
                 distinct.append(key)
+            outcome.riders[key] = outcome.riders.get(key, 0) + 1
         outcome.deduplicated = len(requested) - len(distinct)
         span.set_attribute("distinct", len(distinct))
 
         # All distinct queries scored under ONE read hold: a single epoch,
-        # a single statistics snapshot, no update in between.
+        # a single statistics snapshot, no update in between.  Each pass
+        # runs inside its own ``service.query`` span and cost profile —
+        # that is the per-key artifact attribution hands to rider requests.
         with engine.reading(irs_name):
             collection = engine.collection(irs_name)
             outcome.epoch = collection.index.epoch
             for key in distinct:
                 model, irs_query, top_k = key
+                profile = CostProfile() if collect else None
+                query_span = None
                 try:
-                    result = engine.query(irs_name, irs_query, model=model, top_k=top_k)
+                    with collecting(profile):
+                        with obs.tracer().span(
+                            "service.query", query=obs.trim(irs_query),
+                            model=model or "", riders=outcome.riders[key],
+                        ) as query_span:
+                            if top_k is not None:
+                                query_span.set_attribute("top_k", top_k)
+                            result = engine.query(
+                                irs_name, irs_query, model=model, top_k=top_k
+                            )
                     values = result.by_metadata(collection, "oid")
                     outcome.values[key] = {
                         OID.parse(oid_str): value for oid_str, value in values.items()
                     }
                 except BaseException as exc:  # mapped + contained per query
                     outcome.errors[key] = map_query_error(exc)
+                if collect:
+                    outcome.costs[key] = profile
+                if query_span is not None:
+                    outcome.query_spans[key] = query_span
 
     elapsed = time.perf_counter() - started
-    registry.histogram("service.batch.group_seconds").observe(elapsed)
+    registry.rolling("service.batch.group_seconds").observe(elapsed)
     registry.histogram("service.batch.group_size").observe(len(requested))
     registry.counter("service.batch.dedup_saved").inc(outcome.deduplicated)
     return outcome
+
+
+def query_outcome(query_span) -> Tuple[str, Optional[int], Optional[int]]:
+    """Classify a finished ``service.query`` span: (outcome, epoch, segments).
+
+    Reads the nested ``irs.query`` span's attributes (PR 5 records the
+    pruning decision there).  Outcomes: ``cached`` (result LRU hit),
+    ``pruned`` (block-max path), ``fallback:<reason>``, or ``exhaustive``.
+    """
+    attrs = {}
+    stack = list(getattr(query_span, "children", None) or ())
+    while stack:
+        child = stack.pop()
+        if getattr(child, "name", "") == "irs.query":
+            attrs = getattr(child, "attributes", None) or {}
+            break
+        stack.extend(getattr(child, "children", None) or ())
+    if attrs.get("cached"):
+        outcome = "cached"
+    elif attrs.get("pruned"):
+        outcome = "pruned"
+    elif "prune_fallback" in attrs:
+        outcome = "fallback:" + str(attrs["prune_fallback"])
+    else:
+        outcome = "exhaustive"
+    return outcome, attrs.get("epoch"), attrs.get("segments")
 
 
 def result_for(

@@ -21,9 +21,12 @@ Request lifecycle::
           cross-request batching effective
 
 Everything is instrumented through :mod:`repro.obs`: ``service.queue.depth``
-gauge, per-stage latency histograms (``service.request.queue_seconds`` /
+gauge (plus the ``depth_peak`` high watermark), per-stage rolling latency
+histograms with live percentiles (``service.request.queue_seconds`` /
 ``run_seconds`` / ``total_seconds``), ``service.retries`` counters, batch
-shape histograms.
+shape histograms.  Since PR 7 every successful IRS result also carries
+``ResultSet.telemetry`` — the request's attributed share of its batch
+window's cost (see :mod:`repro.obs.telemetry`).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.obs.telemetry import CostProfile, RequestTelemetry, sampler
 from repro.core.context import coupling_context
 from repro.errors import (
     DeadlockError,
@@ -219,7 +223,9 @@ class DocumentService:
                 "shed load or retry later"
             ) from None
         registry.counter("service.requests.submitted").inc()
-        registry.gauge("service.queue.depth").set(self._queue.qsize())
+        depth = self._queue.qsize()
+        registry.gauge("service.queue.depth").set(depth)
+        registry.gauge("service.queue.depth_peak").max_of(depth)
         return request.future
 
     # -- synchronous wrappers ----------------------------------------------
@@ -312,7 +318,8 @@ class DocumentService:
                 request.future.set_exception(ServiceClosedError("service closed"))
             return
         tasks = [
-            pool.submit(self._run_group, requests) for requests in groups.values()
+            pool.submit(self._run_group, requests, len(window))
+            for requests in groups.values()
         ]
         tasks.extend(pool.submit(self._run_solo, request) for request in solos)
         # Cycle barrier: while this window executes, the next one's
@@ -321,7 +328,7 @@ class DocumentService:
 
     # -- execution ----------------------------------------------------------
 
-    def _run_group(self, requests: List[_Request]) -> None:
+    def _run_group(self, requests: List[_Request], window_size: int = 0) -> None:
         collection_obj = requests[0].collection_obj
         started = time.perf_counter()
         try:
@@ -338,25 +345,82 @@ class DocumentService:
             return
         default_model = collection_obj.get("model")
         irs_name = collection_obj.get("irs_name")
+        finished = time.perf_counter()
+        totals = outcome.group_totals()
         for request in requests:
             if request.future.done():
                 continue
             try:
-                request.future.set_result(
-                    batch_module.result_for(
-                        outcome,
-                        self.db,
-                        collection_obj,
-                        irs_name,
-                        request.model,
-                        default_model,
-                        request.irs_query,
-                        request.top_k,
-                    )
+                result = batch_module.result_for(
+                    outcome,
+                    self.db,
+                    collection_obj,
+                    irs_name,
+                    request.model,
+                    default_model,
+                    request.irs_query,
+                    request.top_k,
                 )
+                if totals is not None:
+                    result.telemetry = self._build_telemetry(
+                        request, outcome, irs_name, default_model,
+                        started, finished, totals, window_size,
+                    )
+                request.future.set_result(result)
             except BaseException as exc:
                 request.future.set_exception(exc)
         self._observe(requests, started)
+
+    def _build_telemetry(
+        self,
+        request: _Request,
+        outcome,
+        irs_name: str,
+        default_model: Optional[str],
+        started: float,
+        finished: float,
+        totals: Dict[str, float],
+        window_size: int,
+    ) -> RequestTelemetry:
+        """Attribute the group's shared work back to one rider request.
+
+        Conservation by construction: this request receives its key's cost
+        divided by that key's rider count, plus the group-shared cost
+        divided by the group size.  Summed over the group's requests the
+        splits rebuild ``totals`` exactly.
+        """
+        key = (request.model or default_model, request.irs_query, request.top_k)
+        telemetry = RequestTelemetry(
+            collection=irs_name,
+            query=request.irs_query,
+            model=key[0] or "",
+            top_k=request.top_k,
+            mode="batched",
+        )
+        telemetry.epoch = outcome.epoch
+        telemetry.window_size = window_size or outcome.requested_count
+        telemetry.group_size = outcome.requested_count
+        telemetry.distinct_queries = len(outcome.costs or ())
+        telemetry.riders = outcome.riders.get(key, 1)
+        cost = CostProfile()
+        key_cost = (outcome.costs or {}).get(key)
+        if key_cost is not None and telemetry.riders:
+            cost.merge(key_cost, 1.0 / telemetry.riders)
+        if outcome.shared is not None and outcome.requested_count:
+            cost.merge(outcome.shared, 1.0 / outcome.requested_count)
+        telemetry.cost = cost
+        telemetry.queue_seconds = started - request.enqueued_at
+        telemetry.run_seconds = finished - started
+        telemetry.total_seconds = finished - request.enqueued_at
+        telemetry.group_totals = totals
+        query_span = outcome.query_spans.get(key)
+        telemetry.outcome, _epoch, _segments = batch_module.query_outcome(query_span)
+        # Tail-based retention: the span tree survives only for slow
+        # requests or the head-sampled fraction of healthy traffic.
+        telemetry.sampled = sampler().keep(telemetry.total_seconds)
+        if telemetry.sampled and query_span is not None:
+            telemetry.trace = query_span
+        return telemetry
 
     def _execute_group_once(self, collection_obj: DBObject, requests: List[_Request]):
         if self.config.transactional_reads:
@@ -423,11 +487,11 @@ class DocumentService:
         now = time.perf_counter()
         run_seconds = now - started
         for request in requests:
-            registry.histogram("service.request.queue_seconds").observe(
+            registry.rolling("service.request.queue_seconds").observe(
                 started - request.enqueued_at
             )
-            registry.histogram("service.request.run_seconds").observe(run_seconds)
-            registry.histogram("service.request.total_seconds").observe(
+            registry.rolling("service.request.run_seconds").observe(run_seconds)
+            registry.rolling("service.request.total_seconds").observe(
                 now - request.enqueued_at
             )
             registry.counter(

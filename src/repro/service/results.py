@@ -71,7 +71,7 @@ class ResultSet:
     tiebreaker — the same rule the engine's ``IRSResult.ranked`` uses.
     """
 
-    __slots__ = ("hits", "collection", "query", "model", "epoch")
+    __slots__ = ("hits", "collection", "query", "model", "epoch", "telemetry")
 
     def __init__(
         self,
@@ -86,6 +86,10 @@ class ResultSet:
         self.query = query
         self.model = model
         self.epoch = epoch
+        #: :class:`~repro.obs.telemetry.RequestTelemetry` of the request that
+        #: produced this set (set by the session/service layer; None when
+        #: instrumentation is disabled or for derived/sliced sets).
+        self.telemetry = None
 
     @classmethod
     def from_values(

@@ -23,9 +23,12 @@ Two execution modes, chosen at construction:
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro import obs
+from repro.obs.telemetry import CostProfile, RequestTelemetry, collecting, sampler
 from repro.core import collection as collection_module
 from repro.core import updates
 from repro.core.context import CouplingContext, coupling_context
@@ -186,27 +189,44 @@ class Session:
     ) -> ResultSet:
         default_model = collection_obj.get("model")
         irs_name = collection_obj.get("irs_name")
-        with _mapped_errors(batch_module.map_query_error):
-            if top_k is None and (model is None or model == default_model):
-                # The classic path: persistent buffer, default model.
-                values = collection_module._get_irs_result(collection_obj, irs_query)
-            else:
-                # Model override or top-k request: score directly (the
-                # persistent buffer stores full rankings for the collection
-                # default model only; both cases bypass it).
-                engine = self.context.engine
-                if updates.has_pending(collection_obj):
-                    updates.propagate(collection_obj, forced=True)
-                from repro.oodb.oid import OID
-
-                with engine.reading(irs_name):
-                    result = engine.query(
-                        irs_name, irs_query, model=model, top_k=top_k
+        profile = CostProfile() if obs.is_enabled() else None
+        started = time.perf_counter()
+        request_span = None
+        with _mapped_errors(batch_module.map_query_error), collecting(profile):
+            with obs.tracer().span(
+                "service.request", query=obs.trim(irs_query), mode="inline",
+            ) as request_span:
+                if top_k is None and (model is None or model == default_model):
+                    # The classic path: persistent buffer, default model.
+                    values = collection_module._get_irs_result(
+                        collection_obj, irs_query
                     )
-                    raw = result.by_metadata(engine.collection(irs_name), "oid")
-                values = {OID.parse(oid_str): value for oid_str, value in raw.items()}
-            epoch = self.context.engine.collection(irs_name).index.epoch
-        return ResultSet.from_values(
+                else:
+                    # Model override or top-k request: score directly (the
+                    # persistent buffer stores full rankings for the collection
+                    # default model only; both cases bypass it).
+                    engine = self.context.engine
+                    if updates.has_pending(collection_obj):
+                        propagation_started = time.perf_counter()
+                        applied = updates.propagate(collection_obj, forced=True)
+                        if profile is not None:
+                            profile.propagations += 1
+                            profile.propagated_updates += applied
+                            profile.propagation_seconds += (
+                                time.perf_counter() - propagation_started
+                            )
+                    from repro.oodb.oid import OID
+
+                    with engine.reading(irs_name):
+                        result = engine.query(
+                            irs_name, irs_query, model=model, top_k=top_k
+                        )
+                        raw = result.by_metadata(engine.collection(irs_name), "oid")
+                    values = {
+                        OID.parse(oid_str): value for oid_str, value in raw.items()
+                    }
+                epoch = self.context.engine.collection(irs_name).index.epoch
+        result_set = ResultSet.from_values(
             values,
             db=self.db,
             collection=irs_name,
@@ -214,6 +234,45 @@ class Session:
             model=model or default_model,
             epoch=epoch,
         )
+        if profile is not None:
+            result_set.telemetry = self._inline_telemetry(
+                irs_name, irs_query, model or default_model, top_k,
+                epoch, profile, started, request_span,
+            )
+        return result_set
+
+    def _inline_telemetry(
+        self,
+        irs_name: str,
+        irs_query: str,
+        model: Optional[str],
+        top_k: Optional[int],
+        epoch: Optional[int],
+        profile: CostProfile,
+        started: float,
+        request_span,
+    ) -> RequestTelemetry:
+        """Package an inline query's cost profile (no batch — all its own)."""
+        telemetry = RequestTelemetry(
+            collection=irs_name,
+            query=irs_query,
+            model=model or "",
+            top_k=top_k,
+            mode="inline",
+        )
+        telemetry.epoch = epoch
+        telemetry.cost = profile
+        telemetry.run_seconds = time.perf_counter() - started
+        telemetry.total_seconds = telemetry.run_seconds
+        telemetry.outcome, _epoch, _segments = batch_module.query_outcome(request_span)
+        if profile.queries == 0:
+            # The classic path answered from the COLLECTION's persistent
+            # result buffer without ever reaching the engine (Section 4.2).
+            telemetry.outcome = "buffered"
+        telemetry.sampled = sampler().keep(telemetry.total_seconds)
+        if telemetry.sampled and request_span is not None:
+            telemetry.trace = request_span
+        return telemetry
 
     def find_value(
         self, collection_obj: DBObject, irs_query: str, obj: DBObject

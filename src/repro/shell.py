@@ -16,6 +16,7 @@ given).  Commands:
     .explain <vql>                      plan + executed per-stage timing tree
     .trace <vql>                        run a query and print its span tree
     .stats                              metrics, cache and slow-query statistics
+    .dash                               health verdict, latency percentiles, hot spots
     .classes                            list schema classes
     .counters                           show coupling/IRS counters
     .bind <name> <collection>           bind a name usable in queries
@@ -105,6 +106,7 @@ class Shell:
             ".explain": self._cmd_explain,
             ".trace": self._cmd_trace,
             ".stats": self._cmd_stats,
+            ".dash": self._cmd_dash,
             ".classes": self._cmd_classes,
             ".counters": self._cmd_counters,
             ".bind": self._cmd_bind,
@@ -240,6 +242,11 @@ class Shell:
             self._print(
                 f"  {name}: count={hist['count']} mean={mean:.2f}ms max={worst:.2f}ms"
             )
+        for name, roll in snapshot["rolling"].items():
+            self._print(
+                f"  {name} (rolling): count={roll['count']} "
+                f"p50={roll['p50'] * 1000:.2f}ms p99={roll['p99'] * 1000:.2f}ms"
+            )
         cache = self.system.engine.cache_stats
         self._print(
             f"  engine result cache: hits={cache.hits} misses={cache.misses} "
@@ -255,6 +262,52 @@ class Shell:
         self._print(f"  slow queries (>{slow.threshold * 1000:.0f}ms): {len(slow)}")
         for entry in slow.entries()[-5:]:
             self._print(f"    [{entry.kind}] {entry.seconds * 1000:.1f}ms {entry.text[:80]}")
+
+    def _cmd_dash(self, _args: List[str]) -> None:
+        """One screen of operational truth: health verdict + live percentiles."""
+        from repro import obs
+
+        health = self.system.health()
+        self._print(f"  status: {health['status']}")
+        admission = health["admission"]
+        self._print(
+            f"  admission: depth={admission['queue_depth']}/"
+            f"{admission['queue_capacity'] or '-'} "
+            f"peak={admission['depth_peak']:g} rejected={admission['rejected']}"
+        )
+        merge = health["merge"]
+        self._print(
+            f"  merge: backlog={merge['backlog']} segments={merge['segments']} "
+            f"scheduler={'running' if merge['scheduler_running'] else 'stopped'}"
+        )
+        memtable = health["memtable"]
+        self._print(
+            f"  memtable: {memtable['documents']} docs, {memtable['tokens']} tokens, "
+            f"~{memtable['bytes'] / 1024.0:.1f} KiB"
+        )
+        latency = health["latency"]
+        if latency["source"] is None:
+            self._print("  latency: no windowed traffic yet")
+        else:
+            self._print(
+                f"  latency [{latency['source']}] (last "
+                f"{obs.metrics().rolling(latency['source']).window_seconds:.0f}s, "
+                f"{latency['count']} reqs): "
+                f"p50={latency['p50'] * 1000:.2f}ms p95={latency['p95'] * 1000:.2f}ms "
+                f"p99={latency['p99'] * 1000:.2f}ms p999={latency['p999'] * 1000:.2f}ms"
+            )
+            self._print(
+                f"  slo: {latency['slo_seconds'] * 1000:.0f}ms "
+                f"slow_ratio={latency['slow_ratio']:.1%}"
+            )
+        slow = obs.slow_log()
+        for entry in slow.entries()[-3:]:
+            outcome = entry.info.get("outcome", "")
+            extras = f" top_k={entry.info['top_k']}" if "top_k" in entry.info else ""
+            self._print(
+                f"  slow [{entry.kind}] {entry.seconds * 1000:.1f}ms"
+                f"{extras}{' ' + outcome if outcome else ''} {entry.text[:60]}"
+            )
 
     def _cmd_classes(self, _args: List[str]) -> None:
         for name in self.system.db.schema.class_names():

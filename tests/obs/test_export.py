@@ -1,0 +1,104 @@
+"""Prometheus exposition and the JSONL metrics snapshotter."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs.export import (
+    MetricsSnapshotter,
+    _prom_name,
+    prometheus_text,
+    write_metrics_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("irs.query.executed").inc(3)
+    registry.gauge("service.queue.depth").set(2.0)
+    hist = registry.histogram("service.batch.window_size", buckets=(1.0, 2.0, 4.0))
+    hist.observe(1.0)
+    hist.observe(3.0)
+    roll = registry.rolling("service.request.total_seconds")
+    roll.observe(0.01)
+    roll.observe(0.02)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counters_gauges_and_types(self):
+        text = prometheus_text(populated_registry())
+        assert "# TYPE repro_irs_query_executed_total counter" in text
+        assert "repro_irs_query_executed_total 3" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 2.0" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(populated_registry())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_service_batch_window_size_bucket")
+        ]
+        # Bounds 1, 2, 4, +Inf with observations 1.0 and 3.0: cumulative
+        # counts must be 1, 1, 2, 2 — never decreasing.
+        assert lines == [
+            'repro_service_batch_window_size_bucket{le="1"} 1',
+            'repro_service_batch_window_size_bucket{le="2"} 1',
+            'repro_service_batch_window_size_bucket{le="4"} 2',
+            'repro_service_batch_window_size_bucket{le="+Inf"} 2',
+        ]
+        assert "repro_service_batch_window_size_count 2" in text
+
+    def test_rolling_rendered_as_summary_quantiles(self):
+        text = prometheus_text(populated_registry())
+        assert "# TYPE repro_service_request_total_seconds summary" in text
+        assert 'repro_service_request_total_seconds{quantile="0.5"}' in text
+        assert 'repro_service_request_total_seconds{quantile="0.999"}' in text
+        assert "repro_service_request_total_seconds_count 2" in text
+
+    def test_name_sanitization(self):
+        assert _prom_name("irs.query.seconds.inquery", "repro") == (
+            "repro_irs_query_seconds_inquery"
+        )
+        assert _prom_name("9weird-name!", "") == "_9weird_name_"
+
+    def test_defaults_to_global_registry(self):
+        # Must not raise against whatever the global registry holds.
+        assert prometheus_text().endswith("\n")
+
+
+class TestSnapshotJsonl:
+    def test_write_metrics_snapshot_appends_valid_lines(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        registry = populated_registry()
+        write_metrics_snapshot(path, registry, extra={"phase": "warm"})
+        write_metrics_snapshot(path, registry)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["phase"] == "warm"
+        assert first["metrics"]["counters"]["irs.query.executed"] == 3
+        assert "rolling" in first["metrics"]
+
+    def test_snapshotter_writes_periodically_and_on_stop(self, tmp_path):
+        path = str(tmp_path / "periodic.jsonl")
+        registry = populated_registry()
+        with MetricsSnapshotter(path, interval_seconds=0.05, registry=registry):
+            time.sleep(0.2)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        # At least one periodic line plus the final stop() snapshot.
+        assert len(lines) >= 2
+        for line in lines:
+            json.loads(line)
+
+    def test_snapshotter_start_is_idempotent(self, tmp_path):
+        snapshotter = MetricsSnapshotter(str(tmp_path / "x.jsonl"), 5.0)
+        snapshotter.start()
+        thread = snapshotter._thread
+        snapshotter.start()
+        assert snapshotter._thread is thread
+        snapshotter.stop(final_snapshot=False)
+        assert snapshotter._thread is None

@@ -1,0 +1,124 @@
+"""RollingHistogram: bucketing, percentiles, window expiry, thread safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.histogram import NOOP_ROLLING, NoopRollingHistogram, RollingHistogram
+
+
+class FakeClock:
+    """A controllable monotonic clock for window-expiry tests."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBucketsAndPercentiles:
+    def test_empty_snapshot_is_zeroed(self):
+        hist = RollingHistogram()
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["p999"] == 0.0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_percentiles_are_monotone_and_clamped(self):
+        hist = RollingHistogram()
+        for value in [0.001] * 90 + [0.05] * 9 + [1.0]:
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["p999"]
+        # Log-bucket estimates stay within the bucket's relative error and
+        # inside the window's observed range.
+        assert snap["min"] == 0.001 and snap["max"] == 1.0
+        assert 0.0009 <= snap["p50"] <= 0.0012
+        assert snap["p999"] == 1.0  # clamped to the observed max
+
+    def test_out_of_range_values_clamp_to_edge_buckets(self):
+        hist = RollingHistogram(lo=1e-3, hi=1.0)
+        hist.observe(1e-9)  # below lo
+        hist.observe(50.0)  # above hi
+        snap = hist.snapshot()
+        assert snap["count"] == 2
+        assert snap["min"] == 1e-9 and snap["max"] == 50.0
+
+    def test_fraction_above_threshold(self):
+        hist = RollingHistogram()
+        for value in [0.001] * 50 + [0.1] * 50:
+            hist.observe(value)
+        assert hist.fraction_above(0.01) == 0.5
+        assert hist.fraction_above(1e-9) == 1.0
+        assert hist.fraction_above(100.0) == 0.0
+
+    def test_snapshot_is_json_encodable(self):
+        hist = RollingHistogram()
+        hist.observe(0.01)
+        json.dumps(hist.snapshot())
+
+
+class TestWindowExpiry:
+    def test_old_slices_age_out(self):
+        clock = FakeClock()
+        hist = RollingHistogram(window_seconds=60.0, slices=12, clock=clock)
+        for _ in range(10):
+            hist.observe(0.005)
+        assert hist.snapshot()["count"] == 10
+        clock.advance(30.0)  # still inside the window
+        hist.observe(0.005)
+        assert hist.snapshot()["count"] == 11
+        clock.advance(61.0)  # everything from before is now out of window
+        assert hist.snapshot()["count"] == 0
+        hist.observe(0.002)
+        assert hist.snapshot()["count"] == 1
+
+    def test_slice_reuse_does_not_resurrect_old_counts(self):
+        clock = FakeClock()
+        hist = RollingHistogram(window_seconds=12.0, slices=3, clock=clock)
+        hist.observe(0.001)
+        # Land exactly on the slice that will be recycled.
+        clock.advance(12.0)
+        hist.observe(0.1)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == 0.1
+
+    def test_reset_clears_everything(self):
+        hist = RollingHistogram()
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.snapshot()["count"] == 0
+
+
+class TestConcurrency:
+    def test_concurrent_observes_lose_nothing(self):
+        hist = RollingHistogram()
+        per_thread, threads = 2000, 8
+
+        def pound():
+            for _ in range(per_thread):
+                hist.observe(0.001)
+
+        workers = [threading.Thread(target=pound) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert hist.snapshot()["count"] == per_thread * threads
+
+
+class TestNoop:
+    def test_noop_swallows_and_reports_empty(self):
+        assert isinstance(NOOP_ROLLING, NoopRollingHistogram)
+        NOOP_ROLLING.observe(1.0)
+        snap = NOOP_ROLLING.snapshot()
+        assert snap["count"] == 0 and snap["p50"] == 0.0
+        assert NOOP_ROLLING.percentile(0.99) == 0.0
+        assert NOOP_ROLLING.fraction_above(0.0) == 0.0

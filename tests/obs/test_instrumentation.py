@@ -163,6 +163,7 @@ class TestQueryMetrics:
                 "counters": {},
                 "gauges": {},
                 "histograms": {},
+                "rolling": {},
             }
             assert obs.tracer().last_trace() is None
         finally:

@@ -1,8 +1,9 @@
 """Metrics registry: counters, gauges, histogram bucket semantics."""
 
 import json
+import threading
 
-from repro.obs import MetricsRegistry, NoopMetricsRegistry
+from repro.obs import MetricsRegistry, NoopMetricsRegistry, RollingHistogram
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 
 
@@ -21,11 +22,82 @@ class TestCounterAndGauge:
         gauge.add(0.5)
         assert registry.snapshot()["gauges"]["g"] == 3.0
 
+    def test_gauge_max_of_tracks_high_watermark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("peak")
+        gauge.max_of(3.0)
+        gauge.max_of(1.0)  # lower: must not regress
+        gauge.max_of(7.0)
+        assert gauge.value == 7.0
+
     def test_get_or_create_returns_same_instrument(self):
         registry = MetricsRegistry()
         assert registry.counter("x") is registry.counter("x")
         assert registry.gauge("y") is registry.gauge("y")
         assert registry.histogram("z") is registry.histogram("z")
+        assert registry.rolling("r") is registry.rolling("r")
+
+
+class TestThreadSafety:
+    """The pooled executor hammers shared instruments from many workers.
+
+    A bare ``+=`` on an instance attribute is three bytecodes; without the
+    per-instrument lock these stress runs lose updates (flakily, which is
+    worse).  8 threads x 5000 increments makes a lost update near-certain
+    on an unlocked implementation.
+    """
+
+    THREADS = 8
+    ROUNDS = 5000
+
+    def _pound(self, fn):
+        workers = [
+            threading.Thread(target=lambda: [fn() for _ in range(self.ROUNDS)])
+            for _ in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    def test_concurrent_counter_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("stress")
+        self._pound(counter.inc)
+        assert counter.value == self.THREADS * self.ROUNDS
+
+    def test_concurrent_gauge_adds_lose_nothing(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("stress")
+        self._pound(lambda: gauge.add(1.0))
+        assert gauge.value == float(self.THREADS * self.ROUNDS)
+
+    def test_concurrent_histogram_observes_lose_nothing(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("stress")
+        self._pound(lambda: hist.observe(0.001))
+        assert hist.count == self.THREADS * self.ROUNDS
+        assert sum(hist.bucket_counts) == self.THREADS * self.ROUNDS
+
+
+class TestRollingInRegistry:
+    def test_rolling_snapshot_section(self):
+        registry = MetricsRegistry()
+        roll = registry.rolling("service.request.total_seconds")
+        assert isinstance(roll, RollingHistogram)
+        roll.observe(0.02)
+        snapshot = registry.snapshot()
+        entry = snapshot["rolling"]["service.request.total_seconds"]
+        assert entry["count"] == 1
+        assert {"p50", "p95", "p99", "p999"} <= set(entry)
+
+    def test_reset_clears_rolling_in_place(self):
+        registry = MetricsRegistry()
+        roll = registry.rolling("r")
+        roll.observe(0.5)
+        registry.reset()
+        assert roll.snapshot()["count"] == 0
+        assert registry.rolling("r") is roll
 
 
 class TestHistogram:
@@ -66,7 +138,7 @@ class TestRegistrySnapshotAndReset:
         registry.gauge("b").set(1.0)
         registry.histogram("h").observe(0.002)
         snapshot = registry.snapshot()
-        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert set(snapshot) == {"counters", "gauges", "histograms", "rolling"}
         json.dumps(snapshot)  # must not raise
 
     def test_reset_zeroes_in_place_keeping_references(self):
@@ -88,4 +160,9 @@ class TestNoopRegistry:
         registry.counter("c").inc(100)
         registry.gauge("g").set(5)
         registry.histogram("h").observe(1.0)
-        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "rolling": {},
+        }

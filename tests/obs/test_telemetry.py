@@ -1,0 +1,124 @@
+"""CostProfile arithmetic, the collection context, and the trace sampler."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+from repro.obs.telemetry import (
+    COST_FIELDS,
+    CostProfile,
+    RequestTelemetry,
+    TraceSampler,
+    active_profile,
+    collecting,
+)
+
+
+class TestCostProfile:
+    def test_starts_zeroed_and_merges_scaled(self):
+        total = CostProfile()
+        assert all(getattr(total, field) == 0.0 for field in COST_FIELDS)
+        part = CostProfile(queries=1.0, blocks_decoded=6.0, scoring_seconds=0.5)
+        total.merge(part, scale=0.5)
+        assert total.queries == 0.5
+        assert total.blocks_decoded == 3.0
+        assert total.scoring_seconds == 0.25
+
+    def test_fractional_split_conserves(self):
+        """Splitting a cost N ways and re-summing rebuilds it exactly."""
+        cost = CostProfile(queries=1.0, candidates_scored=7.0, blocks_skipped=3.0)
+        riders = 3
+        rebuilt = CostProfile()
+        for _ in range(riders):
+            rebuilt.merge(cost, 1.0 / riders)
+        for field in COST_FIELDS:
+            assert math.isclose(
+                getattr(rebuilt, field), getattr(cost, field), abs_tol=1e-12
+            )
+
+    def test_as_dict_json_encodable(self):
+        json.dumps(CostProfile(queries=2.0).as_dict())
+
+
+class TestCollecting:
+    def test_idle_thread_has_no_profile(self):
+        assert active_profile() is None
+
+    def test_collecting_installs_and_restores(self):
+        outer = CostProfile()
+        inner = CostProfile()
+        with collecting(outer):
+            assert active_profile() is outer
+            with collecting(inner):
+                assert active_profile() is inner
+            assert active_profile() is outer
+        assert active_profile() is None
+
+    def test_none_profile_is_a_noop(self):
+        with collecting(None) as profile:
+            assert profile is None
+            assert active_profile() is None
+
+    def test_profiles_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["worker"] = active_profile()
+
+        with collecting(CostProfile()):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["worker"] is None
+
+
+class TestTraceSampler:
+    def test_errors_always_keep(self):
+        sampler = TraceSampler(head_every=0, slow_seconds=999.0)
+        assert sampler.keep(0.0, error=True)
+
+    def test_slow_requests_always_keep(self):
+        sampler = TraceSampler(head_every=0, slow_seconds=0.1)
+        assert sampler.keep(0.2)
+        assert not sampler.keep(0.05)
+
+    def test_head_sampling_keeps_first_of_every_n(self):
+        sampler = TraceSampler(head_every=4, slow_seconds=999.0)
+        decisions = [sampler.keep(0.0) for _ in range(8)]
+        assert decisions == [True, False, False, False, True, False, False, False]
+
+    def test_head_every_zero_drops_all_fast_traffic(self):
+        sampler = TraceSampler(head_every=0, slow_seconds=999.0)
+        assert not any(sampler.keep(0.0) for _ in range(10))
+
+    def test_none_slow_threshold_tracks_slow_log(self):
+        from repro import obs
+
+        sampler = TraceSampler(head_every=0, slow_seconds=None)
+        previous = obs.slow_log().threshold
+        try:
+            obs.configure(slow_query_seconds=0.5)
+            assert sampler.keep(0.6)
+            assert not sampler.keep(0.4)
+        finally:
+            obs.configure(slow_query_seconds=previous)
+
+
+class TestRequestTelemetry:
+    def test_as_dict_round_trips_to_json(self):
+        telemetry = RequestTelemetry(
+            collection="coll", query="WWW", model="inquery", top_k=5, mode="batched"
+        )
+        telemetry.group_totals = {"queries": 2.0}
+        record = telemetry.as_dict()
+        json.dumps(record)
+        assert record["collection"] == "coll"
+        assert record["cost"]["queries"] == 0.0
+        assert "trace" not in record  # none retained
+
+    def test_request_ids_are_unique(self):
+        first = RequestTelemetry()
+        second = RequestTelemetry()
+        assert first.request_id != second.request_id

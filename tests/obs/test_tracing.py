@@ -1,5 +1,6 @@
 """Span nesting, ring buffering, and JSONL round-trips."""
 
+import json
 import threading
 
 import pytest
@@ -160,6 +161,68 @@ class TestJsonlRoundTrip:
             pass
         (root,) = load_spans(path)
         assert isinstance(root.attributes["obj"], str)
+
+
+class TestConcurrentExport:
+    """Concurrent sessions share one Tracer and one JSONL exporter.
+
+    Every worker finishing a root span triggers an export; without the
+    exporter's write lock lines interleave (torn JSON) and without the
+    tracer's ring lock roots get dropped.
+    """
+
+    THREADS = 8
+    ROOTS_PER_THREAD = 25
+
+    def test_no_torn_lines_and_no_dropped_roots(self, tmp_path):
+        path = str(tmp_path / "concurrent.jsonl")
+        total = self.THREADS * self.ROOTS_PER_THREAD
+        tracer = Tracer(exporter=JsonlSpanExporter(path), ring_size=total)
+
+        def session(worker_id):
+            for i in range(self.ROOTS_PER_THREAD):
+                with tracer.span("service.request", worker=worker_id, seq=i):
+                    with tracer.span("irs.query", model="inquery"):
+                        pass
+
+        workers = [
+            threading.Thread(target=session, args=(w,)) for w in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        # Every line must parse on its own — a torn write breaks json here.
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == total * 2  # each root carries one child span
+
+        roots = load_spans(path)
+        assert len(roots) == total
+        seen = {(r.attributes["worker"], r.attributes["seq"]) for r in roots}
+        assert len(seen) == total  # no root dropped, none duplicated
+        assert all(
+            [c.name for c in root.children] == ["irs.query"] for root in roots
+        )
+
+    def test_ring_stays_bounded_under_concurrency(self, tmp_path):
+        tracer = Tracer(
+            exporter=JsonlSpanExporter(str(tmp_path / "ring.jsonl")), ring_size=16
+        )
+
+        def session():
+            for _ in range(50):
+                with tracer.span("service.request"):
+                    pass
+
+        workers = [threading.Thread(target=session) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(tracer.finished_traces()) == 16
 
 
 class TestRendering:

@@ -122,6 +122,15 @@ class TestQueriesInShell:
         loaded.execute(".counters")
         assert "IRS queries: " in output_of(loaded)
 
+    def test_dash_renders_health(self, loaded):
+        loaded.execute(".irs collPara telnet")
+        loaded.execute(".dash")
+        out = output_of(loaded)
+        assert "status: " in out
+        assert "admission: " in out
+        assert "merge: " in out
+        assert "p50" in out
+
     def test_bind_alias(self, loaded):
         loaded.execute(".bind c collPara")
         loaded.execute("ACCESS p FROM p IN PARA WHERE p -> getIRSValue(c, 'telnet') > 0.4")
