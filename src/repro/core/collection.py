@@ -106,6 +106,7 @@ def _create_collection(
     update_policy: Optional[str] = None,
     type_weights: Optional[Dict[str, float]] = None,
     segment_words: int = 0,
+    shards: Optional[int] = None,
 ) -> DBObject:
     """Create a COLLECTION object and its encapsulated IRS collection.
 
@@ -114,6 +115,11 @@ def _create_collection(
     OODBMS query expression and thus is powerful enough to specify any
     reasonable combination of objects").  Call ``indexObjects`` to run it.
 
+    ``shards`` overrides the engine's default shard count for this one
+    collection (0 forces unsharded; None keeps the engine default).
+    Sharding is a physical layout choice only — rankings are bit-identical
+    either way (DESIGN.md §"Sharded scoring").
+
     Internal implementation — the supported entry points are
     :meth:`repro.Session.create_collection` and the deprecated
     :func:`create_collection` shim.
@@ -121,7 +127,7 @@ def _create_collection(
     context = coupling_context(db)
     if context.engine.has_collection(name):
         raise CouplingError(f"IRS collection {name!r} already exists")
-    context.engine.create_collection(name)
+    context.engine.create_collection(name, shards=shards)
     return db.create_object(
         COLLECTION_CLASS,
         irs_name=name,

@@ -39,6 +39,16 @@ class DocumentSystem:
     use_result_files:
         Force the file-based IRS exchange even without a directory
         (a temp directory is then created lazily).
+    shards:
+        Default shard count for new IRS collections (0: unsharded).  A
+        persisted store reloads re-partitioned to this count — every
+        layout cross-loads into every other.  Scoring over shards is
+        bit-identical to unsharded scoring (DESIGN.md §"Sharded
+        scoring"); parallel scatter workers engage once a session is
+        opened with ``open_session(shards=N)``.
+    shard_config:
+        :class:`repro.irs.shards.ShardConfig` tunables (timeouts,
+        retries, the fault-injection hook) for the scatter executor.
     """
 
     def __init__(
@@ -47,6 +57,8 @@ class DocumentSystem:
         model: str = "inquery",
         analyzer: Optional[Analyzer] = None,
         use_result_files: bool = False,
+        shards: int = 0,
+        shard_config: Any = None,
     ) -> None:
         db_dir = os.path.join(directory, "db") if directory else None
         self.db = Database(directory=db_dir)
@@ -58,10 +70,14 @@ class DocumentSystem:
             from repro.irs.persistence import load_engine
 
             self.engine = load_engine(
-                self._irs_index_directory, default_model=model, analyzer=analyzer
+                self._irs_index_directory, default_model=model, analyzer=analyzer,
+                shard_count=shards, shard_config=shard_config,
             )
         else:
-            self.engine = IRSEngine(default_model=model, analyzer=analyzer)
+            self.engine = IRSEngine(
+                default_model=model, analyzer=analyzer,
+                shard_count=shards, shard_config=shard_config,
+            )
         result_dir = None
         if directory:
             result_dir = os.path.join(directory, "irs")
@@ -113,15 +129,28 @@ class DocumentSystem:
 
     # -- collections ----------------------------------------------------------------
 
-    def open_session(self, workers: int = 0, config: Any = None):
+    def open_session(
+        self, workers: int = 0, config: Any = None, shards: Optional[int] = None
+    ):
         """Open a new :class:`repro.Session` on this system.
 
         ``workers=0`` gives the classic inline mode; ``workers>=1`` starts
         an embedded worker pool with cross-request batching.  Pooled
         sessions opened here are closed with the system.
+
+        ``shards=N`` turns parallel scatter-gather scoring on: new
+        collections default to N hash shards and prunable top-k queries
+        fan out to per-shard worker processes (exact results guaranteed —
+        sharded scoring is bit-identical to unsharded, and a failed
+        worker degrades to retry then inline fallback, never a wrong
+        ranking).  The worker pools are closed with the system.
         """
         from repro.service.session import Session
 
+        if shards is not None:
+            self.engine.shard_count = shards
+            if shards:
+                self.engine.attach_shard_executor()
         session = Session(self.db, workers=workers, config=config)
         if session.pooled:
             self._sessions.append(session)
@@ -198,6 +227,7 @@ class DocumentSystem:
         for session in self._sessions:
             session.close()
         self._sessions = []
+        self.engine.shutdown_shards()
         if self._irs_index_directory is not None:
             from repro.irs.persistence import save_engine
 

@@ -100,6 +100,16 @@ class IRSCollection:
             return self.segments.segment_count
         return 1
 
+    def segment_managers(self) -> List[SegmentManager]:
+        """All segment managers behind this collection (0 or 1 here).
+
+        The maintenance paths (merge scheduler, health reports) iterate
+        this instead of touching :attr:`segments` directly, so a sharded
+        collection — which owns one manager *per shard* — plugs in by
+        overriding it.
+        """
+        return [self.segments] if self.segments is not None else []
+
     @contextmanager
     def batched_epoch(self) -> Iterator[None]:
         """Coalesce the epoch bumps of a write batch into one (see engine)."""
@@ -245,8 +255,19 @@ class IRSCollection:
         Either payload format loads into either representation:
         ``segment_config`` (or a ``"segments"`` payload) selects segmented;
         a legacy ``"index"`` payload under a segmented target becomes one
-        sealed segment.
+        sealed segment.  A *sharded* dump (see
+        ``ShardedCollection.to_payload``) cross-loads too: each shard's
+        entries flatten into the segment list — shards partition the
+        document space, so the concatenation is the exact logical index.
         """
+        if "shards" in payload:
+            entries = []
+            for shard_entry in payload["shards"]:
+                if "segments" in shard_entry:
+                    entries.extend(shard_entry["segments"])
+                else:
+                    entries.append({"index": shard_entry["index"], "tombstones": []})
+            payload = {**payload, "segments": entries}
         if segment_config is None and "segments" in payload:
             segment_config = SegmentConfig()
         collection = cls(payload["name"], analyzer, segment_config=segment_config)

@@ -5,64 +5,161 @@ One JSON file per collection under the engine directory; a manifest lists
 the collections.  :func:`save_engine` / :func:`load_engine` round-trip a
 whole :class:`~repro.irs.engine.IRSEngine`.
 
-Two collection payload formats exist (see ``IRSCollection.to_payload``):
-the legacy monolithic ``"index"`` dump and the per-segment ``"segments"``
-dump of the log-structured subsystem.  ``load_engine`` reads both; a
-legacy payload loading into a segmented engine becomes a collection with
-one sealed segment.
+Three collection layouts exist on disk:
+
+* the legacy monolithic ``"index"`` dump and the per-segment
+  ``"segments"`` dump (see ``IRSCollection.to_payload``), both a single
+  ``collection_<name>.json`` file;
+* the sharded layout: a ``collection_<name>/`` *directory* holding
+  ``meta.json`` (documents, analyzer config, shard count) plus one
+  ``shard_NNNN.json`` per shard.
+
+Every layout cross-loads into every target: a sharded directory loading
+into an unsharded engine flattens the shards into segments; an unsharded
+file loading into a sharded engine re-partitions by re-analyzing the
+stored texts; a shard-count change does the same (see
+``ShardedCollection.from_payload``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from typing import Optional
 
 from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
 from repro.irs.engine import IRSEngine
+from repro.irs.shards import ShardedCollection
 
 _MANIFEST = "collections.json"
 
 
 def save_engine(engine: IRSEngine, directory: str) -> None:
-    """Write every collection of ``engine`` to ``directory``."""
+    """Write every collection of ``engine`` to ``directory``.
+
+    Sharded collections get a per-shard payload directory; the other
+    layout's leftovers (a previous run with a different shard setting)
+    are removed so a reload sees exactly one representation.
+    """
     os.makedirs(directory, exist_ok=True)
     names = engine.collection_names()
     for name in names:
         collection = engine.collection(name)
-        path = os.path.join(directory, _collection_file(name))
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as fh:
-            json.dump(collection.to_payload(), fh)
-        os.replace(tmp_path, path)
+        if getattr(collection, "shards", None):
+            _save_sharded(collection, directory)
+        else:
+            _save_flat(collection, directory)
     manifest_path = os.path.join(directory, _MANIFEST)
     with open(manifest_path + ".tmp", "w", encoding="utf-8") as fh:
         json.dump({"collections": names}, fh)
     os.replace(manifest_path + ".tmp", manifest_path)
 
 
+def _save_flat(collection: IRSCollection, directory: str) -> None:
+    path = os.path.join(directory, _collection_file(collection.name))
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(collection.to_payload(), fh)
+    os.replace(tmp_path, path)
+    stale_dir = os.path.join(directory, _collection_dir(collection.name))
+    if os.path.isdir(stale_dir):
+        shutil.rmtree(stale_dir)
+
+
+def _save_sharded(collection, directory: str) -> None:
+    shard_dir = os.path.join(directory, _collection_dir(collection.name))
+    os.makedirs(shard_dir, exist_ok=True)
+    payload = collection.to_payload()
+    shard_entries = payload.pop("shards")
+    for path, content in [
+        (os.path.join(shard_dir, "meta.json"), payload),
+        *(
+            (os.path.join(shard_dir, f"shard_{i:04d}.json"), entry)
+            for i, entry in enumerate(shard_entries)
+        ),
+    ]:
+        with open(path + ".tmp", "w", encoding="utf-8") as fh:
+            json.dump(content, fh)
+        os.replace(path + ".tmp", path)
+    # Drop shard files beyond the current count and any stale flat dump.
+    for entry in os.listdir(shard_dir):
+        if entry.startswith("shard_") and entry.endswith(".json"):
+            index = int(entry[6:-5])
+            if index >= len(shard_entries):
+                os.remove(os.path.join(shard_dir, entry))
+    stale_file = os.path.join(directory, _collection_file(collection.name))
+    if os.path.exists(stale_file):
+        os.remove(stale_file)
+
+
 def load_engine(
-    directory: str, default_model: str = "inquery", analyzer: Optional[Analyzer] = None
+    directory: str,
+    default_model: str = "inquery",
+    analyzer: Optional[Analyzer] = None,
+    shard_count: int = 0,
+    shard_config=None,
 ) -> IRSEngine:
-    """Rebuild an engine previously written with :func:`save_engine`."""
-    engine = IRSEngine(default_model=default_model, analyzer=analyzer)
+    """Rebuild an engine previously written with :func:`save_engine`.
+
+    ``shard_count`` sets the engine default *and* the target layout:
+    stored collections are re-partitioned (or flattened, when 0) to
+    match it, whatever layout they were saved in.
+    """
+    engine = IRSEngine(
+        default_model=default_model,
+        analyzer=analyzer,
+        shard_count=shard_count,
+        shard_config=shard_config,
+    )
     manifest_path = os.path.join(directory, _MANIFEST)
     if not os.path.exists(manifest_path):
         return engine
     with open(manifest_path, "r", encoding="utf-8") as fh:
         manifest = json.load(fh)
     for name in manifest["collections"]:
-        path = os.path.join(directory, _collection_file(name))
-        with open(path, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
-        collection = IRSCollection.from_payload(
-            payload, analyzer, segment_config=engine.segment_config
-        )
+        payload = _read_collection_payload(directory, name)
+        if shard_count and shard_count >= 1:
+            collection: IRSCollection = ShardedCollection.from_payload(
+                payload,
+                analyzer,
+                segment_config=engine.segment_config,
+                shard_count=shard_count,
+            )
+        else:
+            collection = IRSCollection.from_payload(
+                payload, analyzer, segment_config=engine.segment_config
+            )
         engine._collections[name] = collection
     return engine
+
+
+def _read_collection_payload(directory: str, name: str) -> dict:
+    shard_dir = os.path.join(directory, _collection_dir(name))
+    meta_path = os.path.join(shard_dir, "meta.json")
+    if os.path.isdir(shard_dir) and os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        entries = []
+        for i in range(payload["shard_count"]):
+            with open(
+                os.path.join(shard_dir, f"shard_{i:04d}.json"), "r",
+                encoding="utf-8",
+            ) as fh:
+                entries.append(json.load(fh))
+        payload["shards"] = entries
+        return payload
+    path = os.path.join(directory, _collection_file(name))
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def _collection_file(name: str) -> str:
     safe = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in name)
     return f"collection_{safe}.json"
+
+
+def _collection_dir(name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in name)
+    return f"collection_{safe}"

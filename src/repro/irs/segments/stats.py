@@ -12,9 +12,12 @@ a query scoring k candidate documents after an update costs O(sum of their
 vector sizes), not O(total postings).  df/idf/avg-dl memos are inherited
 unchanged — the :class:`MergedIndexView` already serves integer-exact
 global statistics, so the idf of every term is bit-identical to the
-monolithic cache's and only the *accumulation order* inside one norm
-differs (per-document here vs per-term in the sweep), a float-rounding
-difference far below the 1e-9 tolerance the equivalence suite checks.
+monolithic cache's, and each norm accumulates the document's terms in
+**sorted order** — the canonical order every statistics implementation
+uses — so norms (and therefore vector scores) are bit-identical to the
+monolithic cache's, not merely within a float tolerance.  The sharded
+scoring path leans on exactly this property (see DESIGN.md §"Sharded
+scoring").
 """
 
 from __future__ import annotations
@@ -58,9 +61,11 @@ class SegmentedStatistics(StatisticsCache):
                 norm = 0.0
             else:
                 total = 0.0
-                for term, tf in vector.items():
+                # Sorted terms: the canonical accumulation order shared with
+                # the monolithic sweep, so the norm is bit-identical to it.
+                for term in sorted(vector):
                     # self.idf re-enters the RLock and shares the per-term memo.
-                    weight = (1.0 + math.log(tf)) * self.idf(term)
+                    weight = (1.0 + math.log(vector[term])) * self.idf(term)
                     total += weight * weight
                 norm = math.sqrt(total)
             self._doc_norms[doc_id] = norm

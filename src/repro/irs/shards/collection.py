@@ -1,0 +1,380 @@
+"""ShardedCollection: one logical collection over N shard sub-collections.
+
+Each shard is an ordinary :class:`~repro.irs.collection.IRSCollection`
+(usually segmented, so every shard keeps its own memtable/seal/merge
+lifecycle) named ``<name>#<i>``.  Documents route by CRC-32 of their OID
+(:mod:`repro.irs.shards.router`), reads go through the
+:class:`~repro.irs.shards.view.ShardUnionView`, and statistics through
+:class:`~repro.irs.shards.stats.ShardStatistics` — both globally exact,
+so every scoring path (exhaustive, pruned, scattered) produces scores
+bit-identical to an unsharded collection holding the same documents.
+
+The collection also supplies the top-k scorer's source hooks
+(:meth:`topk_sources` / :meth:`topk_version`) — inline top-k then runs
+all shards' segments against one shared heap, raising the MaxScore
+threshold across shard boundaries — and per-shard scoring adapters the
+scatter path's inline failover uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import DocumentMissingError
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection, IRSDocument
+from repro.irs.inverted_index import InvertedIndex
+from repro.irs.segments import SealedSegment, SegmentConfig, SegmentManager
+from repro.irs.shards.router import routing_key, shard_of
+from repro.irs.shards.stats import ShardStatistics
+from repro.irs.shards.view import ShardUnionView
+
+
+class _ShardScoringAdapter:
+    """One shard's postings under the parent's global statistics.
+
+    Fed to :func:`repro.irs.topk.topk_scores` when a scatter worker fails
+    and its shard must be re-scored inline: the sources are the shard's
+    own segments, but analyzer, statistics and index are the parent's —
+    the same global values the worker replica computed with, so the
+    fallback's floats match the lost worker's bit for bit.
+
+    The adapter is long-lived (one per shard, memoized on the parent) so
+    the impact caches the top-k scorer hangs off it stay warm across
+    failovers; they key on the parent's full version tuple because
+    impacts depend on *global* statistics, not just this shard's content.
+    """
+
+    def __init__(self, parent: "ShardedCollection", shard_index: int) -> None:
+        self._parent = parent
+        self._shard_index = shard_index
+        self.segments = None  # unused: topk_sources below wins
+
+    @property
+    def analyzer(self) -> Analyzer:
+        return self._parent.analyzer
+
+    @property
+    def stats(self) -> ShardStatistics:
+        return self._parent.stats
+
+    @property
+    def index(self) -> ShardUnionView:
+        return self._parent.index
+
+    def topk_sources(self) -> list:
+        shard = self._parent.shards[self._shard_index]
+        if shard.segments is not None:
+            return [*shard.segments.sealed_segments(), shard.segments.memtable]
+        return [shard.index]
+
+    def topk_version(self) -> tuple:
+        return self._parent.topk_version()
+
+
+class ShardedCollection(IRSCollection):
+    """A hash-partitioned collection with exact global statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        analyzer: Optional[Analyzer] = None,
+        segment_config: Optional[SegmentConfig] = None,
+        shard_count: int = 2,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        # The parent holds no physical index of its own: skip the base
+        # class's segment setup and install the union view instead.
+        super().__init__(name, analyzer, segment_config=None)
+        self.shard_count = shard_count
+        self.shards: List[IRSCollection] = [
+            IRSCollection(f"{name}#{i}", self.analyzer, segment_config=segment_config)
+            for i in range(shard_count)
+        ]
+        self._doc_shard: Dict[int, int] = {}
+        self.index = ShardUnionView(self)
+        self._adapters: Dict[int, _ShardScoringAdapter] = {}
+        self._adapters_lock = threading.Lock()
+        self._global_stats_memo: Optional[tuple] = None
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_index_of(self, doc_id: int) -> Optional[int]:
+        """The shard index owning ``doc_id`` (None if unknown)."""
+        return self._doc_shard.get(doc_id)
+
+    def shard_for(self, doc_id: int) -> Optional[IRSCollection]:
+        """The shard sub-collection owning ``doc_id`` (None if unknown)."""
+        shard_index = self._doc_shard.get(doc_id)
+        if shard_index is None:
+            return None
+        return self.shards[shard_index]
+
+    def forward_vector(self, doc_id: int) -> Dict[str, int]:
+        """``term -> tf`` of one live document, from its owning shard."""
+        shard = self.shard_for(doc_id)
+        if shard is None:
+            return {}
+        if shard.segments is not None:
+            vector = shard.segments.forward_vector(doc_id)
+            return dict(vector) if vector else {}
+        return shard.index.document_vector(doc_id)
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def stats(self) -> ShardStatistics:
+        with self._stats_lock:
+            cache = self._stats
+            if cache is None or cache.index is not self.index:
+                cache = ShardStatistics(self.index, self)
+                self._stats = cache
+            return cache
+
+    # -- segment plumbing ----------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return sum(shard.segment_count for shard in self.shards)
+
+    def segment_managers(self) -> List[SegmentManager]:
+        return [
+            shard.segments for shard in self.shards if shard.segments is not None
+        ]
+
+    @contextmanager
+    def batched_epoch(self) -> Iterator[None]:
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.batched_epoch())
+            yield
+
+    def compact(self) -> bool:
+        compacted = [shard.compact() for shard in self.shards]
+        return any(compacted)
+
+    # -- top-k scorer hooks --------------------------------------------------
+
+    def topk_sources(self) -> list:
+        """Every shard's scoring units, flattened into one source list.
+
+        The inline top-k path runs them against one shared heap, so the
+        MaxScore threshold raises across shard boundaries exactly as it
+        does across one collection's segments.
+        """
+        sources: list = []
+        for shard in self.shards:
+            if shard.segments is not None:
+                sources.extend(shard.segments.sealed_segments())
+                sources.append(shard.segments.memtable)
+            else:
+                sources.append(shard.index)
+        return sources
+
+    def topk_version(self) -> tuple:
+        """Per-shard ``(epoch, structure)`` tuple — the union's version.
+
+        Includes structure, because a shard sealing or merging relocates
+        postings between sources even though no content changed.
+        """
+        return tuple(
+            shard.segments.version
+            if shard.segments is not None
+            else (shard.index.epoch,)
+            for shard in self.shards
+        )
+
+    def scoring_adapter(self, shard_index: int) -> _ShardScoringAdapter:
+        """The (memoized) single-shard scoring adapter for failover."""
+        with self._adapters_lock:
+            adapter = self._adapters.get(shard_index)
+            if adapter is None:
+                adapter = _ShardScoringAdapter(self, shard_index)
+                self._adapters[shard_index] = adapter
+            return adapter
+
+    def shard_global_stats(self) -> dict:
+        """The union statistics a worker replica needs, memoized per version.
+
+        ``document_count``/``token_count`` feed the global average document
+        length; the ``df`` table covers *every* union term so a replica
+        computes the same idf for a query term its own shard never saw.
+        All integers — the replica's floats derive from them exactly.
+        """
+        version = self.topk_version()
+        memo = self._global_stats_memo
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        index = self.index
+        payload = {
+            "document_count": index.document_count,
+            "token_count": index.token_count,
+            "df": {term: index.document_frequency(term) for term in index.terms()},
+        }
+        self._global_stats_memo = (version, payload)
+        return payload
+
+    def shard_document_counts(self) -> List[int]:
+        """Live documents per shard (for skew reporting in ``health()``)."""
+        return [shard.index.document_count for shard in self.shards]
+
+    # -- document management -------------------------------------------------
+
+    def _ingest(self, document: IRSDocument) -> int:
+        shard_index = shard_of(
+            routing_key(document.metadata, document.doc_id), self.shard_count
+        )
+        shard = self.shards[shard_index]
+        self._documents[document.doc_id] = document
+        shard._documents[document.doc_id] = document
+        shard.index.add_document(
+            document.doc_id, self.analyzer.tokens(document.text)
+        )
+        self._doc_shard[document.doc_id] = shard_index
+        return shard_index
+
+    def add_document(
+        self, text: str, metadata: Optional[Dict[str, str]] = None
+    ) -> int:
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        self._ingest(IRSDocument(doc_id, text, dict(metadata or {})))
+        return doc_id
+
+    def remove_document(self, doc_id: int) -> None:
+        if doc_id not in self._documents:
+            raise DocumentMissingError(
+                f"document {doc_id} not in collection {self.name!r}"
+            )
+        shard_index = self._doc_shard.pop(doc_id)
+        shard = self.shards[shard_index]
+        del self._documents[doc_id]
+        shard._documents.pop(doc_id, None)
+        shard.index.remove_document(doc_id)
+
+    def replace_document(self, doc_id: int, text: str) -> None:
+        if doc_id not in self._documents:
+            raise DocumentMissingError(
+                f"document {doc_id} not in collection {self.name!r}"
+            )
+        # The routing key (OID, else doc id) is stable under re-indexing,
+        # so the document stays on its shard.
+        document = self._documents[doc_id]
+        shard = self.shards[self._doc_shard[doc_id]]
+        shard.index.remove_document(doc_id)
+        document.text = text
+        shard.index.add_document(doc_id, self.analyzer.tokens(text))
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Per-shard dump: documents at the top, one entry per shard.
+
+        Each shard entry uses the same ``"index"``/``"segments"`` shapes
+        an unsharded collection dumps, so either format cross-loads into
+        the other (see :meth:`from_payload` and
+        ``IRSCollection.from_payload``).
+        """
+        payload = {
+            "name": self.name,
+            "next_doc_id": self._next_doc_id,
+            "analyzer": self.analyzer.config(),
+            "shard_count": self.shard_count,
+            "documents": [
+                {"doc_id": d.doc_id, "text": d.text, "metadata": d.metadata}
+                for d in self.documents()
+            ],
+            "shards": [self._shard_payload(shard) for shard in self.shards],
+        }
+        return payload
+
+    @staticmethod
+    def _shard_payload(shard: IRSCollection) -> dict:
+        if shard.segments is None:
+            return {"index": shard.index.to_payload()}
+        entries = [s.to_payload() for s in shard.segments.sealed_segments()]
+        memtable = shard.segments.memtable
+        if memtable.document_count:
+            entries.append({"index": memtable.index.to_payload(), "tombstones": []})
+        return {"segments": entries}
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        analyzer: Optional[Analyzer] = None,
+        segment_config: Optional[SegmentConfig] = None,
+        shard_count: Optional[int] = None,
+    ) -> "ShardedCollection":
+        """Rebuild from a sharded *or* unsharded dump.
+
+        A sharded payload whose shard count matches loads each shard's
+        postings directly (exact replay, tombstones included).  An
+        unsharded payload — or a shard-count change — re-partitions by
+        re-analyzing the stored document texts, which reproduces the
+        postings exactly as long as the analyzer matches the one that
+        indexed them (the same contract ``IRSCollection.from_payload``
+        already has).
+        """
+        stored = payload.get("shard_count")
+        count = shard_count if shard_count is not None else stored
+        if count is None:
+            raise ValueError(
+                "shard_count required to load an unsharded payload as sharded"
+            )
+        entries = payload.get("shards")
+        if segment_config is None:
+            segmented_dump = entries is not None and any(
+                "segments" in entry for entry in entries
+            ) or "segments" in payload
+            if segmented_dump:
+                segment_config = SegmentConfig()
+        collection = cls(
+            payload["name"],
+            analyzer,
+            segment_config=segment_config,
+            shard_count=count,
+        )
+        collection._next_doc_id = payload["next_doc_id"]
+        documents = {
+            entry["doc_id"]: IRSDocument(
+                entry["doc_id"], entry["text"], dict(entry["metadata"])
+            )
+            for entry in payload["documents"]
+        }
+        if entries is not None and count == stored:
+            collection._documents = dict(documents)
+            for shard_index, entry in enumerate(entries):
+                shard = collection.shards[shard_index]
+                cls._load_shard(shard, entry)
+                for doc_id in shard.index.document_ids():
+                    collection._doc_shard[doc_id] = shard_index
+                    shard._documents[doc_id] = documents[doc_id]
+        else:
+            # Re-partition (unsharded dump, or the shard count changed).
+            for doc_id in sorted(documents):
+                collection._ingest(documents[doc_id])
+        return collection
+
+    @staticmethod
+    def _load_shard(shard: IRSCollection, entry: dict) -> None:
+        if shard.segments is not None:
+            sub_entries = entry.get("segments")
+            if sub_entries is None:
+                sub_entries = [{"index": entry["index"], "tombstones": []}]
+            for sub in sub_entries:
+                shard.segments.load_sealed(sub)
+        elif "segments" in entry:
+            segments = [
+                SealedSegment.from_payload(position, sub)
+                for position, sub in enumerate(entry["segments"])
+            ]
+            merged = SealedSegment.merged(
+                0, segments, [segment.tombstones for segment in segments]
+            )
+            shard.index = InvertedIndex.from_payload(merged.index.to_payload())
+        else:
+            shard.index = InvertedIndex.from_payload(entry["index"])

@@ -1,0 +1,33 @@
+"""Document-to-shard routing.
+
+Documents hash on their OID — the paper's stable per-object identity
+(Section 4.3) — so an object's IRS documents land on the same shard no
+matter when or in what order they are indexed.  Documents without an OID
+fall back to ``doc:<id>`` (the same fallback key the result-file channel
+uses).
+
+The hash is CRC-32, *not* Python's ``hash()``: the builtin is randomized
+per process, and a replica worker must agree with its parent about which
+shard owns a document.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional
+
+
+def routing_key(metadata: Optional[Dict[str, str]], doc_id: int) -> str:
+    """The stable routing key of one document: its OID, else ``doc:<id>``."""
+    if metadata:
+        oid = metadata.get("oid")
+        if oid:
+            return oid
+    return f"doc:{doc_id}"
+
+
+def shard_of(key: str, shard_count: int) -> int:
+    """The shard index owning ``key`` (deterministic across processes)."""
+    if shard_count <= 1:
+        return 0
+    return zlib.crc32(key.encode("utf-8")) % shard_count

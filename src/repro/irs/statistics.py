@@ -155,6 +155,14 @@ class StatisticsCache:
         Norms of *all* documents are built together on first access: one
         pass over every postings list accumulates squared weights per
         document, then a square root per document.
+
+        The sweep walks terms in **sorted order** with idf computed from the
+        index's ``document_frequency`` (the same expression :meth:`idf`
+        memoizes, not the local postings-list length).  That makes each
+        document's float accumulation canonical — its own terms in sorted
+        order, global df — and therefore bit-identical across every index
+        representation (monolithic, segment stack, shard union, worker
+        replica), which the sharded-scoring equivalence guarantee relies on.
         """
         with self._lock:
             self._validate()
@@ -163,10 +171,12 @@ class StatisticsCache:
                 index = self._index
                 n_docs = index.document_count
                 squared: Dict[int, float] = {d: 0.0 for d in index.document_ids()}
-                for term in index.terms():
-                    postings = index.postings(term)
-                    idf = math.log(1.0 + n_docs / len(postings))
-                    for posting in postings:
+                for term in sorted(index.terms()):
+                    df = index.document_frequency(term)
+                    if df == 0:
+                        continue
+                    idf = math.log(1.0 + n_docs / df)
+                    for posting in index.postings(term):
                         w = (1.0 + math.log(posting.tf)) * idf
                         squared[posting.doc_id] += w * w
                 self._norms = {d: math.sqrt(total) for d, total in squared.items()}

@@ -136,7 +136,17 @@ def _inquery_plan(collection, model_impl, tree) -> Tuple[Optional[list], Optiona
 # ---------------------------------------------------------------------------
 
 def _sources(collection) -> list:
-    """The scoring units: sealed segments + memtable, or the one index."""
+    """The scoring units: sealed segments + memtable, or the one index.
+
+    Collections with their own physical layout (the sharded union) expose
+    a ``topk_sources`` hook returning their flattened scoring units; each
+    shard's segments then share the one global heap, so the MaxScore
+    threshold raises across shard boundaries exactly as it does across
+    segments.
+    """
+    provider = getattr(collection, "topk_sources", None)
+    if provider is not None:
+        return provider()
     manager = collection.segments
     if manager is not None:
         return [*manager.sealed_segments(), manager.memtable]
@@ -189,6 +199,9 @@ def _impact_cache(collection) -> dict:
 
 
 def _index_version(collection) -> tuple:
+    provider = getattr(collection, "topk_version", None)
+    if provider is not None:
+        return provider()
     manager = collection.segments
     if manager is not None:
         return manager.version
@@ -288,6 +301,7 @@ def _score_segment(
     score_candidate: Callable[[int, Dict[str, int]], Optional[float]],
     cut_of: Callable[[float], float],
     outcome: TopKOutcome,
+    floor_cut: float = _NEG_INF,
 ) -> None:
     """Run MaxScore over one segment, sharing the global top-k heap.
 
@@ -314,14 +328,23 @@ def _score_segment(
     All bound arithmetic happens in the model's *contribution space* (the
     raw weighted-impact sum, before any final transform); ``cut_of`` maps
     the k-th heap value into that space, deflated by :data:`CUT_SCALE`.
-    Until the heap holds ``k`` entries the cut is ``-inf`` (nothing is
-    screened); a candidate is skipped only when its bound falls *clearly*
-    below the k-th score, so ties at the threshold are always evaluated.
+    Until the heap holds ``k`` entries the cut is ``floor_cut`` (``-inf``
+    unless a caller seeds one); a candidate is skipped only when its bound
+    falls *clearly* below the k-th score, so ties at the threshold are
+    always evaluated.  ``floor_cut`` is the sharded scatter path's seed: a
+    failed shard re-scored inline starts from the already-merged k-th
+    value (deflated by :data:`CUT_SCALE`), never below it — exact, because
+    anything bounded under the global k-th cannot enter the global top-k.
     """
     lists.sort(key=lambda tl: tl.ub, reverse=True)
     m = len(lists)
     total_ub = sum(tl.ub for tl in lists)
-    cut = cut_of(heap[0][0]) if len(heap) >= k else _NEG_INF
+    if len(heap) >= k:
+        cut = cut_of(heap[0][0])
+        if cut < floor_cut:
+            cut = floor_cut
+    else:
+        cut = floor_cut
     heap_len = len(heap)
     heappush = heapq.heappush
     heapreplace = heapq.heapreplace
@@ -446,6 +469,8 @@ def _score_segment(
                 else:
                     continue
                 cut = cut_of(heap[0][0])
+                if cut < floor_cut:
+                    cut = floor_cut
                 t = (cut - rest) / wl
         outcome.blocks_skipped += skipped
         outcome.blocks_decoded += len(block_us) - skipped
@@ -463,6 +488,7 @@ def _run(
     impacts_of: Callable[[str], Dict[int, tuple]],
     score_candidate,
     cut_of,
+    floor_cut: float = _NEG_INF,
 ) -> TopKOutcome:
     """Shared driver: build per-segment term lists, score segment by segment.
 
@@ -499,12 +525,16 @@ def _run(
                 )
             )
         if lists:
-            _score_segment(lists, k, heap, score_candidate, cut_of, outcome)
+            _score_segment(
+                lists, k, heap, score_candidate, cut_of, outcome, floor_cut
+            )
     outcome.values = {-neg_doc: value for value, neg_doc in heap}
     return outcome
 
 
-def _vector_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
+def _vector_outcome(
+    collection, model_impl, tree, k: int, floor_value: Optional[float] = None
+) -> TopKOutcome:
     entries, reason = _vector_plan(collection, model_impl, tree)
     if entries is None:
         return TopKOutcome(values=None, reason=reason)
@@ -556,10 +586,15 @@ def _vector_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
     def cut_of(theta: float) -> float:
         return theta * CUT_SCALE
 
-    return _run(collection, k, weighted, impacts_of, score_candidate, cut_of)
+    floor_cut = cut_of(floor_value) if floor_value is not None else _NEG_INF
+    return _run(
+        collection, k, weighted, impacts_of, score_candidate, cut_of, floor_cut
+    )
 
 
-def _inquery_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
+def _inquery_outcome(
+    collection, model_impl, tree, k: int, floor_value: Optional[float] = None
+) -> TopKOutcome:
     leaves, reason = _inquery_plan(collection, model_impl, tree)
     if leaves is None:
         return TopKOutcome(values=None, reason=reason)
@@ -623,7 +658,10 @@ def _inquery_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
         return (theta - db) * total_weight * CUT_SCALE
 
     weighted = list(combined_weight.items())
-    return _run(collection, k, weighted, impacts_of, score_candidate, cut_of)
+    floor_cut = cut_of(floor_value) if floor_value is not None else _NEG_INF
+    return _run(
+        collection, k, weighted, impacts_of, score_candidate, cut_of, floor_cut
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -631,7 +669,12 @@ def _inquery_outcome(collection, model_impl, tree, k: int) -> TopKOutcome:
 # ---------------------------------------------------------------------------
 
 def topk_scores(
-    collection, model_name: str, model_impl, tree: QueryNode, k: int
+    collection,
+    model_name: str,
+    model_impl,
+    tree: QueryNode,
+    k: int,
+    floor_value: Optional[float] = None,
 ) -> TopKOutcome:
     """Score the best ``k`` documents with early termination when possible.
 
@@ -640,13 +683,20 @@ def topk_scores(
     ``reason`` when the query shape or model is not prunable — the caller
     then runs the exhaustive path and truncates.  Must be called under the
     collection's read lock (same contract as model scoring).
+
+    ``floor_value`` seeds the pruning threshold with an externally known
+    lower bound on the global k-th *score* (the sharded scatter-gather
+    merge uses this when re-scoring a failed shard inline).  Documents
+    bounded strictly below it are skipped even before the local heap holds
+    ``k`` entries, so the outcome may carry fewer than ``k`` values — every
+    omitted document is provably below the seeded k-th score.
     """
     if k <= 0:
         return TopKOutcome(values={})
     if model_name == "vector":
-        return _vector_outcome(collection, model_impl, tree, k)
+        return _vector_outcome(collection, model_impl, tree, k, floor_value)
     if model_name == "inquery":
-        return _inquery_outcome(collection, model_impl, tree, k)
+        return _inquery_outcome(collection, model_impl, tree, k, floor_value)
     return TopKOutcome(values=None, reason="model:" + model_name)
 
 

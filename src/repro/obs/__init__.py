@@ -53,6 +53,8 @@ from repro.obs.telemetry import (
     sampler,
 )
 from repro.obs.runtime import (
+    config_restore,
+    config_snapshot,
     configure,
     disable,
     enable,
@@ -100,6 +102,8 @@ __all__ = [
     "active_profile",
     "build_health",
     "collecting",
+    "config_restore",
+    "config_snapshot",
     "configure",
     "configure_sampling",
     "disable",

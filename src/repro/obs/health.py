@@ -13,6 +13,10 @@ ROADMAP, a remote load balancer) needs into a JSON-encodable report:
   segments.
 * **memtable** — unsealed documents/tokens and an approximate heap
   footprint, per :meth:`MemtableSegment.approx_bytes`.
+* **shards** — per-collection shard layout with document skew
+  (max/mean), plus the scatter executor's fault counters (retries,
+  failovers, timeouts).  Informational: failovers degrade latency, never
+  correctness.
 * **latency** — p50/p95/p99/p999 of the most relevant rolling histogram
   plus the *slow ratio*: the fraction of windowed requests above the SLO.
 
@@ -108,6 +112,26 @@ def _memtable_section(engine) -> Dict[str, Any]:
     return engine.memtable_info()
 
 
+def _shards_section(engine, registry) -> Dict[str, Any]:
+    """Shard layout, document skew, and scatter fault counters.
+
+    Informational only — shard skew or failovers never flip the verdict
+    (a failover still returned the exact ranking; it is a capacity signal,
+    not a correctness one).
+    """
+    shard_info = getattr(engine, "shard_info", None)
+    collections = shard_info() if shard_info is not None else {}
+    counters = registry.snapshot().get("counters", {})
+    return {
+        "collections": collections,
+        "executor_attached": getattr(engine, "shard_executor", None) is not None,
+        "scatters": counters.get("irs.shard.scatters", 0),
+        "retries": counters.get("irs.shard.retries", 0),
+        "failovers": counters.get("irs.shard.failovers", 0),
+        "timeouts": counters.get("irs.shard.timeouts", 0),
+    }
+
+
 def _verdict(admission, merge, latency) -> str:
     utilization = admission["utilization"]
     slow_ratio = latency["slow_ratio"]
@@ -134,5 +158,6 @@ def build_health(
         "admission": admission,
         "merge": merge,
         "memtable": _memtable_section(engine),
+        "shards": _shards_section(engine, registry),
         "latency": latency,
     }

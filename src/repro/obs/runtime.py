@@ -117,6 +117,36 @@ def configure(
         )
 
 
+def config_snapshot() -> dict:
+    """Capture the mutable runtime configuration :func:`configure` touches.
+
+    Returns an opaque dict for :func:`config_restore`.  Covers the slow-log
+    instance (capacity changes replace it) and threshold, plus the trace
+    sampler's knobs — the module-level state a test that calls
+    :func:`configure` would otherwise leak into the next test.
+    """
+    from repro.obs.telemetry import sampling_config
+
+    return {
+        "slow_log": _slow_log,
+        "slow_log_threshold": _slow_log.threshold,
+        "sampling": sampling_config(),
+    }
+
+
+def config_restore(snapshot: dict) -> None:
+    """Reinstate a configuration captured by :func:`config_snapshot`."""
+    global _slow_log
+    _slow_log = snapshot["slow_log"]
+    _slow_log.threshold = snapshot["slow_log_threshold"]
+    from repro.obs.telemetry import sampler
+
+    # Assign directly: configure_sampling(None) means "keep", but a
+    # snapshot may legitimately hold slow_seconds=None (track threshold).
+    for key, value in snapshot["sampling"].items():
+        setattr(sampler(), key, value)
+
+
 @contextmanager
 def instrumentation(
     tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None

@@ -258,3 +258,11 @@ def configure_sampling(
     if slow_seconds is not None:
         _sampler.slow_seconds = slow_seconds
     return _sampler
+
+
+def sampling_config() -> Dict[str, Any]:
+    """The sampler's current knobs (for ``obs.config_snapshot``)."""
+    return {
+        "head_every": _sampler.head_every,
+        "slow_seconds": _sampler.slow_seconds,
+    }

@@ -4,11 +4,29 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core import DocumentSystem
 from repro.core.collection import create_collection, index_objects
 from repro.oodb import Database
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import CorpusGenerator, load_corpus
+
+
+@pytest.fixture(autouse=True)
+def _obs_config_isolation():
+    """Keep ``obs.configure`` calls from leaking across tests.
+
+    ``obs.configure`` mutates module-level runtime state (the slow-log
+    instance and threshold, the trace sampler's knobs); a test tuning
+    them used to silently reconfigure every test that ran after it.
+    Snapshot before, restore after — unconditionally, so the default
+    configuration is what every test starts from.
+    """
+    snapshot = obs.config_snapshot()
+    try:
+        yield
+    finally:
+        obs.config_restore(snapshot)
 
 
 @pytest.fixture

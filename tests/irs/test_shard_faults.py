@@ -1,0 +1,223 @@
+"""Worker faults on the scatter-gather path: retry, failover, never wrong.
+
+Real spawn worker pools, real faults: a crashed worker process, a hung
+worker, and the deterministic ``failure_injector`` hook.  The contract
+under test (DESIGN.md §"Sharded scoring", failover contract): every
+failure mode ends in either a successful retry on a rebuilt pool or an
+inline re-score of the lost shard — and in all cases the ranking equals
+the unsharded reference bit for bit, with the failure recorded on the
+``irs.shard.*`` counters and the query span.
+
+Worker pools are slow to start on a small runner; the suite keeps shard
+counts low and reuses one corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.irs.engine import IRSEngine
+from repro.irs.shards import ShardConfig, ShardExecutor
+from repro.irs.shards import worker as shard_worker
+from tests.support import wait_until
+
+SHARDS = 3
+QUERY = "#sum(www nii telnet)"
+#: Used to warm the worker pools before injecting a fault — distinct from
+#: QUERY so the faulted query cannot be served from the result cache.
+WARM_QUERY = "#sum(database pages)"
+TOP_K = 5
+
+WORDS = ["www", "nii", "telnet", "database", "remote", "pages", "policy"]
+
+
+def corpus_texts(documents: int = 48):
+    return [
+        " ".join(WORDS[(i + j) % len(WORDS)] for j in range((i % 9) + 1))
+        for i in range(documents)
+    ]
+
+
+@pytest.fixture
+def reference_values():
+    """The unsharded ranking the sharded engines must reproduce exactly."""
+    engine = IRSEngine()
+    engine.create_collection("ref")
+    for text in corpus_texts():
+        engine.index_document("ref", text)
+    return engine.query("ref", QUERY, top_k=TOP_K).values
+
+
+def sharded_engine(config=None):
+    engine = IRSEngine(shard_count=SHARDS, shard_config=config)
+    engine.create_collection("c")
+    for text in corpus_texts():
+        engine.index_document("c", text)
+    engine.attach_shard_executor()
+    return engine
+
+
+def query_spans(tracer):
+    return [
+        span
+        for root in tracer.finished_traces()
+        for span in root.iter_spans()
+        if span.name == "irs.query"
+    ]
+
+
+def shard_spans(tracer):
+    return [
+        span
+        for root in tracer.finished_traces()
+        for span in root.iter_spans()
+        if span.name == "irs.shard.query"
+    ]
+
+
+class TestScatterHappyPath:
+    def test_exact_and_marked_sharded(self, reference_values):
+        engine = sharded_engine()
+        try:
+            with obs.instrumentation() as (tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            (span,) = query_spans(tracer)
+            assert span.attributes.get("sharded") is True
+            assert span.attributes.get("shards") == SHARDS
+            assert "shard_failovers" not in span.attributes
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.scatters") == 1
+            assert not counters.get("irs.shard.failovers")
+            statuses = [s.attributes.get("status") for s in shard_spans(tracer)]
+            assert statuses == ["ok"] * SHARDS
+        finally:
+            engine.shutdown_shards()
+
+
+class TestCrashedWorker:
+    def test_killed_worker_is_retried_to_exact_results(self, reference_values):
+        engine = sharded_engine()
+        try:
+            # Warm every pool, then kill shard 1's worker process outright.
+            engine.query("c", WARM_QUERY, top_k=TOP_K)
+            executor = engine.shard_executor
+            doomed = executor.pool("c", 1).submit(shard_worker.crash_worker)
+            with pytest.raises(Exception):
+                doomed.result(timeout=30)  # pool notices the death here
+            with obs.instrumentation() as (tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.retries", 0) >= 1
+            (span,) = query_spans(tracer)
+            assert span.attributes.get("sharded") is True
+            assert span.attributes.get("shard_retries", 0) >= 1
+            # The rebuilt pool answered: recovery, not failover.
+            assert "shard_failovers" not in span.attributes
+        finally:
+            engine.shutdown_shards()
+
+
+class TestHungWorker:
+    def test_hang_times_out_then_recovers_exactly(self, reference_values):
+        engine = sharded_engine(ShardConfig(shard_timeout_seconds=0.5))
+        try:
+            engine.query("c", WARM_QUERY, top_k=TOP_K)
+            executor = engine.shard_executor
+            executor.pool("c", 0).submit(shard_worker.hang_worker, 60.0)
+            with obs.instrumentation() as (tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.timeouts", 0) >= 1
+            assert counters.get("irs.shard.retries", 0) >= 1
+            (span,) = query_spans(tracer)
+            assert span.attributes.get("shard_retries", 0) >= 1
+        finally:
+            engine.shutdown_shards()
+        # The hung process was terminated with its pool, not left behind.
+        wait_until(
+            lambda: not executor._pools,
+            timeout=10,
+            message="discarded pools still registered",
+        )
+
+
+class TestInjectedFailover:
+    def test_persistent_fault_falls_back_inline_exactly(self, reference_values):
+        # The injector fails shard 2 on *every* attempt: retry cannot help,
+        # the gather must re-score that shard inline from the parent.
+        def injector(label, attempt):
+            if label == "c#2":
+                raise RuntimeError("injected persistent fault")
+
+        engine = sharded_engine(ShardConfig(failure_injector=injector))
+        try:
+            with obs.instrumentation() as (tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.failovers") == 1
+            assert counters.get("irs.shard.retries", 0) >= 1
+            (span,) = query_spans(tracer)
+            assert span.attributes.get("shard_failovers") == 1
+            statuses = {
+                s.attributes["shard"]: s.attributes.get("status")
+                for s in shard_spans(tracer)
+            }
+            assert statuses[2] == "failover"
+            assert statuses[0] == statuses[1] == "ok"
+        finally:
+            engine.shutdown_shards()
+
+    def test_total_failure_still_exact(self, reference_values):
+        def injector(label, attempt):
+            raise RuntimeError("everything is down")
+
+        engine = sharded_engine(ShardConfig(failure_injector=injector))
+        try:
+            with obs.instrumentation() as (_tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.failovers") == SHARDS
+        finally:
+            engine.shutdown_shards()
+
+    def test_transient_fault_recovers_on_retry(self, reference_values):
+        attempts = []
+
+        def injector(label, attempt):
+            attempts.append((label, attempt))
+            if label == "c#0" and attempt == 1:
+                raise RuntimeError("transient fault")
+
+        engine = sharded_engine(ShardConfig(failure_injector=injector))
+        try:
+            with obs.instrumentation() as (tracer, metrics):
+                values = engine.query("c", QUERY, top_k=TOP_K).values
+            assert values == reference_values
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("irs.shard.retries") == 1
+            assert not counters.get("irs.shard.failovers")
+            assert ("c#0", 2) in attempts
+        finally:
+            engine.shutdown_shards()
+
+
+class TestExecutorLifecycle:
+    def test_closed_executor_declines_scatter_exactly(self, reference_values):
+        engine = sharded_engine()
+        engine.shutdown_shards()
+        # No executor: the engine scores inline through the union view.
+        values = engine.query("c", QUERY, top_k=TOP_K).values
+        assert values == reference_values
+
+    def test_close_is_idempotent(self):
+        executor = ShardExecutor()
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.pool("c", 0)

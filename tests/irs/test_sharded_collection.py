@@ -1,0 +1,355 @@
+"""Unit coverage for the sharded collection: routing, the union view,
+payload cross-loading, engine/system wiring, and the health section.
+
+The *equivalence* guarantees live in ``tests/property/test_shard_equivalence``
+and the worker-fault behavior in ``tests/irs/test_shard_faults``; this file
+pins the structural contracts those suites build on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import DocumentSystem
+from repro.irs.analysis import Analyzer
+from repro.irs.collection import IRSCollection
+from repro.irs.engine import IRSEngine
+from repro.irs.persistence import load_engine, save_engine
+from repro.irs.segments import SegmentConfig
+from repro.irs.shards import (
+    ShardedCollection,
+    routing_key,
+    shard_of,
+)
+
+TEXTS = [
+    "www nii telnet",
+    "telnet remote login",
+    "nii policy pages",
+    "www pages database",
+    "database information retrieval",
+    "telnet www nii remote",
+    "information pages",
+    "retrieval www",
+]
+
+
+def populated(shard_count=3, segment_config=None):
+    collection = ShardedCollection(
+        "c", Analyzer(), segment_config=segment_config, shard_count=shard_count
+    )
+    for i, text in enumerate(TEXTS):
+        collection.add_document(text, {"oid": f"1.{i}"})
+    return collection
+
+
+class TestRouting:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        for key in ("1.17", "doc:42", "anything"):
+            first = shard_of(key, 7)
+            assert 0 <= first < 7
+            assert shard_of(key, 7) == first
+
+    def test_single_shard_takes_everything(self):
+        assert shard_of("whatever", 1) == 0
+        assert shard_of("other", 0) == 0
+
+    def test_routing_key_prefers_oid(self):
+        assert routing_key({"oid": "1.5"}, 9) == "1.5"
+        assert routing_key({}, 9) == "doc:9"
+        assert routing_key({"other": "x"}, 9) == "doc:9"
+
+    def test_documents_land_on_their_routed_shard(self):
+        collection = populated()
+        for doc_id in sorted(collection._documents):
+            document = collection._documents[doc_id]
+            expected = shard_of(
+                routing_key(document.metadata, doc_id), collection.shard_count
+            )
+            assert collection.shard_index_of(doc_id) == expected
+            assert doc_id in collection.shards[expected]._documents
+
+    def test_replace_keeps_the_document_on_its_shard(self):
+        collection = populated()
+        doc_id = 3
+        before = collection.shard_index_of(doc_id)
+        collection.replace_document(doc_id, "totally new text")
+        assert collection.shard_index_of(doc_id) == before
+        assert collection._documents[doc_id].text == "totally new text"
+
+    def test_remove_clears_the_shard_assignment(self):
+        collection = populated()
+        collection.remove_document(2)
+        assert 2 not in collection._documents
+        assert collection.shard_index_of(2) is None
+        assert collection.shard_for(2) is None
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardedCollection("bad", shard_count=0)
+
+
+class TestUnionView:
+    def test_statistics_are_sums_over_shards(self):
+        collection = populated()
+        reference = IRSCollection("ref", collection.analyzer)
+        for i, text in enumerate(TEXTS):
+            reference.add_document(text, {"oid": f"1.{i}"})
+        view, mono = collection.index, reference.index
+        assert view.document_count == mono.document_count
+        assert view.token_count == mono.token_count
+        assert sorted(view.terms()) == sorted(mono.terms())
+        for term in mono.terms():
+            assert view.document_frequency(term) == mono.document_frequency(term)
+            assert view.collection_frequency(term) == mono.collection_frequency(term)
+
+    def test_postings_are_merged_in_doc_id_order(self):
+        collection = populated()
+        for term in collection.index.terms():
+            doc_ids = [p.doc_id for p in collection.index.postings(term)]
+            assert doc_ids == sorted(doc_ids)
+
+    def test_per_document_reads_route_to_the_owning_shard(self):
+        collection = populated()
+        for doc_id in sorted(collection._documents):
+            assert collection.index.has_document(doc_id)
+            shard = collection.shard_for(doc_id)
+            assert collection.index.document_length(
+                doc_id
+            ) == shard.index.document_length(doc_id)
+
+    def test_view_rejects_direct_writes(self):
+        collection = populated()
+        with pytest.raises(TypeError):
+            collection.index.add_document(99, ["x"])
+        with pytest.raises(TypeError):
+            collection.index.remove_document(1)
+
+    def test_epoch_strictly_increases_on_any_shard_write(self):
+        collection = populated()
+        before = collection.index.epoch
+        collection.add_document("fresh words")
+        assert collection.index.epoch > before
+
+    def test_skew_stays_reasonable_under_hash_routing(self):
+        collection = ShardedCollection("skew", Analyzer(), shard_count=4)
+        for i in range(400):
+            collection.add_document(f"doc {i}", {"oid": f"1.{i}"})
+        counts = collection.shard_document_counts()
+        assert sum(counts) == 400
+        mean = sum(counts) / len(counts)
+        assert max(counts) / mean < 1.5
+
+
+class TestPayloadCrossLoading:
+    def test_sharded_round_trip_is_identical(self):
+        collection = populated()
+        clone = ShardedCollection.from_payload(
+            collection.to_payload(), Analyzer()
+        )
+        assert clone.shard_count == collection.shard_count
+        assert clone.index.to_payload() == collection.index.to_payload()
+        assert {
+            d: clone.shard_index_of(d) for d in sorted(clone._documents)
+        } == {
+            d: collection.shard_index_of(d)
+            for d in sorted(collection._documents)
+        }
+
+    def test_sharded_dump_flattens_into_plain_collection(self):
+        collection = populated()
+        flat = IRSCollection.from_payload(collection.to_payload(), Analyzer())
+        assert len(flat) == len(collection)
+        assert flat.index.document_count == collection.index.document_count
+        for term in collection.index.terms():
+            assert flat.index.document_frequency(
+                term
+            ) == collection.index.document_frequency(term)
+
+    def test_plain_dump_repartitions_into_shards(self):
+        plain = IRSCollection("c", Analyzer())
+        for i, text in enumerate(TEXTS):
+            plain.add_document(text, {"oid": f"1.{i}"})
+        sharded = ShardedCollection.from_payload(
+            plain.to_payload(), Analyzer(), shard_count=3
+        )
+        assert sharded.shard_count == 3
+        assert len(sharded) == len(plain)
+        for term in plain.index.terms():
+            assert sharded.index.document_frequency(
+                term
+            ) == plain.index.document_frequency(term)
+
+    def test_shard_count_change_repartitions(self):
+        collection = populated(shard_count=3)
+        resharded = ShardedCollection.from_payload(
+            collection.to_payload(), Analyzer(), shard_count=5
+        )
+        assert resharded.shard_count == 5
+        assert resharded.index.document_count == collection.index.document_count
+        # Every document sits on the shard its routing key selects.
+        for doc_id in sorted(resharded._documents):
+            document = resharded._documents[doc_id]
+            assert resharded.shard_index_of(doc_id) == shard_of(
+                routing_key(document.metadata, doc_id), 5
+            )
+
+    def test_segmented_shards_round_trip(self):
+        collection = populated(
+            segment_config=SegmentConfig(seal_document_count=2)
+        )
+        clone = ShardedCollection.from_payload(
+            collection.to_payload(),
+            Analyzer(),
+            segment_config=SegmentConfig(seal_document_count=2),
+        )
+        assert clone.index.to_payload() == collection.index.to_payload()
+
+
+class TestPersistence:
+    def _sharded_engine(self):
+        engine = IRSEngine(shard_count=3)
+        engine.create_collection("c")
+        for text in TEXTS:
+            engine.index_document("c", text)
+        return engine
+
+    def test_directory_layout_and_round_trip(self, tmp_path):
+        engine = self._sharded_engine()
+        save_engine(engine, str(tmp_path))
+        shard_dir = tmp_path / "collection_c"
+        assert (shard_dir / "meta.json").exists()
+        assert (shard_dir / "shard_0002.json").exists()
+        meta = json.loads((shard_dir / "meta.json").read_text())
+        assert meta["shard_count"] == 3 and "shards" not in meta
+        reloaded = load_engine(str(tmp_path), shard_count=3)
+        original = engine.collection("c")
+        clone = reloaded.collection("c")
+        assert clone.shard_count == 3
+        assert clone.index.to_payload() == original.index.to_payload()
+
+    def test_sharded_store_loads_into_unsharded_engine(self, tmp_path):
+        engine = self._sharded_engine()
+        reference = engine.query("c", "www nii", top_k=4).values
+        save_engine(engine, str(tmp_path))
+        flat_engine = load_engine(str(tmp_path))  # shard_count=0
+        flat = flat_engine.collection("c")
+        assert not getattr(flat, "shards", None)
+        assert flat_engine.query("c", "www nii", top_k=4).values == reference
+
+    def test_unsharded_store_loads_into_sharded_engine(self, tmp_path):
+        engine = IRSEngine()
+        engine.create_collection("c")
+        for text in TEXTS:
+            engine.index_document("c", text)
+        reference = engine.query("c", "www nii", top_k=4).values
+        save_engine(engine, str(tmp_path))
+        sharded_engine = load_engine(str(tmp_path), shard_count=4)
+        assert sharded_engine.collection("c").shard_count == 4
+        assert sharded_engine.query("c", "www nii", top_k=4).values == reference
+
+    def test_layout_switch_removes_the_stale_representation(self, tmp_path):
+        engine = self._sharded_engine()
+        save_engine(engine, str(tmp_path))
+        assert (tmp_path / "collection_c").is_dir()
+        flat_engine = load_engine(str(tmp_path))
+        save_engine(flat_engine, str(tmp_path))
+        assert (tmp_path / "collection_c.json").exists()
+        assert not (tmp_path / "collection_c").exists()
+        save_engine(self._sharded_engine(), str(tmp_path))
+        assert (tmp_path / "collection_c").is_dir()
+        assert not os.path.exists(tmp_path / "collection_c.json")
+
+
+class TestEngineWiring:
+    def test_per_collection_shard_override(self):
+        engine = IRSEngine(shard_count=2)
+        defaulted = engine.create_collection("defaulted")
+        overridden = engine.create_collection("overridden", shards=5)
+        unsharded = engine.create_collection("unsharded", shards=0)
+        assert defaulted.shard_count == 2
+        assert overridden.shard_count == 5
+        assert not getattr(unsharded, "shards", None)
+
+    def test_shard_info_reports_layout_and_skew(self):
+        engine = IRSEngine(shard_count=2)
+        engine.create_collection("c")
+        for text in TEXTS:
+            engine.index_document("c", text)
+        info = engine.shard_info()
+        assert info["c"]["shards"] == 2
+        assert sum(info["c"]["documents"]) == len(TEXTS)
+        assert info["c"]["skew"] >= 1.0
+
+    def test_segment_info_lists_each_shard_manager(self):
+        engine = IRSEngine(
+            shard_count=2, segment_config=SegmentConfig(seal_document_count=2)
+        )
+        engine.create_collection("c")
+        for text in TEXTS:
+            engine.index_document("c", text)
+        names = set(engine.segment_info())
+        assert {"c#0", "c#1"} <= names
+
+
+class TestSystemWiring:
+    def test_open_session_with_shards_attaches_the_executor(self):
+        system = DocumentSystem(shards=2)
+        try:
+            assert system.engine.shard_executor is None
+            session = system.open_session(shards=2)
+            assert session is not None
+            assert system.engine.shard_executor is not None
+        finally:
+            system.close()
+        assert system.engine.shard_executor is None
+
+    def test_health_includes_the_shards_section(self):
+        system = DocumentSystem(shards=2)
+        try:
+            system.db.define_class(
+                "Node", superclass="IRSObject", attributes={"content": "STRING"}
+            )
+            system.db.schema.get_class("Node").add_method(
+                "getText", lambda obj, mode=0: obj.get("content") or ""
+            )
+            for text in TEXTS:
+                system.db.create_object("Node", content=text)
+            collection = system.create_collection("c", "ACCESS n FROM n IN Node")
+            system.index_collection(collection)
+            report = system.health()
+            shards = report["shards"]
+            assert shards["collections"]["c"]["shards"] == 2
+            assert sum(shards["collections"]["c"]["documents"]) == len(TEXTS)
+            assert shards["failovers"] == 0
+            assert shards["executor_attached"] is False
+            # Informational only: an empty idle system stays "ok".
+            assert report["status"] == "ok"
+        finally:
+            system.close()
+
+    def test_sharded_system_persists_and_reloads(self, tmp_path):
+        directory = str(tmp_path / "store")
+        system = DocumentSystem(directory=directory, shards=2)
+        system.db.define_class(
+            "Node", superclass="IRSObject", attributes={"content": "STRING"}
+        )
+        system.db.schema.get_class("Node").add_method(
+            "getText", lambda obj, mode=0: obj.get("content") or ""
+        )
+        for text in TEXTS:
+            system.db.create_object("Node", content=text)
+        collection = system.create_collection("c", "ACCESS n FROM n IN Node")
+        system.index_collection(collection)
+        reference = system.engine.query("c", "www nii").values
+        system.close()
+
+        reopened = DocumentSystem(directory=directory, shards=2)
+        try:
+            assert reopened.engine.collection("c").shard_count == 2
+            assert reopened.engine.query("c", "www nii").values == reference
+        finally:
+            reopened.close()

@@ -1,0 +1,68 @@
+"""Isolation of the module-level observability configuration.
+
+``obs.configure`` mutates process-wide state.  These tests pin down the
+snapshot/restore contract the autouse conftest fixture relies on, and —
+the regression that motivated it — that two differently-configured
+"tests" run back-to-back without the first leaking into the second.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import runtime
+from repro.obs.telemetry import sampler, sampling_config
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_every_knob(self):
+        snapshot = obs.config_snapshot()
+        original_log = runtime.slow_log()
+        original_threshold = original_log.threshold
+        original_sampling = sampling_config()
+
+        obs.configure(
+            slow_query_seconds=9.75,
+            slow_log_capacity=3,
+            trace_head_every=999,
+            slow_trace_seconds=123.0,
+        )
+        assert runtime.slow_log() is not original_log  # capacity replaced it
+        assert sampler().head_every == 999
+
+        obs.config_restore(snapshot)
+        assert runtime.slow_log() is original_log
+        assert runtime.slow_log().threshold == original_threshold
+        assert sampling_config() == original_sampling
+
+    def test_restore_handles_none_slow_seconds(self):
+        # configure_sampling(None) means "keep" — restore must not; a
+        # snapshot taken while slow_seconds was None must bring None back.
+        snapshot = obs.config_snapshot()
+        before = sampling_config()["slow_seconds"]
+        obs.configure(slow_trace_seconds=55.5)
+        assert sampling_config()["slow_seconds"] == 55.5
+        obs.config_restore(snapshot)
+        assert sampling_config()["slow_seconds"] == before
+
+
+class TestBackToBackConfigs:
+    """Two configs in sequence: the autouse fixture unwinds each one."""
+
+    def test_first_config(self):
+        assert runtime.slow_log().threshold != 7.25, (
+            "a previous test leaked its slow-log threshold"
+        )
+        obs.configure(slow_query_seconds=7.25, trace_head_every=111)
+        assert runtime.slow_log().threshold == 7.25
+
+    def test_second_config_starts_clean(self):
+        assert runtime.slow_log().threshold != 7.25, (
+            "test_first_config leaked through the autouse fixture"
+        )
+        assert sampler().head_every != 111
+        obs.configure(slow_query_seconds=3.5, trace_head_every=222)
+        assert runtime.slow_log().threshold == 3.5
+
+    def test_third_sees_neither(self):
+        assert runtime.slow_log().threshold not in (7.25, 3.5)
+        assert sampler().head_every not in (111, 222)

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import json
-import time
+import os
+
+from tests.support import wait_until
 
 from repro.obs.export import (
     MetricsSnapshotter,
@@ -86,10 +88,22 @@ class TestSnapshotJsonl:
     def test_snapshotter_writes_periodically_and_on_stop(self, tmp_path):
         path = str(tmp_path / "periodic.jsonl")
         registry = populated_registry()
+
+        def periodic_lines() -> int:
+            if not os.path.exists(path):
+                return 0
+            return len(open(path, encoding="utf-8").read().splitlines())
+
         with MetricsSnapshotter(path, interval_seconds=0.05, registry=registry):
-            time.sleep(0.2)
+            # Wait for at least one *periodic* line (not a fixed sleep — a
+            # loaded runner may need far more than one interval).
+            wait_until(
+                lambda: periodic_lines() >= 1,
+                timeout=10,
+                message="snapshotter produced no periodic snapshot",
+            )
         lines = open(path, encoding="utf-8").read().splitlines()
-        # At least one periodic line plus the final stop() snapshot.
+        # The periodic line(s) plus the final stop() snapshot.
         assert len(lines) >= 2
         for line in lines:
             json.loads(line)

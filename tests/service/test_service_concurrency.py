@@ -26,6 +26,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.service import DocumentService
+from tests.support import wait_until
 
 QUERIES = ["telnet", "www", "nii", "#and(www nii)", "#or(telnet gopher)"]
 
@@ -71,7 +72,17 @@ class TestSerialReplayEquivalence:
                     # then record the serial truth at the resulting epoch.
                     session.propagate(collection)
                     capture_truth()
-                    time.sleep(0.002)
+                    # Pace on observed progress, not wall clock: wait for
+                    # the readers to rank every query at least once against
+                    # this epoch before moving on.  Guarantees the final
+                    # observation-count assertion without a tuned sleep.
+                    with obs_lock:
+                        seen = len(observations)
+                    wait_until(
+                        lambda: len(observations) >= seen + len(QUERIES),
+                        timeout=30,
+                        message="readers made no progress between updates",
+                    )
             except BaseException as exc:  # surfaced after the join
                 errors.append(exc)
             finally:

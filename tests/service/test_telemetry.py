@@ -185,8 +185,9 @@ class TestHealth:
         health = system.health()
         assert health["status"] in {"ok", "degraded", "overloaded"}
         assert set(health) == {
-            "status", "admission", "merge", "memtable", "latency",
+            "status", "admission", "merge", "memtable", "shards", "latency",
         }
+        assert health["shards"]["executor_attached"] is False
         admission = health["admission"]
         assert admission["depth_peak"] >= 0
         assert 0.0 <= admission["utilization"] <= 1.0
