@@ -10,7 +10,7 @@ vocabulary growth, at several corpus scales.
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.irs.statistics import statistics_for_collection
 
 SIZES = [10, 25, 50]
@@ -21,7 +21,7 @@ def test_corpus_statistics(report, benchmark):
         rows = []
         for size in SIZES:
             system = build_corpus_system(documents=size, paragraphs=4, seed=42)
-            collection_obj = create_collection(
+            collection_obj = _create_collection(
                 system.db, "stats", "ACCESS p FROM p IN PARA"
             )
             index_objects(collection_obj)

@@ -13,7 +13,7 @@ import random
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import FILLER, TOPICS
 from repro.workloads.evaluation import evaluate_run, run_from_results, sign_test
@@ -80,7 +80,7 @@ def test_model_effectiveness(setup, report, benchmark):
         for model in ("boolean", "vector", "inquery"):
             name = f"ev_{model}"
             if not system.engine.has_collection(name):
-                collection = create_collection(
+                collection = _create_collection(
                     system.db, name, "ACCESS p FROM p IN PARA", model=model
                 )
                 index_objects(collection)
@@ -89,7 +89,7 @@ def test_model_effectiveness(setup, report, benchmark):
             results = {
                 topic: {
                     str(oid): value
-                    for oid, value in get_irs_result(collection, topic_query(topic)).items()
+                    for oid, value in _get_irs_result(collection, topic_query(topic)).items()
                 }
                 for topic in qrels
             }
@@ -131,7 +131,7 @@ def test_model_effectiveness(setup, report, benchmark):
 
 def test_derivation_effectiveness_at_document_level(setup, report, benchmark):
     system, _qrels, doc_truth = setup
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "ev_derive", "ACCESS p FROM p IN PARA"
     )
     index_objects(collection)

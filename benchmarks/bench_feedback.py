@@ -12,7 +12,7 @@ import random
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.core.feedback import install_feedback_method
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import FILLER, TOPICS
@@ -53,7 +53,7 @@ def setup():
             )
             paras = root.send("getDescendants", "PARA")
             truth[topic].extend(str(p.oid) for p in paras[:2])
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     install_feedback_method(system.db)
     return system, collection, truth
@@ -64,11 +64,11 @@ def test_feedback_round(setup, report, benchmark):
 
     def one_round(topic):
         collection.set("buffer", {})
-        initial = get_irs_result(collection, topic)
+        initial = _get_irs_result(collection, topic)
         ranked = sorted(initial, key=lambda o: -initial[o])
         judged = [system.db.get_object(oid) for oid in ranked[:2]]
         expanded = collection.send("expandQuery", topic, judged)
-        after = get_irs_result(collection, expanded)
+        after = _get_irs_result(collection, expanded)
         return initial, after, expanded
 
     rows = []

@@ -16,13 +16,13 @@ from repro.core.architectures import (
     MixedWorkloadQuery,
     run_comparison,
 )
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 
 
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=30, paragraphs=5, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     queries = [
         MixedWorkloadQuery("YEAR", "1994", "www", 0.42),

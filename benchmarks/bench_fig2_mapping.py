@@ -9,7 +9,7 @@ exactly one OID; one object may own IRS documents in several collections.
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.oodb.oid import OID
 
 
@@ -32,7 +32,7 @@ def test_fig2_object_document_mapping(setup, report, benchmark):
             ("collSection", "ACCESS s FROM s IN SECTION"),
             ("collDoc", "ACCESS d FROM d IN MMFDOC"),
         ]:
-            collection = create_collection(system.db, name, spec)
+            collection = _create_collection(system.db, name, spec)
             index_objects(collection)
             built[name] = collection
         return built
@@ -85,8 +85,8 @@ def test_fig2_multi_collection_membership(setup, report, benchmark):
         if system.engine.has_collection(name):
             system.engine.drop_collection(name)
 
-    a = create_collection(system.db, "overlapA", "ACCESS p FROM p IN PARA")
-    b = create_collection(
+    a = _create_collection(system.db, "overlapA", "ACCESS p FROM p IN PARA")
+    b = _create_collection(
         system.db, "overlapB", "ACCESS p FROM p IN PARA", text_mode=1
     )
 

@@ -16,13 +16,13 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 
 
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=25, paragraphs=4, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     queries = ["www", "nii", "telnet", "#and(www nii)"]
     return system, collection, queries

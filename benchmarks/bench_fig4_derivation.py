@@ -14,7 +14,7 @@ a 40x scaled synthetic version:
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.workloads.corpus import CorpusGenerator, load_corpus
 from repro.workloads.figure4 import (
     EXPECTED_PAIRS,
@@ -40,7 +40,7 @@ def figure4():
 
 def test_fig4_paragraph_level_baseline(figure4, report, benchmark):
     figure4["collection"].set("buffer", {})
-    values = benchmark(get_irs_result, figure4["collection"], QUERY)
+    values = benchmark(_get_irs_result, figure4["collection"], QUERY)
     ranked = sorted(values, key=lambda oid: -values[oid])
     names = {p.oid: name for name, p in figure4["paragraphs"].items()}
     rows = [[names[oid], values[oid]] for oid in ranked]
@@ -112,7 +112,7 @@ def test_fig4_top_paragraph_redirect_misses_m3(figure4, report, benchmark):
         # Fresh buffer: only genuine IRS (paragraph) results, no previously
         # amended derived document values.
         figure4["collection"].set("buffer", {})
-        values = get_irs_result(figure4["collection"], QUERY)
+        values = _get_irs_result(figure4["collection"], QUERY)
         best = max(values, key=values.get)
         container = system.db.get_object(best).send("getContaining", "MMFDOC")
         return container.send("getAttributeValue", "TITLE")
@@ -160,9 +160,9 @@ def test_fig4_scaled_corpus(report, benchmark):
         truth.append(kind)
     roots = load_corpus(system, documents)
 
-    from repro.core.collection import create_collection, index_objects
+    from repro.core.collection import _create_collection, index_objects
 
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     named_roots = {f"{truth[i]}_{i}": roots[i] for i in range(len(roots))}
 

@@ -110,19 +110,19 @@ def test_granularity_policies(system, report, benchmark):
 
 def test_granularity_query_capability(system, report, benchmark):
     """Paragraph queries under document-level vs element-level granularity."""
-    from repro.core.collection import create_collection, get_irs_result, index_objects
+    from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
     if not system.engine.has_collection("cap_doc"):
-        doc_coll = create_collection(system.db, "cap_doc", "ACCESS d FROM d IN MMFDOC")
+        doc_coll = _create_collection(system.db, "cap_doc", "ACCESS d FROM d IN MMFDOC")
         index_objects(doc_coll)
-        para_coll = create_collection(system.db, "cap_para", "ACCESS p FROM p IN PARA")
+        para_coll = _create_collection(system.db, "cap_para", "ACCESS p FROM p IN PARA")
         index_objects(para_coll)
         system._cap = (doc_coll, para_coll)
     doc_coll, para_coll = system._cap
 
     def paragraph_precision(collection):
         """How precisely 'which paragraph mentions www?' is answerable."""
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         paras = {
             oid
             for oid in values

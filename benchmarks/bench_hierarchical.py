@@ -20,7 +20,7 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.granularity import all_elements, document_level, element_type, leaf_level
 from repro.core.hierarchical import hierarchical_result, scorer_for
 
@@ -49,11 +49,11 @@ def test_hierarchical_storage_and_exactness(setup, report, benchmark):
         deltas = []
         for query in QUERIES:
             hier_doc = hierarchical_result(collections["leaf"], query, "MMFDOC")
-            direct_doc = get_irs_result(collections["doc_direct"], query)
+            direct_doc = _get_irs_result(collections["doc_direct"], query)
             for oid, value in direct_doc.items():
                 deltas.append(abs(hier_doc.get(oid, 0.0) - value))
             hier_para = hierarchical_result(collections["leaf"], query, "PARA")
-            direct_para = get_irs_result(collections["para_direct"], query)
+            direct_para = _get_irs_result(collections["para_direct"], query)
             for oid, value in direct_para.items():
                 deltas.append(abs(hier_para.get(oid, 0.0) - value))
         return max(deltas)
@@ -93,7 +93,7 @@ def test_hierarchical_query_cost(setup, report, benchmark):
         return hierarchical_result(collections["leaf"], "www", "MMFDOC")
 
     started = perf_counter()
-    direct_result = get_irs_result(collections["doc_direct"], "#max(www www)")
+    direct_result = _get_irs_result(collections["doc_direct"], "#max(www www)")
     direct_seconds = perf_counter() - started
 
     started = perf_counter()

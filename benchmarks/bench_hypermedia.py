@@ -11,7 +11,7 @@ Measures the retrievability gain from the two Section 5 mechanisms:
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.hypermedia import (
     IMPLIES_TEXT_MODE,
     MEDIA_TEXT_MODE,
@@ -39,10 +39,10 @@ def setup():
 
 def test_media_retrievability(setup, report, benchmark):
     system = setup
-    plain = create_collection(
+    plain = _create_collection(
         system.db, "figures_plain", "ACCESS f FROM f IN FIGURE", text_mode=0
     )
-    media = create_collection(
+    media = _create_collection(
         system.db, "figures_media", "ACCESS f FROM f IN FIGURE",
         text_mode=MEDIA_TEXT_MODE,
     )
@@ -52,8 +52,8 @@ def test_media_retrievability(setup, report, benchmark):
         index_objects(media)
         rows = []
         for topic in sorted(TOPICS):
-            plain_hits = len(get_irs_result(plain, topic))
-            media_hits = len(get_irs_result(media, topic))
+            plain_hits = len(_get_irs_result(plain, topic))
+            media_hits = len(_get_irs_result(media, topic))
             rows.append([topic, plain_hits, media_hits])
         return rows
 
@@ -85,10 +85,10 @@ def test_implies_link_augmentation(setup, report, benchmark):
         if current and following:
             create_link(system.db, current[-1], following[0], IMPLIES)
 
-    plain = create_collection(
+    plain = _create_collection(
         system.db, "paras_plain", "ACCESS p FROM p IN PARA", text_mode=0
     )
-    augmented = create_collection(
+    augmented = _create_collection(
         system.db, "paras_implies", "ACCESS p FROM p IN PARA",
         text_mode=IMPLIES_TEXT_MODE,
     )
@@ -99,7 +99,7 @@ def test_implies_link_augmentation(setup, report, benchmark):
         rows = []
         for topic in sorted(TOPICS):
             rows.append(
-                [topic, len(get_irs_result(plain, topic)), len(get_irs_result(augmented, topic))]
+                [topic, len(_get_irs_result(plain, topic)), len(_get_irs_result(augmented, topic))]
             )
         return rows
 
@@ -120,7 +120,7 @@ def test_implies_link_augmentation(setup, report, benchmark):
 
 def test_link_derivation_for_unindexed_nodes(setup, report, benchmark):
     system = setup
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "paras_linkderive", "ACCESS p FROM p IN PARA",
         derivation="link_propagation",
     )

@@ -7,7 +7,7 @@ truth and reports rows, per-query IRS invocations and evaluation counters.
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.oodb.query.evaluator import QueryEvaluator
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import CorpusGenerator, load_corpus
@@ -58,7 +58,7 @@ def setup():
         ),
         dtd=dtd,
     )
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 

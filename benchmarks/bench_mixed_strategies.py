@@ -13,7 +13,7 @@ represented in the collection, IRS-first misses derived answers.
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.core.mixed import evaluate_independent, evaluate_irs_first
 
 THRESHOLDS = [0.42, 0.45, 0.5, 0.55]
@@ -22,7 +22,7 @@ THRESHOLDS = [0.42, 0.45, 0.5, 0.55]
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=40, paragraphs=5, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 

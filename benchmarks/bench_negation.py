@@ -12,7 +12,7 @@ and the objects only one semantics returns.
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.core.negation import closed_world_not, members, open_world_not
 
 THRESHOLDS = [0.45, 0.55, 0.61, 0.7]
@@ -21,7 +21,7 @@ THRESHOLDS = [0.45, 0.55, 0.61, 0.7]
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=25, paragraphs=4, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 

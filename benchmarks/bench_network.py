@@ -1,0 +1,285 @@
+"""NETWORK — client-observed throughput and tail latency over the socket.
+
+A :class:`~repro.net.server.DocumentServer` (pooled session, so concurrent
+remote traffic batches through shared windows) serves a seeded corpus;
+swarms of client threads — each with its own :class:`repro.RemoteSession`
+and therefore its own TCP connection — hammer the query mix.  Measured per
+swarm size (up to 100+ concurrent clients): client-observed throughput,
+p50/p95/p99 latency, and the wire overhead versus an inline in-process
+baseline.  Every swarm also spot-checks that remote rankings and scores
+are bit-identical to inline results.  Writes ``BENCH_network.json`` at the
+repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_network.py           # full (5k docs)
+    PYTHONPATH=src python benchmarks/bench_network.py --smoke   # CI-sized
+
+Both modes drive the 100-client swarm (the PR's acceptance point); the
+smoke corpus is smaller and each client issues fewer requests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+from time import perf_counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import DocumentSystem
+from repro.net import RemoteSession, ServerConfig
+from repro.workloads.corpus import CorpusGenerator, load_corpus
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_network.json")
+
+CLIENT_COUNTS = (1, 8, 32, 100)
+
+QUERIES = [
+    "www",
+    "telnet",
+    "#sum(nii infrastructure funding)",
+    "#and(database transaction)",
+    "#or(multimedia #and(video audio))",
+    "#wsum(2 retrieval 1 ranking 0.5 relevance)",
+    "#max(hypertext browser server)",
+    "#sum(policy #not(telnet))",
+]
+
+
+def build_system(documents: int, paragraphs: int, seed: int) -> DocumentSystem:
+    system = DocumentSystem()
+    generator = CorpusGenerator(seed=seed)
+    generated = generator.corpus(documents=documents, paragraphs=paragraphs)
+    system.roots = load_corpus(system, generated)
+    return system
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+TOP_K = 10  # ranked retrieval serves pages; full rankings are the exception
+
+
+def inline_baseline(system, collection, requests: int) -> dict:
+    """Single-threaded in-process floor the wire overhead is measured against."""
+    latencies = []
+    started = perf_counter()
+    for i in range(requests):
+        query = QUERIES[i % len(QUERIES)]
+        t0 = perf_counter()
+        system.session.query(collection, query, top_k=TOP_K)
+        latencies.append(perf_counter() - t0)
+    elapsed = perf_counter() - started
+    return {
+        "requests": requests,
+        "throughput_qps": round(requests / elapsed, 2),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def run_swarm(address, clients: int, per_client: int, materialize: bool = True) -> dict:
+    """One swarm tier: ``clients`` threads, each its own session+connection."""
+    latencies = []
+    lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(offset: int) -> None:
+        local = []
+        try:
+            with RemoteSession(
+                address,
+                pool_size=1,
+                request_timeout=120.0,
+                materialize=materialize,
+            ) as session:
+                barrier.wait()  # connect first, measure together
+                for i in range(per_client):
+                    query = QUERIES[(offset + i) % len(QUERIES)]
+                    t0 = perf_counter()
+                    session.query("collPara", query, top_k=TOP_K)
+                    local.append(perf_counter() - t0)
+        except BaseException as exc:
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=client, args=(offset,)) for offset in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    total = clients * per_client
+    return {
+        "clients": clients,
+        "materialize": materialize,
+        "requests": total,
+        "elapsed_seconds": round(elapsed, 3),
+        "throughput_qps": round(total / elapsed, 2),
+        "latency_ms": {
+            "mean": round(statistics.mean(latencies) * 1000, 2),
+            "p50": round(percentile(latencies, 0.50) * 1000, 2),
+            "p95": round(percentile(latencies, 0.95) * 1000, 2),
+            "p99": round(percentile(latencies, 0.99) * 1000, 2),
+            "max": round(max(latencies) * 1000, 2),
+        },
+    }
+
+
+def equivalence_spot_check(system, collection, address) -> int:
+    """Remote rankings and scores must be bit-identical to inline ones."""
+    checked = 0
+    with RemoteSession(address) as session:
+        for query in QUERIES:
+            local = system.session.query(collection, query)
+            remote = session.query("collPara", query)
+            local_pairs = [(str(h.oid), h.score) for h in local]
+            remote_pairs = [(str(h.oid), h.score) for h in remote]
+            assert remote_pairs == local_pairs, (
+                f"remote ranking diverged from inline for {query!r}"
+            )
+            checked += len(local_pairs)
+    return checked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized corpus and load")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    if args.smoke:
+        documents, paragraphs = 120, 5      # 600 IRS documents
+        per_client = 3
+        baseline_requests = 64
+    else:
+        documents, paragraphs = 1000, 5     # the 5k-document corpus
+        per_client = 8
+        baseline_requests = 128
+
+    print(
+        f"corpus: {documents * paragraphs} paragraph documents "
+        f"({documents} docs x {paragraphs}); swarms {CLIENT_COUNTS}, "
+        f"{per_client} requests per client"
+    )
+    build_started = perf_counter()
+    system = build_system(documents, paragraphs, args.seed)
+    collection = system.session.create_collection(
+        "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
+    )
+    system.session.index(collection)
+    print(f"built and indexed in {perf_counter() - build_started:.1f} s")
+
+    baseline = inline_baseline(system, collection, baseline_requests)
+    print(
+        f"inline baseline: {baseline['throughput_qps']:8.1f} q/s   "
+        f"p50={baseline['p50_ms']:6.2f} ms"
+    )
+
+    # Connection ceiling above the largest swarm: admission control is
+    # not what this benchmark measures.
+    server = system.serve(
+        workers=4,
+        config=ServerConfig(max_connections=max(CLIENT_COUNTS) + 16),
+    )
+    address = server.address
+
+    checked = equivalence_spot_check(system, collection, address)
+    print(f"equivalence spot check passed ({checked} (oid, score) pairs)")
+
+    tiers = []
+    for clients in CLIENT_COUNTS:
+        tier = run_swarm(address, clients, per_client)
+        tiers.append(tier)
+        print(
+            f"clients={clients:4d}: {tier['throughput_qps']:8.1f} q/s   "
+            f"p50={tier['latency_ms']['p50']:7.1f} ms   "
+            f"p95={tier['latency_ms']['p95']:7.1f} ms   "
+            f"p99={tier['latency_ms']['p99']:7.1f} ms"
+        )
+
+    bare_100 = run_swarm(address, max(CLIENT_COUNTS), per_client, materialize=False)
+    print(
+        f"clients={bare_100['clients']:4d} (materialize=False): "
+        f"{bare_100['throughput_qps']:8.1f} q/s   "
+        f"p99={bare_100['latency_ms']['p99']:7.1f} ms"
+    )
+
+    single = tiers[0]
+    swarm_100 = next(t for t in tiers if t["clients"] >= 100)
+    wire_overhead_ms = round(
+        single["latency_ms"]["p50"] - baseline["p50_ms"], 3
+    )
+    print(
+        f"wire overhead at 1 client: ~{wire_overhead_ms} ms per request; "
+        f"100-client p99 {swarm_100['latency_ms']['p99']:.1f} ms"
+    )
+
+    health = system.health()
+    network = health["network"]
+
+    payload = {
+        "benchmark": "network",
+        "description": (
+            "client-observed throughput and tail latency over the socket "
+            "server (pooled session, one TCP connection per client); "
+            "equivalence spot-checked bit-exact against inline results"
+        ),
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "corpus_documents": documents * paragraphs,
+        "queries": QUERIES,
+        "server_workers": 4,
+        "top_k": TOP_K,
+        "inline_baseline": baseline,
+        "tiers": tiers,
+        "bare_swarm_100": bare_100,
+        "wire_overhead_p50_ms_at_1_client": wire_overhead_ms,
+        "equivalence_pairs_checked": checked,
+        "server_counters": {
+            "connections_accepted": network["connections"]["accepted"],
+            "connections_rejected": network["connections"]["rejected"],
+            "requests_completed": network["requests"]["completed"],
+            "requests_failed": network["requests"]["failed"],
+        },
+    }
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {OUTPUT_PATH}")
+
+    system.close()
+
+    # Acceptance: the 100-client swarm completed every request and the
+    # server rejected nothing (the ceiling was sized above the swarm).
+    assert swarm_100["requests"] == swarm_100["clients"] * per_client
+    assert payload["server_counters"]["connections_rejected"] == 0
+    assert payload["server_counters"]["requests_failed"] == 0
+    print(
+        f"assertion passed: {swarm_100['clients']} concurrent clients, "
+        f"{swarm_100['requests']} requests, 0 failures"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -42,7 +42,7 @@ from bench_scoring import QUERIES, generate_texts
 
 from repro import Session, obs
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.irs.analysis import Analyzer
 from repro.irs.engine import IRSEngine
 from repro.obs import (
@@ -316,7 +316,7 @@ def build_journal() -> tuple:
     ]
     for document in documents:
         system.add_document(document, dtd=dtd)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 

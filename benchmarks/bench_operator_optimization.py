@@ -14,7 +14,7 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
 PAIRS = [("www", "nii"), ("telnet", "database"), ("multimedia", "retrieval")]
 
@@ -22,7 +22,7 @@ PAIRS = [("www", "nii"), ("telnet", "database"), ("multimedia", "retrieval")]
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=40, paragraphs=5, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 
@@ -33,14 +33,14 @@ def test_operator_in_db_vs_resubmission(setup, report, benchmark):
     def warm():
         collection.set("buffer", {})
         for a, b in PAIRS:
-            get_irs_result(collection, a)
-            get_irs_result(collection, b)
+            _get_irs_result(collection, a)
+            _get_irs_result(collection, b)
 
     def in_db():
         return [collection.send("IRSOperatorAND", a, b) for a, b in PAIRS]
 
     def resubmit():
-        return [get_irs_result(collection, f"#and({a} {b})") for a, b in PAIRS]
+        return [_get_irs_result(collection, f"#and({a} {b})") for a, b in PAIRS]
 
     warm()
     system.reset_counters()
@@ -97,7 +97,7 @@ def test_operator_equivalence_all_operators(setup, report, benchmark):
         rows = []
         for method, irs_query, args in operator_specs:
             in_db = collection.send(method, *args)
-            via_irs = get_irs_result(collection, irs_query)
+            via_irs = _get_irs_result(collection, irs_query)
             max_delta = max(
                 (abs(in_db[oid] - value) for oid, value in via_irs.items()),
                 default=0.0,

@@ -15,7 +15,7 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.workloads.metrics import kendall_tau
 
 MODELS = ["boolean", "vector", "inquery"]
@@ -27,7 +27,7 @@ def setup():
     system = build_corpus_system(documents=30, paragraphs=5, seed=42)
     collections = {}
     for model in MODELS:
-        collection = create_collection(
+        collection = _create_collection(
             system.db, f"coll_{model}", "ACCESS p FROM p IN PARA", model=model
         )
         index_objects(collection)
@@ -44,7 +44,7 @@ def test_model_exchangeability(setup, report, benchmark):
             collection = collections[model]
             collection.set("buffer", {})
             started = perf_counter()
-            results = {q: get_irs_result(collection, q) for q in QUERIES}
+            results = {q: _get_irs_result(collection, q) for q in QUERIES}
             outcomes[model] = (results, perf_counter() - started)
         return outcomes
 

@@ -14,14 +14,14 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
 SIZES = [5, 15, 30, 60]
 
 
 def _system_of(size):
     system = build_corpus_system(documents=size, paragraphs=4, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 
@@ -69,7 +69,7 @@ def test_derivation_scaling(report, benchmark):
         for size in SIZES:
             system, collection = _system_of(size)
             docs = system.db.instances_of("MMFDOC")
-            get_irs_result(collection, "www")  # warm the buffer
+            _get_irs_result(collection, "www")  # warm the buffer
             started = perf_counter()
             for doc in docs:
                 doc.send("getIRSValue", collection, "www")

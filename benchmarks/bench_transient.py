@@ -16,7 +16,7 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.core.transient import transient_members
 
 QUERIES = ["www", "nii", "telnet"]
@@ -25,7 +25,7 @@ QUERIES = ["www", "nii", "telnet"]
 @pytest.fixture(scope="module")
 def setup():
     system = build_corpus_system(documents=20, paragraphs=5, seed=42)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 
@@ -40,7 +40,7 @@ def test_transient_vs_derivation(setup, report, benchmark):
         started = perf_counter()
         with transient_members(collection, docs):
             for query in QUERIES:
-                get_irs_result(collection, query)
+                _get_irs_result(collection, query)
         seconds = perf_counter() - started
         return {
             "seconds": seconds,
@@ -95,7 +95,7 @@ def test_transient_values_are_direct_irs_values(setup, report, benchmark):
     def compare():
         collection.set("buffer", {})
         with transient_members(collection, docs):
-            direct = get_irs_result(collection, "www")
+            direct = _get_irs_result(collection, "www")
         collection.set("buffer", {})
         collection.set("derivation", "maximum")
         derived = {

@@ -18,14 +18,14 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import build_corpus_system
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
 RATIOS = [(2, 10), (10, 10), (50, 10), (100, 5)]  # (updates, queries)
 
 
 def _build(policy):
     system = build_corpus_system(documents=15, paragraphs=4, seed=42)
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "collPara", "ACCESS p FROM p IN PARA", update_policy=policy
     )
     index_objects(collection)
@@ -48,7 +48,7 @@ def _run_mix(system, collection, n_updates, n_queries, churn):
             collection.send("insertObject", para)
             created.append(para)
     for i in range(n_queries):
-        get_irs_result(collection, ("www", "nii", "gopher")[i % 3])
+        _get_irs_result(collection, ("www", "nii", "gopher")[i % 3])
     elapsed = perf_counter() - started
     counters = system.context.counters
     return {
@@ -147,7 +147,7 @@ def test_cancellation_ablation(report, benchmark):
             para = system.loader.insert_element(root, "PARA", f"churn text {i}")
             collection.send("insertObject", para)
             collection.send("deleteObject", para)  # membership retracted
-        get_irs_result(collection, "www")  # forces propagation
+        _get_irs_result(collection, "www")  # forces propagation
         return {
             "pending_peak": 60 if not enabled else 0,
             "indexed": system.engine.counters.documents_indexed,
@@ -187,7 +187,7 @@ def test_forced_propagation_consistency(report, benchmark):
         root = system.roots[0]
         para = system.loader.insert_element(root, "PARA", "unique zeppelin content")
         collection.send("insertObject", para)
-        values = get_irs_result(collection, "zeppelin")
+        values = _get_irs_result(collection, "zeppelin")
         return para.oid in values, system.context.counters.forced_propagations
 
     found, forced = benchmark.pedantic(run, rounds=3, iterations=1)

@@ -12,7 +12,7 @@ import os
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.workloads.corpus import CorpusGenerator, load_corpus
 from repro.workloads.metrics import format_table
 
@@ -63,7 +63,7 @@ def corpus_system():
 
 @pytest.fixture
 def para_collection(corpus_system):
-    collection = create_collection(
+    collection = _create_collection(
         corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
     )
     index_objects(collection)

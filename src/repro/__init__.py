@@ -18,6 +18,10 @@ Subpackages
     Section 5: links, media text modes, link-based derivation.
 ``repro.workloads``
     Seeded corpora, the Figure 4 base, query workloads, metrics.
+``repro.net``
+    The out-of-process service: wire protocol, socket server, remote and
+    async sessions.  :func:`repro.connect` is the transport-agnostic
+    front door.
 """
 
 import logging as _logging
@@ -29,15 +33,25 @@ _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 from repro.core.system import DocumentSystem  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.service import ResultSet, ScoredHit, ServiceConfig, Session  # noqa: E402
+from repro.net import (  # noqa: E402
+    AsyncSession,
+    DocumentServer,
+    RemoteSession,
+    connect,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AsyncSession",
+    "DocumentServer",
     "DocumentSystem",
+    "RemoteSession",
     "ReproError",
     "ResultSet",
     "ScoredHit",
     "ServiceConfig",
     "Session",
     "__version__",
+    "connect",
 ]

@@ -17,7 +17,7 @@ facade assembles the whole stack (OODBMS + IRS + SGML loader + coupling).
 """
 
 from repro.core.context import CouplingContext, install_coupling, coupling_context
-from repro.core.collection import create_collection, COLLECTION_CLASS
+from repro.core.collection import COLLECTION_CLASS
 from repro.core.irs_object import IRSOBJECT_CLASS
 from repro.core.system import DocumentSystem
 
@@ -25,7 +25,6 @@ __all__ = [
     "CouplingContext",
     "install_coupling",
     "coupling_context",
-    "create_collection",
     "COLLECTION_CLASS",
     "IRSOBJECT_CLASS",
     "DocumentSystem",

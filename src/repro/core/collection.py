@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro import obs
@@ -120,9 +119,8 @@ def _create_collection(
     Sharding is a physical layout choice only — rankings are bit-identical
     either way (DESIGN.md §"Sharded scoring").
 
-    Internal implementation — the supported entry points are
-    :meth:`repro.Session.create_collection` and the deprecated
-    :func:`create_collection` shim.
+    Internal implementation — the supported entry point is
+    :meth:`repro.Session.create_collection`.
     """
     context = coupling_context(db)
     if context.engine.has_collection(name):
@@ -282,8 +280,7 @@ def _get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float
     A pending deferred update forces propagation first (Section 4.6).
 
     Internal implementation — the supported entry point is
-    :meth:`repro.Session.query`; the :func:`get_irs_result` shim remains
-    for old callers.
+    :meth:`repro.Session.query`.
     """
     db = collection_obj.database
     context = coupling_context(db)
@@ -347,8 +344,7 @@ def _find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> 
     and the derived value is inserted into the buffer.
 
     Internal implementation — the supported entry point is
-    :meth:`repro.Session.find_value`; the :func:`find_irs_value` shim
-    remains for old callers.
+    :meth:`repro.Session.find_value`.
     """
     db = collection_obj.database
     context = coupling_context(db)
@@ -371,38 +367,6 @@ def _find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> 
         buffer = ResultBuffer(collection_obj, context.counters)
         buffer.amend(irs_query, obj.oid, derived, collection_obj.get("model"))
         return derived
-
-
-# --------------------------------------------------------------------------
-# Deprecated free-function API (PR 3): the supported surface is repro.Session.
-# --------------------------------------------------------------------------
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def create_collection(
-    db: Database, name: str, spec_query: str = "", **options
-) -> DBObject:
-    """Deprecated shim for :meth:`repro.Session.create_collection`."""
-    _deprecated("repro.core.collection.create_collection", "repro.Session.create_collection")
-    return _create_collection(db, name, spec_query, **options)
-
-
-def get_irs_result(collection_obj: DBObject, irs_query: str) -> Dict[OID, float]:
-    """Deprecated shim for :meth:`repro.Session.query`."""
-    _deprecated("repro.core.collection.get_irs_result", "repro.Session.query")
-    return _get_irs_result(collection_obj, irs_query)
-
-
-def find_irs_value(collection_obj: DBObject, irs_query: str, obj: DBObject) -> float:
-    """Deprecated shim for :meth:`repro.Session.find_value`."""
-    _deprecated("repro.core.collection.find_irs_value", "repro.Session.find_value")
-    return _find_irs_value(collection_obj, irs_query, obj)
 
 
 def contains_object(collection_obj: DBObject, obj: DBObject) -> bool:

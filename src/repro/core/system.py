@@ -97,6 +97,7 @@ class DocumentSystem:
 
         self.session = Session(self.db)
         self._sessions: List[Session] = []
+        self._servers: List[Any] = []
 
     # -- document type management ----------------------------------------------
 
@@ -156,6 +157,40 @@ class DocumentSystem:
             self._sessions.append(session)
         return session
 
+    def serve(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        workers: int = 0,
+        config: Any = None,
+    ):
+        """Start a :class:`~repro.net.server.DocumentServer` on this system.
+
+        ``workers>=1`` opens a pooled session for the server (closed with
+        the system) so concurrent remote clients batch through one
+        window; ``workers=0`` serves through the default inline session
+        (paper semantics, one request at a time per connection).  With
+        ``port`` omitted (or 0) the OS picks a free port — read it from
+        ``server.address``.  The server is stopped by
+        :meth:`close`; connect with
+        ``repro.connect(f"tcp://{host}:{port}")``.
+        """
+        from repro.net.config import ServerConfig
+        from repro.net.server import DocumentServer
+
+        if config is None:
+            config = ServerConfig(
+                host=host if host is not None else "127.0.0.1",
+                port=port if port is not None else 0,
+            )
+        elif host is not None or port is not None:
+            raise ValueError("pass either config= or host/port, not both")
+        session = self.open_session(workers=workers) if workers else self.session
+        server = DocumentServer(self, config=config, session=session)
+        server.start()
+        self._servers.append(server)
+        return server
+
     def create_collection(self, name: str, spec_query: str = "", **options: Any) -> DBObject:
         """Create a COLLECTION object (delegates to :meth:`repro.Session.create_collection`)."""
         return self.session.create_collection(name, spec_query, **options)
@@ -212,6 +247,7 @@ class DocumentSystem:
             slo_seconds=(
                 DEFAULT_SLO_SECONDS if slo_seconds is None else slo_seconds
             ),
+            servers=self._servers,
         )
 
     # -- bookkeeping ------------------------------------------------------------------------
@@ -224,6 +260,9 @@ class DocumentSystem:
 
     def close(self) -> None:
         """Persist IRS indexes (when durable) and close the database."""
+        for server in self._servers:
+            server.stop()
+        self._servers = []
         for session in self._sessions:
             session.close()
         self._sessions = []

@@ -8,7 +8,7 @@ to the IRS.  The point of propagation time can freely be chosen":
 * ``deferred`` — the application invokes propagation (e.g. in low-load
   periods); "If, however, an information-need query is issued with update
   propagation pending, propagation is enforced" — enforced by
-  :func:`repro.core.collection.get_irs_result`.
+  :func:`repro.core.collection._get_irs_result`.
 
 "Database operations are recorded to avoid unnecessary update propagations"
 — the pending-operation log collapses sequences whose effects cancel:

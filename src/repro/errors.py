@@ -31,6 +31,9 @@ retry budget exhausted on the two above          :class:`RetryExhaustedError`
 admission queue full (backpressure)              :class:`ServiceOverloadedError`
 per-request deadline exceeded                    :class:`RequestTimeoutError`
 service used after shutdown                      :class:`ServiceClosedError`
+malformed / mis-versioned wire frame             :class:`ProtocolError`
+wire frame above the configured size limit       :class:`FrameTooLargeError`
+transport failed mid-request                     :class:`ConnectionLostError`
 any other internal error on a query path         :class:`QueryError` (mixed/IRS
                                                  queries) or
                                                  :class:`CouplingError` (indexing)
@@ -213,3 +216,41 @@ class RetryExhaustedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """The service (or its session) was shut down before the request."""
+
+
+# --------------------------------------------------------------------------
+# Network errors (the out-of-process document service of repro.net)
+# --------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the network layer."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame violated the protocol.
+
+    Covers malformed JSON payloads, non-object payloads, missing required
+    envelope fields, and protocol version mismatches.  The peer that
+    detects the violation answers with a typed error envelope; for
+    violations that poison the byte stream it also closes the connection.
+    """
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a length above the configured maximum.
+
+    Raised on both sides: the sender refuses to encode an oversized
+    payload, the receiver rejects an oversized length prefix without
+    reading the body (a 4-byte prefix must not force a multi-gigabyte
+    allocation).
+    """
+
+
+class ConnectionLostError(NetworkError):
+    """The transport failed mid-request (peer vanished, stream truncated).
+
+    The request's fate is unknown — it may or may not have executed.  The
+    client's connection pool discards the broken connection; reconnection
+    with backoff happens on the *next* acquire, not silently mid-request
+    (queries are safe to retry, mutations are the caller's call).
+    """

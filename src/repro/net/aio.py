@@ -1,0 +1,144 @@
+"""``AsyncSession`` — thin ``asyncio`` wrappers over the synchronous core.
+
+Design (after beaver's "Comprehensive Async API" roadmap): the protocol,
+pooling and error handling live **once**, in the synchronous
+:class:`~repro.net.client.RemoteSession`; the async surface is a thin
+shim that moves each blocking call onto a dedicated thread pool with
+``loop.run_in_executor``.  No second protocol implementation to drift,
+and the sync and async paths cannot disagree about semantics.
+
+The executor is sized to the underlying connection pool — more threads
+could never get more concurrency than there are connections to borrow.
+``asyncio.gather`` over N queries therefore genuinely overlaps up to
+``pool_size`` round trips:
+
+.. code-block:: python
+
+    session = repro.connect("tcp://127.0.0.1:9000", asynchronous=True)
+    results = await asyncio.gather(
+        *(session.query("articles", q) for q in queries)
+    )
+    await session.close()
+
+``AsyncSession`` also wraps *local* sessions (``repro.connect(system,
+asynchronous=True)``): the same await-based application code then runs
+in-process — the transport is a deployment decision, not an API one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.executor import _UNSET
+
+
+class AsyncSession:
+    """Awaitable facade over a synchronous session (remote or local).
+
+    Every method mirrors the Session contract; each call runs the
+    underlying blocking method on the wrapper's thread pool and awaits
+    the result, so exceptions (the full ReproError taxonomy, including
+    the network errors) propagate unchanged to the awaiting task.
+    """
+
+    def __init__(self, session: Any, max_workers: Optional[int] = None) -> None:
+        self.session = session
+        if max_workers is None:
+            config = getattr(session, "config", None)
+            max_workers = getattr(config, "pool_size", None) or 8
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-async"
+        )
+        self._closed = False
+
+    async def _run(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: fn(*args, **kwargs)
+        )
+
+    # -- collection management ---------------------------------------------
+
+    async def create_collection(
+        self, name: str, spec_query: str = "", **options: Any
+    ):
+        return await self._run(
+            self.session.create_collection, name, spec_query, **options
+        )
+
+    async def collection(self, name: str):
+        return await self._run(self.session.collection, name)
+
+    async def collections(self) -> List[str]:
+        return await self._run(self.session.collections)
+
+    async def index(self, collection_obj: Any, **options: Any) -> bool:
+        return await self._run(self.session.index, collection_obj, **options)
+
+    async def propagate(self, collection_obj: Any) -> int:
+        return await self._run(self.session.propagate, collection_obj)
+
+    async def remove(self, collection_obj: Any, obj: Any) -> None:
+        return await self._run(self.session.remove, collection_obj, obj)
+
+    # -- querying -----------------------------------------------------------
+
+    async def query(
+        self,
+        collection_obj: Any,
+        irs_query: str,
+        model: Optional[str] = None,
+        timeout: Any = _UNSET,
+        top_k: Optional[int] = None,
+    ):
+        return await self._run(
+            self.session.query, collection_obj, irs_query, model, timeout, top_k
+        )
+
+    async def query_batch(self, items: Sequence[Any], timeout: Any = _UNSET) -> List:
+        return await self._run(self.session.query_batch, items, timeout)
+
+    async def find_value(
+        self, collection_obj: Any, irs_query: str, obj: Any
+    ) -> float:
+        return await self._run(
+            self.session.find_value, collection_obj, irs_query, obj
+        )
+
+    async def execute(
+        self,
+        text: str,
+        bindings: Optional[Dict[str, Any]] = None,
+        timeout: Any = _UNSET,
+    ) -> List[tuple]:
+        return await self._run(self.session.execute, text, bindings, timeout)
+
+    # -- operations ---------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self._run(self.session.ping)
+
+    async def health(self, slo_seconds: Optional[float] = None) -> Dict[str, Any]:
+        return await self._run(self.session.health, slo_seconds)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Close the wrapped session, then retire the thread pool."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._run(self.session.close)
+        self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<AsyncSession over {self.session!r} {state}>"

@@ -17,6 +17,10 @@ ROADMAP, a remote load balancer) needs into a JSON-encodable report:
   (max/mean), plus the scatter executor's fault counters (retries,
   failovers, timeouts).  Informational: failovers degrade latency, never
   correctness.
+* **network** — socket-server admission (active/accepted/rejected
+  connections), request outcomes, and per-endpoint rolling latency for
+  every wire operation.  Informational, like shards: a connection
+  rejection *is* the backpressure mechanism working, not a failure.
 * **latency** — p50/p95/p99/p999 of the most relevant rolling histogram
   plus the *slow ratio*: the fraction of windowed requests above the SLO.
 
@@ -132,6 +136,45 @@ def _shards_section(engine, registry) -> Dict[str, Any]:
     }
 
 
+#: Rolling-histogram name prefix of the per-endpoint server latencies.
+NET_ENDPOINT_PREFIX = "net.request.seconds."
+
+
+def _network_section(registry, servers: Iterable[Any] = ()) -> Dict[str, Any]:
+    """Connection gauges and per-endpoint latency of the socket servers.
+
+    ``servers`` contributes live listener facts (address, connection
+    limits); the counters and the per-endpoint rolling percentiles come
+    from the metrics registry, so the section stays meaningful even when
+    health is built far from the server object (e.g. over the wire).
+    """
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    endpoints = {}
+    for name, roll in snapshot.get("rolling", {}).items():
+        if name.startswith(NET_ENDPOINT_PREFIX) and roll.get("count"):
+            endpoints[name[len(NET_ENDPOINT_PREFIX):]] = {
+                "count": roll["count"],
+                "p50": roll["p50"],
+                "p99": roll["p99"],
+            }
+    return {
+        "servers": [server.network_section() for server in servers],
+        "connections": {
+            "active": int(gauges.get("net.connections.active", 0)),
+            "accepted": counters.get("net.connections.accepted", 0),
+            "rejected": counters.get("net.connections.rejected", 0),
+        },
+        "requests": {
+            "completed": counters.get("net.requests.completed", 0),
+            "failed": counters.get("net.requests.failed", 0),
+            "frames_rejected": counters.get("net.frames.rejected", 0),
+        },
+        "endpoints": endpoints,
+    }
+
+
 def _verdict(admission, merge, latency) -> str:
     utilization = admission["utilization"]
     slow_ratio = latency["slow_ratio"]
@@ -147,8 +190,16 @@ def build_health(
     services: Iterable[Any] = (),
     registry=None,
     slo_seconds: float = DEFAULT_SLO_SECONDS,
+    servers: Iterable[Any] = (),
 ) -> Dict[str, Any]:
-    """Assemble the health report (see module docstring for semantics)."""
+    """Assemble the health report (see module docstring for semantics).
+
+    ``servers`` are :class:`~repro.net.server.DocumentServer` instances;
+    their connection admission and per-endpoint latency appear under
+    ``"network"``.  Like shards, the network section is informational —
+    connection rejections already *are* the backpressure response, so
+    they never flip the verdict on their own.
+    """
     registry = registry or runtime.metrics()
     admission = _admission_section(services, registry)
     merge = _merge_section(engine)
@@ -159,5 +210,6 @@ def build_health(
         "merge": merge,
         "memtable": _memtable_section(engine),
         "shards": _shards_section(engine, registry),
+        "network": _network_section(registry, servers),
         "latency": latency,
     }

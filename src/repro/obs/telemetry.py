@@ -173,6 +173,43 @@ class RequestTelemetry:
         self.trace = None  # a Span tree when retained, else None
         self.sampled = False
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "RequestTelemetry":
+        """Rebuild telemetry from its :meth:`as_dict` form.
+
+        The inverse used by the network client: telemetry rides on every
+        wire response as JSON and comes back as a real artifact on
+        ``ResultSet.telemetry``.  ``request_id`` is the *server's* id for
+        the request; a retained trace stays in its JSON record form (span
+        objects do not round-trip, their records do).
+        """
+        telemetry = cls(
+            collection=record.get("collection", ""),
+            query=record.get("query", ""),
+            model=record.get("model", ""),
+            top_k=record.get("top_k"),
+            mode=record.get("mode", "inline"),
+        )
+        telemetry.request_id = record.get("request_id", telemetry.request_id)
+        telemetry.epoch = record.get("epoch")
+        telemetry.outcome = record.get("outcome", "unknown")
+        telemetry.queue_seconds = record.get("queue_seconds", 0.0)
+        telemetry.run_seconds = record.get("run_seconds", 0.0)
+        telemetry.total_seconds = record.get("total_seconds", 0.0)
+        telemetry.window_size = record.get("window_size", 1)
+        telemetry.group_size = record.get("group_size", 1)
+        telemetry.distinct_queries = record.get("distinct_queries", 1)
+        telemetry.riders = record.get("riders", 1)
+        telemetry.sampled = record.get("sampled", False)
+        cost = record.get("cost") or {}
+        telemetry.cost = CostProfile(
+            **{field: cost[field] for field in COST_FIELDS if field in cost}
+        )
+        if record.get("group_totals") is not None:
+            telemetry.group_totals = dict(record["group_totals"])
+        telemetry.trace = record.get("trace")
+        return telemetry
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-encodable view (trace serialized via ``Span.to_record``)."""
         record: Dict[str, Any] = {

@@ -73,6 +73,7 @@ class Session:
         self._service: Optional[DocumentService] = (
             DocumentService(self.db, config) if config is not None else None
         )
+        self._collections_by_name: Dict[str, DBObject] = {}
 
     # -- introspection ------------------------------------------------------
 
@@ -86,6 +87,45 @@ class Session:
         """The embedded service (None for inline sessions)."""
         return self._service
 
+    # -- collection addressing ----------------------------------------------
+
+    def _resolve(self, collection_obj: Union[DBObject, str]) -> DBObject:
+        """Accept a COLLECTION object or its name.
+
+        Name addressing is what makes the Session contract
+        transport-agnostic — a remote session can only name collections,
+        so the local one accepts names too and the same workload code
+        runs over either.  Names never rebind (collections are not
+        renamed), so the cache needs no invalidation; a miss rescans.
+        """
+        if not isinstance(collection_obj, str):
+            return collection_obj
+        cached = self._collections_by_name.get(collection_obj)
+        if cached is not None and self.db.object_exists(cached.oid):
+            return cached
+        for obj in self.db.instances_of(collection_module.COLLECTION_CLASS):
+            if obj.get("irs_name") == collection_obj:
+                self._collections_by_name[collection_obj] = obj
+                return obj
+        from repro.errors import UnknownCollectionError
+
+        raise UnknownCollectionError(f"no collection named {collection_obj!r}")
+
+    def _resolve_object(self, obj: Any) -> DBObject:
+        """Accept a DBObject, an OID, or an ``"OID<n>"`` string."""
+        if isinstance(obj, DBObject):
+            return obj
+        from repro.oodb.oid import OID
+
+        if isinstance(obj, str):
+            obj = OID.parse(obj)
+        if isinstance(obj, OID):
+            return self.db.get_object(obj)
+        oid = getattr(obj, "oid", None)  # e.g. a RemoteElement snapshot
+        if isinstance(oid, OID):
+            return self.db.get_object(oid)
+        raise TypeError(f"cannot resolve {obj!r} to a database object")
+
     # -- collection management ---------------------------------------------
 
     def create_collection(
@@ -93,12 +133,27 @@ class Session:
     ) -> DBObject:
         """Create a COLLECTION object and its encapsulated IRS collection."""
         with _mapped_errors(batch_module.map_coupling_error):
-            return collection_module._create_collection(
+            created = collection_module._create_collection(
                 self.db, name, spec_query, **options
             )
+        self._collections_by_name[name] = created
+        return created
 
-    def index(self, collection_obj: DBObject, **options: Any) -> bool:
+    def collection(self, name: str) -> DBObject:
+        """The COLLECTION object for ``name`` (UnknownCollectionError if absent)."""
+        return self._resolve(name)
+
+    def collections(self) -> List[str]:
+        """Names of every collection in this database, sorted."""
+        return sorted(
+            obj.get("irs_name")
+            for obj in self.db.instances_of(collection_module.COLLECTION_CLASS)
+            if obj.get("irs_name")
+        )
+
+    def index(self, collection_obj: Union[DBObject, str], **options: Any) -> bool:
         """Run ``indexObjects``: (re)populate the IRS collection."""
+        collection_obj = self._resolve(collection_obj)
         if self._service is not None:
             return self._service.call(
                 lambda: collection_module.index_objects(collection_obj, **options),
@@ -107,8 +162,9 @@ class Session:
         with _mapped_errors(batch_module.map_coupling_error):
             return collection_module.index_objects(collection_obj, **options)
 
-    def propagate(self, collection_obj: DBObject) -> int:
+    def propagate(self, collection_obj: Union[DBObject, str]) -> int:
         """Apply pending deferred updates now."""
+        collection_obj = self._resolve(collection_obj)
         if self._service is not None:
             return self._service.call(
                 lambda: updates.propagate(collection_obj), label="propagate"
@@ -116,7 +172,7 @@ class Session:
         with _mapped_errors(batch_module.map_coupling_error):
             return updates.propagate(collection_obj)
 
-    def remove(self, collection_obj: DBObject, obj: DBObject) -> None:
+    def remove(self, collection_obj: Union[DBObject, str], obj: Any) -> None:
         """Remove ``obj``'s documents from the collection (``deleteObject``).
 
         Records a DELETE update on the COLLECTION object: under the eager
@@ -126,6 +182,8 @@ class Session:
         query issued with removals pending forces it, exactly like the
         other update kinds (Section 4.6).
         """
+        collection_obj = self._resolve(collection_obj)
+        obj = self._resolve_object(obj)
         if self._service is not None:
             self._service.call(
                 lambda: collection_module.delete_object(collection_obj, obj),
@@ -139,7 +197,7 @@ class Session:
 
     def query(
         self,
-        collection_obj: DBObject,
+        collection_obj: Union[DBObject, str],
         irs_query: str,
         model: Optional[str] = None,
         timeout: Any = _UNSET,
@@ -152,6 +210,7 @@ class Session:
         exhaustive ranking), others fall back to exhaustive scoring and
         truncate.
         """
+        collection_obj = self._resolve(collection_obj)
         if self._service is not None:
             return self._service.query(collection_obj, irs_query, model, timeout, top_k)
         return self._query_inline(collection_obj, irs_query, model, top_k)
@@ -168,6 +227,9 @@ class Session:
         snapshots, deduplicated scoring); inline sessions run the items
         sequentially.
         """
+        items = [
+            (self._resolve(item[0]),) + tuple(item[1:]) for item in items
+        ]
         if self._service is not None:
             return self._service.query_batch(items, timeout)
         results = []
@@ -275,9 +337,11 @@ class Session:
         return telemetry
 
     def find_value(
-        self, collection_obj: DBObject, irs_query: str, obj: DBObject
+        self, collection_obj: Union[DBObject, str], irs_query: str, obj: Any
     ) -> float:
         """``findIRSValue``: the IRS value of one object (derived if needed)."""
+        collection_obj = self._resolve(collection_obj)
+        obj = self._resolve_object(obj)
         if self._service is not None:
             return self._service.call(
                 lambda: collection_module._find_irs_value(
@@ -315,6 +379,30 @@ class Session:
 
         with _mapped_errors(batch_module.map_query_error):
             return obs_explain(self.db, text, bindings)
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe, shaped like the remote one (transport: local)."""
+        import repro
+
+        return {
+            "pong": True,
+            "protocol": None,
+            "server_version": repro.__version__,
+        }
+
+    def health(self, slo_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Overload health seen from this session (see repro.obs.health)."""
+        from repro.obs.health import DEFAULT_SLO_SECONDS, build_health
+
+        return build_health(
+            engine=self.context.engine,
+            services=[self._service] if self._service is not None else [],
+            slo_seconds=(
+                DEFAULT_SLO_SECONDS if slo_seconds is None else slo_seconds
+            ),
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -17,6 +17,8 @@ given).  Commands:
     .trace <vql>                        run a query and print its span tree
     .stats                              metrics, cache and slow-query statistics
     .dash                               health verdict, latency percentiles, hot spots
+    .serve [port]                       start a network server on this system
+    .connect <host:port>                attach the shell to a remote server
     .classes                            list schema classes
     .counters                           show coupling/IRS counters
     .bind <name> <collection>           bind a name usable in queries
@@ -56,6 +58,7 @@ class Shell:
         self._out = stdout or sys.stdout
         self._bindings: Dict[str, Any] = {}
         self._running = True
+        self._remote: Optional[Any] = None
 
     # -- plumbing -------------------------------------------------------------
 
@@ -107,6 +110,8 @@ class Shell:
             ".trace": self._cmd_trace,
             ".stats": self._cmd_stats,
             ".dash": self._cmd_dash,
+            ".serve": self._cmd_serve,
+            ".connect": self._cmd_connect,
             ".classes": self._cmd_classes,
             ".counters": self._cmd_counters,
             ".bind": self._cmd_bind,
@@ -122,7 +127,34 @@ class Shell:
 
     def _cmd_quit(self, _args: List[str]) -> None:
         self._running = False
+        self._disconnect()
         self._print("bye")
+
+    def _disconnect(self) -> None:
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
+
+    def _cmd_serve(self, args: List[str]) -> None:
+        port = int(args[0]) if args else 0
+        server = self.system.serve(port=port)
+        host, bound = server.address
+        self._print(f"serving on {host}:{bound} (connect with .connect {host}:{bound})")
+
+    def _cmd_connect(self, args: List[str]) -> None:
+        if not args:
+            self._print("usage: .connect <host:port>")
+            return
+        from repro.net import RemoteSession
+
+        self._disconnect()
+        self._remote = RemoteSession(args[0])
+        pong = self._remote.ping()
+        self._print(
+            f"connected to {args[0]} "
+            f"(server {pong.get('server_version')}, protocol {pong.get('protocol')}); "
+            f".irs now runs remotely"
+        )
 
     def _cmd_mmf(self, _args: List[str]) -> None:
         created = self.system.register_dtd(mmf_dtd())
@@ -189,6 +221,15 @@ class Shell:
             return
         name = args[0]
         irs_query = args[1] if len(args) == 2 else f"{args[1]} {args[2]}"
+        if self._remote is not None:
+            results = self._remote.query(name, irs_query)
+            rows = [
+                [f"{hit.element.class_name} {hit.oid}" if hit.element else str(hit.oid),
+                 f"{hit.score:.4f}"]
+                for hit in results
+            ]
+            self._print(format_table(["object", "IRS value"], rows))
+            return
         collection = self._bindings.get(name)
         if not isinstance(collection, DBObject):
             self._print(f"no collection bound as {name!r}; use .collection first")
@@ -372,6 +413,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         shell._print("")
     finally:
+        shell._disconnect()
         shell.system.close()
     return 0
 

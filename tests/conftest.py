@@ -6,7 +6,7 @@ import pytest
 
 from repro import obs
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.oodb import Database
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import CorpusGenerator, load_corpus
@@ -72,7 +72,7 @@ def mmf_system():
 @pytest.fixture
 def para_collection(mmf_system):
     """A populated paragraph-level collection over mmf_system."""
-    collection = create_collection(
+    collection = _create_collection(
         mmf_system.db, "collPara", "ACCESS p FROM p IN PARA", derivation="maximum"
     )
     index_objects(collection)

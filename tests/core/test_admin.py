@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.admin import all_collection_reports, collection_report, system_report
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
 
 class TestCollectionReport:
@@ -18,8 +18,8 @@ class TestCollectionReport:
         assert not report.is_stale
 
     def test_buffer_counted(self, mmf_system, para_collection):
-        get_irs_result(para_collection, "www")
-        get_irs_result(para_collection, "nii")
+        _get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "nii")
         report = collection_report(para_collection)
         assert report.buffered_queries == 2
 
@@ -32,14 +32,14 @@ class TestCollectionReport:
         assert not collection_report(para_collection).is_stale
 
     def test_all_reports(self, mmf_system, para_collection):
-        create_collection(mmf_system.db, "second", "ACCESS d FROM d IN MMFDOC")
+        _create_collection(mmf_system.db, "second", "ACCESS d FROM d IN MMFDOC")
         reports = all_collection_reports(mmf_system.db)
         assert {r.name for r in reports} == {"collPara", "second"}
 
 
 class TestSystemReport:
     def test_shape(self, mmf_system, para_collection):
-        get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "www")
         report = system_report(mmf_system.db)
         assert report["objects"] == mmf_system.db.object_count()
         assert report["collections"] == 1

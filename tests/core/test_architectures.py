@@ -11,7 +11,7 @@ from repro.core.architectures import (
     MixedWorkloadQuery,
     run_comparison,
 )
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 
 
 @pytest.fixture
@@ -25,7 +25,7 @@ def setup(corpus_system):
         ),
         dtd=mmf_dtd(),
     )
-    collection = create_collection(
+    collection = _create_collection(
         corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
     )
     index_objects(collection)

@@ -3,14 +3,14 @@
 import pytest
 
 from repro.core.buffer import ResultBuffer
-from repro.core.collection import create_collection
+from repro.core.collection import _create_collection
 from repro.core.context import CouplingCounters, coupling_context
 from repro.oodb.oid import OID
 
 
 @pytest.fixture
 def buffer_and_collection(system):
-    collection = create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
+    collection = _create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
     counters = CouplingCounters()
     return ResultBuffer(collection, counters), collection, counters
 
@@ -82,7 +82,7 @@ class TestPersistence:
 
         path = str(tmp_path)
         system = DocumentSystem(directory=path)
-        collection = create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
+        collection = _create_collection(system.db, "c", "ACCESS p FROM p IN IRSObject")
         ResultBuffer(collection, CouplingCounters()).store("www", {OID(5): 0.9})
         collection_oid = collection.oid
         system.close()

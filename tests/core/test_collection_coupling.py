@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.collection import (
-    create_collection,
-    get_irs_result,
+    _create_collection,
+    _get_irs_result,
     index_objects,
     segment_text,
 )
@@ -14,17 +14,17 @@ from repro.oodb.oid import OID
 
 class TestCreateCollection:
     def test_creates_irs_collection(self, mmf_system):
-        create_collection(mmf_system.db, "mine", "ACCESS p FROM p IN PARA")
+        _create_collection(mmf_system.db, "mine", "ACCESS p FROM p IN PARA")
         assert mmf_system.engine.has_collection("mine")
 
     def test_duplicate_name_rejected(self, mmf_system):
-        create_collection(mmf_system.db, "mine", "")
+        _create_collection(mmf_system.db, "mine", "")
         with pytest.raises(CouplingError):
-            create_collection(mmf_system.db, "mine", "")
+            _create_collection(mmf_system.db, "mine", "")
 
     def test_arbitrary_number_of_collections(self, mmf_system):
         for i in range(5):
-            create_collection(mmf_system.db, f"coll{i}", "")
+            _create_collection(mmf_system.db, f"coll{i}", "")
         assert len(mmf_system.engine.collection_names()) == 5
 
 
@@ -42,25 +42,25 @@ class TestIndexObjects:
 
     def test_overlapping_collections_allowed(self, mmf_system, para_collection):
         # The same paragraphs can belong to a second collection (Figure 2).
-        other = create_collection(
+        other = _create_collection(
             mmf_system.db, "collPara2", "ACCESS p FROM p IN PARA"
         )
         index_objects(other)
         assert other.send("memberCount") == 6
 
     def test_spec_query_override_is_remembered(self, mmf_system):
-        collection = create_collection(mmf_system.db, "c", "")
+        collection = _create_collection(mmf_system.db, "c", "")
         index_objects(collection, spec_query="ACCESS d FROM d IN MMFDOC")
         assert collection.get("spec_query") == "ACCESS d FROM d IN MMFDOC"
         assert collection.send("memberCount") == 3
 
     def test_missing_spec_query_rejected(self, mmf_system):
-        collection = create_collection(mmf_system.db, "c", "")
+        collection = _create_collection(mmf_system.db, "c", "")
         with pytest.raises(CouplingError):
             index_objects(collection)
 
     def test_multi_column_spec_query_rejected(self, mmf_system):
-        collection = create_collection(
+        collection = _create_collection(
             mmf_system.db, "c", "ACCESS p, p -> length() FROM p IN PARA"
         )
         with pytest.raises(CouplingError):
@@ -69,7 +69,7 @@ class TestIndexObjects:
     def test_non_irsobject_rejected(self, mmf_system):
         mmf_system.db.define_class("Alien")
         mmf_system.db.create_object("Alien")
-        collection = create_collection(mmf_system.db, "c", "ACCESS a FROM a IN Alien")
+        collection = _create_collection(mmf_system.db, "c", "ACCESS a FROM a IN Alien")
         with pytest.raises(CouplingError):
             index_objects(collection)
 
@@ -79,7 +79,7 @@ class TestIndexObjects:
         assert len(irs) == 6  # not 12
 
     def test_reindex_clears_buffer(self, mmf_system, para_collection):
-        get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "www")
         assert para_collection.get("buffer")
         index_objects(para_collection)
         assert para_collection.get("buffer") == {}
@@ -91,7 +91,7 @@ class TestIndexObjects:
         system = DocumentSystem(directory=str(tmp_path))
         system.register_dtd(mmf_dtd())
         system.add_document(build_document("T", ["some www text"]), dtd=mmf_dtd())
-        collection = create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
         index_objects(collection)
         spool = tmp_path / "irs" / "c.spool.txt"
         assert spool.exists()
@@ -101,7 +101,7 @@ class TestIndexObjects:
 
 class TestGetIRSResult:
     def test_returns_oid_keyed_values(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "www")
+        values = _get_irs_result(para_collection, "www")
         assert values
         for oid, value in values.items():
             assert isinstance(oid, OID)
@@ -109,34 +109,34 @@ class TestGetIRSResult:
 
     def test_second_call_hits_buffer(self, mmf_system, para_collection):
         mmf_system.engine.counters.reset()
-        get_irs_result(para_collection, "www")
-        get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "www")
         assert mmf_system.engine.counters.queries_executed == 1
 
     def test_distinct_queries_distinct_entries(self, mmf_system, para_collection):
         mmf_system.engine.counters.reset()
-        get_irs_result(para_collection, "www")
-        get_irs_result(para_collection, "nii")
+        _get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "nii")
         assert mmf_system.engine.counters.queries_executed == 2
 
     def test_model_override_used(self, mmf_system):
-        collection = create_collection(
+        collection = _create_collection(
             mmf_system.db, "bool", "ACCESS p FROM p IN PARA", model="boolean"
         )
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert set(values.values()) == {1.0}
 
 
 class TestFindIRSValue:
     def test_member_value_from_irs(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "www")
+        values = _get_irs_result(para_collection, "www")
         oid = next(iter(values))
         obj = mmf_system.db.get_object(oid)
         assert para_collection.send("findIRSValue", "www", obj) == values[oid]
 
     def test_member_without_match_scores_zero(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "www")
+        values = _get_irs_result(para_collection, "www")
         paras = mmf_system.db.instances_of("PARA")
         unmatched = [p for p in paras if p.oid not in values]
         assert unmatched
@@ -178,7 +178,7 @@ class TestSegmentText:
         assert segment_text("", 30) == [""]
 
     def test_segmented_collection_multiplies_documents(self, mmf_system):
-        collection = create_collection(
+        collection = _create_collection(
             mmf_system.db, "seg", "ACCESS d FROM d IN MMFDOC", segment_words=4
         )
         index_objects(collection)

@@ -100,9 +100,9 @@ class TestFigure4:
     """The worked example of Section 4.5.2, quantitatively."""
 
     def test_paragraph_winner_is_p4(self, figure4):
-        from repro.core.collection import get_irs_result
+        from repro.core.collection import _get_irs_result
 
-        values = get_irs_result(figure4["collection"], "#and(WWW NII)")
+        values = _get_irs_result(figure4["collection"], "#and(WWW NII)")
         best = max(values, key=values.get)
         assert best == figure4["paragraphs"]["P4"].oid
 

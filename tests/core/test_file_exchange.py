@@ -11,7 +11,7 @@ import os
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 
 
@@ -24,7 +24,7 @@ def file_system():
         build_document("Doc", ["the www paragraph here", "the nii paragraph there"]),
         dtd=dtd,
     )
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 
@@ -32,7 +32,7 @@ def file_system():
 class TestFileExchange:
     def test_query_answers_through_result_file(self, file_system):
         system, collection = file_system
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert values
         result_files = [
             name
@@ -43,7 +43,7 @@ class TestFileExchange:
 
     def test_file_and_api_results_agree(self, file_system):
         system, collection = file_system
-        via_file = get_irs_result(collection, "nii")
+        via_file = _get_irs_result(collection, "nii")
         direct = system.engine.query("collPara", "nii").by_metadata(
             system.engine.collection("collPara"), "oid"
         )
@@ -61,12 +61,12 @@ class TestFileExchange:
 
     def test_buffer_still_avoids_repeat_files(self, file_system):
         system, collection = file_system
-        get_irs_result(collection, "www")
+        _get_irs_result(collection, "www")
         written_before = system.engine.counters.result_files_written
-        get_irs_result(collection, "www")  # buffered: no second file
+        _get_irs_result(collection, "www")  # buffered: no second file
         assert system.engine.counters.result_files_written == written_before
 
     def test_long_queries_produce_safe_filenames(self, file_system):
         system, collection = file_system
         nasty = "#and(" + " ".join(f"term{i}" for i in range(20)) + ")"
-        get_irs_result(collection, nasty)  # must not raise on filename length
+        _get_irs_result(collection, nasty)  # must not raise on filename length

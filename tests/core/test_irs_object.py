@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.errors import CouplingError
 
 
@@ -27,13 +27,13 @@ class TestGetText:
 
 class TestGetIRSValue:
     def test_explicit_collection_argument(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "telnet")
+        values = _get_irs_result(para_collection, "telnet")
         oid = next(iter(values))
         obj = mmf_system.db.get_object(oid)
         assert obj.send("getIRSValue", para_collection, "telnet") == values[oid]
 
     def test_collection_as_oid(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "telnet")
+        values = _get_irs_result(para_collection, "telnet")
         oid = next(iter(values))
         obj = mmf_system.db.get_object(oid)
         assert obj.send("getIRSValue", para_collection.oid, "telnet") == values[oid]
@@ -81,7 +81,7 @@ class TestCollectionChoice:
         assert isinstance(obj.send("getIRSValue", None, "telnet"), float)
 
     def test_choose_collection_beats_default(self, mmf_system, para_collection):
-        other = create_collection(
+        other = _create_collection(
             mmf_system.db, "other", "ACCESS d FROM d IN MMFDOC", model="boolean"
         )
         index_objects(other)

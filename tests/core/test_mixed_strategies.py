@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.collection import (
-    create_collection,
+    _create_collection,
     disable_irs_first_optimization,
     enable_irs_first_optimization,
     index_objects,
@@ -13,7 +13,7 @@ from repro.core.mixed import compare_strategies, evaluate_independent, evaluate_
 
 @pytest.fixture
 def setup(corpus_system):
-    collection = create_collection(
+    collection = _create_collection(
         corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
     )
     index_objects(collection)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.negation import (
     CLOSED_WORLD,
     OPEN_WORLD,
@@ -24,7 +24,7 @@ class TestClosedWorld:
         _system, collection = setup
         matching = {
             oid
-            for oid, value in get_irs_result(collection, "telnet").items()
+            for oid, value in _get_irs_result(collection, "telnet").items()
             if value > 0.45
         }
         negated = closed_world_not(collection, "telnet", 0.45)
@@ -35,7 +35,7 @@ class TestClosedWorld:
         _system, collection = setup
         matching = {
             oid
-            for oid, value in get_irs_result(collection, "telnet").items()
+            for oid, value in _get_irs_result(collection, "telnet").items()
             if value > 0.45
         }
         negated = closed_world_not(collection, "telnet", 0.45)
@@ -53,7 +53,7 @@ class TestOpenWorld:
         no_evidence = [
             oid
             for oid in members(collection)
-            if oid not in get_irs_result(collection, "telnet")
+            if oid not in _get_irs_result(collection, "telnet")
         ]
         for oid in no_evidence:
             assert values[oid] == pytest.approx(1.0 - DEFAULT_BELIEF)
@@ -62,12 +62,12 @@ class TestOpenWorld:
         # Above 1 - default_belief no absence-only object can qualify.
         _system, collection = setup
         values = open_world_not(collection, "telnet", 1.0 - DEFAULT_BELIEF)
-        matched = set(get_irs_result(collection, "telnet"))
+        matched = set(_get_irs_result(collection, "telnet"))
         assert set(values).isdisjoint(members(collection) - matched) or not values
 
     def test_matching_objects_downweighted(self, setup):
         _system, collection = setup
-        irs_values = get_irs_result(collection, "telnet")
+        irs_values = _get_irs_result(collection, "telnet")
         negated = open_world_not(collection, "telnet", 0.0)
         best = max(irs_values, key=irs_values.get)
         worst_neg = min(negated, key=negated.get)

@@ -6,7 +6,7 @@ the same ranking the IRS itself computes for the combined query.
 
 import pytest
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 
 
 def ranked(values):
@@ -16,55 +16,55 @@ def ranked(values):
 class TestEquivalenceWithIRS:
     def test_and_matches_irs_combined_query(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorAND", "www", "nii")
-        via_irs = get_irs_result(para_collection, "#and(www nii)")
+        via_irs = _get_irs_result(para_collection, "#and(www nii)")
         assert set(in_db) >= set(via_irs)
         for oid in via_irs:
             assert in_db[oid] == pytest.approx(via_irs[oid])
 
     def test_or_matches_irs_combined_query(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorOR", "www", "nii")
-        via_irs = get_irs_result(para_collection, "#or(www nii)")
+        via_irs = _get_irs_result(para_collection, "#or(www nii)")
         for oid in via_irs:
             assert in_db[oid] == pytest.approx(via_irs[oid])
 
     def test_sum_matches_irs_combined_query(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorSUM", "www", "nii")
-        via_irs = get_irs_result(para_collection, "#sum(www nii)")
+        via_irs = _get_irs_result(para_collection, "#sum(www nii)")
         for oid in via_irs:
             assert in_db[oid] == pytest.approx(via_irs[oid])
 
     def test_max_matches_irs_combined_query(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorMAX", "www", "nii")
-        via_irs = get_irs_result(para_collection, "#max(www nii)")
+        via_irs = _get_irs_result(para_collection, "#max(www nii)")
         for oid in via_irs:
             assert in_db[oid] == pytest.approx(via_irs[oid])
 
     def test_wsum_matches_irs_combined_query(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorWSUM", 2, "www", 1, "nii")
-        via_irs = get_irs_result(para_collection, "#wsum(2 www 1 nii)")
+        via_irs = _get_irs_result(para_collection, "#wsum(2 www 1 nii)")
         for oid in via_irs:
             assert in_db[oid] == pytest.approx(via_irs[oid])
 
     def test_ranking_identical(self, mmf_system, para_collection):
         in_db = para_collection.send("IRSOperatorSUM", "www", "nii")
-        via_irs = get_irs_result(para_collection, "#sum(www nii)")
+        via_irs = _get_irs_result(para_collection, "#sum(www nii)")
         shared = [oid for oid in ranked(in_db) if oid in via_irs]
         assert shared == ranked(via_irs)
 
 
 class TestBufferedEvaluation:
     def test_combination_reuses_buffered_subresults(self, mmf_system, para_collection):
-        get_irs_result(para_collection, "www")
-        get_irs_result(para_collection, "nii")
+        _get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "nii")
         mmf_system.engine.counters.reset()
         para_collection.send("IRSOperatorAND", "www", "nii")
         assert mmf_system.engine.counters.queries_executed == 0
 
     def test_resubmission_costs_an_irs_call(self, mmf_system, para_collection):
-        get_irs_result(para_collection, "www")
-        get_irs_result(para_collection, "nii")
+        _get_irs_result(para_collection, "www")
+        _get_irs_result(para_collection, "nii")
         mmf_system.engine.counters.reset()
-        get_irs_result(para_collection, "#and(www nii)")
+        _get_irs_result(para_collection, "#and(www nii)")
         assert mmf_system.engine.counters.queries_executed == 1
 
 
@@ -74,7 +74,7 @@ class TestNotOperator:
         assert len(result) == para_collection.send("memberCount")
 
     def test_not_penalizes_matching_documents(self, mmf_system, para_collection):
-        matches = get_irs_result(para_collection, "telnet")
+        matches = _get_irs_result(para_collection, "telnet")
         result = para_collection.send("IRSOperatorNOT", "telnet")
         matching_values = [result[oid] for oid in matches]
         other_values = [v for oid, v in result.items() if oid not in matches]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.transient import transient_members
 from repro.errors import ReproError
 
@@ -25,10 +25,10 @@ class TestScope:
         system, collection = setup
         doc = system.roots[1]  # "The Web"
         with transient_members(collection, [doc]):
-            values = get_irs_result(collection, "www")
+            values = _get_irs_result(collection, "www")
             assert doc.oid in values
         # Outside: only derivation can answer; direct result excludes it.
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert doc.oid not in values
 
     def test_existing_members_untouched(self, setup):
@@ -53,11 +53,11 @@ class TestScope:
 
     def test_buffer_invalidated_on_both_transitions(self, setup):
         system, collection = setup
-        get_irs_result(collection, "telnet")
+        _get_irs_result(collection, "telnet")
         assert collection.get("buffer")
         with transient_members(collection, [system.roots[0]]):
             assert collection.get("buffer") == {}
-            get_irs_result(collection, "telnet")
+            _get_irs_result(collection, "telnet")
             assert collection.get("buffer")
         assert collection.get("buffer") == {}
 
@@ -69,7 +69,7 @@ class TestCost:
         docs = system.roots
         system.reset_counters()
         with transient_members(collection, docs):
-            get_irs_result(collection, "www")
+            _get_irs_result(collection, "www")
         inserted = system.engine.counters.documents_indexed
         removed = system.engine.counters.documents_removed
         assert inserted == len(docs)

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.core import updates
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.errors import CouplingError
 
 
 @pytest.fixture
 def setup(mmf_system):
-    collection = create_collection(
+    collection = _create_collection(
         mmf_system.db, "collPara", "ACCESS p FROM p IN PARA",
         update_policy="deferred",
     )
@@ -28,7 +28,7 @@ class TestEagerPolicy:
         para = new_para(system, system.roots[0], "eager gopher text")
         collection.send("insertObject", para)
         assert collection.send("containsObject", para)
-        values = get_irs_result(collection, "gopher")
+        values = _get_irs_result(collection, "gopher")
         assert para.oid in values
 
     def test_modify_applies_immediately(self, setup):
@@ -37,7 +37,7 @@ class TestEagerPolicy:
         para = system.db.instances_of("PARA")[0]
         system.loader.update_content(para, "fresh gopher content")
         collection.send("modifyObject", para)
-        assert para.oid in get_irs_result(collection, "gopher")
+        assert para.oid in _get_irs_result(collection, "gopher")
 
     def test_delete_applies_immediately(self, setup):
         system, collection = setup
@@ -49,7 +49,7 @@ class TestEagerPolicy:
     def test_eager_invalidates_buffer(self, setup):
         system, collection = setup
         collection.set("update_policy", "eager")
-        get_irs_result(collection, "telnet")
+        _get_irs_result(collection, "telnet")
         assert collection.get("buffer")
         para = new_para(system, system.roots[0], "x")
         collection.send("insertObject", para)
@@ -76,18 +76,18 @@ class TestDeferredPolicy:
         system, collection = setup
         para = new_para(system, system.roots[0], "forced gopher")
         collection.send("insertObject", para)
-        values = get_irs_result(collection, "gopher")
+        values = _get_irs_result(collection, "gopher")
         assert para.oid in values
         assert system.context.counters.forced_propagations == 1
 
     def test_propagation_invalidates_buffer(self, setup):
         system, collection = setup
-        get_irs_result(collection, "telnet")
+        _get_irs_result(collection, "telnet")
         para = new_para(system, system.roots[0], "more telnet data")
         collection.send("insertObject", para)
         collection.send("propagateUpdates")
         # rerunning the query must see the new document
-        assert para.oid in get_irs_result(collection, "telnet")
+        assert para.oid in _get_irs_result(collection, "telnet")
 
     def test_propagate_with_nothing_pending_is_noop(self, setup):
         _system, collection = setup
@@ -120,7 +120,7 @@ class TestCancellation:
         assert len(collection.get("pending_ops")) == 1
         collection.send("propagateUpdates")
         # the insert picked up the latest text
-        assert para.oid in get_irs_result(collection, "gopher")
+        assert para.oid in _get_irs_result(collection, "gopher")
 
     def test_repeated_modifies_collapse(self, setup):
         system, collection = setup

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.hypermedia import (
     IMPLIES_TEXT_MODE,
     MEDIA_TEXT_MODE,
@@ -50,22 +50,22 @@ class TestMediaText:
     def test_media_collection_makes_figures_retrievable(self, hyper):
         system, _root, figure, para = hyper
         create_link(system.db, para, figure, DESCRIBES)
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "media", "ACCESS f FROM f IN FIGURE",
             text_mode=MEDIA_TEXT_MODE,
         )
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert figure.oid in values
 
     def test_caption_only_collection_misses_topic(self, hyper):
         system, _root, figure, _para = hyper
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "media_plain", "ACCESS f FROM f IN FIGURE",
             text_mode=0,
         )
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert figure.oid not in values
 
 
@@ -95,7 +95,7 @@ class TestLinkDerivation:
         other_para = system.db.instances_of("PARA")[-1]
         create_link(system.db, para, other_para, IMPLIES)
 
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "collPara", "ACCESS p FROM p IN PARA",
             derivation="link_propagation",
         )
@@ -113,12 +113,12 @@ class TestLinkDerivation:
         )
         other_para = system.db.instances_of("PARA")[-1]
         create_link(system.db, para, other_para, IMPLIES)
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "collPara", "ACCESS p FROM p IN PARA",
             derivation="link_propagation",
         )
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         direct = values[para.oid]
         derived = other_para.send("deriveIRSValue", collection, "www")
         assert derived < direct
@@ -131,7 +131,7 @@ class TestLinkDerivation:
         other_para = system.db.instances_of("PARA")[-1]
         create_link(system.db, para, other_para, IMPLIES)
         create_link(system.db, other_para, para, IMPLIES)
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "collPara", "ACCESS p FROM p IN PARA",
             derivation="link_propagation",
         )

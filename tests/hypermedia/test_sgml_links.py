@@ -72,13 +72,13 @@ class TestWiring:
 
     def test_cross_document_retrieval_via_links(self, loaded):
         """The implies-augmented text mode sees the linking fragment."""
-        from repro.core.collection import create_collection, get_irs_result, index_objects
+        from repro.core.collection import _create_collection, _get_irs_result, index_objects
         from repro.hypermedia import IMPLIES_TEXT_MODE, install_hypermedia_text_modes
 
         system, root_a, root_b = loaded
         install_hypermedia_text_modes(system.db)
         wire_sgml_links(system.db, root_b)
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "aug", "ACCESS p FROM p IN PARA", text_mode=IMPLIES_TEXT_MODE
         )
         index_objects(collection)
@@ -87,7 +87,7 @@ class TestWiring:
             if p.send("getAttributeValue", "ID") == "anchor"
         )
         # The anchor's IRS document now contains the citing fragments.
-        values = get_irs_result(collection, "trend")
+        values = _get_irs_result(collection, "trend")
         assert anchor.oid in values
 
     def test_mmf_dtd_declares_link_attributes(self):

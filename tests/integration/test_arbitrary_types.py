@@ -7,7 +7,7 @@ set of SGML DTDs."
 
 import pytest
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.sgml.dtd import parse_dtd
 from repro.sgml.mmf import build_document, mmf_dtd
 
@@ -61,12 +61,12 @@ class TestCoexistingTypes:
         assert multi.db.schema.is_subclass("SENDER", "IRSObject")
 
     def test_collection_spans_document_types(self, multi):
-        collection = create_collection(multi.db, "all_paras", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(multi.db, "all_paras", "ACCESS p FROM p IN PARA")
         index_objects(collection)
         assert collection.send("memberCount") == 3
 
     def test_mixed_query_across_types(self, multi):
-        collection = create_collection(multi.db, "c", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(multi.db, "c", "ACCESS p FROM p IN PARA")
         index_objects(collection)
         rows = multi.query(
             "ACCESS p -> getRoot() FROM p IN PARA "
@@ -92,7 +92,7 @@ class TestRankedMixedQueries:
 
     @pytest.fixture
     def ranked_setup(self, corpus_system):
-        collection = create_collection(
+        collection = _create_collection(
             corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
         )
         index_objects(collection)
@@ -112,7 +112,7 @@ class TestRankedMixedQueries:
 
     def test_top_k(self, ranked_setup):
         system, collection = ranked_setup
-        matched = get_irs_result(collection, "www")
+        matched = _get_irs_result(collection, "www")
         rows = system.db.query(
             "ACCESS p FROM p IN PARA "
             "WHERE p -> getIRSValue(c, 'www') > 0.0 "
@@ -128,6 +128,6 @@ class TestRankedMixedQueries:
             "ORDER BY p -> getIRSValue(c, 'nii') DESC",
             {"c": collection},
         )
-        values = get_irs_result(collection, "nii")
+        values = _get_irs_result(collection, "nii")
         expected = sorted(values, key=lambda o: -values[o])
         assert [row[0].oid for row in rows] == expected

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 from repro.workloads.corpus import CorpusGenerator, load_corpus
 
@@ -13,11 +13,11 @@ class TestOverlappingCollections:
 
     @pytest.fixture
     def two_collections(self, corpus_system):
-        paras = create_collection(
+        paras = _create_collection(
             corpus_system.db, "paras", "ACCESS p FROM p IN PARA"
         )
         index_objects(paras)
-        docs = create_collection(
+        docs = _create_collection(
             corpus_system.db, "docs", "ACCESS d FROM d IN MMFDOC",
             text_mode=0,
         )
@@ -33,8 +33,8 @@ class TestOverlappingCollections:
 
     def test_same_query_different_context(self, two_collections):
         system, paras, docs = two_collections
-        para_result = get_irs_result(paras, "www")
-        doc_result = get_irs_result(docs, "www")
+        para_result = _get_irs_result(paras, "www")
+        doc_result = _get_irs_result(docs, "www")
         # Values are keyed by different object populations.
         para_classes = {system.db.get_object(oid).class_name for oid in para_result}
         doc_classes = {system.db.get_object(oid).class_name for oid in doc_result}
@@ -43,7 +43,7 @@ class TestOverlappingCollections:
 
     def test_collections_are_independent(self, two_collections):
         system, paras, docs = two_collections
-        get_irs_result(paras, "www")
+        _get_irs_result(paras, "www")
         assert paras.get("buffer")
         assert not docs.get("buffer")
 
@@ -53,19 +53,19 @@ class TestRetrievalModelExchangeability:
 
     @pytest.mark.parametrize("model", ["boolean", "vector", "inquery"])
     def test_coupling_works_with_every_model(self, corpus_system, model):
-        collection = create_collection(
+        collection = _create_collection(
             corpus_system.db, f"coll_{model}", "ACCESS p FROM p IN PARA",
             model=model,
         )
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         assert values
         assert all(0 < v <= 1 for v in values.values())
 
     def test_mixed_query_independent_of_model(self, corpus_system):
         results = {}
         for model in ("boolean", "inquery"):
-            collection = create_collection(
+            collection = _create_collection(
                 corpus_system.db, f"c_{model}", "ACCESS p FROM p IN PARA",
                 model=model,
             )
@@ -85,11 +85,11 @@ class TestDurability:
         generator = CorpusGenerator(seed=3)
         with DocumentSystem(directory=path) as system:
             load_corpus(system, generator.corpus(documents=4))
-            collection = create_collection(
+            collection = _create_collection(
                 system.db, "collPara", "ACCESS p FROM p IN PARA"
             )
             index_objects(collection)
-            before = get_irs_result(collection, "www")
+            before = _get_irs_result(collection, "www")
             collection_oid = collection.oid
 
         with DocumentSystem(directory=path) as reopened:
@@ -104,12 +104,12 @@ class TestDurability:
             # ... and the IRS inverted index itself was reloaded from disk:
             # a *new* query (not buffered) answers identically.
             revived.set("buffer", {})
-            assert get_irs_result(revived, "www") == before
+            assert _get_irs_result(revived, "www") == before
 
     def test_irs_engine_persistence_round_trip(self, tmp_path, corpus_system):
         from repro.irs.persistence import load_engine, save_engine
 
-        collection = create_collection(
+        collection = _create_collection(
             corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
         )
         index_objects(collection)
@@ -123,7 +123,7 @@ class TestDocumentLifecycle:
     def test_add_query_delete_cycle(self, system):
         dtd = mmf_dtd()
         system.register_dtd(dtd)
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "collPara", "ACCESS p FROM p IN PARA",
             update_policy="deferred",
         )
@@ -131,11 +131,11 @@ class TestDocumentLifecycle:
             build_document("Cycle", ["gopher protocol text here"]), dtd=dtd
         )
         index_objects(collection)
-        assert get_irs_result(collection, "gopher")
+        assert _get_irs_result(collection, "gopher")
 
         # Delete the document; notify; the next query must not see it.
         for para in root.send("getDescendants", "PARA"):
             collection.send("deleteObject", para)
         system.delete_document(root)
-        values = get_irs_result(collection, "gopher")
+        values = _get_irs_result(collection, "gopher")
         assert values == {}

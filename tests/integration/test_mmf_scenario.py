@@ -13,7 +13,7 @@ finishing with the editorial workflow and HTML publishing.
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.hypermedia import create_link, wire_sgml_links
 from repro.hypermedia.links import IMPLIES, neighbours_out
 from repro.sgml.export import HTMLExporter
@@ -54,7 +54,7 @@ def journal():
         ),
     ]
     roots = [system.add_document(a, dtd=dtd) for a in articles]
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
     )
     index_objects(collection)
@@ -125,17 +125,17 @@ class TestEditorialWorkflow:
             editorial, "PARA", "an addendum about gopher services"
         )
         collection.send("insertObject", new_para)
-        assert get_irs_result(collection, "gopher")  # forced propagation
+        assert _get_irs_result(collection, "gopher")  # forced propagation
         # ... modify it ...
         system.loader.update_content(new_para, "an addendum about archie instead")
         collection.send("modifyObject", new_para)
-        values = get_irs_result(collection, "archie")
+        values = _get_irs_result(collection, "archie")
         assert new_para.oid in values
-        assert get_irs_result(collection, "gopher") == {}
+        assert _get_irs_result(collection, "gopher") == {}
         # ... and retract it.
         collection.send("deleteObject", new_para)
         system.loader.remove_element(new_para)
-        assert get_irs_result(collection, "archie") == {}
+        assert _get_irs_result(collection, "archie") == {}
 
     def test_declarative_link_wiring(self, journal):
         system, roots, _collection = journal
@@ -151,7 +151,7 @@ class TestEditorialWorkflow:
 
     def test_publishing_with_highlights(self, journal):
         system, roots, collection = journal
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         page = HTMLExporter(highlight_values=values).render_page(roots[0])
         assert "<mark>the www grew beyond all projections" in page
         assert "<h1>The Web Explosion</h1>" in page

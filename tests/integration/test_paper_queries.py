@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.sgml.mmf import build_document, mmf_dtd
 
 
@@ -51,7 +51,7 @@ def journal():
     ]
     for document in documents:
         system.add_document(document, dtd=dtd)
-    collection = create_collection(
+    collection = _create_collection(
         system.db, "collPara", "ACCESS p FROM p IN PARA"
     )
     index_objects(collection)

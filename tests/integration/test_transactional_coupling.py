@@ -8,7 +8,7 @@ maps — without any extra machinery.  These tests pin that down.
 
 import pytest
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
 
 @pytest.fixture
@@ -38,7 +38,7 @@ class TestTransactionalCouplingState:
     def test_rollback_undoes_buffer_population(self, setup):
         system, collection = setup
         txn = system.db.begin()
-        get_irs_result(collection, "telnet")
+        _get_irs_result(collection, "telnet")
         assert collection.get("buffer")
         txn.rollback()
         assert not collection.get("buffer")
@@ -46,7 +46,7 @@ class TestTransactionalCouplingState:
     def test_rollback_undoes_collection_creation(self, setup):
         system, _collection = setup
         txn = system.db.begin()
-        fresh = create_collection(system.db, "rollback_me", "ACCESS p FROM p IN PARA")
+        fresh = _create_collection(system.db, "rollback_me", "ACCESS p FROM p IN PARA")
         txn.rollback()
         assert not system.db.object_exists(fresh.oid)
         # Note: the external IRS collection is not transactional (it lives
@@ -64,7 +64,7 @@ class TestTransactionalCouplingState:
         assert len(system.db.instances_of("PARA")) == count_before
         assert collection.get("pending_ops") == []
         # A later query sees no trace of the draft.
-        values = get_irs_result(collection, "draft")
+        values = _get_irs_result(collection, "draft")
         assert values == {}
 
     def test_derivation_settings_transactional(self, setup):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.feedback import expand_collection_query, install_feedback_method
 from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
@@ -78,13 +78,13 @@ class TestExpandQuery:
 
 class TestCouplingLevel:
     def test_expand_collection_query(self, mmf_system, para_collection):
-        values = get_irs_result(para_collection, "telnet")
+        values = _get_irs_result(para_collection, "telnet")
         relevant = [mmf_system.db.get_object(oid) for oid in values]
         assert relevant
         expanded = expand_collection_query(para_collection, "telnet", relevant)
         assert expanded.startswith("#wsum(")
         # The expanded query is an ordinary IRS query: buffered, mixable.
-        result = get_irs_result(para_collection, expanded)
+        result = _get_irs_result(para_collection, expanded)
         assert result
 
     def test_derivation_only_objects_contribute_nothing(self, mmf_system, para_collection):
@@ -97,7 +97,7 @@ class TestCouplingLevel:
 
     def test_install_method(self, mmf_system, para_collection):
         install_feedback_method(mmf_system.db)
-        values = get_irs_result(para_collection, "www")
+        values = _get_irs_result(para_collection, "www")
         relevant = [mmf_system.db.get_object(oid) for oid in values]
         expanded = para_collection.send("expandQuery", "www", relevant)
         assert "www" in expanded

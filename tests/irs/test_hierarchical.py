@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import get_irs_result
+from repro.core.collection import _get_irs_result
 from repro.core.granularity import document_level, element_type, leaf_level
 from repro.core.hierarchical import (
     derive_hierarchical_exact,
@@ -53,7 +53,7 @@ class TestExactness:
     def test_matches_direct_document_index(self, setup, query):
         system, leaf = setup
         direct = document_level().build(system.db, collection_name=f"direct_{hash(query) % 1000}")
-        expected = get_irs_result(direct, query)
+        expected = _get_irs_result(direct, query)
         got = hierarchical_result(leaf, query, "MMFDOC")
         assert set(got) == set(expected)
         for oid, value in expected.items():
@@ -62,7 +62,7 @@ class TestExactness:
     def test_matches_direct_paragraph_index(self, setup):
         system, leaf = setup
         direct = element_type("PARA").build(system.db, collection_name="direct_para")
-        expected = get_irs_result(direct, "www")
+        expected = _get_irs_result(direct, "www")
         got = hierarchical_result(leaf, "www", "PARA")
         for oid, value in expected.items():
             assert got[oid] == pytest.approx(value, abs=1e-12)
@@ -89,7 +89,7 @@ class TestDerivationScheme:
         doc = system.db.instances_of("MMFDOC")[0]
         derived = leaf.send("findIRSValue", "www", doc)
         direct = document_level().build(system.db, collection_name="direct_fiv")
-        expected = get_irs_result(direct, "www").get(doc.oid, 0.0)
+        expected = _get_irs_result(direct, "www").get(doc.oid, 0.0)
         if expected:
             assert derived == pytest.approx(expected, abs=1e-12)
 

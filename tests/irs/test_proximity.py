@@ -158,9 +158,9 @@ class TestRetrieval:
         assert phrase[1] >= loose[3]
 
     def test_proximity_in_coupled_queries(self, mmf_system, para_collection):
-        from repro.core.collection import get_irs_result
+        from repro.core.collection import _get_irs_result
 
-        values = get_irs_result(para_collection, "#od2(remote login)")
+        values = _get_irs_result(para_collection, "#od2(remote login)")
         classes = {mmf_system.db.get_object(oid).class_name for oid in values}
         assert classes <= {"PARA"}
         assert values  # "protocol for remote login" matches

@@ -62,9 +62,9 @@ class TestHeaps:
 
 class TestCorpusRealism:
     def test_synthetic_corpus_is_text_like(self, corpus_system):
-        from repro.core.collection import create_collection, index_objects
+        from repro.core.collection import _create_collection, index_objects
 
-        collection_obj = create_collection(
+        collection_obj = _create_collection(
             corpus_system.db, "stats", "ACCESS p FROM p IN PARA"
         )
         index_objects(collection_obj)

@@ -1,0 +1,79 @@
+"""Fixtures for the network suite: a live server on an OS-picked port.
+
+Everything binds ``127.0.0.1:0`` so parallel CI jobs never collide; the
+client fixtures use small pools and fast backoff so failure-path tests
+(timeouts, refused connections) stay quick.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro import DocumentSystem
+from repro.net import RemoteSession
+from repro.sgml.mmf import build_document, mmf_dtd
+
+TEXTS = [
+    ["Telnet is a protocol for remote login", "Telnet enables remote sessions"],
+    ["The WWW connects documents worldwide", "The NII supports the WWW expansion"],
+    ["The NII is the national information infrastructure", "Funding for NII research grows"],
+    ["Gopher predates the WWW as a menu system", "Archie searches FTP archives"],
+]
+
+
+@pytest.fixture
+def system():
+    """A DocumentSystem with four MMF documents loaded."""
+    sys_ = DocumentSystem()
+    dtd = mmf_dtd()
+    sys_.register_dtd(dtd)
+    sys_.roots = [
+        sys_.add_document(build_document(f"Doc{i}", texts, year="1994"), dtd=dtd)
+        for i, texts in enumerate(TEXTS)
+    ]
+    yield sys_
+    sys_.close()
+
+
+@pytest.fixture
+def collection(system):
+    """A populated paragraph collection (deferred updates)."""
+    coll = system.session.create_collection(
+        "collPara", "ACCESS p FROM p IN PARA", update_policy="deferred"
+    )
+    system.session.index(coll)
+    return coll
+
+
+@pytest.fixture
+def server(system):
+    """A running DocumentServer on an OS-picked loopback port."""
+    return system.serve()  # stopped by system.close()
+
+
+@pytest.fixture
+def remote(server):
+    """A RemoteSession onto ``server`` tuned for fast tests."""
+    session = RemoteSession(
+        server.address,
+        pool_size=4,
+        connect_attempts=3,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        request_timeout=10.0,
+    )
+    yield session
+    session.close()
+
+
+@pytest.fixture
+def raw_socket(server):
+    """A bare client socket — for speaking broken protocol on purpose."""
+    sock = socket.create_connection(server.address, timeout=5.0)
+    yield sock
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,105 @@
+"""AsyncSession: the await-based surface over remote and local transports."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.errors import UnknownCollectionError
+from repro.net import AsyncSession, RemoteSession
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRemoteAsync:
+    def test_full_contract_roundtrip(self, server, collection):
+        async def scenario():
+            async with repro.connect(server.address, asynchronous=True) as session:
+                assert (await session.ping())["pong"] is True
+                coll = await session.collection("collPara")
+                result = await session.query(coll, "telnet")
+                assert len(result) > 0
+                names = await session.collections()
+                assert "collPara" in names
+                report = await session.health()
+                assert report["status"] in {"ok", "degraded", "overloaded"}
+                return result
+
+        result = run(scenario())
+        assert result[0].score > 0
+
+    def test_gather_overlaps_requests(self, server, collection):
+        queries = ["telnet", "www", "nii", "#and(www nii)", "#or(telnet gopher)"]
+
+        async def scenario():
+            session = repro.connect(
+                server.address, asynchronous=True, pool_size=4
+            )
+            try:
+                return await asyncio.gather(
+                    *(session.query("collPara", query) for query in queries)
+                )
+            finally:
+                await session.close()
+
+        results = run(scenario())
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert result.query == query
+
+    def test_typed_errors_propagate_to_awaiter(self, server):
+        async def scenario():
+            async with AsyncSession(RemoteSession(server.address)) as session:
+                with pytest.raises(UnknownCollectionError):
+                    await session.query("ghost", "telnet")
+
+        run(scenario())
+
+    def test_results_match_sync_client(self, server, collection, remote):
+        sync_result = remote.query("collPara", "telnet")
+
+        async def scenario():
+            async with AsyncSession(RemoteSession(server.address)) as session:
+                return await session.query("collPara", "telnet")
+
+        assert run(scenario()) == sync_result
+
+
+class TestLocalAsync:
+    def test_wraps_a_local_session(self, system, collection):
+        async def scenario():
+            session = repro.connect(system, asynchronous=True)
+            assert isinstance(session, AsyncSession)
+            result = await session.query("collPara", "telnet")
+            assert (await session.ping())["pong"] is True
+            return result
+
+        result = run(scenario())
+        assert len(result) > 0
+        # Local transport: elements are live DBObjects, not snapshots.
+        assert result[0].element.class_name == "PARA"
+
+    def test_create_and_index_through_await(self, system):
+        async def scenario():
+            session = AsyncSession(system.session)
+            coll = await session.create_collection(
+                "asyncColl", "ACCESS p FROM p IN PARA"
+            )
+            await session.index(coll)
+            return await session.collections()
+
+        assert "asyncColl" in run(scenario())
+
+    def test_executor_errors_do_not_wedge_the_loop(self, system, collection):
+        async def scenario():
+            session = AsyncSession(system.session)
+            with pytest.raises(UnknownCollectionError):
+                await session.query("ghost", "telnet")
+            # The pool is still serviceable after an exception.
+            return await session.query("collPara", "telnet")
+
+        assert len(run(scenario())) > 0

@@ -1,0 +1,168 @@
+"""Remote results are bit-identical to in-process results.
+
+The PR's hard constraint: rankings AND scores from a RemoteSession equal
+the in-process Session's, across all three retrieval models, across
+epochs, and through the batching path.  JSON floats round-trip IEEE
+doubles exactly, so equality here is ``==`` on floats — no tolerance.
+
+The serial-replay idiom mirrors ``tests/service/test_service_concurrency``:
+every remote observation is tagged with the epoch it saw and compared to
+the serial truth captured at that same epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.net import RemoteSession
+
+QUERIES = ["telnet", "www", "nii", "#and(www nii)", "#or(telnet gopher)"]
+MODELS = ["boolean", "vector", "inquery"]
+
+
+def pairs(result):
+    return [(hit.oid, hit.score) for hit in result]
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_rankings_and_scores_bit_equal(self, system, collection, remote, model):
+        for query in QUERIES:
+            local = system.session.query(collection, query, model=model)
+            over_wire = remote.query("collPara", query, model=model)
+            assert pairs(over_wire) == pairs(local), (
+                f"remote ranking diverged for {model}/{query}"
+            )
+            assert over_wire == local  # ResultSet eq: (oid, score) lists
+            assert over_wire.model == local.model
+            assert over_wire.query == local.query
+
+    def test_top_k_equivalence(self, system, collection, remote):
+        for query in QUERIES:
+            local = system.session.query(collection, query, top_k=2)
+            over_wire = remote.query("collPara", query, top_k=2)
+            assert pairs(over_wire) == pairs(local)
+
+    def test_elements_materialize_to_matching_snapshots(
+        self, system, collection, remote
+    ):
+        local = system.session.query(collection, "telnet")
+        over_wire = remote.query("collPara", "telnet")
+        for local_hit, remote_hit in zip(local, over_wire):
+            assert remote_hit.element.oid == local_hit.element.oid
+            assert remote_hit.element.class_name == local_hit.element.class_name
+            assert remote_hit.element.get("content") == local_hit.element.get(
+                "content"
+            )
+
+
+class TestEpochEquivalence:
+    def test_epoch_tags_cross_the_wire(self, system, collection, remote):
+        local = system.session.query(collection, "telnet")
+        over_wire = remote.query("collPara", "telnet")
+        assert over_wire.epoch == local.epoch
+        assert over_wire.epoch is not None
+
+    def test_updates_between_queries_stay_equivalent(
+        self, system, collection, remote
+    ):
+        epochs = set()
+        for i in range(3):
+            para = system.loader.insert_element(
+                system.roots[0], "PARA", f"fresh update {i} telnet gopher nii"
+            )
+            collection.send("insertObject", para)
+            remote.propagate("collPara")
+            for query in QUERIES:
+                local = system.session.query(collection, query)
+                over_wire = remote.query("collPara", query)
+                assert pairs(over_wire) == pairs(local)
+                assert over_wire.epoch == local.epoch
+            epochs.add(remote.query("collPara", "telnet").epoch)
+        assert len(epochs) == 3, "each propagation advances the epoch"
+
+    def test_serial_replay_under_concurrent_remote_readers(
+        self, system, collection, server
+    ):
+        truth = {}  # epoch -> {query: [(oid, score), ...]}
+        truth_lock = threading.Lock()
+        observations = []
+        errors = []
+
+        def capture_truth():
+            engine = system.context.engine
+            irs_name = collection.get("irs_name")
+            with engine.reading(irs_name):
+                irs_collection = engine.collection(irs_name)
+                epoch = irs_collection.index.epoch
+                if epoch in truth:
+                    return
+                per_query = {}
+                for query in QUERIES:
+                    result = engine.query(irs_name, query)
+                    values = result.by_metadata(irs_collection, "oid")
+                    per_query[query] = sorted(values.items())
+                with truth_lock:
+                    truth[epoch] = per_query
+
+        capture_truth()
+
+        def reader():
+            try:
+                with RemoteSession(server.address, pool_size=1) as session:
+                    for _ in range(3):
+                        for query in QUERIES:
+                            result = session.query("collPara", query)
+                            observed = sorted(
+                                (str(hit.oid), hit.score) for hit in result
+                            )
+                            observations.append((query, result.epoch, observed))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(observations) == 4 * 3 * len(QUERIES)
+        for query, epoch, observed in observations:
+            assert observed == truth[epoch][query], (
+                f"remote observation at epoch {epoch} diverged for {query!r}"
+            )
+
+
+class TestBatchEquivalence:
+    def test_query_batch_matches_serial_queries(self, system, collection, remote):
+        items = [("collPara", query) for query in QUERIES]
+        batched = remote.query_batch(items)
+        assert len(batched) == len(QUERIES)
+        for query, result in zip(QUERIES, batched):
+            local = system.session.query(collection, query)
+            assert pairs(result) == pairs(local)
+            assert result.query == query
+
+    def test_batch_accepts_model_and_top_k(self, system, collection, remote):
+        items = [("collPara", "telnet", "vector", 2)]
+        (result,) = remote.query_batch(items)
+        local = system.session.query(collection, "telnet", model="vector", top_k=2)
+        assert pairs(result) == pairs(local)
+
+
+class TestTelemetryOverTheWire:
+    def test_telemetry_rides_on_query_responses(self, remote, collection):
+        result = remote.query("collPara", "telnet")
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert telemetry.query == "telnet"
+        assert telemetry.collection == "collPara"
+        assert telemetry.cost.queries >= 0
+        assert telemetry.total_seconds >= 0
+
+    def test_find_value_equivalence(self, system, collection, remote):
+        local = system.session.query(collection, "telnet")
+        for hit in local:
+            assert remote.find_value("collPara", "telnet", hit.oid) == hit.score

@@ -1,0 +1,274 @@
+"""The socket server: lifecycle, dispatch, admission, fault behavior.
+
+These tests speak the wire protocol directly (``raw_socket``) so the
+server's responses are asserted byte-for-byte at the protocol level —
+the RemoteSession client is deliberately out of the loop here.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro import obs
+from repro.net import DocumentServer, RemoteSession, ServerConfig, wire
+from repro.errors import ServiceOverloadedError
+from tests.support import wait_until
+
+
+def roundtrip(sock, envelope, max_bytes=wire.MAX_FRAME_BYTES):
+    wire.send_frame(sock, envelope, max_bytes)
+    return wire.recv_frame(sock, max_bytes)
+
+
+class TestLifecycle:
+    def test_start_binds_an_os_picked_port(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1"
+        assert port > 0
+        assert server.running
+
+    def test_start_is_idempotent(self, server):
+        address = server.address
+        assert server.start() is server
+        assert server.address == address
+
+    def test_stop_refuses_new_connections(self, system):
+        server = DocumentServer(system).start()
+        address = server.address
+        server.stop()
+        assert not server.running
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+
+    def test_restart_after_stop_is_rejected(self, system):
+        server = DocumentServer(system).start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="already stopped"):
+            server.start()
+
+    def test_context_manager_stops_the_server(self, system):
+        with DocumentServer(system) as server:
+            address = server.address
+            assert server.running
+        assert not server.running
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+
+    def test_system_close_stops_served_servers(self, system):
+        server = system.serve()
+        assert server.running
+        system.close()
+        assert not server.running
+        # keep the fixture teardown idempotent
+        system.close()
+
+
+class TestDispatch:
+    def test_ping_roundtrip(self, raw_socket):
+        response = roundtrip(raw_socket, wire.request_envelope(1, "ping"))
+        assert response["ok"] is True
+        assert response["id"] == 1
+        assert response["v"] == wire.PROTOCOL_VERSION
+        assert response["result"]["pong"] is True
+        assert response["result"]["protocol"] == wire.PROTOCOL_VERSION
+
+    def test_request_ids_echo_back(self, raw_socket):
+        for request_id in (41, 7, 1999):
+            response = roundtrip(raw_socket, wire.request_envelope(request_id, "ping"))
+            assert response["id"] == request_id
+
+    def test_unknown_op_answers_typed_error_and_keeps_connection(self, raw_socket):
+        response = roundtrip(raw_socket, wire.request_envelope(1, "frobnicate"))
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert "frobnicate" in response["error"]["message"]
+        # The connection survives a bad op — only a broken byte stream closes it.
+        assert roundtrip(raw_socket, wire.request_envelope(2, "ping"))["ok"] is True
+
+    def test_missing_op_is_a_protocol_error(self, raw_socket):
+        request = wire.request_envelope(1, "ping")
+        del request["op"]
+        response = roundtrip(raw_socket, request)
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_version_mismatch_is_answered_not_dropped(self, raw_socket):
+        request = wire.request_envelope(1, "ping")
+        request["v"] = 999
+        response = roundtrip(raw_socket, request)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert "version mismatch" in response["error"]["message"]
+        assert roundtrip(raw_socket, wire.request_envelope(2, "ping"))["ok"] is True
+
+    def test_domain_error_crosses_with_its_type(self, raw_socket, collection):
+        response = roundtrip(
+            raw_socket,
+            wire.request_envelope(1, "query", {"collection": "missing", "irs_query": "x"}),
+        )
+        assert response["error"]["type"] == "UnknownCollectionError"
+        assert "missing" in response["error"]["message"]
+
+    def test_query_carries_telemetry(self, raw_socket, collection):
+        response = roundtrip(
+            raw_socket,
+            wire.request_envelope(
+                1, "query", {"collection": "collPara", "irs_query": "telnet"}
+            ),
+        )
+        assert response["ok"] is True
+        assert response["result"]["hits"]
+        assert response["telemetry"]["query"] == "telnet"
+        assert response["telemetry"]["cost"]["queries"] >= 1
+
+
+class TestFrameRejection:
+    def test_garbage_bytes_answered_once_then_closed(self, raw_socket):
+        body = b"this is not json"
+        raw_socket.sendall(struct.pack("!I", len(body)) + body)
+        response = wire.recv_frame(raw_socket)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert response["id"] is None
+        assert wire.recv_frame(raw_socket) is None  # server closed
+
+    def test_oversized_declared_length_rejected_and_closed(self, system):
+        config = ServerConfig(max_frame_bytes=4096)
+        with DocumentServer(system, config=config) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            try:
+                sock.sendall(struct.pack("!I", 1 << 29))
+                response = wire.recv_frame(sock)
+                assert response["error"]["type"] == "FrameTooLargeError"
+                assert wire.recv_frame(sock) is None
+            finally:
+                sock.close()
+
+    def test_rejected_frames_are_counted(self, server, raw_socket):
+        before = obs.metrics().counter("net.frames.rejected").value
+        body = b"{broken"
+        raw_socket.sendall(struct.pack("!I", len(body)) + body)
+        wire.recv_frame(raw_socket)
+        assert obs.metrics().counter("net.frames.rejected").value == before + 1
+
+
+class TestDisconnects:
+    def test_mid_frame_disconnect_leaves_server_serving(self, server):
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.sendall(struct.pack("!I", 512) + b"only a few bytes")
+        sock.close()  # vanish mid-frame
+        with socket.create_connection(server.address, timeout=5.0) as again:
+            assert roundtrip(again, wire.request_envelope(1, "ping"))["ok"] is True
+        wait_until(
+            lambda: server.network_section()["active_connections"] == 0,
+            message="handler thread to retire the dead connection",
+        )
+
+    def test_clean_eof_between_frames(self, server, raw_socket):
+        assert roundtrip(raw_socket, wire.request_envelope(1, "ping"))["ok"] is True
+        raw_socket.close()
+        wait_until(
+            lambda: server.network_section()["active_connections"] == 0,
+            message="connection count to drop after clean EOF",
+        )
+
+
+class TestAdmission:
+    def test_connection_limit_rejects_with_retry_after(self, system):
+        config = ServerConfig(max_connections=2, retry_after_seconds=0.125)
+        with DocumentServer(system, config=config) as server:
+            keepers = [
+                socket.create_connection(server.address, timeout=5.0)
+                for _ in range(2)
+            ]
+            try:
+                for sock in keepers:  # prove both were admitted
+                    assert roundtrip(sock, wire.request_envelope(1, "ping"))["ok"]
+                extra = socket.create_connection(server.address, timeout=5.0)
+                try:
+                    rejection = wire.recv_frame(extra)
+                    assert rejection["ok"] is False
+                    assert rejection["error"]["type"] == "ServiceOverloadedError"
+                    assert rejection["error"]["retry_after_seconds"] == 0.125
+                    assert rejection["id"] is None
+                    assert wire.recv_frame(extra) is None  # then closed
+                finally:
+                    extra.close()
+            finally:
+                for sock in keepers:
+                    sock.close()
+
+    def test_rejection_is_counted_and_slot_frees_up(self, system):
+        config = ServerConfig(max_connections=1)
+        with DocumentServer(system, config=config) as server:
+            before = obs.metrics().counter("net.connections.rejected").value
+            first = socket.create_connection(server.address, timeout=5.0)
+            try:
+                assert roundtrip(first, wire.request_envelope(1, "ping"))["ok"]
+                with socket.create_connection(server.address, timeout=5.0) as extra:
+                    assert wire.recv_frame(extra)["ok"] is False
+                assert (
+                    obs.metrics().counter("net.connections.rejected").value
+                    == before + 1
+                )
+            finally:
+                first.close()
+            # Once the admitted connection leaves, a newcomer gets in.
+            wait_until(
+                lambda: server.network_section()["active_connections"] == 0,
+                message="admitted connection to retire",
+            )
+            with socket.create_connection(server.address, timeout=5.0) as again:
+                assert roundtrip(again, wire.request_envelope(1, "ping"))["ok"]
+
+    def test_session_overload_propagates_with_retry_hint(
+        self, server, collection, monkeypatch
+    ):
+        def overloaded(*args, **kwargs):
+            raise ServiceOverloadedError("admission queue full")
+
+        monkeypatch.setattr(server.session, "query", overloaded)
+        with RemoteSession(server.address, pool_size=1) as remote:
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                remote.query("collPara", "telnet")
+            assert excinfo.value.retry_after == server.config.retry_after_seconds
+
+
+class TestObservability:
+    def test_request_counters_and_endpoint_latency(self, server, remote, collection):
+        registry = obs.metrics()
+        completed = registry.counter("net.requests.completed").value
+        failed = registry.counter("net.requests.failed").value
+        remote.ping()
+        remote.query("collPara", "telnet")
+        with pytest.raises(Exception):
+            remote.query("missing", "telnet")
+        assert registry.counter("net.requests.completed").value == completed + 2
+        assert registry.counter("net.requests.failed").value == failed + 1
+        snapshot = registry.snapshot()["rolling"]
+        assert snapshot["net.request.seconds.ping"]["count"] >= 1
+        assert snapshot["net.request.seconds.query"]["count"] >= 2
+
+    def test_health_reports_the_server(self, server, remote, collection):
+        report = remote.health()
+        network = report["network"]
+        assert network["servers"], "serve() must register in health"
+        section = network["servers"][0]
+        assert section["address"] == list(server.address)
+        assert section["running"] is True
+        assert section["active_connections"] >= 1  # at least this caller
+        assert network["connections"]["accepted"] >= 1
+        assert "query" in network["endpoints"] or "health" in network["endpoints"]
+
+    def test_network_metrics_reach_prometheus_exposition(
+        self, server, remote, collection
+    ):
+        from repro.obs.export import prometheus_text
+
+        remote.query("collPara", "telnet")
+        text = prometheus_text()
+        assert "net_connections_accepted" in text
+        assert "net_connections_active" in text
+        assert "net_request_seconds_query" in text

@@ -4,7 +4,7 @@ import pytest
 
 from repro import obs
 from repro.core import DocumentSystem
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.obs.slowlog import SlowQueryLog
 from repro.sgml.mmf import build_document, mmf_dtd
 
@@ -55,7 +55,7 @@ def journal():
     ]
     for document in documents:
         system.add_document(document, dtd=dtd)
-    collection = create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
+    collection = _create_collection(system.db, "collPara", "ACCESS p FROM p IN PARA")
     index_objects(collection)
     return system, collection
 

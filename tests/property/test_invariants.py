@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 
 from repro.core import DocumentSystem
 from repro.core.collection import (
-    create_collection,
-    get_irs_result,
+    _create_collection,
+    _get_irs_result,
     index_objects,
     segment_text,
 )
@@ -43,7 +43,7 @@ class TestBufferCoherence:
         system.db.schema.get_class("Node").add_method(
             "getText", lambda obj, mode=0: obj.get("content") or ""
         )
-        collection = create_collection(
+        collection = _create_collection(
             system.db, "c", "ACCESS n FROM n IN Node", update_policy="deferred"
         )
         index_objects(collection)
@@ -64,9 +64,9 @@ class TestBufferCoherence:
             elif op == "propagate":
                 collection.send("propagateUpdates")
             elif op == "query":
-                buffered = get_irs_result(collection, arg)
+                buffered = _get_irs_result(collection, arg)
                 # A second call must hit the buffer and agree exactly.
-                again = get_irs_result(collection, arg)
+                again = _get_irs_result(collection, arg)
                 assert buffered == again
                 # And agree with the engine's fresh computation.
                 irs = system.engine.collection("c")
@@ -83,7 +83,7 @@ class TestBufferCoherence:
         )
         for word in words:
             system.db.create_object("Node", content=word)
-        collection = create_collection(system.db, "c", "ACCESS n FROM n IN Node")
+        collection = _create_collection(system.db, "c", "ACCESS n FROM n IN Node")
         index_objects(collection)
         doc_map = collection.get("doc_map")
         irs = system.engine.collection("c")

@@ -1,4 +1,4 @@
-"""The deprecated free-function shims: still working, now warning."""
+"""The PR 3 deprecation shims are gone; the Session surface is warning-free."""
 
 from __future__ import annotations
 
@@ -6,28 +6,34 @@ import warnings
 
 import pytest
 
-from repro.core.collection import create_collection, find_irs_value, get_irs_result
+import repro.core
+import repro.core.collection as collection_module
 
 
-class TestDeprecatedShims:
-    def test_create_collection_warns_and_works(self, system):
-        with pytest.warns(DeprecationWarning, match="Session.create_collection"):
-            coll = create_collection(system.db, "legacy", "ACCESS p FROM p IN PARA")
-        assert coll.get("irs_name") == "legacy"
+class TestShimsRemoved:
+    """The deprecated free functions were removed after one release of warnings.
 
-    def test_get_irs_result_warns_and_matches_session(self, system, collection):
-        expected = system.session.query(collection, "telnet").to_dict()
-        with pytest.warns(DeprecationWarning, match="Session.query"):
-            values = get_irs_result(collection, "telnet")
-        assert values == expected
+    The supported surface is :class:`repro.Session`; the underscore
+    implementations remain internal (``_create_collection`` et al.).
+    """
 
-    def test_find_irs_value_warns_and_matches_session(self, system, collection):
-        rs = system.session.query(collection, "telnet")
-        hit = rs[0]
-        with pytest.warns(DeprecationWarning, match="Session.find_value"):
-            value = find_irs_value(collection, "telnet", hit.element)
-        assert value == pytest.approx(hit.score)
+    @pytest.mark.parametrize(
+        "name", ["create_collection", "get_irs_result", "find_irs_value"]
+    )
+    def test_shim_gone_from_module(self, name):
+        assert not hasattr(collection_module, name)
+        assert hasattr(collection_module, f"_{name}")  # internals remain
 
+    def test_shim_gone_from_package(self):
+        assert not hasattr(repro.core, "create_collection")
+        assert "create_collection" not in repro.core.__all__
+
+    def test_module_no_longer_imports_warnings(self):
+        # The only use of ``warnings`` was the shim layer.
+        assert not hasattr(collection_module, "warnings")
+
+
+class TestSessionSurfaceWarningFree:
     def test_session_surface_is_warning_free(self, system, collection):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

@@ -185,9 +185,13 @@ class TestHealth:
         health = system.health()
         assert health["status"] in {"ok", "degraded", "overloaded"}
         assert set(health) == {
-            "status", "admission", "merge", "memtable", "shards", "latency",
+            "status", "admission", "merge", "memtable", "shards", "network",
+            "latency",
         }
         assert health["shards"]["executor_attached"] is False
+        network = health["network"]
+        assert network["servers"] == []  # no socket server started here
+        assert network["connections"]["active"] == 0
         admission = health["admission"]
         assert admission["depth_peak"] >= 0
         assert 0.0 <= admission["utilization"] <= 1.0

@@ -70,9 +70,9 @@ class TestResolution:
         root = system.add_document(
             "<DOC><PARA>all about the &www; and more</PARA></DOC>", dtd=dtd
         )
-        from repro.core.collection import create_collection, get_irs_result, index_objects
+        from repro.core.collection import _create_collection, _get_irs_result, index_objects
 
-        collection = create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
         index_objects(collection)
-        values = get_irs_result(collection, "world")
+        values = _get_irs_result(collection, "world")
         assert values  # the expansion text is retrievable

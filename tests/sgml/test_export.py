@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import create_collection, get_irs_result, index_objects
+from repro.core.collection import _create_collection, _get_irs_result, index_objects
 from repro.sgml.export import HTMLExporter, export_document
 from repro.sgml.mmf import build_document, mmf_dtd
 
@@ -58,9 +58,9 @@ class TestRendering:
 
 class TestHighlighting:
     def test_relevant_paragraphs_marked(self, system, doc_root):
-        collection = create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(system.db, "c", "ACCESS p FROM p IN PARA")
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         exporter = HTMLExporter(highlight_values=values)
         html_text = exporter.render(doc_root)
         assert "<mark>the www paragraph" in html_text
@@ -68,9 +68,9 @@ class TestHighlighting:
         assert "<mark>another paragraph" not in html_text
 
     def test_threshold_filters_marks(self, system, doc_root):
-        collection = create_collection(system.db, "c2", "ACCESS p FROM p IN PARA")
+        collection = _create_collection(system.db, "c2", "ACCESS p FROM p IN PARA")
         index_objects(collection)
-        values = get_irs_result(collection, "www")
+        values = _get_irs_result(collection, "www")
         exporter = HTMLExporter(highlight_values=values, highlight_threshold=0.99)
         assert "<mark>" not in exporter.render(doc_root)
 

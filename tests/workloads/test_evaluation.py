@@ -119,7 +119,7 @@ class TestRunFromResults:
 class TestEndToEndEvaluation:
     def test_coupled_models_evaluated(self, corpus_system):
         """MAP comparison of retrieval models through the coupling."""
-        from repro.core.collection import create_collection, get_irs_result, index_objects
+        from repro.core.collection import _create_collection, _get_irs_result, index_objects
         from repro.workloads.corpus import TOPICS
 
         qrels = {}
@@ -131,13 +131,13 @@ class TestEndToEndEvaluation:
             }
         runs = {}
         for model in ("inquery", "vector"):
-            collection = create_collection(
+            collection = _create_collection(
                 corpus_system.db, f"eval_{model}", "ACCESS p FROM p IN PARA",
                 model=model,
             )
             index_objects(collection)
             results = {
-                topic: {str(oid): v for oid, v in get_irs_result(collection, topic).items()}
+                topic: {str(oid): v for oid, v in _get_irs_result(collection, topic).items()}
                 for topic in qrels
             }
             runs[model] = run_from_results(results)

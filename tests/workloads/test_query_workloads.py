@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.collection import create_collection, index_objects
+from repro.core.collection import _create_collection, index_objects
 from repro.oodb.query.parser import parse_query
 from repro.workloads.queries import MixedQueryGenerator
 
@@ -31,7 +31,7 @@ class TestGeneration:
 
 class TestExecution:
     def test_workload_runs_against_corpus(self, corpus_system):
-        collection = create_collection(
+        collection = _create_collection(
             corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
         )
         index_objects(collection)
@@ -41,7 +41,7 @@ class TestExecution:
             assert isinstance(rows, list)
 
     def test_consecutive_shape_runs(self, corpus_system):
-        collection = create_collection(
+        collection = _create_collection(
             corpus_system.db, "collPara", "ACCESS p FROM p IN PARA"
         )
         index_objects(collection)
