@@ -21,6 +21,10 @@ Per instance, the persistent attributes are:
 ``buffer``         the persistent IRS-result buffer (Section 4.2/Figure 3)
 ``pending_ops``    deferred update operations awaiting propagation
 ``update_policy``  "eager" or "deferred" (Section 4.6)
+``index_gen``      index generation — bumped under the OODB WAL whenever
+                   ``doc_map`` is rewritten; store checkpoints record it,
+                   so recovery can detect IRS state older than the
+                   database and reindex exactly those collections
 =================  =========================================================
 """
 
@@ -35,7 +39,7 @@ from repro.core import updates
 from repro.core.buffer import ResultBuffer
 from repro.core.context import coupling_context
 from repro.core.text_modes import text_for
-from repro.errors import CouplingError
+from repro.errors import CouplingError, DocumentMissingError
 from repro.oodb.database import Database
 from repro.oodb.objects import DBObject
 from repro.oodb.oid import OID
@@ -57,6 +61,11 @@ def define_collection_class(db: Database) -> None:
     """
     if db.schema.has_class(COLLECTION_CLASS):
         cdef = db.schema.get_class(COLLECTION_CLASS)
+        # Schemas restored from snapshots taken before the single-file
+        # store existed lack ``index_gen``; add it so the attribute
+        # resolves with its 0 default on old objects.
+        if not db.schema.has_attribute(COLLECTION_CLASS, "index_gen"):
+            db.add_class_attribute(COLLECTION_CLASS, "index_gen", "INT", 0)
         _attach_collection_methods(cdef)
         return
     cdef = db.define_class(
@@ -73,6 +82,7 @@ def define_collection_class(db: Database) -> None:
             "pending_ops": "LIST",
             "update_policy": "STRING",
             "segment_words": "INT",
+            "index_gen": "INT",
         },
     )
     _attach_collection_methods(cdef)
@@ -139,6 +149,7 @@ def _create_collection(
         buffer={},
         pending_ops=[],
         segment_words=segment_words,
+        index_gen=0,
     )
 
 
@@ -236,7 +247,12 @@ def index_objects(
             with engine.bulk_mutating(irs_name):
                 for doc_ids in old_map.values():
                     for doc_id in doc_ids:
-                        engine.remove_document(irs_name, doc_id)
+                        try:
+                            engine.remove_document(irs_name, doc_id)
+                        except DocumentMissingError:
+                            # Recovery reindexes into a freshly recreated
+                            # collection; the old doc ids are simply gone.
+                            pass
                 for oid_str, pieces in pieces_by_oid:
                     doc_ids = []
                     for piece in pieces:
@@ -257,6 +273,9 @@ def index_objects(
             collection_obj.set("doc_map", doc_map)
             collection_obj.set("buffer", {})
             collection_obj.set("pending_ops", [])
+            collection_obj.set(
+                "index_gen", int(collection_obj.get("index_gen") or 0) + 1
+            )
             from repro.core.hierarchical import invalidate_scorer
 
             invalidate_scorer(collection_obj)

@@ -67,6 +67,10 @@ class CouplingContext:
     #: When set, IRS queries go through result files on disk (the paper's
     #: historical exchange mechanism) instead of the in-process API.
     result_file_directory: Optional[str] = None
+    #: The single-file durable store backing this coupling
+    #: (:class:`repro.store.SingleFileStore`); None when the system runs
+    #: in memory or on the legacy per-collection JSON layout.
+    storage: Optional[object] = None
     #: Default update-propagation policy for new collections.
     default_update_policy: str = "deferred"
     #: Ablation switch: when False, the pending-operation log appends

@@ -23,6 +23,36 @@ from repro.sgml.loader import SGMLLoader
 from repro.sgml.parser import parse_document
 
 
+def checkpoint_coupling(db: Database) -> Dict[str, Any]:
+    """Checkpoint the coupling behind ``db``: store commit, then OODB.
+
+    The shared implementation behind ``DocumentSystem.checkpoint`` and
+    :meth:`repro.Session.checkpoint` — reads every collection's
+    ``index_gen`` from the committed database state, appends one
+    incremental store checkpoint recording them, then checkpoints the
+    database (snapshot + WAL truncation).  Raises
+    :class:`~repro.errors.StoreError` when the coupling has no
+    single-file store attached.
+    """
+    from repro.core import collection as collection_module
+    from repro.core.context import coupling_context
+    from repro.errors import StoreError
+
+    context = coupling_context(db)
+    store = context.storage
+    if store is None:
+        raise StoreError(
+            "checkpoint requires the single-file store "
+            "(open the system with a directory and storage='store')"
+        )
+    gens: Dict[str, int] = {}
+    for obj in db.instances_of(collection_module.COLLECTION_CLASS):
+        gens[obj.get("irs_name")] = int(obj.get("index_gen") or 0)
+    stats = store.checkpoint(context.engine, gens=gens)
+    db.checkpoint()
+    return stats
+
+
 class DocumentSystem:
     """OODBMS + IRS + SGML framework + coupling, ready for documents.
 
@@ -49,6 +79,14 @@ class DocumentSystem:
     shard_config:
         :class:`repro.irs.shards.ShardConfig` tunables (timeouts,
         retries, the fault-injection hook) for the scatter executor.
+    storage:
+        Durable layout under ``directory``: ``"store"`` uses the
+        single-file append-only store at ``<directory>/irs.store``
+        (incremental checkpoints, lazy restart — see
+        docs/storage-format.md), ``"json"`` the legacy per-collection
+        dumps under ``<directory>/irs_index``.  The default ``"auto"``
+        keeps whatever layout already exists and picks the store for
+        fresh directories.  Ignored without a ``directory``.
     """
 
     def __init__(
@@ -59,13 +97,38 @@ class DocumentSystem:
         use_result_files: bool = False,
         shards: int = 0,
         shard_config: Any = None,
+        storage: str = "auto",
     ) -> None:
         db_dir = os.path.join(directory, "db") if directory else None
         self.db = Database(directory=db_dir)
         self._irs_index_directory = (
             os.path.join(directory, "irs_index") if directory else None
         )
-        if self._irs_index_directory and os.path.isdir(self._irs_index_directory):
+        self._store_path = (
+            os.path.join(directory, "irs.store") if directory else None
+        )
+        if storage not in ("auto", "store", "json"):
+            raise ValueError(f"unknown storage mode {storage!r}")
+        if directory is None:
+            storage = "memory"
+        elif storage == "auto":
+            if os.path.exists(self._store_path):
+                storage = "store"
+            elif os.path.isdir(self._irs_index_directory):
+                storage = "json"
+            else:
+                storage = "store"
+        self._storage_mode = storage
+        self.store = None
+        if storage == "store":
+            from repro.store import SingleFileStore
+
+            self.store = SingleFileStore(self._store_path)
+            self.engine = self.store.load_engine(
+                default_model=model, analyzer=analyzer,
+                shard_count=shards, shard_config=shard_config,
+            )
+        elif storage == "json" and os.path.isdir(self._irs_index_directory):
             # Reload persisted inverted indexes ("stored in a file system").
             from repro.irs.persistence import load_engine
 
@@ -89,7 +152,12 @@ class DocumentSystem:
         self.context: CouplingContext = install_coupling(
             self.db, self.engine, result_file_directory=result_dir
         )
+        self.context.storage = self.store
         self.loader = SGMLLoader(self.db, base_class=IRSOBJECT_CLASS)
+        if self.store is not None:
+            # After the loader: recovery may reindex stale collections,
+            # which invokes getText — code the loader just re-attached.
+            self._recover_coupling()
         self._dtds: Dict[str, DTD] = {}
         # The default (inline) session: the supported query surface.  Build
         # pooled ones with ``system.open_session(workers=...)``.
@@ -199,6 +267,147 @@ class DocumentSystem:
         """Run ``indexObjects`` on a collection (via the default session)."""
         return self.session.index(collection_obj, **options)
 
+    # -- durability -----------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Make the current IRS + database state durable; returns stats.
+
+        In store mode this appends one incremental checkpoint to
+        ``<directory>/irs.store`` (sealed segments already on disk are
+        referenced, not rewritten) with the database ``index_gen`` of every
+        collection recorded in the manifest, then checkpoints the OODB
+        (snapshot + WAL truncation).  The ordering matters: generations are
+        read from the committed database state *before* the store commit,
+        so a crash at any point leaves either a manifest that matches the
+        database or one that is detectably older — never newer (see
+        :meth:`_recover_coupling`).
+
+        In the legacy JSON mode this falls back to a full
+        :func:`~repro.irs.persistence.save_engine` dump.  A purely
+        in-memory system has nothing to persist and raises
+        :class:`~repro.errors.StoreError`.
+        """
+        if self.store is not None:
+            return checkpoint_coupling(self.db)
+        if self._storage_mode == "json":
+            from repro.irs.persistence import save_engine
+
+            save_engine(self.engine, self._irs_index_directory)
+            self.db.checkpoint()
+            return {"mode": "json", "directory": self._irs_index_directory}
+        from repro.errors import StoreError
+
+        raise StoreError(
+            "checkpoint requires a durable DocumentSystem (directory=...)"
+        )
+
+    def pack(self) -> Dict[str, Any]:
+        """Checkpoint, then compact the store file offline; returns stats.
+
+        Copies only live records into a fresh file and atomically replaces
+        ``irs.store``, reclaiming the dead space incremental checkpoints
+        leave behind (``health()["storage"]["dead_ratio"]`` tells when this
+        is worth doing).  Store mode only.
+        """
+        from repro.errors import StoreError
+
+        if self.store is None:
+            raise StoreError("pack requires the single-file store")
+        self.checkpoint()
+        return self.store.pack()
+
+    def _collection_gens(self) -> Dict[str, int]:
+        """Current ``index_gen`` of every COLLECTION object, by IRS name."""
+        from repro.core import collection as collection_module
+
+        gens: Dict[str, int] = {}
+        for obj in self.db.instances_of(collection_module.COLLECTION_CLASS):
+            gens[obj.get("irs_name")] = int(obj.get("index_gen") or 0)
+        return gens
+
+    def _recover_coupling(self) -> None:
+        """Reconcile the recovered IRS store with the recovered database.
+
+        The database WAL is ground truth.  Every COLLECTION object carries
+        an ``index_gen`` bumped under the WAL whenever its ``doc_map`` is
+        rewritten; the store manifest records the generation each
+        collection was last checkpointed at.  A mismatch means the crash
+        fell between a WAL commit and the matching store checkpoint — the
+        IRS side of that collection is stale, so it is dropped and
+        deterministically reindexed from the database (same texts, same
+        analyzer: rankings come out bit-identical), and a fresh checkpoint
+        brings the store back in sync.  IRS collections whose database
+        object did not survive recovery are orphans and are removed.
+        """
+        from repro.core import collection as collection_module
+
+        stored_gens = self.store.gens()
+        db_objects: Dict[str, DBObject] = {}
+        for obj in self.db.instances_of(collection_module.COLLECTION_CLASS):
+            db_objects[obj.get("irs_name")] = obj
+        dirty = False
+        for name in list(self.engine.collection_names()):
+            if name not in db_objects:
+                self.engine.drop_collection(name)
+                dirty = True
+        for name, obj in db_objects.items():
+            gen = int(obj.get("index_gen") or 0)
+            if self.engine.has_collection(name) and stored_gens.get(name, 0) == gen:
+                continue
+            self._reindex_collection(obj, name)
+            dirty = True
+        if dirty:
+            self.checkpoint()
+
+    def _reindex_collection(self, obj: DBObject, name: str) -> None:
+        """Rebuild one stale IRS collection from recovered database state."""
+        entry = (self.store.manifest or {}).get("collections", {}).get(name)
+        shards = None
+        if entry is not None and entry.get("layout") == "sharded":
+            # Keep the shard override the collection was created with.
+            shards = entry.get("shard_count")
+        if self.engine.has_collection(name):
+            self.engine.drop_collection(name)
+        self.engine.create_collection(name, shards=shards)
+        # Replay the WAL-durable doc_map rather than re-evaluating the
+        # specification query: membership may have been modified
+        # incrementally (insertObject/propagateUpdates) since the last
+        # indexObjects, and recovery must reproduce exactly the state the
+        # database committed, not what the spec would select today.
+        self._reindex_from_doc_map(obj, name)
+
+    def _reindex_from_doc_map(self, obj: DBObject, name: str) -> None:
+        """Reindex a collection from its persisted membership."""
+        from repro.core.collection import segment_text
+        from repro.core.text_modes import text_for
+        from repro.oodb.oid import OID
+
+        mode = obj.get("text_mode") or 0
+        segment_words = obj.get("segment_words") or 0
+        doc_map = obj.get("doc_map") or {}
+        new_map: Dict[str, list] = {}
+        with self.engine.bulk_mutating(name):
+            for oid_str in doc_map:
+                oid = OID.parse(oid_str)
+                if not self.db.object_exists(oid):
+                    continue
+                member = self.db.get_object(oid)
+                text = (
+                    member.send("getText", mode)
+                    if member.responds_to("getText")
+                    else text_for(member, mode)
+                )
+                new_map[oid_str] = [
+                    self.engine.index_document(name, piece, {"oid": oid_str})
+                    for piece in segment_text(text, segment_words)
+                ]
+        obj.set("doc_map", new_map)
+        obj.set("buffer", {})
+        obj.set("index_gen", int(obj.get("index_gen") or 0) + 1)
+        from repro.core.hierarchical import invalidate_scorer
+
+        invalidate_scorer(obj)
+
     # -- querying -----------------------------------------------------------------------
 
     def query(self, text: str, bindings: Optional[Dict[str, Any]] = None) -> List[tuple]:
@@ -241,6 +450,10 @@ class DocumentSystem:
             for session in self._sessions
             if session.service is not None
         ]
+        storage = None
+        if self.store is not None:
+            storage = dict(self.store.stats())
+            storage["dirty"] = self.store.dirty_info(self.engine)
         return build_health(
             engine=self.engine,
             services=services,
@@ -248,6 +461,7 @@ class DocumentSystem:
                 DEFAULT_SLO_SECONDS if slo_seconds is None else slo_seconds
             ),
             servers=self._servers,
+            storage=storage,
         )
 
     # -- bookkeeping ------------------------------------------------------------------------
@@ -267,7 +481,12 @@ class DocumentSystem:
             session.close()
         self._sessions = []
         self.engine.shutdown_shards()
-        if self._irs_index_directory is not None:
+        if self.store is not None:
+            self.store.checkpoint(self.engine, gens=self._collection_gens())
+            self.db.close()
+            self.store.close()
+            return
+        if self._storage_mode == "json" and self._irs_index_directory is not None:
             from repro.irs.persistence import save_engine
 
             save_engine(self.engine, self._irs_index_directory)

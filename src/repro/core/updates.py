@@ -223,6 +223,7 @@ def _apply(operations: List[list], collection_obj: DBObject) -> None:
             doc_map[oid_str] = new_ids
     context.counters.add("documents_indexed", indexed)
     collection_obj.set("doc_map", doc_map)
+    collection_obj.set("index_gen", int(collection_obj.get("index_gen") or 0) + 1)
 
 
 def _invalidate_buffer(collection_obj: DBObject) -> None:

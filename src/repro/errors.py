@@ -167,6 +167,24 @@ class ValidationError(SGMLError):
 
 
 # --------------------------------------------------------------------------
+# Store errors (the single-file durable store of repro.store)
+# --------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for errors raised by the single-file store."""
+
+
+class StoreCorruptionError(StoreError):
+    """A store record failed its checksum or structural validation.
+
+    Raised when a *referenced* block (one a valid manifest points at) is
+    damaged — detected corruption is always an error, never silently
+    skipped.  Torn records past the last valid manifest are not errors:
+    recovery discards them by design (see docs/storage-format.md).
+    """
+
+
+# --------------------------------------------------------------------------
 # Coupling errors
 # --------------------------------------------------------------------------
 

@@ -48,6 +48,11 @@ class IRSDocument:
     doc_id: int
     text: str
     metadata: Dict[str, str] = field(default_factory=dict)
+    #: Bumped on every re-index of this document (``replace_document``).
+    #: The single-file store uses ``(doc_id, revision)`` to find which
+    #: documents changed since the last checkpoint, so an incremental
+    #: checkpoint appends only the delta batch instead of the corpus.
+    revision: int = 0
 
 
 class IRSCollection:
@@ -160,6 +165,7 @@ class IRSCollection:
         document = self._documents[doc_id]
         self.index.remove_document(doc_id)
         document.text = text
+        document.revision += 1
         self.index.add_document(doc_id, self.analyzer.tokens(text))
 
     def document(self, doc_id: int) -> IRSDocument:
@@ -227,7 +233,12 @@ class IRSCollection:
             "next_doc_id": self._next_doc_id,
             "analyzer": self.analyzer.config(),
             "documents": [
-                {"doc_id": d.doc_id, "text": d.text, "metadata": d.metadata}
+                {
+                    "doc_id": d.doc_id,
+                    "text": d.text,
+                    "metadata": d.metadata,
+                    "revision": d.revision,
+                }
                 for d in self.documents()
             ],
         }
@@ -274,7 +285,10 @@ class IRSCollection:
         collection._next_doc_id = payload["next_doc_id"]
         for entry in payload["documents"]:
             collection._documents[entry["doc_id"]] = IRSDocument(
-                entry["doc_id"], entry["text"], dict(entry["metadata"])
+                entry["doc_id"],
+                entry["text"],
+                dict(entry["metadata"]),
+                int(entry.get("revision", 0)),
             )
         if collection.segments is not None:
             entries = payload.get("segments")

@@ -170,6 +170,13 @@ class IRSEngine:
                 f"unknown retrieval model {default_model!r}; know {sorted(MODELS)}"
             )
         self._collections: Dict[str, IRSCollection] = {}
+        #: Lazy restart (single-file store): collections whose payload has
+        #: not been touched yet.  ``collection()`` materializes on first
+        #: access; until then only the name exists in memory.  Iteration
+        #: paths that sweep ``_collections`` (segment info, merge backlog,
+        #: memtable info) deliberately skip unmaterialized collections —
+        #: an untouched collection has no memtable and no merge pressure.
+        self._lazy_loaders: Dict[str, "Callable[[], IRSCollection]"] = {}
         self._default_model = default_model
         self._analyzer = analyzer
         #: Engine-created collections are segmented by default; pass
@@ -272,7 +279,7 @@ class IRSEngine:
         """
         count = self.shard_count if shards is None else shards
         with self._registry_lock:
-            if name in self._collections:
+            if name in self._collections or name in self._lazy_loaders:
                 raise DuplicateCollectionError(f"IRS collection {name!r} already exists")
             if count and count >= 1:
                 collection: IRSCollection = ShardedCollection(
@@ -291,9 +298,10 @@ class IRSEngine:
     def drop_collection(self, name: str) -> None:
         """Delete a collection, its index, and its cached results."""
         with self._registry_lock:
-            if name not in self._collections:
+            if name not in self._collections and name not in self._lazy_loaders:
                 raise UnknownCollectionError(f"no IRS collection {name!r}")
-            del self._collections[name]
+            self._collections.pop(name, None)
+            self._lazy_loaders.pop(name, None)
         if self._shard_executor is not None:
             self._shard_executor.drop_collection(name)
         # A later collection with the same name starts its index epoch from
@@ -309,19 +317,59 @@ class IRSEngine:
         )
 
     def collection(self, name: str) -> IRSCollection:
-        """Look up a collection by name."""
-        try:
-            return self._collections[name]
-        except KeyError:
-            raise UnknownCollectionError(f"no IRS collection {name!r}") from None
+        """Look up a collection by name (materializing a lazy one)."""
+        collection = self._collections.get(name)
+        if collection is not None:
+            return collection
+        with self._registry_lock:
+            collection = self._collections.get(name)
+            if collection is None:
+                loader = self._lazy_loaders.pop(name, None)
+                if loader is None:
+                    raise UnknownCollectionError(f"no IRS collection {name!r}")
+                started = time.perf_counter()
+                try:
+                    collection = loader()
+                except BaseException:
+                    # Leave the loader registered so a transient failure
+                    # (e.g. a mid-pack read) can be retried.
+                    self._lazy_loaders[name] = loader
+                    raise
+                self._collections[name] = collection
+                registry = obs.metrics()
+                registry.counter("store.lazy.materializations").inc()
+                registry.rolling("store.materialize.seconds").observe(
+                    time.perf_counter() - started
+                )
+            return collection
+
+    def register_lazy_collection(self, name: str, loader) -> None:
+        """Register ``name`` to be built by ``loader()`` on first touch."""
+        with self._registry_lock:
+            if name in self._collections:
+                raise DuplicateCollectionError(
+                    f"IRS collection {name!r} already exists"
+                )
+            self._lazy_loaders[name] = loader
+
+    def is_lazy(self, name: str) -> bool:
+        """True while ``name`` is registered but not yet materialized."""
+        with self._registry_lock:
+            return name in self._lazy_loaders
+
+    def lazy_collection_names(self) -> List[str]:
+        """Names registered for lazy load and still untouched, sorted."""
+        with self._registry_lock:
+            return sorted(self._lazy_loaders)
 
     def has_collection(self, name: str) -> bool:
-        """True when ``name`` exists."""
-        return name in self._collections
+        """True when ``name`` exists (materialized or lazy)."""
+        return name in self._collections or name in self._lazy_loaders
 
     def collection_names(self) -> List[str]:
-        """All collection names, sorted."""
-        return sorted(self._collections)
+        """All collection names (materialized or lazy), sorted."""
+        with self._registry_lock:
+            return sorted(set(self._collections) | set(self._lazy_loaders))
 
     # -- indexing -------------------------------------------------------------
 

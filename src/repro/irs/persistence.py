@@ -32,8 +32,27 @@ from repro.irs.analysis import Analyzer
 from repro.irs.collection import IRSCollection
 from repro.irs.engine import IRSEngine
 from repro.irs.shards import ShardedCollection
+from repro.store.file import fsync_directory
 
 _MANIFEST = "collections.json"
+
+
+def _atomic_write_json(path: str, content) -> None:
+    """Write JSON durably: temp file, flush + fsync, rename, dir fsync.
+
+    The rename alone only guarantees readers see old-or-new; without the
+    file fsync a crash can leave the *new* name pointing at zero-length
+    or partial data, and without the directory fsync the rename itself
+    may not survive.  Both matter because ``load_engine`` trusts these
+    files without checksums.
+    """
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(content, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    fsync_directory(path)
 
 
 def save_engine(engine: IRSEngine, directory: str) -> None:
@@ -41,7 +60,10 @@ def save_engine(engine: IRSEngine, directory: str) -> None:
 
     Sharded collections get a per-shard payload directory; the other
     layout's leftovers (a previous run with a different shard setting)
-    are removed so a reload sees exactly one representation.
+    are removed so a reload sees exactly one representation.  Every file
+    is written atomically (:func:`_atomic_write_json`); the manifest goes
+    last, so a crash mid-save leaves the previous manifest pointing at
+    files that still exist.
     """
     os.makedirs(directory, exist_ok=True)
     names = engine.collection_names()
@@ -51,18 +73,14 @@ def save_engine(engine: IRSEngine, directory: str) -> None:
             _save_sharded(collection, directory)
         else:
             _save_flat(collection, directory)
-    manifest_path = os.path.join(directory, _MANIFEST)
-    with open(manifest_path + ".tmp", "w", encoding="utf-8") as fh:
-        json.dump({"collections": names}, fh)
-    os.replace(manifest_path + ".tmp", manifest_path)
+    _atomic_write_json(
+        os.path.join(directory, _MANIFEST), {"collections": names}
+    )
 
 
 def _save_flat(collection: IRSCollection, directory: str) -> None:
     path = os.path.join(directory, _collection_file(collection.name))
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as fh:
-        json.dump(collection.to_payload(), fh)
-    os.replace(tmp_path, path)
+    _atomic_write_json(path, collection.to_payload())
     stale_dir = os.path.join(directory, _collection_dir(collection.name))
     if os.path.isdir(stale_dir):
         shutil.rmtree(stale_dir)
@@ -80,9 +98,7 @@ def _save_sharded(collection, directory: str) -> None:
             for i, entry in enumerate(shard_entries)
         ),
     ]:
-        with open(path + ".tmp", "w", encoding="utf-8") as fh:
-            json.dump(content, fh)
-        os.replace(path + ".tmp", path)
+        _atomic_write_json(path, content)
     # Drop shard files beyond the current count and any stale flat dump.
     for entry in os.listdir(shard_dir):
         if entry.startswith("shard_") and entry.endswith(".json"):

@@ -187,6 +187,7 @@ class SealedSegment:
         "_dead_df",
         "_dead_cf",
         "_dead_postings",
+        "store_stamp",
     )
 
     def __init__(
@@ -204,6 +205,12 @@ class SealedSegment:
         self._dead_df: Dict[str, int] = {}
         self._dead_cf: Dict[str, int] = {}
         self._dead_postings = 0
+        #: ``(store_token, offset, length)`` of this segment's record in the
+        #: single-file store, set by the store on write or load.  Postings
+        #: are immutable, so a stamped segment is never written again —
+        #: the incremental-checkpoint invariant (tombstones travel in the
+        #: manifest, not in the segment record).
+        self.store_stamp = None
 
     # -- deletion ---------------------------------------------------------
 

@@ -266,6 +266,7 @@ class ShardedCollection(IRSCollection):
         shard = self.shards[self._doc_shard[doc_id]]
         shard.index.remove_document(doc_id)
         document.text = text
+        document.revision += 1
         shard.index.add_document(doc_id, self.analyzer.tokens(text))
 
     # -- persistence ---------------------------------------------------------
@@ -284,7 +285,12 @@ class ShardedCollection(IRSCollection):
             "analyzer": self.analyzer.config(),
             "shard_count": self.shard_count,
             "documents": [
-                {"doc_id": d.doc_id, "text": d.text, "metadata": d.metadata}
+                {
+                    "doc_id": d.doc_id,
+                    "text": d.text,
+                    "metadata": d.metadata,
+                    "revision": d.revision,
+                }
                 for d in self.documents()
             ],
             "shards": [self._shard_payload(shard) for shard in self.shards],
@@ -341,7 +347,10 @@ class ShardedCollection(IRSCollection):
         collection._next_doc_id = payload["next_doc_id"]
         documents = {
             entry["doc_id"]: IRSDocument(
-                entry["doc_id"], entry["text"], dict(entry["metadata"])
+                entry["doc_id"],
+                entry["text"],
+                dict(entry["metadata"]),
+                int(entry.get("revision", 0)),
             )
             for entry in payload["documents"]
         }

@@ -123,6 +123,9 @@ class AsyncSession:
     async def health(self, slo_seconds: Optional[float] = None) -> Dict[str, Any]:
         return await self._run(self.session.health, slo_seconds)
 
+    async def checkpoint(self) -> Dict[str, Any]:
+        return await self._run(self.session.checkpoint)
+
     # -- lifecycle ----------------------------------------------------------
 
     async def close(self) -> None:

@@ -534,6 +534,16 @@ class RemoteSession:
         result, _ = self._call("health", params)
         return result
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Checkpoint the server's durable state; returns commit stats.
+
+        The server appends one incremental store checkpoint and then
+        checkpoints its OODB; errors (e.g. no durable store behind the
+        server) arrive as the mapped :class:`~repro.errors.StoreError`.
+        """
+        result, _ = self._call("checkpoint", {})
+        return result
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

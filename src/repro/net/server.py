@@ -450,6 +450,9 @@ class DocumentServer:
         collection = self._collection(params.get("collection"))
         return updates_module.has_pending(collection), None
 
+    def _op_checkpoint(self, params: Dict[str, Any]):
+        return self.system.checkpoint(), None
+
     _OPS = {
         "ping": _op_ping,
         "create_collection": _op_create_collection,
@@ -463,6 +466,7 @@ class DocumentServer:
         "collections": _op_collections,
         "health": _op_health,
         "pending": _op_pending,
+        "checkpoint": _op_checkpoint,
     }
 
     # -- result encoding ----------------------------------------------------

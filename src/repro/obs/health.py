@@ -23,6 +23,10 @@ ROADMAP, a remote load balancer) needs into a JSON-encodable report:
   rejection *is* the backpressure mechanism working, not a failure.
 * **latency** — p50/p95/p99/p999 of the most relevant rolling histogram
   plus the *slow ratio*: the fraction of windowed requests above the SLO.
+* **storage** — single-file store size, dead-space ratio, and the
+  un-checkpointed dirty volume.  Dead space past both pack thresholds
+  (:data:`STORAGE_DEAD_RATIO` and :data:`STORAGE_DEAD_BYTES`) degrades
+  the verdict until ``DocumentSystem.pack()`` reclaims it.
 
 The verdict (``ok`` / ``degraded`` / ``overloaded``) is a coarse triage
 signal, not a pager: *overloaded* when the queue is nearly full or most
@@ -175,12 +179,41 @@ def _network_section(registry, servers: Iterable[Any] = ()) -> Dict[str, Any]:
     }
 
 
-def _verdict(admission, merge, latency) -> str:
+#: Dead-space thresholds past which storage flips the verdict to
+#: ``degraded`` — the ratio alone is meaningless on tiny stores (a 10 KiB
+#: file that is 70% dead needs no pack), so both must hold.
+STORAGE_DEAD_RATIO = 0.6
+STORAGE_DEAD_BYTES = 1 << 20
+
+
+def _storage_section(storage: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Durable-store facts: size, dead space, dirty volume since checkpoint.
+
+    ``storage`` comes from ``SingleFileStore.stats()`` plus a ``"dirty"``
+    estimate (``dirty_info``); systems without a store report
+    ``enabled: False``.  ``needs_pack`` applies the module thresholds so
+    operators (and the verdict) share one definition of "too much dead
+    space".
+    """
+    if not storage:
+        return {"enabled": False}
+    section = dict(storage)
+    section["enabled"] = True
+    section["needs_pack"] = (
+        section.get("dead_ratio", 0.0) >= STORAGE_DEAD_RATIO
+        and section.get("dead_bytes", 0) >= STORAGE_DEAD_BYTES
+    )
+    return section
+
+
+def _verdict(admission, merge, latency, storage=None) -> str:
     utilization = admission["utilization"]
     slow_ratio = latency["slow_ratio"]
     if utilization >= 0.9 or slow_ratio >= 0.5:
         return "overloaded"
     if utilization >= 0.5 or slow_ratio > 0.1 or merge["backlog"] >= 8:
+        return "degraded"
+    if storage is not None and storage.get("needs_pack"):
         return "degraded"
     return "ok"
 
@@ -191,6 +224,7 @@ def build_health(
     registry=None,
     slo_seconds: float = DEFAULT_SLO_SECONDS,
     servers: Iterable[Any] = (),
+    storage: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the health report (see module docstring for semantics).
 
@@ -199,17 +233,24 @@ def build_health(
     ``"network"``.  Like shards, the network section is informational —
     connection rejections already *are* the backpressure response, so
     they never flip the verdict on their own.
+
+    ``storage`` is the durable-store stats dict of
+    ``DocumentSystem.health`` (store size, dead space, un-checkpointed
+    dirty volume).  Unlike the network section it *can* flip the verdict:
+    a store past the pack thresholds reports ``degraded``.
     """
     registry = registry or runtime.metrics()
     admission = _admission_section(services, registry)
     merge = _merge_section(engine)
     latency = _latency_section(registry, slo_seconds)
+    storage_section = _storage_section(storage)
     return {
-        "status": _verdict(admission, merge, latency),
+        "status": _verdict(admission, merge, latency, storage_section),
         "admission": admission,
         "merge": merge,
         "memtable": _memtable_section(engine),
         "shards": _shards_section(engine, registry),
         "network": _network_section(registry, servers),
         "latency": latency,
+        "storage": storage_section,
     }

@@ -427,6 +427,23 @@ class Database:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    def _replay_schema(self, payload: Dict[str, Any]) -> None:
+        """Redo one SCHEMA record; tolerates classes already in the snapshot."""
+        if payload["op"] == "class":
+            if not self.schema.has_class(payload["name"]):
+                self.schema.define_class(
+                    payload["name"],
+                    payload.get("superclass"),
+                    payload.get("attributes") or {},
+                )
+        elif payload["op"] == "attribute":
+            if self.schema.has_class(payload["class"]):
+                cdef = self.schema.get_class(payload["class"])
+                if payload["attr"] not in cdef.attributes:
+                    cdef.add_attribute(
+                        payload["attr"], payload["type"], payload.get("default")
+                    )
+
     def _replay_wal(self) -> None:
         """Redo committed WAL records on top of the loaded snapshot."""
         started = time.perf_counter()
@@ -453,6 +470,9 @@ class Database:
                     oid = OID(payload["oid"])
                     if self._store.exists(oid):
                         self._store.delete(oid)
+                    replayed += 1
+                elif record.kind == wal_records.SCHEMA:
+                    self._replay_schema(payload)
                     replayed += 1
             self._allocator.advance_to(max_oid + 1)
             span.set_attribute("records_replayed", replayed)
@@ -481,8 +501,51 @@ class Database:
         attributes: Optional[Dict[str, str]] = None,
         methods: Optional[Dict[str, Callable[..., Any]]] = None,
     ) -> ClassDefinition:
-        """Define a class, optionally with attributes and methods in one call."""
+        """Define a class, optionally with attributes and methods in one call.
+
+        The structural part of the definition (name, superclass, attribute
+        names and types) is WAL-logged so a crash before the next snapshot
+        does not lose the schema the logged objects depend on.  Method
+        implementations are code and are never persisted.
+        """
         cdef = self.schema.define_class(name, superclass, attributes)
+        self._log_schema(
+            {
+                "op": "class",
+                "name": name,
+                "superclass": superclass,
+                "attributes": dict(attributes or {}),
+            }
+        )
         for mname, impl in (methods or {}).items():
             cdef.add_method(mname, impl)
         return cdef
+
+    def add_class_attribute(
+        self, class_name: str, attr: str, type_name: str, default: Any = None
+    ) -> None:
+        """Add an attribute to an existing class, WAL-logged like DDL."""
+        cdef = self.schema.get_class(class_name)
+        if attr in cdef.attributes:
+            return
+        cdef.add_attribute(attr, type_name, default)
+        self._log_schema(
+            {
+                "op": "attribute",
+                "class": class_name,
+                "attr": attr,
+                "type": type_name,
+                "default": default,
+            }
+        )
+
+    def _log_schema(self, payload: Dict[str, Any]) -> None:
+        """Append a committed SCHEMA record (DDL auto-commits)."""
+        txn = self._current_txn()
+        if txn is not None:
+            self._wal.append(wal_records.SCHEMA, txn.txn_id, payload)
+        else:
+            implicit = Transaction(self)
+            self._wal.append(wal_records.BEGIN, implicit.txn_id)
+            self._wal.append(wal_records.SCHEMA, implicit.txn_id, payload)
+            self._wal.append(wal_records.COMMIT, implicit.txn_id)

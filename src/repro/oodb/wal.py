@@ -30,11 +30,12 @@ BEGIN = "BEGIN"
 WRITE = "WRITE"          # attribute write: oid, attr, value
 CREATE = "CREATE"        # object creation: oid, class_name
 DELETE = "DELETE"        # object deletion: oid
+SCHEMA = "SCHEMA"        # schema DDL: class definition or attribute addition
 COMMIT = "COMMIT"
 ABORT = "ABORT"
 CHECKPOINT = "CHECKPOINT"
 
-_RECORD_KINDS = {BEGIN, WRITE, CREATE, DELETE, COMMIT, ABORT, CHECKPOINT}
+_RECORD_KINDS = {BEGIN, WRITE, CREATE, DELETE, SCHEMA, COMMIT, ABORT, CHECKPOINT}
 
 
 @dataclass(frozen=True)

@@ -396,13 +396,36 @@ class Session:
         """Overload health seen from this session (see repro.obs.health)."""
         from repro.obs.health import DEFAULT_SLO_SECONDS, build_health
 
+        storage = None
+        store = getattr(self.context, "storage", None)
+        if store is not None:
+            storage = dict(store.stats())
+            storage["dirty"] = store.dirty_info(self.context.engine)
         return build_health(
             engine=self.context.engine,
             services=[self._service] if self._service is not None else [],
             slo_seconds=(
                 DEFAULT_SLO_SECONDS if slo_seconds is None else slo_seconds
             ),
+            storage=storage,
         )
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Checkpoint the durable store + database; returns commit stats.
+
+        Appends one incremental checkpoint to the single-file store (see
+        docs/storage-format.md) and then checkpoints the OODB.  Raises
+        :class:`~repro.errors.StoreError` on systems without a store.
+        Pooled sessions run it through the worker service so it
+        serializes with in-flight index/update work.
+        """
+        from repro.core.system import checkpoint_coupling
+
+        if self._service is not None:
+            return self._service.call(
+                lambda: checkpoint_coupling(self.db), label="checkpoint"
+            )
+        return checkpoint_coupling(self.db)
 
     # -- lifecycle ----------------------------------------------------------
 

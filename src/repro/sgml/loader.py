@@ -244,7 +244,7 @@ class SGMLLoader:
         self.ensure_element_type(class_name)
         cdef = self._db.schema.get_class(class_name)
         if attribute not in cdef.attributes:
-            cdef.add_attribute(attribute, "STRING")
+            self._db.add_class_attribute(class_name, attribute, "STRING")
         self._promotions.setdefault(class_name, set()).add(attribute)
         for obj in self._db.instances_of(class_name):
             value = (obj.get("sgml_attributes") or {}).get(attribute)

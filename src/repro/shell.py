@@ -17,6 +17,8 @@ given).  Commands:
     .trace <vql>                        run a query and print its span tree
     .stats                              metrics, cache and slow-query statistics
     .dash                               health verdict, latency percentiles, hot spots
+    .checkpoint                         commit IRS + DB state to the durable store
+    .pack                               compact the store file (reclaims dead space)
     .serve [port]                       start a network server on this system
     .connect <host:port>                attach the shell to a remote server
     .classes                            list schema classes
@@ -110,6 +112,8 @@ class Shell:
             ".trace": self._cmd_trace,
             ".stats": self._cmd_stats,
             ".dash": self._cmd_dash,
+            ".checkpoint": self._cmd_checkpoint,
+            ".pack": self._cmd_pack,
             ".serve": self._cmd_serve,
             ".connect": self._cmd_connect,
             ".classes": self._cmd_classes,
@@ -134,6 +138,27 @@ class Shell:
         if self._remote is not None:
             self._remote.close()
             self._remote = None
+
+    def _cmd_checkpoint(self, _args: List[str]) -> None:
+        stats = self.system.checkpoint()
+        if stats.get("mode") == "json":
+            self._print(f"saved JSON indexes under {stats['directory']}")
+            return
+        self._print(
+            f"checkpoint {stats['checkpoint_id']}: "
+            f"{stats['records_appended']} records appended "
+            f"({stats['bytes_appended']} bytes), "
+            f"{stats['records_reused']} reused; "
+            f"store {stats['size_bytes']} bytes "
+            f"({stats['dead_bytes']} dead)"
+        )
+
+    def _cmd_pack(self, _args: List[str]) -> None:
+        stats = self.system.pack()
+        self._print(
+            f"packed: reclaimed {stats['reclaimed_bytes']} bytes, "
+            f"store now {stats['size_bytes']} bytes"
+        )
 
     def _cmd_serve(self, args: List[str]) -> None:
         port = int(args[0]) if args else 0

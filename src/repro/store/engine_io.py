@@ -1,0 +1,693 @@
+""":class:`SingleFileStore` — whole-engine persistence in one file.
+
+This is the durable replacement for the per-collection JSON dumps of
+:mod:`repro.irs.persistence`.  All three collection layouts (monolithic,
+segmented, sharded) serialize into one append-only
+:class:`~repro.store.file.StoreFile`; a checkpoint appends only what
+changed since the previous one:
+
+* **sealed segments** are written exactly once.  A written segment gets a
+  ``store_stamp`` (token, offset, length); later checkpoints reference
+  the existing record.  Tombstones travel in the *manifest* entry, so
+  deleting documents never rewrites a segment record.
+* **documents** append as delta batches: only documents whose
+  ``(doc_id, revision)`` changed since the last checkpoint.  Removals are
+  listed in the manifest; once the removal list outgrows the live set,
+  the batches are rewritten from scratch (self-trimming).
+* **memtables** and **monolithic indexes** re-append only when their
+  version/epoch moved.
+
+The manifest (one JSON record + footer per checkpoint) is the atomic
+commit: crash anywhere before the footer fsync leaves the previous
+checkpoint intact (see :mod:`repro.store.file` for recovery).
+
+Loading is lazy by default: each collection registers a loader with the
+engine and materializes from the manifest on first touch, so
+restart-to-first-query cost is O(touched collections), not O(corpus).
+Materialization builds the *legacy payload shape* and hands it to
+``IRSCollection.from_payload`` / ``ShardedCollection.from_payload`` —
+the same cross-loading machinery the JSON layouts use, which is what
+makes store↔legacy round-trips exact in both directions.
+
+Offline :meth:`pack` copies live records into a fresh file and atomically
+replaces the store, keeping a one-generation offset remap so segment
+stamps stay valid across the compaction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.errors import StoreError
+from repro.store import blocks
+from repro.store.blocks import encode_json
+from repro.store.file import StoreFile, fsync_directory
+
+
+class _ManagerState:
+    """Last-persisted refs of one segment manager (or monolithic index)."""
+
+    __slots__ = ("mem_ref", "mem_version", "flat_ref", "flat_epoch")
+
+    def __init__(self) -> None:
+        self.mem_ref: Optional[List[int]] = None
+        self.mem_version: Optional[tuple] = None
+        self.flat_ref: Optional[List[int]] = None
+        self.flat_epoch: Optional[int] = None
+
+
+class _CollectionState:
+    """Incremental bookkeeping for one collection between checkpoints."""
+
+    __slots__ = ("revisions", "batches", "removed", "managers")
+
+    def __init__(self) -> None:
+        #: doc id -> revision as of the last persisted batch.
+        self.revisions: Dict[int, int] = {}
+        #: ``[offset, length]`` of every live document batch, oldest first.
+        self.batches: List[List[int]] = []
+        #: doc ids persisted in some batch and since removed.
+        self.removed: Set[int] = set()
+        #: per-manager refs; key −1 for an unsharded collection, else the
+        #: shard index.
+        self.managers: Dict[int, _ManagerState] = {}
+
+
+class SingleFileStore:
+    """The engine's single-file durable store (see module docstring)."""
+
+    def __init__(self, path: str, use_mmap: bool = True) -> None:
+        self.path = path
+        self._use_mmap = use_mmap
+        self.file = StoreFile(path, use_mmap=use_mmap)
+        self.manifest: Optional[dict] = self.file.read_manifest()
+        self._state: Dict[str, _CollectionState] = {}
+        #: One-generation stamp translation after :meth:`pack`:
+        #: ``(previous_token, {old_offset: [new_offset, length]})``.
+        self._remap: Optional[Tuple[int, Dict[int, List[int]]]] = None
+        self._live_bytes = self._compute_live_bytes(self.manifest)
+        self.last_checkpoint_seconds: Optional[float] = None
+        if self.file.recovered_tail_bytes:
+            registry = obs.metrics()
+            registry.counter("store.recoveries").inc()
+            registry.counter("store.recovered.tail_bytes").inc(
+                self.file.recovered_tail_bytes
+            )
+
+    @property
+    def token(self) -> int:
+        return self.file.token
+
+    @property
+    def checkpoint_id(self) -> int:
+        return self.manifest["checkpoint_id"] if self.manifest else 0
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, engine, gens: Optional[Dict[str, int]] = None) -> dict:
+        """Append one incremental checkpoint of ``engine`` and commit it.
+
+        ``gens`` are the OODB-side index generations recorded alongside
+        (see ``DocumentSystem.checkpoint``): on restart, a collection
+        whose database generation outruns the stored one is reindexed
+        from the recovered database state.
+        """
+        registry = obs.metrics()
+        started = time.perf_counter()
+        self._appended = 0
+        self._reused = 0
+        self._appended_bytes = 0
+        with obs.tracer().span("store.checkpoint", path=self.path):
+            previous = (self.manifest or {}).get("collections", {})
+            collections: Dict[str, dict] = {}
+            for name in engine.collection_names():
+                if engine.is_lazy(name) and name in previous:
+                    # Untouched since load: its records and manifest entry
+                    # are still exact — carry the entry forward verbatim.
+                    collections[name] = previous[name]
+                    continue
+                collection = engine.collection(name)
+                with engine.reading(name):
+                    collections[name] = self._collection_entry(name, collection)
+            for name in list(self._state):
+                if name not in collections:
+                    del self._state[name]
+            manifest = {
+                "checkpoint_id": self.checkpoint_id + 1,
+                "prev": self.file.manifest_offset,
+                "engine": {
+                    "default_model": engine._default_model,
+                    "shard_count": engine.shard_count,
+                },
+                "gens": dict(gens or {}),
+                "collections": collections,
+            }
+            self.file.commit(encode_json(manifest))
+            self.manifest = manifest
+            self._live_bytes = self._compute_live_bytes(manifest)
+        elapsed = time.perf_counter() - started
+        self.last_checkpoint_seconds = elapsed
+        registry.counter("store.checkpoints").inc()
+        registry.counter("store.records.appended").inc(self._appended)
+        registry.counter("store.records.reused").inc(self._reused)
+        registry.counter("store.bytes.appended").inc(self._appended_bytes)
+        registry.rolling("store.checkpoint.seconds").observe(elapsed)
+        self._update_size_gauges(registry)
+        return {
+            "checkpoint_id": manifest["checkpoint_id"],
+            "seconds": elapsed,
+            "records_appended": self._appended,
+            "records_reused": self._reused,
+            "bytes_appended": self._appended_bytes,
+            "size_bytes": self.file.size,
+            "live_bytes": self._live_bytes,
+            "dead_bytes": max(0, self.file.size - self._live_bytes),
+        }
+
+    def _append(self, kind: int, payload: dict) -> List[int]:
+        offset, length = self.file.append_record(kind, encode_json(payload))
+        self._appended += 1
+        self._appended_bytes += length
+        return [offset, length]
+
+    def _collection_entry(self, name: str, collection) -> dict:
+        state = self._state.setdefault(name, _CollectionState())
+        entry: Dict[str, Any] = {
+            "analyzer": collection.analyzer.config(),
+            "next_doc_id": collection._next_doc_id,
+            "document_count": len(collection._documents),
+        }
+        self._checkpoint_docs(state, collection, entry)
+        if getattr(collection, "shards", None):
+            entry["layout"] = "sharded"
+            entry["shard_count"] = collection.shard_count
+            entry["shards"] = [
+                self._manager_entry(state, index, shard)
+                for index, shard in enumerate(collection.shards)
+            ]
+        elif collection.segments is not None:
+            entry["layout"] = "segmented"
+            entry.update(self._manager_entry(state, -1, collection))
+        else:
+            entry["layout"] = "flat"
+            entry.update(self._manager_entry(state, -1, collection))
+        return entry
+
+    def _checkpoint_docs(self, state, collection, entry) -> None:
+        current = {
+            doc.doc_id: doc.revision
+            for doc in collection._documents.values()
+        }
+        removed = [
+            doc_id for doc_id in state.revisions if doc_id not in current
+        ]
+        state.removed.update(removed)
+        for doc_id in removed:
+            del state.revisions[doc_id]
+        if state.removed and len(state.removed) > max(64, len(current)):
+            # More dead than alive: rewrite the batches from scratch so
+            # replay cost stays proportional to the live set.
+            state.batches = []
+            state.removed = set()
+            state.revisions = {}
+            changed = sorted(current)
+        else:
+            changed = sorted(
+                doc_id
+                for doc_id, revision in current.items()
+                if state.revisions.get(doc_id) != revision
+            )
+        if changed:
+            batch = []
+            for doc_id in changed:
+                doc = collection._documents[doc_id]
+                batch.append(
+                    {
+                        "doc_id": doc.doc_id,
+                        "text": doc.text,
+                        "metadata": doc.metadata,
+                        "revision": doc.revision,
+                    }
+                )
+                state.revisions[doc_id] = current[doc_id]
+            state.batches.append(
+                self._append(blocks.KIND_DOCS, {"documents": batch})
+            )
+        entry["doc_batches"] = [list(ref) for ref in state.batches]
+        entry["removed_docs"] = sorted(state.removed)
+
+    def _manager_entry(self, state, key: int, collection) -> dict:
+        """Index refs of one shard/collection: flat ref or segments+memtable."""
+        mstate = state.managers.setdefault(key, _ManagerState())
+        manager = collection.segments
+        if manager is None:
+            epoch = collection.index.epoch
+            if mstate.flat_ref is None or mstate.flat_epoch != epoch:
+                mstate.flat_ref = self._append(
+                    blocks.KIND_INDEX, {"index": collection.index.to_payload()}
+                )
+                mstate.flat_epoch = epoch
+            else:
+                self._reused += 1
+            return {"index": list(mstate.flat_ref)}
+        segments = []
+        for segment in manager.sealed_segments():
+            offset, length = self._segment_ref(segment)
+            segments.append(
+                {
+                    "offset": offset,
+                    "length": length,
+                    "tombstones": sorted(segment.tombstones),
+                    "documents": segment.index.document_count,
+                }
+            )
+        memtable = manager.memtable
+        mem_ref = None
+        if memtable.document_count:
+            if (
+                mstate.mem_ref is not None
+                and mstate.mem_version == manager.version
+            ):
+                mem_ref = list(mstate.mem_ref)
+                self._reused += 1
+            else:
+                mem_ref = self._append(
+                    blocks.KIND_MEMTABLE,
+                    {"index": memtable.index.to_payload()},
+                )
+                mstate.mem_ref = list(mem_ref)
+                mstate.mem_version = manager.version
+        else:
+            mstate.mem_ref = None
+            mstate.mem_version = None
+        return {"segments": segments, "memtable": mem_ref}
+
+    def _segment_ref(self, segment) -> Tuple[int, int]:
+        """The (offset, length) of a sealed segment — written at most once."""
+        stamp = segment.store_stamp
+        if stamp is not None:
+            token, offset, length = stamp
+            if token == self.token:
+                self._reused += 1
+                return offset, length
+            if self._remap is not None and token == self._remap[0]:
+                moved = self._remap[1].get(offset)
+                if moved is not None:
+                    segment.store_stamp = (self.token, moved[0], moved[1])
+                    self._reused += 1
+                    return moved[0], moved[1]
+        ref = self._append(
+            blocks.KIND_SEGMENT, {"index": segment.index.to_payload()}
+        )
+        segment.store_stamp = (self.token, ref[0], ref[1])
+        return ref[0], ref[1]
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+
+    def load_engine(
+        self,
+        default_model: str = "inquery",
+        analyzer=None,
+        shard_count: int = 0,
+        shard_config=None,
+        lazy: bool = True,
+    ):
+        """Build an engine over the last checkpoint.
+
+        With ``lazy=True`` (the default) collections register loaders and
+        materialize on first touch; ``lazy=False`` loads everything now
+        (the eager baseline the restart benchmark compares against).
+        """
+        from repro.irs.engine import IRSEngine
+
+        engine = IRSEngine(
+            default_model=default_model,
+            analyzer=analyzer,
+            shard_count=shard_count,
+            shard_config=shard_config,
+        )
+        manifest = self.manifest
+        if manifest is None:
+            return engine
+        for name in sorted(manifest["collections"]):
+            if lazy:
+                engine.register_lazy_collection(name, self._loader(engine, name))
+            else:
+                engine._collections[name] = self._loader(engine, name)()
+        return engine
+
+    def _loader(self, engine, name: str):
+        def build():
+            entry = (self.manifest or {}).get("collections", {}).get(name)
+            if entry is None:
+                raise StoreError(
+                    f"collection {name!r} vanished from the store manifest"
+                )
+            return self._materialize(engine, name, entry)
+
+        return build
+
+    def _materialize(self, engine, name: str, entry: dict):
+        from repro.irs.collection import IRSCollection
+        from repro.irs.shards import ShardedCollection
+
+        payload: Dict[str, Any] = {
+            "name": name,
+            "next_doc_id": entry["next_doc_id"],
+            "analyzer": entry["analyzer"],
+            "documents": self._replay_docs(entry),
+        }
+        layout = entry["layout"]
+        if layout == "flat":
+            ref = entry["index"]
+            payload["index"] = self.file.read_json(
+                ref[0], ref[1], blocks.KIND_INDEX
+            )["index"]
+        elif layout == "segmented":
+            payload["segments"] = self._segment_payloads(entry)
+        else:
+            payload["shard_count"] = entry["shard_count"]
+            payload["shards"] = [
+                self._shard_payload(shard_entry)
+                for shard_entry in entry["shards"]
+            ]
+        if engine.shard_count and engine.shard_count >= 1:
+            collection = ShardedCollection.from_payload(
+                payload,
+                engine._analyzer,
+                segment_config=engine.segment_config,
+                shard_count=engine.shard_count,
+            )
+        else:
+            collection = IRSCollection.from_payload(
+                payload, engine._analyzer, segment_config=engine.segment_config
+            )
+        self._seed_state(name, entry, collection)
+        return collection
+
+    def _replay_docs(self, entry: dict) -> List[dict]:
+        documents: Dict[int, dict] = {}
+        for offset, length in entry["doc_batches"]:
+            batch = self.file.read_json(offset, length, blocks.KIND_DOCS)
+            for doc in batch["documents"]:
+                documents[doc["doc_id"]] = doc
+        for doc_id in entry["removed_docs"]:
+            documents.pop(doc_id, None)
+        return [documents[doc_id] for doc_id in sorted(documents)]
+
+    def _segment_payloads(self, entry: dict) -> List[dict]:
+        payloads = []
+        for segment in entry["segments"]:
+            record = self.file.read_json(
+                segment["offset"], segment["length"], blocks.KIND_SEGMENT
+            )
+            payloads.append(
+                {"index": record["index"], "tombstones": segment["tombstones"]}
+            )
+        mem_ref = entry.get("memtable")
+        if mem_ref:
+            record = self.file.read_json(
+                mem_ref[0], mem_ref[1], blocks.KIND_MEMTABLE
+            )
+            payloads.append({"index": record["index"], "tombstones": []})
+        return payloads
+
+    def _shard_payload(self, shard_entry: dict) -> dict:
+        if shard_entry.get("index") is not None:
+            ref = shard_entry["index"]
+            return {
+                "index": self.file.read_json(ref[0], ref[1], blocks.KIND_INDEX)[
+                    "index"
+                ]
+            }
+        return {"segments": self._segment_payloads(shard_entry)}
+
+    def _seed_state(self, name: str, entry: dict, collection) -> None:
+        """Prime incremental bookkeeping after a load, so the very next
+        checkpoint is already a delta (documents and matching segments are
+        referenced, not rewritten)."""
+        state = _CollectionState()
+        state.revisions = {
+            doc.doc_id: doc.revision
+            for doc in collection._documents.values()
+        }
+        state.batches = [list(ref) for ref in entry["doc_batches"]]
+        state.removed = set(entry["removed_docs"])
+        self._state[name] = state
+        layout = entry["layout"]
+        sharded = bool(getattr(collection, "shards", None))
+        if layout == "segmented" and not sharded and collection.segments is not None:
+            self._stamp_manager(collection.segments, entry["segments"])
+        elif (
+            layout == "sharded"
+            and sharded
+            and collection.shard_count == entry["shard_count"]
+        ):
+            for shard, shard_entry in zip(collection.shards, entry["shards"]):
+                if shard.segments is not None and shard_entry.get("segments"):
+                    self._stamp_manager(shard.segments, shard_entry["segments"])
+        # Layout mismatches (re-partitioned / flattened loads) skip
+        # stamping; the next checkpoint writes the new shape once.
+
+    def _stamp_manager(self, manager, segment_entries: List[dict]) -> None:
+        # ``load_sealed`` registered segments in entry order; a trailing
+        # extra one came from the memtable record and is left unstamped
+        # (its record kind differs — it is written once as a segment at
+        # the next checkpoint).
+        for segment, seg_entry in zip(
+            manager.sealed_segments(), segment_entries
+        ):
+            segment.store_stamp = (
+                self.token,
+                seg_entry["offset"],
+                seg_entry["length"],
+            )
+
+    # ------------------------------------------------------------------
+    # pack
+    # ------------------------------------------------------------------
+
+    def pack(self) -> dict:
+        """Offline compaction: copy live records into a fresh file.
+
+        Atomic (write-new + ``os.replace``); requires a quiesced system —
+        ``DocumentSystem.pack`` checkpoints first, and no concurrent
+        checkpoint or materialization may run during the copy.  Segment
+        stamps survive via a one-generation offset remap.
+        """
+        registry = obs.metrics()
+        manifest = self.manifest
+        if manifest is None:
+            return {"packed": False, "reclaimed_bytes": 0, "size_bytes": self.file.size}
+        started = time.perf_counter()
+        with obs.tracer().span("store.pack", path=self.path):
+            old_size = self.file.size
+            old_token = self.token
+            tmp_path = self.path + ".pack"
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+            new_file = StoreFile(tmp_path, use_mmap=self._use_mmap)
+            remap: Dict[int, List[int]] = {}
+            collections = {
+                name: self._pack_entry(entry, new_file, remap)
+                for name, entry in manifest["collections"].items()
+            }
+            new_manifest = dict(manifest)
+            new_manifest["checkpoint_id"] = manifest["checkpoint_id"] + 1
+            new_manifest["collections"] = collections
+            new_manifest["prev"] = None
+            new_file.commit(encode_json(new_manifest))
+            new_file.close()
+            self.file.close()
+            os.replace(tmp_path, self.path)
+            fsync_directory(self.path)
+            self.file = StoreFile(self.path, use_mmap=self._use_mmap)
+            self.manifest = self.file.read_manifest()
+            self._remap = (old_token, remap)
+            self._live_bytes = self._compute_live_bytes(self.manifest)
+            self._repoint_state(remap)
+        registry.counter("store.packs").inc()
+        self._update_size_gauges(registry)
+        return {
+            "packed": True,
+            "seconds": time.perf_counter() - started,
+            "reclaimed_bytes": max(0, old_size - self.file.size),
+            "size_bytes": self.file.size,
+        }
+
+    def _pack_entry(self, entry: dict, new_file: StoreFile, remap) -> dict:
+        packed = dict(entry)
+        # Documents: merge all delta batches into one live batch.
+        documents = self._replay_docs(entry)
+        if documents or entry["doc_batches"]:
+            data = encode_json({"documents": documents})
+            offset, length = new_file.append_record(blocks.KIND_DOCS, data)
+            packed["doc_batches"] = [[offset, length]]
+        else:
+            packed["doc_batches"] = []
+        packed["removed_docs"] = []
+        if entry["layout"] == "sharded":
+            packed["shards"] = [
+                self._pack_refs(shard_entry, new_file, remap)
+                for shard_entry in entry["shards"]
+            ]
+        else:
+            packed.update(self._pack_refs(entry, new_file, remap))
+        return packed
+
+    def _pack_refs(self, entry: dict, new_file: StoreFile, remap) -> dict:
+        """Copy one manager's records verbatim; returns the rewritten refs."""
+        out: Dict[str, Any] = {}
+        if entry.get("index") is not None:
+            out["index"] = self._copy_record(entry["index"], new_file, remap)
+        if "segments" in entry:
+            segments = []
+            for segment in entry["segments"]:
+                moved = self._copy_record(
+                    [segment["offset"], segment["length"]], new_file, remap
+                )
+                rewritten = dict(segment)
+                rewritten["offset"], rewritten["length"] = moved
+                segments.append(rewritten)
+            out["segments"] = segments
+            mem_ref = entry.get("memtable")
+            out["memtable"] = (
+                self._copy_record(mem_ref, new_file, remap) if mem_ref else None
+            )
+        return out
+
+    def _copy_record(self, ref, new_file: StoreFile, remap) -> List[int]:
+        offset, length = ref
+        already = remap.get(offset)
+        if already is not None:
+            return list(already)
+        data = self.file._pread(offset, length)
+        blocks.verify_record(data)
+        new_offset, new_length = new_file.append_raw(data)
+        remap[offset] = [new_offset, new_length]
+        return [new_offset, new_length]
+
+    def _repoint_state(self, remap: Dict[int, List[int]]) -> None:
+        new_collections = (self.manifest or {}).get("collections", {})
+        for name, state in self._state.items():
+            entry = new_collections.get(name)
+            if entry is None:
+                continue
+            state.batches = [list(ref) for ref in entry["doc_batches"]]
+            state.removed = set(entry["removed_docs"])
+            for mstate in state.managers.values():
+                for attr in ("mem_ref", "flat_ref"):
+                    ref = getattr(mstate, attr)
+                    if ref is not None:
+                        moved = remap.get(ref[0])
+                        setattr(mstate, attr, list(moved) if moved else None)
+                if mstate.mem_ref is None:
+                    mstate.mem_version = None
+                if mstate.flat_ref is None:
+                    mstate.flat_epoch = None
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def _compute_live_bytes(self, manifest: Optional[dict]) -> int:
+        total = blocks.SUPER_SIZE
+        if manifest is None:
+            return total
+        total += self.file.manifest_length + blocks.FOOTER_SIZE
+        live: Dict[int, int] = {}  # offset -> length; shared refs count once
+        for entry in manifest["collections"].values():
+            for ref in entry.get("doc_batches", []):
+                live[ref[0]] = ref[1]
+            managers = (
+                entry.get("shards", [])
+                if entry["layout"] == "sharded"
+                else [entry]
+            )
+            for manager_entry in managers:
+                for ref in (
+                    manager_entry.get("index"),
+                    manager_entry.get("memtable"),
+                ):
+                    if ref:
+                        live[ref[0]] = ref[1]
+                for segment in manager_entry.get("segments", []):
+                    live[segment["offset"]] = segment["length"]
+        return total + sum(live.values())
+
+    def _update_size_gauges(self, registry) -> None:
+        size = self.file.size
+        dead = max(0, size - self._live_bytes)
+        registry.gauge("store.bytes.total").set(size)
+        registry.gauge("store.bytes.live").set(self._live_bytes)
+        registry.gauge("store.bytes.dead").set(dead)
+
+    def dirty_info(self, engine) -> Dict[str, int]:
+        """Approximate un-checkpointed volume, for ``health()["storage"]``.
+
+        ``approx_bytes`` counts text characters of documents whose
+        revision moved since the last checkpoint plus the heap estimate
+        of memtables not persisted at their current version — a trend
+        signal (how much would the next checkpoint write), not an exact
+        byte count.
+        """
+        documents = 0
+        approx_bytes = 0
+        for name in engine.collection_names():
+            collection = engine._collections.get(name)
+            if collection is None:  # lazy and untouched: clean by definition
+                continue
+            state = self._state.get(name)
+            revisions = state.revisions if state is not None else {}
+            for doc in collection._documents.values():
+                if revisions.get(doc.doc_id) != doc.revision:
+                    documents += 1
+                    approx_bytes += len(doc.text)
+            managers = collection.segment_managers()
+            sharded = bool(getattr(collection, "shards", None))
+            for index, manager in enumerate(managers):
+                key = index if sharded else -1
+                mstate = state.managers.get(key) if state is not None else None
+                if (
+                    manager.memtable.document_count
+                    and (
+                        mstate is None
+                        or mstate.mem_version != manager.version
+                    )
+                ):
+                    approx_bytes += manager.memtable.approx_bytes()
+        return {"documents": documents, "approx_bytes": approx_bytes}
+
+    def stats(self) -> Dict[str, Any]:
+        size = self.file.size
+        dead = max(0, size - self._live_bytes)
+        return {
+            "path": self.path,
+            "size_bytes": size,
+            "live_bytes": self._live_bytes,
+            "dead_bytes": dead,
+            "dead_ratio": dead / size if size else 0.0,
+            "checkpoints": self.checkpoint_id,
+            "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "recovered_tail_bytes": self.file.recovered_tail_bytes,
+        }
+
+    def gens(self) -> Dict[str, int]:
+        """The OODB index generations recorded at the last checkpoint."""
+        return dict((self.manifest or {}).get("gens", {}))
+
+    def close(self) -> None:
+        self.file.close()
+
+    def __enter__(self) -> "SingleFileStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

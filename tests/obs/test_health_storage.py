@@ -1,0 +1,71 @@
+"""Storage section of the health report: thresholds and verdict coupling."""
+
+from repro.obs.health import (
+    STORAGE_DEAD_BYTES,
+    STORAGE_DEAD_RATIO,
+    build_health,
+)
+
+
+def storage_stats(dead_ratio=0.0, dead_bytes=0, **extra):
+    stats = {
+        "path": "/x/irs.store",
+        "size_bytes": 4096 + dead_bytes,
+        "live_bytes": 4096,
+        "dead_bytes": dead_bytes,
+        "dead_ratio": dead_ratio,
+        "checkpoints": 3,
+        "dirty": {"documents": 0, "approx_bytes": 0},
+    }
+    stats.update(extra)
+    return stats
+
+
+class TestStorageSection:
+    def test_absent_storage_reports_disabled(self):
+        report = build_health()
+        assert report["storage"] == {"enabled": False}
+        assert report["status"] == "ok"
+
+    def test_healthy_store_does_not_need_pack(self):
+        report = build_health(storage=storage_stats(dead_ratio=0.1, dead_bytes=100))
+        storage = report["storage"]
+        assert storage["enabled"] is True
+        assert storage["needs_pack"] is False
+        assert report["status"] == "ok"
+
+    def test_high_ratio_alone_is_not_enough(self):
+        # A tiny store can be 90% dead without being worth a rewrite.
+        report = build_health(
+            storage=storage_stats(dead_ratio=0.9, dead_bytes=STORAGE_DEAD_BYTES - 1)
+        )
+        assert report["storage"]["needs_pack"] is False
+        assert report["status"] == "ok"
+
+    def test_many_dead_bytes_alone_is_not_enough(self):
+        # A huge, mostly-live store wastes little relative to its size.
+        report = build_health(
+            storage=storage_stats(
+                dead_ratio=STORAGE_DEAD_RATIO / 2, dead_bytes=STORAGE_DEAD_BYTES * 4
+            )
+        )
+        assert report["storage"]["needs_pack"] is False
+        assert report["status"] == "ok"
+
+    def test_both_thresholds_flip_needs_pack_and_degrade(self):
+        report = build_health(
+            storage=storage_stats(
+                dead_ratio=STORAGE_DEAD_RATIO, dead_bytes=STORAGE_DEAD_BYTES
+            )
+        )
+        assert report["storage"]["needs_pack"] is True
+        assert report["status"] == "degraded"
+
+    def test_stats_pass_through_unchanged(self):
+        stats = storage_stats(dead_ratio=0.25, dead_bytes=512)
+        report = build_health(storage=stats)
+        storage = report["storage"]
+        assert storage["path"] == "/x/irs.store"
+        assert storage["checkpoints"] == 3
+        assert storage["dead_bytes"] == 512
+        assert storage["dirty"] == {"documents": 0, "approx_bytes": 0}

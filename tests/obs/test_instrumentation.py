@@ -53,9 +53,10 @@ class TestWalAndRecoveryMetrics:
             assert recovered.object_count() == 2
             snapshot = metrics.snapshot()
             assert snapshot["counters"]["oodb.recovery.runs"] == 1
-            # 2 CREATEs + 2 title WRITEs from the committed transaction.
-            assert snapshot["counters"]["oodb.recovery.records_replayed"] == 4
-            assert snapshot["gauges"]["oodb.recovery.last_records"] == 4
+            # 1 SCHEMA (define_class DDL) + 2 CREATEs + 2 title WRITEs
+            # from the committed transactions.
+            assert snapshot["counters"]["oodb.recovery.records_replayed"] == 5
+            assert snapshot["gauges"]["oodb.recovery.last_records"] == 5
             assert snapshot["gauges"]["oodb.recovery.last_seconds"] > 0.0
 
     def test_recovery_emits_span(self, tmp_path):

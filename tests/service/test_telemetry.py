@@ -186,7 +186,7 @@ class TestHealth:
         assert health["status"] in {"ok", "degraded", "overloaded"}
         assert set(health) == {
             "status", "admission", "merge", "memtable", "shards", "network",
-            "latency",
+            "latency", "storage",
         }
         assert health["shards"]["executor_attached"] is False
         network = health["network"]

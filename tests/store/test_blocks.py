@@ -1,0 +1,94 @@
+"""Block codecs: superblock, records, footer — and their corruption checks."""
+
+import pytest
+
+from repro.errors import StoreCorruptionError
+from repro.store import blocks
+
+
+class TestSuperblock:
+    def test_round_trip(self):
+        data = blocks.encode_superblock(token=12345)
+        assert len(data) == blocks.SUPER_SIZE
+        version, flags, token = blocks.decode_superblock(data)
+        assert version == blocks.VERSION
+        assert flags == 0
+        assert token == 12345
+
+    def test_bad_magic_rejected(self):
+        data = b"NOTMAGIC" + blocks.encode_superblock(1)[8:]
+        with pytest.raises(StoreCorruptionError):
+            blocks.decode_superblock(data)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(StoreCorruptionError):
+            blocks.decode_superblock(blocks.encode_superblock(1)[:10])
+
+    def test_crc_flip_rejected(self):
+        data = bytearray(blocks.encode_superblock(99))
+        data[10] ^= 0xFF
+        with pytest.raises(StoreCorruptionError):
+            blocks.decode_superblock(bytes(data))
+
+
+class TestRecords:
+    def test_round_trip(self):
+        payload = blocks.encode_json({"a": 1, "b": [2, 3]})
+        record = blocks.encode_record(blocks.KIND_DOCS, payload)
+        assert blocks.verify_record(record, blocks.KIND_DOCS) == payload
+        assert blocks.decode_json(payload) == {"a": 1, "b": [2, 3]}
+
+    def test_kind_mismatch_rejected(self):
+        record = blocks.encode_record(blocks.KIND_DOCS, b"x")
+        with pytest.raises(StoreCorruptionError):
+            blocks.verify_record(record, blocks.KIND_MANIFEST)
+
+    def test_any_kind_accepted_when_unspecified(self):
+        record = blocks.encode_record(blocks.KIND_SEGMENT, b"x")
+        assert blocks.verify_record(record) == b"x"
+
+    @pytest.mark.parametrize("position", [0, 4, 8, 9, -1])
+    def test_bit_flip_rejected(self, position):
+        record = bytearray(blocks.encode_record(blocks.KIND_INDEX, b"payload"))
+        record[position] ^= 0x01
+        with pytest.raises(StoreCorruptionError):
+            blocks.verify_record(bytes(record))
+
+    def test_truncated_record_rejected(self):
+        record = blocks.encode_record(blocks.KIND_DOCS, b"longish payload")
+        with pytest.raises(StoreCorruptionError):
+            blocks.verify_record(record[:-3])
+
+    def test_kind_byte_is_covered_by_crc(self):
+        record = bytearray(blocks.encode_record(blocks.KIND_DOCS, b"x"))
+        record[8] = blocks.KIND_MANIFEST  # swap the kind, keep the old crc
+        with pytest.raises(StoreCorruptionError):
+            blocks.verify_record(bytes(record))
+
+
+class TestFooter:
+    def test_round_trip(self):
+        data = blocks.encode_footer(4096, 117)
+        assert len(data) == blocks.FOOTER_SIZE
+        assert blocks.decode_footer(data) == (4096, 117)
+
+    def test_corrupt_footer_rejected(self):
+        data = bytearray(blocks.encode_footer(4096, 117))
+        data[12] ^= 0xFF
+        with pytest.raises(StoreCorruptionError):
+            blocks.decode_footer(bytes(data))
+
+    def test_wrong_magic_rejected(self):
+        data = blocks.encode_superblock(1)[:8] + blocks.encode_footer(1, 1)[8:]
+        with pytest.raises(StoreCorruptionError):
+            blocks.decode_footer(data)
+
+
+class TestJson:
+    def test_encoding_is_canonical(self):
+        # sort_keys + compact separators: byte-identical for equal dicts,
+        # so unchanged records never produce spurious new bytes.
+        a = blocks.encode_json({"b": 1, "a": 2})
+        b = blocks.encode_json({"a": 2, "b": 1})
+        assert a == b
+        assert b" " not in a

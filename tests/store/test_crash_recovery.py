@@ -1,0 +1,259 @@
+"""Crash fault injection: every interrupted write recovers deterministically.
+
+Crashes are simulated the way a kill -9 looks to the filesystem: the store
+file (or the whole system directory) is copied/truncated/bit-flipped at a
+chosen point and reopened.  The invariant under test is the one the paper's
+coupling needs: after recovery, rankings are bit-identical to a run that
+never crashed — under all three retrieval models.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.system import DocumentSystem
+from repro.errors import StoreCorruptionError
+from repro.irs.engine import IRSEngine
+from repro.irs.segments.segment import SegmentConfig
+from repro.sgml.mmf import build_document, mmf_dtd
+from repro.store import SingleFileStore, blocks
+
+MODELS = ("inquery", "vector", "boolean")
+
+
+def build_engine():
+    engine = IRSEngine(segment_config=SegmentConfig(seal_document_count=3))
+    engine.create_collection("docs")
+    for i in range(8):
+        engine.index_document(
+            "docs", f"structured document retrieval number {i}", {"oid": f"O{i}"}
+        )
+    return engine
+
+
+def rankings(engine, name="docs", query="structured retrieval"):
+    return {
+        model: engine.query(name, query, model=model).values for model in MODELS
+    }
+
+
+class TestStoreLevelCrashes:
+    """Faults injected directly into the store file between checkpoints."""
+
+    def checkpointed_store(self, tmp_path):
+        engine = build_engine()
+        path = str(tmp_path / "irs.store")
+        store = SingleFileStore(path)
+        store.checkpoint(engine)
+        expected = rankings(engine)
+        return engine, store, path, expected
+
+    @pytest.mark.parametrize("torn_bytes", [1, 7, 100, 1000])
+    def test_torn_tail_after_second_checkpoint(self, tmp_path, torn_bytes):
+        engine, store, path, expected = self.checkpointed_store(tmp_path)
+        first_end = store.file.size
+        engine.index_document("docs", "uncommitted extra document", {})
+        store.checkpoint(engine)
+        store.close()
+        size = os.path.getsize(path)
+        # Tear at most back to the end of the first checkpoint — its own
+        # bytes are durable (commit fsyncs before returning).
+        cut = min(torn_bytes, size - first_end)
+        os.truncate(path, size - cut)
+        recovered = SingleFileStore(path)
+        # Whatever the cut destroyed, recovery lands on a *valid* manifest:
+        # either checkpoint 2 survived intact or we are back at checkpoint 1.
+        manifest_id = recovered.checkpoint_id
+        assert manifest_id in (1, 2)
+        restored = recovered.load_engine()
+        got = rankings(restored)
+        if manifest_id == 1:
+            assert got == expected
+        else:
+            assert set(got["inquery"]) >= set(expected["inquery"])
+        recovered.close()
+
+    def test_every_truncation_point_yields_first_checkpoint(self, tmp_path):
+        engine = build_engine()
+        path = str(tmp_path / "irs.store")
+        store = SingleFileStore(path)
+        store.checkpoint(engine)
+        expected = rankings(engine)
+        first_end = store.file.size
+        engine.index_document("docs", "later document", {})
+        store.checkpoint(engine)
+        store.close()
+        final_size = os.path.getsize(path)
+        # Any crash point strictly inside the second checkpoint's bytes
+        # must recover to exactly the first checkpoint.
+        for cut in range(first_end + 1, final_size, 97):
+            work = str(tmp_path / "work.store")
+            shutil.copyfile(path, work)
+            os.truncate(work, cut)
+            recovered = SingleFileStore(work)
+            assert recovered.checkpoint_id == 1, f"cut at {cut}"
+            assert rankings(recovered.load_engine()) == expected, f"cut at {cut}"
+            recovered.close()
+
+    def test_bit_flip_in_live_segment_fails_loud(self, tmp_path):
+        engine, store, path, _ = self.checkpointed_store(tmp_path)
+        entry = store.manifest["collections"]["docs"]
+        segment = entry["segments"][0]
+        store.close()
+        with open(path, "r+b") as fh:
+            fh.seek(segment["offset"] + blocks.RECORD_HEADER_SIZE + 5)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0x40]))
+        recovered = SingleFileStore(path)
+        restored = recovered.load_engine()
+        # Never a silently wrong index: the flip surfaces on first touch.
+        with pytest.raises(StoreCorruptionError):
+            restored.collection("docs")
+        recovered.close()
+
+    def test_bit_flip_in_dead_space_is_harmless(self, tmp_path):
+        engine, store, path, _ = self.checkpointed_store(tmp_path)
+        # Checkpoint 1's manifest record is guaranteed dead once
+        # checkpoint 2 commits — flip a bit inside it.
+        dead_offset = store.file.manifest_offset
+        engine.replace_document("docs", 1, "rewritten document text")
+        store.checkpoint(engine)
+        expected = rankings(engine)
+        store.close()
+        with open(path, "r+b") as fh:
+            fh.seek(dead_offset + blocks.RECORD_HEADER_SIZE + 3)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0x20]))
+        recovered = SingleFileStore(path)
+        restored = recovered.load_engine()
+        assert rankings(restored) == expected
+        recovered.close()
+
+
+def _make_system(path, **kwargs):
+    system = DocumentSystem(directory=path, **kwargs)
+    dtd = mmf_dtd()
+    system.register_dtd(dtd)
+    return system, dtd
+
+
+class TestSystemLevelCrashes:
+    """The coordinated WAL + store crash window (kill between commits)."""
+
+    def populated(self, tmp_path, shards=0):
+        path = str(tmp_path / "sys")
+        system, dtd = _make_system(path, shards=shards)
+        for i in range(6):
+            system.add_document(
+                build_document(
+                    f"T{i}", [f"telnet retrieval text {i}", "www structure access"]
+                ),
+                dtd=dtd,
+            )
+        collection = system.create_collection("paras", "ACCESS p FROM p IN PARA")
+        system.index_collection(collection)
+        return path, system, collection, dtd
+
+    def _crash_image(self, path, tmp_path, tag):
+        image = str(tmp_path / f"crash_{tag}")
+        shutil.copytree(path, image)
+        return image
+
+    def _reopened_rankings(self, image, query="telnet retrieval"):
+        system = DocumentSystem(directory=image)
+        collection = next(iter(system.db.instances_of("COLLECTION")))
+        got = {
+            model: system.search(collection, query, model=model).to_dict()
+            for model in MODELS
+        }
+        system.close()
+        return got
+
+    def expected(self, system, collection, query="telnet retrieval"):
+        return {
+            model: system.search(collection, query, model=model).to_dict()
+            for model in MODELS
+        }
+
+    def test_kill_between_wal_commit_and_checkpoint(self, tmp_path):
+        path, system, collection, dtd = self.populated(tmp_path)
+        system.checkpoint()
+        # Mutate through the WAL, then "crash" before the store checkpoint.
+        system.add_document(
+            build_document("Late", ["late telnet paragraph"]), dtd=dtd
+        )
+        system.index_collection(collection)
+        image = self._crash_image(path, tmp_path, "wal_ahead")
+        expected = self.expected(system, collection)
+        system.close()
+        assert self._reopened_rankings(image) == expected
+
+    def test_kill_before_any_checkpoint(self, tmp_path):
+        path, system, collection, dtd = self.populated(tmp_path)
+        image = self._crash_image(path, tmp_path, "no_ckpt")
+        expected = self.expected(system, collection)
+        system.close()
+        assert self._reopened_rankings(image) == expected
+
+    def test_kill_after_clean_checkpoint(self, tmp_path):
+        path, system, collection, dtd = self.populated(tmp_path)
+        system.checkpoint()
+        image = self._crash_image(path, tmp_path, "clean")
+        expected = self.expected(system, collection)
+        system.close()
+        reopened = DocumentSystem(directory=image)
+        # Clean image: nothing to reindex, the collection loads lazily.
+        assert reopened.engine.lazy_collection_names() == ["paras"]
+        collection2 = next(iter(reopened.db.instances_of("COLLECTION")))
+        got = {
+            model: reopened.search(collection2, "telnet retrieval", model=model).to_dict()
+            for model in MODELS
+        }
+        reopened.close()
+        assert got == expected
+
+    def test_kill_between_deferred_propagation_and_checkpoint(self, tmp_path):
+        path, system, collection, dtd = self.populated(tmp_path)
+        system.checkpoint()
+        root = system.add_document(
+            build_document("Prop", ["propagated telnet update"]), dtd=dtd
+        )
+        para = root.get("children")[1]
+        para_obj = system.db.get_object(para)
+        collection.send("insertObject", para_obj)
+        collection.send("propagateUpdates")
+        image = self._crash_image(path, tmp_path, "propagated")
+        expected = self.expected(system, collection)
+        system.close()
+        assert self._reopened_rankings(image) == expected
+
+    def test_sharded_system_recovers_identically(self, tmp_path):
+        path, system, collection, dtd = self.populated(tmp_path, shards=2)
+        system.checkpoint()
+        system.add_document(
+            build_document("More", ["another telnet paragraph www"]), dtd=dtd
+        )
+        system.index_collection(collection)
+        image = self._crash_image(path, tmp_path, "sharded")
+        expected = self.expected(system, collection)
+        system.close()
+        assert self._reopened_rankings(image) == expected
+
+    def test_torn_store_tail_plus_wal_ahead(self, tmp_path):
+        """Double fault: WAL ahead of the store AND the store tail torn."""
+        path, system, collection, dtd = self.populated(tmp_path)
+        system.checkpoint()
+        system.add_document(
+            build_document("Torn", ["torn tail telnet paragraph"]), dtd=dtd
+        )
+        system.index_collection(collection)
+        image = self._crash_image(path, tmp_path, "torn")
+        expected = self.expected(system, collection)
+        system.close()
+        store_path = os.path.join(image, "irs.store")
+        with open(store_path, "ab") as fh:
+            fh.write(b"\x00garbage from a torn write\x00" * 3)
+        assert self._reopened_rankings(image) == expected

@@ -1,0 +1,192 @@
+"""Legacy JSON layouts and the single-file store load each other's data.
+
+Both persistence formats serialize the same collection payloads, so an
+engine can round-trip json → store → json with bit-identical rankings and
+payload-equal documents — the migration path for pre-store directories.
+"""
+
+import os
+
+import pytest
+
+from repro.core.system import DocumentSystem
+from repro.irs.engine import IRSEngine
+from repro.irs.persistence import load_engine as load_json_engine
+from repro.irs.persistence import save_engine as save_json_engine
+from repro.irs.segments.segment import SegmentConfig
+from repro.sgml.mmf import build_document, mmf_dtd
+from repro.store import SingleFileStore
+
+TEXTS = [
+    "structured documents stored in the object base",
+    "the retrieval system indexes document text",
+    "flexible coupling of database and retrieval",
+    "segments seal into immutable runs",
+    "shards scatter scoring across processes",
+    "queries mix structure and content",
+]
+
+MODELS = ("inquery", "vector", "boolean")
+
+
+def build_engine(layout):
+    if layout == "flat":
+        engine = IRSEngine(segment_config=SegmentConfig(enabled=False))
+        engine.create_collection("docs")
+    elif layout == "segmented":
+        engine = IRSEngine(segment_config=SegmentConfig(seal_document_count=2))
+        engine.create_collection("docs")
+    else:
+        engine = IRSEngine(
+            segment_config=SegmentConfig(seal_document_count=2), shard_count=2
+        )
+        engine.create_collection("docs", shards=2)
+    for i, text in enumerate(TEXTS):
+        engine.index_document("docs", text, {"oid": f"OID{i}"})
+    return engine
+
+
+def rankings(engine, query="structured retrieval documents"):
+    return {
+        model: engine.query("docs", query, model=model).values
+        for model in MODELS
+    }
+
+
+def documents(engine):
+    collection = engine.collection("docs")
+    return {
+        doc_id: (doc.text, doc.metadata)
+        for doc_id, doc in sorted(collection._documents.items())
+    }
+
+
+@pytest.mark.parametrize("layout", ["flat", "segmented", "sharded"])
+class TestEngineLevel:
+    def shard_count(self, layout):
+        return 2 if layout == "sharded" else 0
+
+    def test_json_to_store(self, tmp_path, layout):
+        engine = build_engine(layout)
+        expected = rankings(engine)
+        json_dir = str(tmp_path / "irs_index")
+        save_json_engine(engine, json_dir)
+
+        via_json = load_json_engine(json_dir, shard_count=self.shard_count(layout))
+        store = SingleFileStore(str(tmp_path / "irs.store"))
+        store.checkpoint(via_json)
+        store.close()
+
+        again = SingleFileStore(str(tmp_path / "irs.store"))
+        via_store = again.load_engine(shard_count=self.shard_count(layout))
+        assert rankings(via_store) == expected
+        assert documents(via_store) == documents(engine)
+        again.close()
+
+    def test_store_to_json(self, tmp_path, layout):
+        engine = build_engine(layout)
+        expected = rankings(engine)
+        store = SingleFileStore(str(tmp_path / "irs.store"))
+        store.checkpoint(engine)
+        via_store = store.load_engine(shard_count=self.shard_count(layout))
+        json_dir = str(tmp_path / "irs_index")
+        save_json_engine(via_store, json_dir)
+        store.close()
+
+        via_json = load_json_engine(json_dir, shard_count=self.shard_count(layout))
+        assert rankings(via_json) == expected
+        assert documents(via_json) == documents(engine)
+
+    def test_full_cycle_preserves_payloads(self, tmp_path, layout):
+        engine = build_engine(layout)
+        json_a = str(tmp_path / "a")
+        save_json_engine(engine, json_a)
+        store = SingleFileStore(str(tmp_path / "irs.store"))
+        store.checkpoint(
+            load_json_engine(json_a, shard_count=self.shard_count(layout))
+        )
+        restored = store.load_engine(shard_count=self.shard_count(layout))
+        json_b = str(tmp_path / "b")
+        save_json_engine(restored, json_b)
+        store.close()
+        # The cycle is lossless: both json snapshots load identically.
+        first = load_json_engine(json_a, shard_count=self.shard_count(layout))
+        second = load_json_engine(json_b, shard_count=self.shard_count(layout))
+        assert rankings(first) == rankings(second)
+        assert documents(first) == documents(second)
+
+
+def _populate(system, dtd):
+    for i in range(5):
+        system.add_document(
+            build_document(f"T{i}", [f"archie gopher text {i}", "www access"]),
+            dtd=dtd,
+        )
+    collection = system.create_collection("paras", "ACCESS p FROM p IN PARA")
+    system.index_collection(collection)
+    return collection
+
+
+def _search_all(system, query="archie access"):
+    collection = next(iter(system.db.instances_of("COLLECTION")))
+    return {
+        model: system.search(collection, query, model=model).to_dict()
+        for model in MODELS
+    }
+
+
+class TestSystemLevel:
+    def test_legacy_json_directory_migrates_to_store(self, tmp_path):
+        path = str(tmp_path / "sys")
+        legacy = DocumentSystem(directory=path, storage="json")
+        dtd = mmf_dtd()
+        legacy.register_dtd(dtd)
+        _populate(legacy, dtd)
+        expected = _search_all(legacy)
+        legacy.close()
+        assert os.path.isdir(os.path.join(path, "irs_index"))
+
+        # Opt in to the store: recovery rebuilds from the WAL-durable
+        # doc_map and checkpoints, creating irs.store alongside.
+        migrated = DocumentSystem(directory=path, storage="store")
+        assert migrated._storage_mode == "store"
+        assert _search_all(migrated) == expected
+        migrated.close()
+        assert os.path.exists(os.path.join(path, "irs.store"))
+
+        # auto now prefers the store.
+        reopened = DocumentSystem(directory=path)
+        assert reopened._storage_mode == "store"
+        assert _search_all(reopened) == expected
+        reopened.close()
+
+    def test_auto_prefers_existing_json_directory(self, tmp_path):
+        path = str(tmp_path / "sys")
+        legacy = DocumentSystem(directory=path, storage="json")
+        dtd = mmf_dtd()
+        legacy.register_dtd(dtd)
+        _populate(legacy, dtd)
+        expected = _search_all(legacy)
+        legacy.close()
+
+        reopened = DocumentSystem(directory=path)
+        assert reopened._storage_mode == "json"
+        assert _search_all(reopened) == expected
+        reopened.close()
+
+    def test_fresh_directory_defaults_to_store(self, tmp_path):
+        system = DocumentSystem(directory=str(tmp_path / "fresh"))
+        assert system._storage_mode == "store"
+        assert system.store is not None
+        system.close()
+        assert os.path.exists(str(tmp_path / "fresh" / "irs.store"))
+
+    def test_memory_system_has_no_store(self):
+        system = DocumentSystem()
+        assert system._storage_mode == "memory"
+        assert system.store is None
+        system.close()
+
+    def test_unknown_storage_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DocumentSystem(directory=str(tmp_path / "x"), storage="parquet")

@@ -1,0 +1,116 @@
+"""Lazy restart: reopening touches only the manifest until data is needed."""
+
+import pytest
+
+from repro import obs
+from repro.irs.engine import IRSEngine
+from repro.irs.segments.segment import SegmentConfig
+from repro.store import SingleFileStore
+
+
+@pytest.fixture
+def fresh_obs():
+    obs.enable()
+    obs.metrics().reset()
+    yield
+    obs.metrics().reset()
+
+
+def build_store(tmp_path, names=("alpha", "beta", "gamma")):
+    engine = IRSEngine(segment_config=SegmentConfig(seal_document_count=2))
+    for name in names:
+        engine.create_collection(name)
+        for i in range(4):
+            engine.index_document(name, f"{name} document number {i}", {"n": i})
+    store = SingleFileStore(str(tmp_path / "irs.store"))
+    store.checkpoint(engine)
+    store.close()
+    return SingleFileStore(str(tmp_path / "irs.store"))
+
+
+class TestLazyLoading:
+    def test_names_visible_before_materialization(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        assert sorted(engine.collection_names()) == ["alpha", "beta", "gamma"]
+        assert sorted(engine.lazy_collection_names()) == ["alpha", "beta", "gamma"]
+        store.close()
+
+    def test_touch_materializes_only_that_collection(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        engine.collection("beta")
+        assert sorted(engine.lazy_collection_names()) == ["alpha", "gamma"]
+        store.close()
+
+    def test_query_triggers_materialization(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        result = engine.query("alpha", "alpha document")
+        assert result.values
+        assert "alpha" not in engine.lazy_collection_names()
+        store.close()
+
+    def test_materialization_counter_advances(self, tmp_path, fresh_obs):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        before = obs.metrics().snapshot()["counters"].get(
+            "store.lazy.materializations", 0
+        )
+        engine.collection("alpha")
+        engine.collection("gamma")
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters["store.lazy.materializations"] == before + 2
+        rolling = obs.metrics().snapshot()["rolling"]
+        assert rolling["store.materialize.seconds"]["count"] >= 2
+        store.close()
+
+    def test_eager_load_materializes_everything(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine(lazy=False)
+        assert engine.lazy_collection_names() == []
+        store.close()
+
+
+class TestUntouchedCarryForward:
+    def test_untouched_lazy_collection_survives_checkpoint(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        # Touch and mutate only alpha; beta and gamma stay lazy.
+        engine.index_document("alpha", "a brand new alpha document", {})
+        stats = store.checkpoint(engine)
+        assert stats["records_appended"] > 0
+        assert sorted(engine.lazy_collection_names()) == ["beta", "gamma"]
+        # The carried-forward entries still load correctly afterwards.
+        assert len(engine.collection("beta")) == 4
+        assert len(engine.collection("gamma")) == 4
+        assert len(engine.collection("alpha")) == 5
+        store.close()
+
+    def test_carry_forward_is_byte_for_byte(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        before = store.manifest["collections"]["beta"]
+        engine.collection("alpha")  # materialize something else
+        store.checkpoint(engine)
+        after = store.manifest["collections"]["beta"]
+        assert after == before
+
+    def test_reopen_after_partial_touch_round_trips(self, tmp_path):
+        store = build_store(tmp_path)
+        engine = store.load_engine()
+        engine.index_document("alpha", "alpha grows", {})
+        store.checkpoint(engine)
+        expected = {
+            name: engine.query(name, f"{name} document").values
+            for name in ("alpha", "beta", "gamma")
+        }
+        store.close()
+        again = SingleFileStore(str(tmp_path / "irs.store"))
+        restored = again.load_engine()
+        got = {
+            name: restored.query(name, f"{name} document").values
+            for name in ("alpha", "beta", "gamma")
+        }
+        assert got == expected
+        again.close()

@@ -1,0 +1,96 @@
+"""Offline compaction: pack() reclaims dead space without changing results."""
+
+import os
+
+from repro.irs.engine import IRSEngine
+from repro.irs.segments.segment import SegmentConfig
+from repro.store import SingleFileStore
+
+MODELS = ("inquery", "vector", "boolean")
+
+
+def build_store(tmp_path, churn=6):
+    engine = IRSEngine(segment_config=SegmentConfig(seal_document_count=3))
+    engine.create_collection("docs")
+    for i in range(8):
+        engine.index_document("docs", f"packable document number {i}", {"n": i})
+    store = SingleFileStore(str(tmp_path / "irs.store"))
+    store.checkpoint(engine)
+    # Churn: every replace supersedes a doc batch, growing dead space.
+    for round_ in range(churn):
+        engine.replace_document("docs", 1 + round_ % 4, f"churned text {round_}")
+        store.checkpoint(engine)
+    return engine, store
+
+
+def rankings(engine):
+    return {
+        model: engine.query("docs", "packable document", model=model).values
+        for model in MODELS
+    }
+
+
+class TestPack:
+    def test_pack_reclaims_dead_bytes(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        before = store.stats()
+        assert before["dead_bytes"] > 0
+        result = store.pack()
+        assert result["packed"]
+        assert result["reclaimed_bytes"] > 0
+        after = store.stats()
+        assert after["size_bytes"] < before["size_bytes"]
+        assert after["dead_bytes"] == 0
+        store.close()
+
+    def test_rankings_identical_after_pack(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        expected = rankings(engine)
+        store.pack()
+        assert rankings(engine) == expected
+        restored = store.load_engine()
+        assert rankings(restored) == expected
+        store.close()
+
+    def test_post_pack_checkpoint_appends_nothing(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        store.pack()
+        # Stamps were remapped to the new file: an immediate checkpoint
+        # finds nothing new to write.
+        stats = store.checkpoint(engine)
+        assert stats["records_appended"] == 0
+        store.close()
+
+    def test_pack_survives_reopen(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        expected = rankings(engine)
+        store.pack()
+        store.close()
+        again = SingleFileStore(str(tmp_path / "irs.store"))
+        assert rankings(again.load_engine()) == expected
+        assert again.stats()["dead_bytes"] == 0
+        again.close()
+
+    def test_pack_leaves_no_temporary_file(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        store.pack()
+        store.close()
+        assert not os.path.exists(str(tmp_path / "irs.store.pack"))
+
+    def test_pack_on_empty_store_is_a_no_op(self, tmp_path):
+        store = SingleFileStore(str(tmp_path / "irs.store"))
+        result = store.pack()
+        assert result["packed"] is False
+        assert result["reclaimed_bytes"] == 0
+        store.close()
+
+    def test_pack_then_more_churn_then_pack_again(self, tmp_path):
+        engine, store = build_store(tmp_path)
+        store.pack()
+        engine.replace_document("docs", 2, "second era of churn")
+        store.checkpoint(engine)
+        expected = rankings(engine)
+        result = store.pack()
+        assert result["packed"]
+        assert rankings(store.load_engine()) == expected
+        store.close()

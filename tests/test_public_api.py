@@ -50,6 +50,7 @@ SESSION_CONTRACT = {
     "execute": "(self, text, bindings=None, timeout=<unset>)",
     "ping": "(self)",
     "health": "(self, slo_seconds=None)",
+    "checkpoint": "(self)",
     "close": "(self)",
 }
 

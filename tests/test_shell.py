@@ -165,3 +165,37 @@ class TestScriptedSession:
         assert "2 objects indexed" in text
         assert "(2 rows)" in text
         assert "bye" in text
+
+
+class TestDurableCommands:
+    @pytest.fixture
+    def durable(self, tmp_path):
+        out = io.StringIO()
+        s = Shell(DocumentSystem(directory=str(tmp_path / "shellsys")), stdout=out)
+        s.out = out
+        return s
+
+    def test_checkpoint_reports_stats(self, durable, tmp_path):
+        doc = tmp_path / "d.sgml"
+        doc.write_text(PAPER_FRAGMENT)
+        durable.execute(".mmf")
+        durable.execute(f".load {doc}")
+        durable.execute(".checkpoint")
+        out = output_of(durable)
+        assert "checkpoint 1:" in out
+        assert "records appended" in out
+
+    def test_pack_reports_reclaim(self, durable):
+        durable.execute(".checkpoint")
+        durable.execute(".pack")
+        assert "store now" in output_of(durable)
+
+    def test_checkpoint_on_memory_system_reports_error(self, shell):
+        shell.execute(".checkpoint")
+        assert "error:" in output_of(shell)
+
+    def test_help_mentions_durability_commands(self, shell):
+        shell.execute(".help")
+        out = output_of(shell)
+        assert ".checkpoint" in out
+        assert ".pack" in out
